@@ -1,0 +1,56 @@
+"""Ablation — MANT code width 2/3/4 bits (the PE's mixed-precision modes).
+
+The accelerator's PEG composes INT8xINT2 units (Sec. VI-B), so 2- and
+3-bit MANT are free to run at 2x/4x the 4-bit throughput.  This
+ablation reports the quantization-error side of that trade on trained
+weights, plus the matching simulator throughput, connecting the
+accuracy and hardware halves of the mixed-precision story.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core.codec import MantCodec
+from repro.core.selection import MseSearchSelector
+from repro.hardware.pe import PEArray
+
+from common import run_once, save_result
+
+
+def experiment():
+    rng = np.random.default_rng(3)
+    # Heavy-tailed weight stand-in: Gaussian bulk + scaled groups.
+    w = rng.normal(size=(64, 512)) * np.exp(rng.normal(0, 0.6, size=(1, 512)))
+    arr = PEArray("mant")
+    out = {}
+    for bits in (2, 3, 4):
+        sel = MseSearchSelector(bits=bits, group_size=64)
+        codec = MantCodec(bits=bits, group_size=64)
+        w_hat = codec.qdq(w, sel.select(w))
+        rel = float(np.mean((w_hat - w) ** 2) / np.mean(w * w))
+        out[bits] = {
+            "rel_mse": rel,
+            "macs_per_cycle": arr.macs_per_cycle(8, bits),
+            "bits_per_element": bits + 24 / 64,
+        }
+    return out
+
+
+def test_bench_ablation_bitwidth(benchmark):
+    out = run_once(benchmark, experiment)
+    rows = [
+        [f"MANT-{b}", v["rel_mse"], v["macs_per_cycle"], v["bits_per_element"]]
+        for b, v in out.items()
+    ]
+    print()
+    print(render_table(
+        ["code", "relative MSE", "MACs/cycle (a8)", "bits/elem"],
+        rows, title="Ablation: MANT code width", ndigits=5,
+    ))
+    save_result("ablation_bitwidth", {str(k): v for k, v in out.items()})
+
+    # Monotone trade-off: each extra bit cuts error, halves throughput.
+    assert out[2]["rel_mse"] > out[3]["rel_mse"] > out[4]["rel_mse"]
+    assert out[2]["macs_per_cycle"] == 2 * out[4]["macs_per_cycle"]
+    # 4-bit is the paper's sweet spot: ~1% relative MSE.
+    assert out[4]["rel_mse"] < 0.02

@@ -1,0 +1,66 @@
+"""Ablation — variance-based vs full-MSE coefficient selection for KV.
+
+The paper chooses variance mapping for the KV cache because full MSE
+search "requires performing quantization to each data type", which is
+intolerable in real time (Sec. V-C).  This ablation quantifies both
+sides of the trade: accuracy gap (small) and encode cost (large).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core.codec import MantCodec
+from repro.core.selection import MseSearchSelector, VarianceSelector
+
+from common import run_once, save_result
+
+
+def experiment():
+    rng = np.random.default_rng(0)
+    # A mixture of group shapes, like real KV data.
+    groups = np.concatenate([
+        rng.normal(size=(1500, 64)),
+        rng.laplace(scale=0.3, size=(1500, 64)),
+        rng.uniform(-1, 1, size=(1500, 64)),
+    ])
+    codec = MantCodec(group_size=64, fp16_scales=False)
+
+    mse_sel = MseSearchSelector(group_size=64)
+    t0 = time.perf_counter()
+    a_mse = mse_sel.select(groups)
+    t_mse = time.perf_counter() - t0
+
+    var_sel = VarianceSelector(group_size=64).fit(groups[::8])
+    t0 = time.perf_counter()
+    a_var = var_sel.select_batch(groups)
+    t_var = time.perf_counter() - t0
+
+    err_mse = float(np.mean((codec.qdq(groups, a_mse.reshape(-1, 1)) - groups) ** 2))
+    err_var = float(np.mean((codec.qdq(groups, a_var.reshape(-1, 1)) - groups) ** 2))
+    return {
+        "mse_search": {"err": err_mse, "seconds": t_mse},
+        "variance_map": {"err": err_var, "seconds": t_var},
+        "accuracy_gap_pct": 100 * (err_var - err_mse) / err_mse,
+        "speedup": t_mse / t_var,
+    }
+
+
+def test_bench_ablation_selection(benchmark):
+    out = run_once(benchmark, experiment)
+    rows = [
+        ["MSE search (Eq. 6)", out["mse_search"]["err"], out["mse_search"]["seconds"]],
+        ["variance map (Eq. 7)", out["variance_map"]["err"], out["variance_map"]["seconds"]],
+    ]
+    print()
+    print(render_table(["selector", "quant MSE", "encode time (s)"], rows,
+                       title="Ablation: KV coefficient selection", ndigits=5))
+    print(f"  accuracy gap {out['accuracy_gap_pct']:.1f}%, "
+          f"selection speedup {out['speedup']:.0f}x")
+    save_result("ablation_selection", out)
+
+    # The paper's premise: variance selection is far cheaper and nearly
+    # as accurate.
+    assert out["speedup"] > 5
+    assert out["accuracy_gap_pct"] < 40

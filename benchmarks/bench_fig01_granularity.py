@@ -1,0 +1,55 @@
+"""Fig. 1 — LLM accuracy vs quantization granularity (W4A16 INT).
+
+Paper series (LLaMA-7B): FP16 5.68; channel-wise 6.85; group-wise
+G-128/G-64/G-32 close the gap with diminishing returns below G-64.
+Reproduced shape: channel ≫ group PPL loss; G-32 ≈ G-64 ≲ G-128.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.model.perplexity import perplexity_from_rows
+from repro.model.quantized import PTQConfig, build_ptq
+from repro.quant.config import Granularity
+
+from common import load, run_once, save_result
+
+MODEL = "tinyllama-s"
+
+
+def experiment():
+    # Group sizes are width-scaled: the paper's G-128/64/32 on 4096-wide
+    # models map to G-64/32/16 on our 128-wide stand-in (same fraction
+    # of a row per group).
+    model, _corpus, calib, rows = load(MODEL)
+    fp16 = perplexity_from_rows(model, rows)
+    results = [("fp16", fp16)]
+    settings = [
+        ("channel", dict(w_granularity=Granularity.CHANNEL)),
+        ("group-64", dict(w_granularity=Granularity.GROUP, group_size=64)),
+        ("group-32", dict(w_granularity=Granularity.GROUP, group_size=32)),
+        ("group-16", dict(w_granularity=Granularity.GROUP, group_size=16)),
+    ]
+    for name, kw in settings:
+        cfg = PTQConfig(method="int", w_bits=4, a_bits=16, label=f"int4-{name}", **kw)
+        setup = build_ptq(model, cfg, calib)
+        results.append((name, setup.ppl(model, rows)))
+    return results
+
+
+def test_bench_fig01_granularity(benchmark):
+    results = run_once(benchmark, experiment)
+    rows = [[name, ppl, ppl - results[0][1]] for name, ppl in results]
+    print()
+    print(render_table(["granularity", "ppl", "ppl loss"], rows,
+                       title=f"Fig. 1 (W4A16 INT, {MODEL}; groups width-scaled)",
+                       ndigits=3))
+    save_result("fig01_granularity", {n: p for n, p in results})
+
+    ppl = dict(results)
+    # Shape: channel-wise loses the most; every group size beats it.
+    # (Orderings *between* group sizes sit inside eval noise on the
+    # tiny stand-in and are reported, not asserted — EXPERIMENTS.md.)
+    assert ppl["channel"] > ppl["fp16"]
+    for g in ("group-64", "group-32", "group-16"):
+        assert ppl["channel"] >= ppl[g] - 1e-9, g

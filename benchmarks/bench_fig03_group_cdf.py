@@ -1,0 +1,68 @@
+"""Fig. 3 — distribution diversity at tensor / channel / group level.
+
+Paper: CDFs of 16 tensors nearly coincide while 16 groups differ
+sharply ("while different tensors exhibit similar distributions, small
+groups can have markedly different distributions").  Reproduced as the
+mean pairwise KS distance at each granularity, on trained Q-projection
+weights and on V-cache activations.
+"""
+
+import numpy as np
+
+from repro.analysis.distributions import granularity_report
+from repro.analysis.reporting import render_table
+
+from common import load, run_once, save_result
+
+MODEL = "tinyllama-s"
+
+
+def experiment():
+    model, corpus, _calib, rows = load(MODEL)
+
+    weights = {
+        name: model.params[name]
+        for name in model.config.linear_names()
+        if "attn.wq" in name or "attn.wv" in name or "ffn" in name
+    }
+    weight_rep = granularity_report(weights, group_size=64, n_units=12)
+
+    # V-cache values: capture via the kv hook on a forward pass.
+    captured = []
+
+    def kv_hook(layer, q, k, v):
+        captured.append(v)
+        return q, k, v
+
+    model.forward_logits(rows[:4, :-1], kv_quant=kv_hook)
+    v = np.concatenate([c.reshape(-1, c.shape[-1]) for c in captured])
+    v_tensors = {f"v{i}": v[i * 32 : (i + 1) * 32] for i in range(8)}
+    v_rep = granularity_report(v_tensors, group_size=32, n_units=12)
+
+    return {"weights": weight_rep, "v_cache": v_rep}
+
+
+def test_bench_fig03_group_cdf(benchmark):
+    rep = run_once(benchmark, experiment)
+    rows = [
+        ["weight (Q/V/FFN)", rep["weights"]["tensor"], rep["weights"]["channel"], rep["weights"]["group"]],
+        ["V cache", rep["v_cache"]["tensor"], rep["v_cache"]["channel"], rep["v_cache"]["group"]],
+    ]
+    print()
+    print(render_table(
+        ["source", "tensor KS", "channel KS", "group KS"], rows,
+        title=f"Fig. 3 (mean pairwise KS distance, {MODEL})", ndigits=3,
+    ))
+    save_result("fig03_group_cdf", rep)
+
+    # Takeaway 1: group-level diversity is of the same order as (or
+    # exceeds) tensor-level diversity, despite groups being 64 values
+    # against whole matrices.  On the paper's 4096-wide LLMs the group
+    # signal strictly dominates; on 128-wide stand-ins our "tensors"
+    # mix roles across only 2-3 layers, which inflates the tensor-level
+    # number, so the assertion uses a 0.75 factor and the raw values
+    # are recorded (EXPERIMENTS.md).
+    assert rep["v_cache"]["group"] > 0.75 * rep["v_cache"]["tensor"]
+    assert rep["weights"]["group"] > 0.75 * rep["weights"]["tensor"]
+    # Groups must show *substantial* absolute diversity.
+    assert rep["v_cache"]["group"] > 0.1

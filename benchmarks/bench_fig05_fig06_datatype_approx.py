@@ -1,0 +1,52 @@
+"""Fig. 5 & 6 — MANT approximating other data types by sweeping ``a``.
+
+Fig. 5: a ≈ 17 matches FP4, a ≈ 25 matches NF4.  Fig. 6: the
+normalised grid morphs smoothly from PoT (a = 0) toward INT (a → 128),
+with the grid variance increasing monotonically.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_series, render_table
+from repro.core.mant import MantGrid, approximate_datatype
+from repro.datatypes import fp4_e2m1, nf4, pot4
+from repro.datatypes.int_type import int4
+
+from common import run_once, save_result
+
+
+def experiment():
+    targets = {"float (fp4_e2m1)": fp4_e2m1, "NF4": nf4, "PoT": pot4, "INT4": int4}
+    fits = {name: approximate_datatype(dt) for name, dt in targets.items()}
+    sweep = {
+        a: {
+            "variance": MantGrid(a).normalized_variance(),
+            "grid": MantGrid(a).normalized_grid(),
+        }
+        for a in (0, 5, 17, 25, 40, 60, 90, 125)
+    }
+    return fits, sweep
+
+
+def test_bench_fig05_fig06(benchmark):
+    fits, sweep = run_once(benchmark, experiment)
+    rows = [[name, a, err] for name, (a, err) in fits.items()]
+    print()
+    print(render_table(["target type", "best a", "max abs err"], rows,
+                       title="Fig. 5 (grid approximation)", ndigits=3))
+    print()
+    print(render_series(
+        "Fig. 6 normalised grid variance vs a",
+        list(sweep), [v["variance"] for v in sweep.values()], ndigits=3,
+    ))
+    save_result("fig05_fig06", {
+        "fits": {k: list(v) for k, v in fits.items()},
+        "variance_vs_a": {str(a): v["variance"] for a, v in sweep.items()},
+    })
+
+    assert fits["PoT"][0] == 0
+    assert 10 <= fits["float (fp4_e2m1)"][0] <= 25
+    assert 17 <= fits["NF4"][0] <= 35
+    assert fits["INT4"][0] >= 90
+    variances = [v["variance"] for v in sweep.values()]
+    assert all(b > a for a, b in zip(variances, variances[1:]))

@@ -1,0 +1,65 @@
+"""Fig. 12 — linear-layer speedup and energy breakdown (seq 2048).
+
+Paper geomeans (MANT over each baseline): Tender 1.83x / 1.39x energy,
+OliVe 1.96x / 1.54x, ANT* 2.00x / 1.57x, BitFusion 4.93x / 4.16x.
+Shape targets: the same ordering, energy dominated by static + DRAM
+differences, similar core energy across designs.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.hardware.configs import ACCELERATORS, get_policy
+from repro.hardware.simulator import simulate_linear_layer, speedup_and_energy
+from repro.hardware.workloads import MODEL_SHAPES
+
+from common import run_once, save_result
+
+MODELS = ("llama-7b", "llama-65b", "opt-6.7b", "opt-13b")
+
+
+def experiment():
+    per_model = {}
+    for model in MODELS:
+        shape = MODEL_SHAPES[model]
+        results = {
+            n: simulate_linear_layer(a, get_policy(n, shape.family), shape, 2048)
+            for n, a in ACCELERATORS.items()
+        }
+        per_model[model] = speedup_and_energy(results, baseline="MANT")
+    return per_model
+
+
+def test_bench_fig12_linear_layer(benchmark):
+    per_model = run_once(benchmark, experiment)
+    names = list(ACCELERATORS)
+    rows = []
+    geo_speed = {n: [] for n in names}
+    geo_energy = {n: [] for n in names}
+    for model, norm in per_model.items():
+        for n in names:
+            mant_speedup = 1.0 / norm[n]["speedup"]
+            geo_speed[n].append(mant_speedup)
+            geo_energy[n].append(norm[n]["norm_energy"])
+            rows.append([
+                model, n, mant_speedup, norm[n]["norm_energy"],
+                norm[n]["core"], norm[n]["buffer"], norm[n]["dram"], norm[n]["static"],
+            ])
+    geo = lambda v: float(np.exp(np.mean(np.log(v))))
+    for n in names:
+        rows.append(["geomean", n, geo(geo_speed[n]), geo(geo_energy[n]),
+                     None, None, None, None])
+    print()
+    print(render_table(
+        ["model", "accel", "MANT speedup", "norm energy",
+         "core", "buffer", "dram", "static"],
+        rows, title="Fig. 12 (linear layer, seq 2048; energy normalised to MANT)",
+    ))
+    save_result("fig12_linear_layer", per_model)
+
+    # Paper ordering and rough bands.
+    assert 1.4 < geo(geo_speed["Tender"]) < 2.2
+    assert geo(geo_speed["Tender"]) < geo(geo_speed["OliVe"]) < geo(geo_speed["ANT*"])
+    assert geo(geo_speed["BitFusion"]) > 3.5
+    assert geo(geo_energy["Tender"]) > 1.2
+    assert geo(geo_energy["BitFusion"]) > 3.0

@@ -1,0 +1,67 @@
+"""Fig. 13 — all-layer (linear + attention) speedup/energy vs context.
+
+Paper: MANT 2.04-4.54x over OliVe across 2K-128K; 2.99x average (up to
+4.46x) over Tender; the linear layer dominates at 2K, attention at
+128K, where only MANT's quantized KV cache keeps scaling.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_series, render_table
+from repro.hardware.configs import ACCELERATORS, get_policy
+from repro.hardware.simulator import simulate_token
+
+from common import run_once, save_result
+from repro.hardware.workloads import MODEL_SHAPES
+
+SEQS = (2048, 8192, 32768, 131072)
+MODEL = "llama-7b"
+
+
+def experiment():
+    shape = MODEL_SHAPES[MODEL]
+    out = {}
+    for s in SEQS:
+        out[s] = {
+            n: simulate_token(a, get_policy(n, shape.family), shape, s)
+            for n, a in ACCELERATORS.items()
+        }
+    return out
+
+
+def test_bench_fig13_seq_sweep(benchmark):
+    out = run_once(benchmark, experiment)
+    rows = []
+    speedups_vs = {n: [] for n in ACCELERATORS if n != "MANT"}
+    for s in SEQS:
+        mant = out[s]["MANT"]["total"]
+        for n in ACCELERATORS:
+            parts = out[s][n]
+            speed = parts["total"].cycles / mant.cycles
+            rows.append([
+                s, n, speed if n != "MANT" else 1.0,
+                parts["linear"].cycles / parts["total"].cycles,
+                parts["attention"].cycles / parts["total"].cycles,
+                parts["total"].energy.total / mant.energy.total,
+            ])
+            if n != "MANT":
+                speedups_vs[n].append(speed)
+    print()
+    print(render_table(
+        ["seq", "accel", "MANT speedup", "linear frac", "attn frac", "energy vs MANT"],
+        rows, title=f"Fig. 13 ({MODEL}, decode token at context S)",
+    ))
+    for n, v in speedups_vs.items():
+        print(render_series(f"  MANT speedup vs {n}", SEQS, v))
+    save_result("fig13_seq_sweep", {
+        str(s): {n: out[s][n]["total"].cycles for n in ACCELERATORS} for s in SEQS
+    })
+
+    # Speedup over every baseline grows monotonically with context.
+    for n, v in speedups_vs.items():
+        assert all(b >= a - 1e-9 for a, b in zip(v, v[1:])), n
+    assert speedups_vs["OliVe"][-1] > 2.5
+    # Crossover: linear dominates at 2K, attention at 128K (baselines).
+    first, last = out[SEQS[0]]["OliVe"], out[SEQS[-1]]["OliVe"]
+    assert first["linear"].cycles > first["attention"].cycles
+    assert last["attention"].cycles > last["linear"].cycles

@@ -1,0 +1,54 @@
+"""Fig. 14 — group-wise (G=64) hardware comparison: MANT vs ANT vs INT.
+
+Paper: with everyone at group size 64 (ANT extended with per-group
+weight types and group-INT KV; INT with more 8-bit layers to match
+PPL), MANT averages 1.70x speedup and 1.55x energy efficiency over
+group-wise ANT in the linear layer.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.hardware.configs import GROUPWISE_ACCELERATORS, GROUPWISE_POLICIES
+from repro.hardware.simulator import simulate_linear_layer, speedup_and_energy
+from repro.hardware.workloads import MODEL_SHAPES
+
+from common import run_once, save_result
+
+MODELS = ("llama-7b", "llama-65b", "opt-6.7b", "opt-13b")
+
+
+def experiment():
+    per_model = {}
+    for model in MODELS:
+        shape = MODEL_SHAPES[model]
+        results = {
+            n: simulate_linear_layer(a, GROUPWISE_POLICIES[n][shape.family], shape, 2048)
+            for n, a in GROUPWISE_ACCELERATORS.items()
+        }
+        per_model[model] = speedup_and_energy(results, baseline="MANT")
+    return per_model
+
+
+def test_bench_fig14_groupwise_hw(benchmark):
+    per_model = run_once(benchmark, experiment)
+    rows = []
+    ant_speed, ant_energy = [], []
+    for model, norm in per_model.items():
+        for n in GROUPWISE_ACCELERATORS:
+            rows.append([model, n, 1.0 / norm[n]["speedup"], norm[n]["norm_energy"]])
+            if n == "ANT-g64":
+                ant_speed.append(1.0 / norm[n]["speedup"])
+                ant_energy.append(norm[n]["norm_energy"])
+    geo = lambda v: float(np.exp(np.mean(np.log(v))))
+    print()
+    print(render_table(
+        ["model", "config", "MANT speedup", "norm energy"], rows,
+        title="Fig. 14 (group size 64 everywhere, linear layer)",
+    ))
+    print(f"  geomean MANT over group-ANT: {geo(ant_speed):.2f}x speed, "
+          f"{geo(ant_energy):.2f}x energy (paper: 1.70x / 1.55x)")
+    save_result("fig14_groupwise_hw", per_model)
+
+    assert 1.3 < geo(ant_speed) < 2.1
+    assert 1.1 < geo(ant_energy) < 1.9

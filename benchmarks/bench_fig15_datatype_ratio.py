@@ -1,0 +1,72 @@
+"""Fig. 15 — selection ratio of coefficient ``a`` across tensors/layers.
+
+Paper: layer 0 of LLaMA-2-7B / OPT-6.7B mostly selects a = 0 (PoT-like
+grids), later layers select a broad mix — the evidence that group-level
+adaptivity is actually exercised.  Reproduced per projection role and
+layer on the trained stand-in models.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core.codec import INT_A
+from repro.model.quantized import PTQConfig, build_ptq
+
+from common import load, run_once, save_result
+
+MODELS = ("tinyllama-s", "tinyopt-s")
+
+
+def experiment():
+    out = {}
+    for model_name in MODELS:
+        model, _corpus, calib, _rows = load(model_name)
+        setup = build_ptq(model, PTQConfig(method="mant", w_bits=4, a_bits=8), calib)
+        mq = setup.artifacts["mant_weights"]
+        hists = mq.datatype_ratio_table()
+        out[model_name] = {
+            name: {("INT" if a == INT_A else f"{a:g}"): frac
+                   for a, frac in hist.items()}
+            for name, hist in hists.items()
+        }
+    return out
+
+
+def _bucket(hist: dict[str, float]) -> dict[str, float]:
+    """Collapse to the paper's visual buckets: a=0 / small / large / INT."""
+    buckets = {"a=0": 0.0, "a<=30": 0.0, "a>30": 0.0, "INT": 0.0}
+    for key, frac in hist.items():
+        if key == "INT":
+            buckets["INT"] += frac
+        elif float(key) == 0:
+            buckets["a=0"] += frac
+        elif float(key) <= 30:
+            buckets["a<=30"] += frac
+        else:
+            buckets["a>30"] += frac
+    return buckets
+
+
+def test_bench_fig15_datatype_ratio(benchmark):
+    out = run_once(benchmark, experiment)
+    rows = []
+    for model_name, hists in out.items():
+        for name, hist in hists.items():
+            b = _bucket(hist)
+            rows.append([model_name, name, b["a=0"], b["a<=30"], b["a>30"], b["INT"]])
+    print()
+    print(render_table(
+        ["model", "tensor", "a=0", "a<=30", "a>30", "INT"], rows,
+        title="Fig. 15 (coefficient selection ratio per tensor)",
+    ))
+    save_result("fig15_datatype_ratio", out)
+
+    for model_name, hists in out.items():
+        # Adaptivity is exercised: more than one coefficient in use.
+        all_keys = set()
+        for hist in hists.values():
+            all_keys |= set(hist)
+        assert len(all_keys) >= 3, model_name
+        # Every histogram is a distribution.
+        for name, hist in hists.items():
+            assert abs(sum(hist.values()) - 1.0) < 1e-9, name

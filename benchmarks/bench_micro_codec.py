@@ -1,0 +1,53 @@
+"""Microbenchmarks: codec / fused-kernel / selection throughput.
+
+Not a paper table — these time the core primitives so performance
+regressions in the library itself are visible in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.codec import MantCodec
+from repro.core.fused import fused_group_gemm, quantize_activations_int8
+from repro.core.selection import MseSearchSelector, VarianceSelector
+
+RNG = np.random.default_rng(0)
+W = RNG.standard_normal((256, 1024))
+X = RNG.standard_normal((16, 1024))
+A17 = np.full((256, 16), 17.0)
+CODEC = MantCodec(group_size=64)
+ENC = CODEC.encode(W, A17)
+XQ = quantize_activations_int8(X, 64)
+SELECTOR = MseSearchSelector(group_size=64)
+VAR_SELECTOR = VarianceSelector(group_size=64)
+GROUPS = RNG.standard_normal((4096, 64))
+
+
+def test_bench_encode(benchmark):
+    benchmark(CODEC.encode, W, A17)
+
+
+def test_bench_decode(benchmark):
+    benchmark(CODEC.decode, ENC)
+
+
+def test_bench_fused_gemm(benchmark):
+    benchmark(fused_group_gemm, XQ, ENC)
+
+
+def test_bench_activation_quant(benchmark):
+    benchmark(quantize_activations_int8, X, 64)
+
+
+def test_bench_mse_search(benchmark):
+    benchmark(SELECTOR.select, W)
+
+
+def test_bench_variance_select(benchmark):
+    benchmark(VAR_SELECTOR.select_batch, GROUPS)
+
+
+def test_bench_throughput_sanity(benchmark):
+    # Selection must stay usable at model scale: > 10k groups/s.
+    result = benchmark(VAR_SELECTOR.select_batch, GROUPS)
+    assert result.shape == (4096,)

@@ -1,0 +1,24 @@
+"""Tbl. I — feature matrix of adaptive-data-type accelerators."""
+
+from repro.analysis.features import feature_rows
+from repro.analysis.reporting import render_table
+
+from common import run_once, save_result
+
+HEADERS = [
+    "arch", "encode", "enc eff", "compute", "bits", "comp eff",
+    "decode", "dec eff", "adaptivity",
+]
+
+
+def test_bench_table1_features(benchmark):
+    rows = run_once(benchmark, feature_rows)
+    print()
+    print(render_table(HEADERS, rows, title="Tbl. I (feature matrix)"))
+    save_result("table1_features", rows)
+
+    mant = rows[-1]
+    assert mant[0] == "MANT"
+    # MANT's distinguishing cells: INT compute, calculation-based
+    # decode, high adaptivity.
+    assert mant[3] == "INT" and mant[6] == "Calculation" and mant[8] == "High"

@@ -1,0 +1,72 @@
+"""Tbl. II — PTQ perplexity across models and methods.
+
+Paper rows: W4A4 for ANT/OliVe/Tender/MANT (baselines blow up, MANT
+stays close), W8A8 for the baselines, MANT W4A8 near-lossless, and
+MANT W4A8 with the 8/4 attention (KV cache quantized).  Shape targets:
+
+* W4A4: MANT < Tender < {OliVe, ANT} in PPL, baselines clearly hurt;
+* W8A8 baselines recover; MANT W4A8 within a small loss of FP16;
+* the +KV row costs only a little extra.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.model.perplexity import perplexity_from_rows
+from repro.model.quantized import PTQConfig, build_ptq
+
+from common import ACCURACY_MODELS, load, run_once, save_result
+
+from common import GROUP
+
+ROWS = [
+    PTQConfig(method="ant", w_bits=4, a_bits=4, group_size=GROUP, label="ANT W4A4"),
+    PTQConfig(method="olive", w_bits=4, a_bits=4, group_size=GROUP, label="OliVe W4A4"),
+    PTQConfig(method="tender", w_bits=4, a_bits=4, group_size=GROUP, label="Tender W4A4"),
+    PTQConfig(method="mant", w_bits=4, a_bits=4, group_size=GROUP, label="MANT W4A4"),
+    PTQConfig(method="ant", w_bits=8, a_bits=8, group_size=GROUP, label="ANT W8A8"),
+    PTQConfig(method="olive", w_bits=8, a_bits=8, group_size=GROUP, label="OliVe W8A8"),
+    PTQConfig(method="tender", w_bits=8, a_bits=8, group_size=GROUP, label="Tender W8A8"),
+    PTQConfig(method="mant", w_bits=4, a_bits=8, group_size=GROUP, label="MANT W4A8"),
+    PTQConfig(method="mant", w_bits=4, a_bits=8, group_size=GROUP, kv_method="mant",
+              kv_bits=4, attn_act_bits=8, label="MANT W4A8 KV84"),
+]
+
+
+def experiment():
+    table: dict[str, dict[str, float]] = {"FP16": {}}
+    for model_name in ACCURACY_MODELS:
+        model, _corpus, calib, rows = load(model_name)
+        table["FP16"][model_name] = perplexity_from_rows(model, rows)
+        for cfg in ROWS:
+            setup = build_ptq(model, cfg, calib)
+            table.setdefault(cfg.label, {})[model_name] = setup.ppl(model, rows)
+    return table
+
+
+def test_bench_table2_ptq_ppl(benchmark):
+    table = run_once(benchmark, experiment)
+    headers = ["method"] + list(ACCURACY_MODELS)
+    rows = [[m] + [table[m][n] for n in ACCURACY_MODELS] for m in table]
+    print()
+    print(render_table(headers, rows, title="Tbl. II (Wikitext-substitute PPL)",
+                       ndigits=3))
+    save_result("table2_ptq_ppl", table)
+
+    for name in ACCURACY_MODELS:
+        fp16 = table["FP16"][name]
+        # MANT W4A4 at worst ties the best 4-bit baseline (see
+        # EXPERIMENTS.md: the paper's catastrophic ANT/OliVe blow-ups
+        # need real-LLM outlier magnitudes our synthetic substrate
+        # deliberately keeps moderate).
+        best_baseline = min(
+            table["Tender W4A4"][name],
+            table["ANT W4A4"][name],
+            table["OliVe W4A4"][name],
+        )
+        assert table["MANT W4A4"][name] <= best_baseline * 1.05
+        assert table["MANT W4A4"][name] <= table["Tender W4A4"][name] + 1e-6
+        # MANT W4A8 is near-lossless; KV row costs only slightly more.
+        assert table["MANT W4A8"][name] < fp16 * 1.05
+        assert table["MANT W4A8 KV84"][name] < fp16 * 1.08
+        # 8-bit baselines recover from their 4-bit losses.
+        assert table["Tender W8A8"][name] < table["Tender W4A4"][name]
+        assert table["OliVe W8A8"][name] <= table["OliVe W4A4"][name] + 1e-6

@@ -1,0 +1,89 @@
+"""Tbl. III — generation tasks with a quantized KV cache.
+
+Paper (LLaMA-2-7B, W4A8): TruthfulQA BLEU 27.88 (FP16) → 26.19 (MANT4
+KV) vs 25.48 (INT4 KV); TriviaQA F1 87.72 → 86.86 vs 85.13.  Shape:
+MANT4 KV beats INT4 KV on both tasks and stays close to the FP16 cache.
+
+Substitutes (DESIGN.md): TriviaQA → key-value recall F1 through the
+decode-stage cache; TruthfulQA → continuation BLEU vs the FP16 model.
+"""
+
+import functools
+
+from repro.analysis.reporting import render_table
+from repro.model.quantized import PTQConfig, build_ptq
+from repro.model.tasks import ContinuationTask, RecallTask
+from repro.quant.kvcache import FP16KVCache, IntKVCache, MantKVCache
+
+from common import GROUP, load, run_once, save_result
+
+MODEL = "tinyllama-s"
+
+
+def experiment():
+    model, corpus, calib, _rows = load(MODEL)
+    w4a8 = build_ptq(
+        model, PTQConfig(method="mant", w_bits=4, a_bits=8, group_size=GROUP), calib
+    )
+
+    caches = {
+        "FP16 KV": FP16KVCache,
+        "INT4 KV": functools.partial(IntKVCache, bits=4, group_size=GROUP),
+        "MANT4 KV": functools.partial(
+            MantKVCache, selector=calib.kv_selector, group_size=GROUP,
+            window=GROUP,
+        ),
+    }
+
+    recall = RecallTask(vocab_size=model.config.vocab_size,
+                        prompt_len=160, n_pairs=4, n_episodes=16)
+    contin = ContinuationTask(hmm=corpus.hmm, prompt_len=96, gen_len=24,
+                              n_episodes=8)
+    refs = contin.references(model, FP16KVCache)
+
+    table: dict[str, dict[str, float]] = {}
+    # FP16 weights + FP16 KV reference row.
+    table["FP16/FP16"] = {
+        "recall_f1": recall.evaluate(model, FP16KVCache),
+        "continuation_bleu": contin.evaluate(model, FP16KVCache, refs),
+    }
+    for name, factory in caches.items():
+        table[f"W4A8/{name}"] = {
+            "recall_f1": recall.evaluate(
+                model, factory, weights=w4a8.weights, act_quant=w4a8.act_quant
+            ),
+            "continuation_bleu": contin.evaluate(
+                model, factory, refs, weights=w4a8.weights,
+                act_quant=w4a8.act_quant,
+            ),
+        }
+    return table
+
+
+def test_bench_table3_generation(benchmark):
+    table = run_once(benchmark, experiment)
+    rows = [[k, v["recall_f1"], v["continuation_bleu"]] for k, v in table.items()]
+    print()
+    print(render_table(
+        ["config", "recall F1 (TriviaQA sub)", "continuation BLEU (TruthfulQA sub)"],
+        rows, title=f"Tbl. III (generation tasks, {MODEL})", ndigits=3,
+    ))
+    save_result("table3_generation", table)
+
+    # Shape: MANT4 KV >= INT4 KV, close to the FP16 cache.  The recall
+    # column is only informative when the stand-in model formed
+    # induction heads (FP16 recall clearly above chance); otherwise the
+    # comparison is carried by the continuation-BLEU metric and the
+    # recall numbers are reported for the record (EXPERIMENTS.md).
+    if table["FP16/FP16"]["recall_f1"] > 0.1:
+        assert (
+            table["W4A8/MANT4 KV"]["recall_f1"]
+            >= table["W4A8/INT4 KV"]["recall_f1"] - 0.05
+        )
+    else:
+        print("  note: FP16 recall at chance level — induction heads did "
+              "not form in the training budget; see EXPERIMENTS.md.")
+    assert (
+        table["W4A8/MANT4 KV"]["continuation_bleu"]
+        >= table["W4A8/INT4 KV"]["continuation_bleu"] - 0.05
+    )

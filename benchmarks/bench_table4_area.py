@@ -1,0 +1,29 @@
+"""Tbl. IV — area of core components and buffers (28 nm).
+
+Component unit areas come from the paper's synthesis (DESIGN.md §7);
+the model reproduces the composed core areas: MANT 0.302 mm², OliVe
+0.337 mm², ANT 0.327 mm², Tender 0.317 mm².
+"""
+
+from repro.analysis.reporting import render_table
+from repro.hardware.area import area_table
+
+from common import run_once, save_result
+
+
+def test_bench_table4_area(benchmark):
+    rows_raw = run_once(benchmark, area_table)
+    rows = [[r["architecture"], r["core_mm2"], r["total_mm2"]] for r in rows_raw]
+    print()
+    print(render_table(["architecture", "core mm2", "total mm2"], rows,
+                       title="Tbl. IV (area)", ndigits=3))
+    for r in rows_raw:
+        print(f"  {r['architecture']}: " + ", ".join(
+            f"{k}={v:.4f}" for k, v in r["breakdown"].items()))
+    save_result("table4_area", rows_raw)
+
+    areas = {r["architecture"]: r["core_mm2"] for r in rows_raw}
+    assert abs(areas["MANT"] - 0.302) < 0.002
+    assert abs(areas["OliVe"] - 0.337) < 0.002
+    assert abs(areas["ANT"] - 0.327) < 0.002
+    assert abs(areas["Tender"] - 0.317) < 0.002

@@ -1,0 +1,79 @@
+"""Tbl. V — W4A4 perplexity at group sizes 128/64/32 (+ MXFP4 at G-32).
+
+Paper (LLaMA-2-7B, FP16 = 5.47):
+
+    G-128: MANT 6.26 < OliVe 6.43 < ANT 6.49 < INT 6.54
+    G-64 : MANT 5.91 < INT 6.14 < OliVe 6.31 < ANT 6.38
+    G-32 : MANT 5.76 < INT 5.95 < ANT 6.23 < OliVe 6.72;  MXFP4 7.16
+
+Shape targets: MANT best at every group size and improving as groups
+shrink; group-wise ANT falling behind plain INT at G-64/32 (its
+per-tensor activation type); OliVe not improving with smaller groups;
+MXFP4 worst.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.model.perplexity import perplexity_from_rows
+from repro.model.quantized import PTQConfig, build_ptq
+from repro.quant.config import Granularity
+
+from common import load, run_once, save_result
+
+MODEL = "tinyllama-s"
+# Width-scaled analogues of the paper's G-128/64/32 (4096-wide rows).
+GROUPS = (64, 32, 16)
+
+
+def experiment():
+    model, _corpus, calib, rows = load(MODEL)
+    table = {"FP16": {"-": perplexity_from_rows(model, rows)}}
+    for g in GROUPS:
+        for method in ("mant", "olive", "ant", "int"):
+            cfg = PTQConfig(
+                method=method, w_bits=4, a_bits=4, group_size=g,
+                w_granularity=Granularity.GROUP,
+                a_granularity=Granularity.GROUP if method in ("mant", "int") else None,
+                label=f"{method}-g{g}",
+            )
+            table.setdefault(method, {})[f"G-{g}"] = build_ptq(
+                model, cfg, calib
+            ).ppl(model, rows)
+    table["mxfp"] = {
+        "G-32": build_ptq(
+            model,
+            PTQConfig(method="mxfp", w_bits=4, a_bits=4, group_size=32,
+                      label="mxfp4-g32"),
+            calib,
+        ).ppl(model, rows)
+    }
+    return table
+
+
+def test_bench_table5_groupwise_w4a4(benchmark):
+    table = run_once(benchmark, experiment)
+    headers = ["method"] + [f"G-{g}" for g in GROUPS]
+    rows = []
+    for method in ("mant", "olive", "ant", "int", "mxfp"):
+        rows.append([method] + [table[method].get(f"G-{g}") for g in GROUPS])
+    print()
+    print(render_table(headers, rows,
+                       title=f"Tbl. V (W4A4, {MODEL}; FP16 = "
+                             f"{table['FP16']['-']:.3f})", ndigits=3))
+    save_result("table5_groupwise_w4a4", table)
+
+    finest = f"G-{GROUPS[-1]}"
+    # MANT wins at the finest granularity (where its per-group
+    # adaptivity is fully exercised) ...
+    for method in ("olive", "ant", "int"):
+        assert table["mant"][finest] <= table[method][finest] * 1.03, method
+    # ... and is the method that *benefits* from shrinking groups
+    # (monotone improvement), while OliVe barely moves — the paper's
+    # central Tbl. V contrast.
+    mant_ppl = [table["mant"][f"G-{g}"] for g in GROUPS]
+    assert all(b <= a + 1e-6 for a, b in zip(mant_ppl, mant_ppl[1:]))
+    mant_gain = table["mant"][f"G-{GROUPS[0]}"] - table["mant"][finest]
+    olive_gain = table["olive"][f"G-{GROUPS[0]}"] - table["olive"][finest]
+    assert mant_gain > olive_gain
+    # MXFP4 (reported at its spec group of 32) pays the E8M0 scale
+    # penalty relative to free-scale FP4 — asserted at the unit level
+    # in tests/test_datatypes_float_nf_mxfp.py; recorded here.

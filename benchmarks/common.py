@@ -1,0 +1,70 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it
+computes the same rows/series the paper reports, prints them, stores
+them under ``artifacts/results/`` (the data behind EXPERIMENTS.md), and
+wraps the computation in pytest-benchmark so ``pytest benchmarks/
+--benchmark-only`` times every experiment.
+
+Models are trained once and cached by :mod:`repro.model.zoo`;
+calibration and evaluation rows are cached per session here.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+
+import numpy as np
+
+from repro.model.calibrate import calibrate_model
+from repro.model.zoo import default_artifacts_dir, get_model
+
+EVAL_TOKENS = 2048
+SEQ_LEN = 128
+
+# The stand-in models mirroring the paper's LLaMA/OPT columns.
+ACCURACY_MODELS = ("tinyllama-s", "tinyllama-m", "tinyopt-s")
+
+# The paper's group size is 64 on 4096-wide models (1.6% of a row).
+# Our stand-ins are 128-192 wide, so the width-scaled equivalent is 32;
+# every accuracy bench uses this unless it sweeps group sizes itself.
+GROUP = 32
+
+
+@functools.lru_cache(maxsize=None)
+def load(name: str):
+    """(model, corpus, calibration, eval_rows) for a zoo model."""
+    model, corpus = get_model(name)
+    calib = calibrate_model(
+        model, corpus, n_batches=3, batch_size=4, seq_len=SEQ_LEN,
+        group_size=GROUP,
+    )
+    rows = corpus.eval_tokens(EVAL_TOKENS, SEQ_LEN)
+    return model, corpus, calib, rows
+
+
+def results_dir() -> str:
+    d = os.path.join(default_artifacts_dir(), "results")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def save_result(name: str, payload) -> None:
+    """Persist one experiment's rows for EXPERIMENTS.md."""
+
+    def default(o):
+        if isinstance(o, (np.floating, np.integer)):
+            return o.item()
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        raise TypeError(type(o))
+
+    with open(os.path.join(results_dir(), f"{name}.json"), "w") as f:
+        json.dump(payload, f, indent=2, default=default)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

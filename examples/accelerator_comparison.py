@@ -1,0 +1,69 @@
+"""Accelerator simulation: regenerate the paper's headline HW numbers.
+
+Runs the cycle-approximate simulator over the published LLaMA/OPT
+shapes and prints the Fig. 12 (linear layer) and Fig. 13 (sequence
+sweep) comparisons for MANT vs Tender / OliVe / ANT* / BitFusion at
+equal area.
+
+Run:  python examples/accelerator_comparison.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_series, render_table
+from repro.hardware import (
+    ACCELERATORS,
+    MODEL_SHAPES,
+    get_policy,
+    simulate_linear_layer,
+    simulate_token,
+)
+
+geomean = lambda v: float(np.exp(np.mean(np.log(v))))
+
+# ----------------------------------------------------------------------
+# Fig. 12: linear layer at sequence length 2048
+# ----------------------------------------------------------------------
+models = ("llama-7b", "llama-65b", "opt-6.7b", "opt-13b")
+speed = {n: [] for n in ACCELERATORS}
+energy = {n: [] for n in ACCELERATORS}
+rows = []
+for model in models:
+    shape = MODEL_SHAPES[model]
+    res = {
+        n: simulate_linear_layer(a, get_policy(n, shape.family), shape, 2048)
+        for n, a in ACCELERATORS.items()
+    }
+    for n in ACCELERATORS:
+        s = res[n].cycles / res["MANT"].cycles
+        e = res[n].energy.total / res["MANT"].energy.total
+        speed[n].append(s)
+        energy[n].append(e)
+        rows.append([model, n, s, e])
+print(render_table(
+    ["model", "accelerator", "MANT speedup", "MANT energy reduction"],
+    rows, title="Fig. 12 — linear layer (seq 2048, batch 1)",
+))
+print("\ngeomeans (paper: Tender 1.83/1.39, OliVe 1.96/1.54, "
+      "ANT* 2.00/1.57, BitFusion 4.93/4.16):")
+for n in ACCELERATORS:
+    if n != "MANT":
+        print(f"  vs {n:10s} {geomean(speed[n]):.2f}x speed, "
+              f"{geomean(energy[n]):.2f}x energy")
+
+# ----------------------------------------------------------------------
+# Fig. 13: decode token vs context length (attention takes over)
+# ----------------------------------------------------------------------
+print()
+shape = MODEL_SHAPES["llama-7b"]
+seqs = (2048, 8192, 32768, 131072)
+for n in ("Tender", "OliVe"):
+    series = []
+    for s in seqs:
+        mant = simulate_token(ACCELERATORS["MANT"], get_policy("MANT", "llama"), shape, s)
+        base = simulate_token(ACCELERATORS[n], get_policy(n, "llama"), shape, s)
+        series.append(base["total"].cycles / mant["total"].cycles)
+    print(render_series(f"Fig. 13 — MANT speedup vs {n} (context 2K-128K)",
+                        seqs, series))
+print("\nAt 2K the linear layer dominates; at 128K the FP16 KV cache of the")
+print("baselines dominates everything — only MANT's 4-bit KV keeps scaling.")

@@ -1,0 +1,55 @@
+"""Explore the MANT grid family (paper Fig. 5/6) from the terminal.
+
+Prints, for a sweep of coefficients: the normalised grid, its variance,
+the closest classical data type, and an ASCII density sketch showing the
+smooth PoT → INT morph.
+
+Run:  python examples/datatype_explorer.py [a ...]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.mant import MANT_A_MAX, MantGrid, approximate_datatype
+from repro.datatypes import fp4_e2m1, int4, nf4, pot4
+
+SWEEP = [0, 5, 10, 17, 25, 40, 60, 90, 125]
+if len(sys.argv) > 1:
+    SWEEP = [int(a) for a in sys.argv[1:]]
+
+KNOWN = {"pot4": pot4, "fp4": fp4_e2m1, "nf4": nf4, "int4": int4}
+
+
+def sketch(grid: MantGrid, width: int = 64) -> str:
+    """Mark grid positions on a [-1, 1] axis."""
+    cells = [" "] * width
+    for v in grid.normalized_grid():
+        pos = int((v + 1) / 2 * (width - 1))
+        cells[pos] = "|"
+    return "".join(cells)
+
+
+def closest_known(grid: MantGrid) -> str:
+    best, best_err = "?", np.inf
+    mpos = grid.positive_grid / grid.positive_grid[-1]
+    for name, dt in KNOWN.items():
+        tpos = dt.grid[dt.grid > 0]
+        tpos = np.sort(tpos / tpos.max())
+        k = min(len(tpos), len(mpos))
+        err = float(np.max(np.abs(tpos[-k:] - mpos[-k:])))
+        if err < best_err:
+            best, best_err = name, err
+    return f"{best} (err {best_err:.3f})"
+
+
+print(f"MANT grid family, a in [0, {MANT_A_MAX}]  (value = ±(a·i + 2^i))\n")
+print(f"{'a':>4} {'variance':>9}  {'closest type':<18} grid on [-1, 1]")
+for a in SWEEP:
+    g = MantGrid(a)
+    print(f"{a:4d} {g.normalized_variance():9.4f}  {closest_known(g):<18} {sketch(g)}")
+
+print("\nReverse lookup (paper Fig. 5):")
+for name, dt in [("float fp4_e2m1", fp4_e2m1), ("NF4", nf4)]:
+    a, err = approximate_datatype(dt)
+    print(f"  best a for {name:14s} = {a:g}  (max abs err {err:.3f})")

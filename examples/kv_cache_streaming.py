@@ -1,0 +1,60 @@
+"""Real-time KV-cache quantization during decode (paper Sec. V-C, Fig. 8).
+
+Simulates the decode loop explicitly: every generated token appends a
+K vector (quantized immediately — spatial) and a V vector (staged at
+INT8, re-quantized to MANT4 when the 64-iteration window fills —
+temporal).  Prints the staging fill level and the running error of the
+effective cache so the two-phase mechanism is visible.
+
+Run:  python examples/kv_cache_streaming.py
+"""
+
+import numpy as np
+
+from repro.core.selection import VarianceSelector
+from repro.quant.kvcache import IntKVCache, MantKVCache
+
+rng = np.random.default_rng(42)
+HEADS, D_HEAD, WINDOW = 4, 64, 64
+PREFILL, DECODE = 96, 200
+
+# Calibrate the variance->a map on stand-in calibration groups.
+selector = VarianceSelector(group_size=WINDOW).fit(rng.normal(size=(1024, WINDOW)))
+
+mant = MantKVCache(selector=selector, group_size=WINDOW, window=WINDOW)
+int4 = IntKVCache(bits=4, group_size=WINDOW)
+
+k0 = rng.normal(size=(HEADS, PREFILL, D_HEAD))
+v0 = rng.normal(size=(HEADS, PREFILL, D_HEAD))
+# An outlier channel, as the K cache of a real LLM would have.
+k0[:, :, 7] *= 12
+
+mant.prefill(k0, v0)
+int4.prefill(k0, v0)
+k_true = [k0]
+v_true = [v0]
+
+print(f"prefill {PREFILL} tokens: staging holds {mant.staging_fill} "
+      f"tokens at INT8 (window = {WINDOW})")
+print("\ndecode:")
+print("  step  staging  K rel-err(MANT)  K rel-err(INT4)  V rel-err(MANT)")
+for t in range(DECODE):
+    k_t = rng.normal(size=(HEADS, D_HEAD))
+    k_t[:, 7] *= 12
+    v_t = rng.normal(size=(HEADS, D_HEAD))
+    mant.append(k_t, v_t)
+    int4.append(k_t, v_t)
+    k_true.append(k_t[:, None, :])
+    v_true.append(v_t[:, None, :])
+
+    if (t + 1) % 40 == 0:
+        kt = np.concatenate(k_true, axis=1)
+        vt = np.concatenate(v_true, axis=1)
+        rel = lambda a, b: np.mean((a - b) ** 2) / np.mean(b**2)
+        print(f"  {t + 1:4d}  {mant.staging_fill:7d}"
+              f"  {rel(mant.keys(), kt):15.5f}"
+              f"  {rel(int4.keys(), kt):15.5f}"
+              f"  {rel(mant.values(), vt):15.5f}")
+
+print("\nThe staging column cycles 0..63: the two-phase window in action.")
+print("MANT's adaptive grid absorbs the K outlier channel that stretches INT4.")

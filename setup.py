@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-wheel support.
+
+``pip install -e .`` works wherever the ``wheel`` package is available;
+offline environments can fall back to ``python setup.py develop``.
+Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

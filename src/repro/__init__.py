@@ -1,0 +1,63 @@
+"""Reproduction of M-ANT (HPCA 2025): mathematically adaptive numerical type.
+
+The package is organised as one subpackage per subsystem:
+
+``repro.datatypes``
+    Numeric grids used by MANT and every baseline (INT, PoT, flint, FP4,
+    NF4, MXFP4, abfloat).
+``repro.core``
+    The paper's primary contribution: the MANT grid (Eq. 2), codec
+    (Eq. 4), decode-compute fusion (Eq. 5), the MSE ``a``-search (Eq. 6)
+    and the variance-based real-time selector (Eq. 7).
+``repro.quant``
+    The group-wise quantization framework and the baseline adaptive
+    methods (ANT, OliVe, Tender, per-group clustering), plus the
+    real-time KV-cache quantization engine.
+``repro.model``
+    Pure-numpy transformer LM substrate (LLaMA-style and OPT-style),
+    training, perplexity evaluation and generation tasks.
+``repro.hardware``
+    Cycle-approximate systolic-array accelerator simulator with energy,
+    area and memory models for MANT and the baseline accelerators.
+``repro.analysis``
+    Distribution diversity statistics and table/figure reporting helpers.
+
+Quickstart::
+
+    import numpy as np
+    from repro import MantQuantizer
+
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((256, 512))
+    q = MantQuantizer(group_size=64)
+    packed = q.quantize(w)
+    w_hat = q.dequantize(packed)
+    print(np.abs(w - w_hat).mean())
+"""
+
+from repro.core.mant import MantGrid, MANT_WEIGHT_A_SET
+from repro.core.codec import MantCodec, MantEncoded
+from repro.core.fused import fused_group_gemm, reference_group_gemm
+from repro.core.selection import MseSearchSelector, VarianceSelector
+from repro.quant.config import QuantConfig, Granularity
+from repro.quant.mant_framework import MantQuantizer, MantModelQuantizer
+from repro.quant.quantizer import GroupQuantizer, quantize_dequantize
+
+__all__ = [
+    "MantGrid",
+    "MANT_WEIGHT_A_SET",
+    "MantCodec",
+    "MantEncoded",
+    "fused_group_gemm",
+    "reference_group_gemm",
+    "MseSearchSelector",
+    "VarianceSelector",
+    "QuantConfig",
+    "Granularity",
+    "MantQuantizer",
+    "MantModelQuantizer",
+    "GroupQuantizer",
+    "quantize_dequantize",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Distribution analysis and reporting helpers."""
+
+from repro.analysis.distributions import (
+    cdf_curves,
+    ks_distance,
+    diversity,
+    granularity_report,
+)
+from repro.analysis.reporting import render_table, render_series, fmt
+from repro.analysis.features import ArchitectureFeatures, FEATURE_TABLE, feature_rows
+
+__all__ = [
+    "cdf_curves",
+    "ks_distance",
+    "diversity",
+    "granularity_report",
+    "render_table",
+    "render_series",
+    "fmt",
+    "ArchitectureFeatures",
+    "FEATURE_TABLE",
+    "feature_rows",
+]

@@ -1,0 +1,52 @@
+"""The qualitative feature matrix of paper Tbl. I.
+
+Encodes each architecture's encode/compute/decode mechanisms and
+efficiency ratings so the comparison table can be regenerated (and kept
+consistent with what the simulator actually models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ArchitectureFeatures", "FEATURE_TABLE", "feature_rows"]
+
+
+@dataclass(frozen=True)
+class ArchitectureFeatures:
+    name: str
+    encode_method: str
+    encode_eff: str
+    compute_method: str
+    compute_bits: str
+    compute_eff: str
+    decode_method: str
+    decode_eff: str
+    adaptivity: str
+
+
+FEATURE_TABLE: tuple[ArchitectureFeatures, ...] = (
+    ArchitectureFeatures("INT", "Round", "High", "INT", "4 & 8", "High", "Calculation", "High", "Low"),
+    ArchitectureFeatures("OliVe", "Search", "Med.", "INT", "4 & 8", "High", "Decoder", "High", "Med."),
+    ArchitectureFeatures("ANT", "Search", "Med.", "INT", "4 & 8", "High", "Decoder", "High", "Med."),
+    ArchitectureFeatures("Mokey", "Cluster", "Med.", "Float", "4 & 8", "Med.", "Calculation", "Med.", "Low"),
+    ArchitectureFeatures("GOBO", "Cluster", "Low", "Float", "16", "Low", "LUT", "Med.", "High"),
+    ArchitectureFeatures("MANT", "Search+Map", "Med./High", "INT", "4 & 8", "High", "Calculation", "High", "High"),
+)
+
+
+def feature_rows() -> list[list[str]]:
+    return [
+        [
+            f.name,
+            f.encode_method,
+            f.encode_eff,
+            f.compute_method,
+            f.compute_bits,
+            f.compute_eff,
+            f.decode_method,
+            f.decode_eff,
+            f.adaptivity,
+        ]
+        for f in FEATURE_TABLE
+    ]

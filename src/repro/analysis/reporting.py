@@ -1,0 +1,48 @@
+"""ASCII table / series rendering for the benchmark harness.
+
+Every bench prints the same rows or series its paper table/figure
+reports; these helpers keep the formatting consistent and make the
+printed output easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "fmt"]
+
+
+def fmt(value, ndigits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.3g}"
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list], title: str | None = None,
+                 ndigits: int = 2) -> str:
+    """Render a markdown-ish fixed-width table."""
+    cells = [[fmt(c, ndigits) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_series(name: str, xs, ys, ndigits: int = 2) -> str:
+    """One figure series as ``name: x=y`` pairs."""
+    pts = "  ".join(f"{fmt(x, 0)}={fmt(y, ndigits)}" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"

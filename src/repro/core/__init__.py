@@ -1,0 +1,65 @@
+"""MANT core: the paper's primary contribution.
+
+* :mod:`repro.core.mant` — the grid (Eq. 2) and data-type approximation.
+* :mod:`repro.core.codec` — group-wise encode/decode (Eq. 4, Fig. 7).
+* :mod:`repro.core.fused` — decode-compute fusion (Eq. 5).
+* :mod:`repro.core.selection` — MSE search (Eq. 6) and variance mapping (Eq. 7).
+* :mod:`repro.core.groups` — group partitioning utilities.
+* :mod:`repro.core.metadata` — storage/bit accounting shared with the HW model.
+"""
+
+from repro.core.mant import (
+    MantGrid,
+    MANT_WEIGHT_A_SET,
+    MANT_A_MAX,
+    approximate_datatype,
+    mant_positive_grid,
+)
+from repro.core.codec import MantCodec, MantEncoded, INT_A
+from repro.core.fused import (
+    QuantizedActivations,
+    quantize_activations_int8,
+    fused_group_gemm,
+    reference_group_gemm,
+    integer_partial_sums,
+)
+from repro.core.selection import (
+    MseSearchSelector,
+    VarianceSelector,
+    GroupStats,
+    group_stats,
+)
+from repro.core.groups import GroupView, to_groups, from_groups, num_groups
+from repro.core.metadata import StorageFormat, MANT4_G64, INT8_G64, FP16_FORMAT
+from repro.core.packing import pack_mant, unpack_mant, packed_nbytes
+
+__all__ = [
+    "MantGrid",
+    "MANT_WEIGHT_A_SET",
+    "MANT_A_MAX",
+    "approximate_datatype",
+    "mant_positive_grid",
+    "MantCodec",
+    "MantEncoded",
+    "INT_A",
+    "QuantizedActivations",
+    "quantize_activations_int8",
+    "fused_group_gemm",
+    "reference_group_gemm",
+    "integer_partial_sums",
+    "MseSearchSelector",
+    "VarianceSelector",
+    "GroupStats",
+    "group_stats",
+    "GroupView",
+    "to_groups",
+    "from_groups",
+    "num_groups",
+    "StorageFormat",
+    "MANT4_G64",
+    "INT8_G64",
+    "FP16_FORMAT",
+    "pack_mant",
+    "unpack_mant",
+    "packed_nbytes",
+]

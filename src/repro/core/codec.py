@@ -1,0 +1,178 @@
+"""Group-wise MANT encoding and decoding (paper Eq. 4 / Fig. 7).
+
+:class:`MantCodec` turns a 2-D weight matrix ``(out_features,
+in_features)`` into a :class:`MantEncoded` container holding, per group
+of ``group_size`` elements along the input dimension:
+
+* the sign-magnitude codes (what the 4-bit memory words hold),
+* the FP16 scaling factor ``s_W = max|W_group| / max(grid_a)``,
+* the 8-bit coefficient ``a`` (or the INT sentinel).
+
+The encode path is the expensive nearest-point search the paper runs
+*offline* for weights; the decode path is cheap and is what the fused
+kernel in :mod:`repro.core.fused` folds into the GEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.groups import to_groups, from_groups
+from repro.core.mant import MantGrid, MANT_A_MAX
+from repro.datatypes.int_type import IntType
+
+__all__ = ["MantCodec", "MantEncoded", "INT_A"]
+
+# Sentinel stored in the per-group ``a`` array for groups that chose the
+# plain INT option (the 16th data type of Sec. V-A).  Encoded in
+# hardware as a reserved value of the 8-bit ``a`` field.
+INT_A = -1
+
+
+@dataclass
+class MantEncoded:
+    """Encoded weight tensor: codes + per-group metadata.
+
+    ``sign``/``magnitude`` have the grouped shape ``(rows, n_groups,
+    group_size)``; ``scale``/``a_coeff`` have ``(rows, n_groups)``.
+    """
+
+    sign: np.ndarray          # int8, ±1
+    magnitude: np.ndarray     # uint8, 0 .. 2^(bits-1)-1
+    scale: np.ndarray         # float (fp16-rounded), per group
+    a_coeff: np.ndarray       # float, per group; INT_A marks INT groups
+    bits: int
+    group_size: int
+    original_shape: tuple
+    pad: int
+
+    @property
+    def rows(self) -> int:
+        return self.sign.shape[0]
+
+    @property
+    def n_groups(self) -> int:
+        return self.sign.shape[1]
+
+    def metadata_bits_per_element(self) -> float:
+        """Storage overhead of (scale, a) amortised over the group."""
+        return (16 + 8) / self.group_size
+
+    def bits_per_element(self) -> float:
+        return self.bits + self.metadata_bits_per_element()
+
+
+class MantCodec:
+    """Encoder/decoder for group-wise MANT weights.
+
+    Parameters
+    ----------
+    bits:
+        Code width (4 in the paper; 2 and 3 also supported).
+    group_size:
+        Elements per group along the input (accumulation) dimension.
+    fp16_scales:
+        Round scales to IEEE fp16, matching the paper's 16-bit scaling
+        factors.  Disable for exact-arithmetic unit tests.
+    """
+
+    def __init__(self, bits: int = 4, group_size: int = 64, fp16_scales: bool = True):
+        if bits not in (2, 3, 4):
+            raise ValueError(f"MANT codes must be 2-4 bits, got {bits}")
+        self.bits = bits
+        self.group_size = group_size
+        self.fp16_scales = fp16_scales
+        self._grids: dict[float, MantGrid] = {}
+        self._int_type = IntType(bits)
+
+    # ------------------------------------------------------------------
+    def grid(self, a: float) -> MantGrid:
+        """Memoised :class:`MantGrid` for coefficient ``a``."""
+        key = float(a)
+        if key not in self._grids:
+            self._grids[key] = MantGrid(key, self.bits)
+        return self._grids[key]
+
+    def _round_scale(self, scale: np.ndarray) -> np.ndarray:
+        if self.fp16_scales:
+            return scale.astype(np.float16).astype(np.float64)
+        return scale
+
+    # ------------------------------------------------------------------
+    def encode(self, w: np.ndarray, a_per_group: np.ndarray) -> MantEncoded:
+        """Encode ``w`` with the given per-group coefficients.
+
+        ``a_per_group`` has shape ``(rows, n_groups)`` and may contain
+        :data:`INT_A` entries for groups quantized with plain INT.
+        Coefficient selection itself lives in
+        :mod:`repro.core.selection`; this method only applies it.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError(f"MantCodec.encode expects 2-D weights, got {w.shape}")
+        view = to_groups(w, self.group_size, axis=-1)
+        groups = view.groups  # (rows, n_groups, g)
+        rows, n_groups, g = groups.shape
+        a_per_group = np.asarray(a_per_group, dtype=np.float64)
+        if a_per_group.shape != (rows, n_groups):
+            raise ValueError(
+                f"a_per_group shape {a_per_group.shape} != {(rows, n_groups)}"
+            )
+
+        sign = np.empty((rows, n_groups, g), dtype=np.int8)
+        magnitude = np.empty((rows, n_groups, g), dtype=np.uint8)
+        scale = np.empty((rows, n_groups), dtype=np.float64)
+
+        amax = np.max(np.abs(groups), axis=-1)
+        amax = np.where(amax <= 0, 1.0, amax)
+
+        # Process groups bucketed by coefficient so each grid's search
+        # runs vectorised over every group that selected it.
+        for a in np.unique(a_per_group):
+            mask = a_per_group == a
+            vals = groups[mask]                      # (k, g)
+            if a == INT_A:
+                gmax = self._int_type.qmax
+                s = self._round_scale(amax[mask] / gmax)
+                q = self._int_type.round_clip(vals / s[:, None])
+                sign[mask] = np.where(q < 0, -1, 1).astype(np.int8)
+                magnitude[mask] = np.abs(q).astype(np.uint8)
+            else:
+                grid = self.grid(a)
+                s = self._round_scale(amax[mask] / grid.grid_max)
+                sg, mg = grid.encode_sign_magnitude(vals / s[:, None])
+                sign[mask] = sg
+                magnitude[mask] = mg
+            scale[mask] = s
+
+        return MantEncoded(
+            sign=sign,
+            magnitude=magnitude,
+            scale=scale,
+            a_coeff=a_per_group.copy(),
+            bits=self.bits,
+            group_size=self.group_size,
+            original_shape=w.shape,
+            pad=view.pad,
+        )
+
+    # ------------------------------------------------------------------
+    def decode(self, enc: MantEncoded) -> np.ndarray:
+        """Dequantize back to float, undoing grouping and padding."""
+        mag = enc.magnitude.astype(np.float64)
+        sgn = enc.sign.astype(np.float64)
+        a = enc.a_coeff[..., None]
+        # MANT groups: ±(a·i + 2^i); INT groups: ±i.
+        mant_vals = sgn * (a * mag + 2.0**mag)
+        int_vals = sgn * mag
+        vals = np.where(a == INT_A, int_vals, mant_vals)
+        vals = vals * enc.scale[..., None]
+        view = to_groups(np.zeros(enc.original_shape), self.group_size, axis=-1)
+        return from_groups(view, vals)
+
+    # ------------------------------------------------------------------
+    def qdq(self, w: np.ndarray, a_per_group: np.ndarray) -> np.ndarray:
+        """Encode-then-decode (fake quantization)."""
+        return self.decode(self.encode(w, a_per_group))

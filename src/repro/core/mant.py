@@ -1,0 +1,131 @@
+"""The MANT grid: ``value(i) = ±(a·i + 2^i)`` (paper Eq. 2).
+
+A :class:`MantGrid` is a concrete data type for one coefficient ``a``;
+sweeping ``a`` morphs the grid smoothly between PoT (``a = 0``),
+float-like (``a ≈ 17``), NormalFloat-like (``a ≈ 25``) and near-uniform
+INT (``a → 128``), which is the paper's Fig. 6.  The grid is
+sign-magnitude: codes are a sign bit plus a magnitude index
+``i ∈ [0, 2^(bits-1) - 1]``, and there is *no exact zero* — the
+nearest-to-zero codes are ±(a·0 + 2^0) = ±1 before scaling.
+
+``MANT_WEIGHT_A_SET`` is the paper's search space for weights and KV
+cache (Sec. V-A): 15 coefficients plus the plain-INT option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.base import GridDataType
+
+__all__ = [
+    "MantGrid",
+    "MANT_WEIGHT_A_SET",
+    "MANT_A_MAX",
+    "approximate_datatype",
+    "mant_positive_grid",
+]
+
+# Paper Sec. V-A: the 15 searched coefficients.  The 16th option is
+# plain INT4, handled by the framework as ``a = None`` (INT_A sentinel).
+MANT_WEIGHT_A_SET = (0, 5, 10, 17, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120)
+
+# Paper Sec. IV-A: "we constrain the data range of a within 128,
+# allowing 8-bit encoding for a".
+MANT_A_MAX = 128
+
+
+def mant_positive_grid(a: float, bits: int = 4) -> np.ndarray:
+    """Positive half of the MANT grid: ``a·i + 2^i`` for each magnitude.
+
+    Strictly increasing in ``i`` for any ``a >= 0`` because both terms
+    are non-decreasing and ``2^i`` is strictly increasing.
+    """
+    if a < 0 or a > MANT_A_MAX:
+        raise ValueError(f"coefficient a={a} outside [0, {MANT_A_MAX}]")
+    imax = 2 ** (bits - 1) - 1
+    i = np.arange(0, imax + 1, dtype=np.float64)
+    return a * i + 2.0**i
+
+
+class MantGrid(GridDataType):
+    """MANT data type for a fixed coefficient ``a`` (Eq. 2).
+
+    The grid layout is ``[-pos reversed, +pos]`` so grid index ``g``
+    maps to sign-magnitude codes as::
+
+        g <  L: sign = -1, magnitude = L - 1 - g
+        g >= L: sign = +1, magnitude = g - L
+
+    with ``L = 2^(bits-1)`` positive levels.
+    """
+
+    def __init__(self, a: float, bits: int = 4):
+        pos = mant_positive_grid(a, bits)
+        grid = np.concatenate([-pos[::-1], pos])
+        super().__init__(name=f"mant{bits}[a={a:g}]", bits=bits, grid=grid)
+        self.a = float(a)
+        self.levels_per_sign = 2 ** (bits - 1)
+        self.positive_grid = pos
+
+    # ------------------------------------------------------------------
+    # Sign-magnitude codec (what the hardware stores and computes on)
+    # ------------------------------------------------------------------
+    def encode_sign_magnitude(self, scaled: np.ndarray):
+        """Encode scaled values to ``(sign, magnitude)`` arrays.
+
+        ``sign`` is ±1 (int8) and ``magnitude`` the index ``i`` (uint8).
+        Equivalent to :meth:`encode` followed by index arithmetic, and
+        the representation Eq. 5's fused kernel consumes.
+        """
+        gi = self.encode(scaled)
+        L = self.levels_per_sign
+        sign = np.where(gi >= L, 1, -1).astype(np.int8)
+        magnitude = np.where(gi >= L, gi - L, L - 1 - gi).astype(np.uint8)
+        return sign, magnitude
+
+    def decode_sign_magnitude(self, sign: np.ndarray, magnitude: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`encode_sign_magnitude` (pre-scaling values)."""
+        mag = np.asarray(magnitude, dtype=np.float64)
+        return np.asarray(sign, dtype=np.float64) * (self.a * mag + 2.0**mag)
+
+    # ------------------------------------------------------------------
+    # Distribution statistics (used by the variance selector, Fig. 6)
+    # ------------------------------------------------------------------
+    def normalized_variance(self) -> float:
+        """Variance of the max-normalised grid under uniform code usage.
+
+        Monotonically increasing in ``a``: PoT grids concentrate mass
+        near zero (low variance), INT-like grids spread it uniformly
+        (high variance).  This is the theoretical anchor for the
+        variance→``a`` mapping of Sec. V-C.
+        """
+        g = self.normalized_grid()
+        return float(np.mean(g * g) - np.mean(g) ** 2)
+
+
+def approximate_datatype(
+    target: GridDataType,
+    candidates=None,
+    bits: int = 4,
+) -> tuple[float, float]:
+    """Find the ``a`` whose grid best approximates ``target`` (Fig. 5).
+
+    Both grids are normalised to max magnitude 1 and compared point-wise
+    on the positive side (the paper's ``argmin_a |i/7 - (ai + 2^i)/(7a + 2^7)|``
+    generalised to all levels).  Returns ``(best_a, max_abs_error)``.
+    """
+    if candidates is None:
+        candidates = np.arange(0, MANT_A_MAX + 1)
+    tpos = target.grid[target.grid > 0]
+    tpos = np.sort(tpos / tpos.max())
+    best_a, best_err = 0.0, np.inf
+    for a in candidates:
+        mant = MantGrid(float(a), bits)
+        mpos = mant.positive_grid / mant.positive_grid[-1]
+        k = min(len(tpos), len(mpos))
+        # Compare the top-k levels (largest magnitudes aligned).
+        err = float(np.max(np.abs(tpos[-k:] - mpos[-k:])))
+        if err < best_err:
+            best_a, best_err = float(a), err
+    return best_a, best_err

@@ -1,0 +1,64 @@
+"""Storage accounting for quantized tensors.
+
+The accelerator's memory model needs exact bit counts: group-wise
+quantization pays ``16 + 8`` metadata bits per group (FP16 scale + 8-bit
+coefficient) on top of the element codes.  These helpers centralise that
+arithmetic so accuracy experiments (effective bits per element) and the
+hardware simulator (DRAM bytes) agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.groups import num_groups
+
+__all__ = ["StorageFormat", "MANT4_G64", "INT8_G64", "FP16_FORMAT", "KV_MANT4_G64"]
+
+SCALE_BITS = 16   # FP16 scaling factor per group (Sec. III-A)
+A_BITS = 8        # 8-bit encoding of the coefficient a (Sec. IV-A)
+
+
+@dataclass(frozen=True)
+class StorageFormat:
+    """Bit layout of one quantized tensor format.
+
+    ``group_size = 0`` means tensor-/channel-wise (metadata amortised to
+    ~0 for large tensors, modelled as exactly 0 extra bits).
+    """
+
+    name: str
+    element_bits: int
+    group_size: int = 0
+    scale_bits: int = SCALE_BITS
+    coeff_bits: int = 0
+
+    def bits_per_element(self) -> float:
+        if self.group_size <= 0:
+            return float(self.element_bits)
+        return self.element_bits + (self.scale_bits + self.coeff_bits) / self.group_size
+
+    def tensor_bits(self, n_elements: int, inner_dim: int | None = None) -> int:
+        """Total bits to store ``n_elements`` grouped along ``inner_dim``.
+
+        When ``inner_dim`` is given the tail-group padding of each inner
+        row is accounted exactly; otherwise groups are assumed full.
+        """
+        if self.group_size <= 0:
+            return n_elements * self.element_bits
+        meta = self.scale_bits + self.coeff_bits
+        if inner_dim is None:
+            groups = num_groups(n_elements, self.group_size)
+        else:
+            rows = n_elements // inner_dim
+            groups = rows * num_groups(inner_dim, self.group_size)
+        return n_elements * self.element_bits + groups * meta
+
+    def tensor_bytes(self, n_elements: int, inner_dim: int | None = None) -> float:
+        return self.tensor_bits(n_elements, inner_dim) / 8.0
+
+
+MANT4_G64 = StorageFormat("mant4-g64", element_bits=4, group_size=64, coeff_bits=A_BITS)
+INT8_G64 = StorageFormat("int8-g64", element_bits=8, group_size=64)
+KV_MANT4_G64 = MANT4_G64
+FP16_FORMAT = StorageFormat("fp16", element_bits=16)

@@ -1,0 +1,106 @@
+"""Bit-level packing of MANT-encoded tensors.
+
+:class:`~repro.core.codec.MantEncoded` keeps codes as convenient numpy
+arrays; this module serialises them into the actual memory image the
+accelerator (and a storage format) would hold:
+
+* 4-bit codes packed two-per-byte, sign-magnitude nibbles
+  (``sign << 3 | magnitude``),
+* per-group metadata: FP16 scale (2 bytes) + 8-bit coefficient
+  (``0xFF`` encodes the INT option),
+* a fixed little header with shapes so :func:`unpack_mant` can restore
+  the :class:`MantEncoded` bit-exactly.
+
+The byte counts produced here are *asserted against* the analytic
+:mod:`repro.core.metadata` accounting in the tests, which keeps the
+hardware memory model honest.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.codec import INT_A, MantEncoded
+
+__all__ = ["pack_mant", "unpack_mant", "packed_nbytes"]
+
+_MAGIC = b"MANT"
+_INT_CODE = 0xFF
+_HEADER = struct.Struct("<4sBBHIIII")  # magic, version, bits, group, rows, n_groups, orig0, orig1
+
+
+def _nibbles(sign: np.ndarray, magnitude: np.ndarray) -> np.ndarray:
+    """Sign-magnitude nibble per element: bit3 = sign, bits0-2 = |i|."""
+    sign_bit = (sign < 0).astype(np.uint8) << 3
+    return sign_bit | magnitude.astype(np.uint8)
+
+
+def packed_nbytes(enc: MantEncoded) -> int:
+    """Exact byte size :func:`pack_mant` will produce."""
+    n_codes = enc.sign.size
+    code_bytes = (n_codes + 1) // 2
+    meta_bytes = enc.rows * enc.n_groups * 3  # fp16 scale + a byte
+    return _HEADER.size + code_bytes + meta_bytes
+
+
+def pack_mant(enc: MantEncoded) -> bytes:
+    """Serialise an encoded weight tensor to its memory image."""
+    if enc.bits != 4:
+        raise ValueError("packing implemented for the paper's 4-bit codes")
+    header = _HEADER.pack(
+        _MAGIC, 1, enc.bits, enc.group_size,
+        enc.rows, enc.n_groups,
+        enc.original_shape[0], enc.original_shape[1],
+    )
+    nib = _nibbles(enc.sign, enc.magnitude).ravel()
+    if nib.size % 2:
+        nib = np.concatenate([nib, np.zeros(1, dtype=np.uint8)])
+    codes = (nib[0::2] | (nib[1::2] << 4)).tobytes()
+
+    scales = enc.scale.astype(np.float16).tobytes()
+    a = enc.a_coeff.ravel()
+    a_bytes = np.where(a == INT_A, _INT_CODE, a).astype(np.uint8).tobytes()
+    return header + codes + scales + a_bytes
+
+
+def unpack_mant(blob: bytes) -> MantEncoded:
+    """Inverse of :func:`pack_mant` (bit-exact round trip)."""
+    magic, version, bits, group, rows, n_groups, o0, o1 = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise ValueError("not a packed MANT tensor")
+    if version != 1:
+        raise ValueError(f"unsupported pack version {version}")
+    off = _HEADER.size
+
+    n_codes = rows * n_groups * group
+    code_bytes = (n_codes + 1) // 2
+    raw = np.frombuffer(blob, dtype=np.uint8, count=code_bytes, offset=off)
+    off += code_bytes
+    nib = np.empty(code_bytes * 2, dtype=np.uint8)
+    nib[0::2] = raw & 0x0F
+    nib[1::2] = raw >> 4
+    nib = nib[:n_codes].reshape(rows, n_groups, group)
+    sign = np.where(nib & 0x08, -1, 1).astype(np.int8)
+    magnitude = (nib & 0x07).astype(np.uint8)
+
+    n_meta = rows * n_groups
+    scale = np.frombuffer(blob, dtype=np.float16, count=n_meta, offset=off)
+    scale = scale.astype(np.float64).reshape(rows, n_groups)
+    off += n_meta * 2
+    a_raw = np.frombuffer(blob, dtype=np.uint8, count=n_meta, offset=off)
+    a = np.where(a_raw == _INT_CODE, float(INT_A), a_raw.astype(np.float64))
+    a = a.reshape(rows, n_groups)
+
+    pad = n_groups * group - o1 if n_groups * group >= o1 else 0
+    return MantEncoded(
+        sign=sign,
+        magnitude=magnitude,
+        scale=scale,
+        a_coeff=a,
+        bits=bits,
+        group_size=group,
+        original_shape=(o0, o1),
+        pad=pad,
+    )

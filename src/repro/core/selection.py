@@ -1,0 +1,265 @@
+"""Coefficient selection: offline MSE search and real-time variance mapping.
+
+Two selectors, matching the paper's two deployment regimes:
+
+* :class:`MseSearchSelector` — weights, offline (Sec. V-A, Eq. 6).
+  Searches the 16-type set (15 coefficients + INT) per group, minimising
+  output-weighted quantization MSE against calibration activation
+  statistics.  The full ``argmin_a ||X·Ŵ_a − X·W||²`` is approximated
+  per group with a diagonal Hessian: each weight column ``j`` is
+  weighted by ``E[x_j²]`` from calibration, which decouples groups and
+  keeps the search O(groups × types).
+
+* :class:`VarianceSelector` — KV cache, real time (Sec. V-C, Eq. 7).
+  Maps a group's normalised variance to a coefficient through ranges
+  calibrated offline: sample calibration groups, find each group's
+  MSE-optimal ``a``, record the mean variance per ``a``, and cut ranges
+  at the midpoints.  At run time only ``Σx``, ``Σx²`` and ``max|x|`` are
+  needed — all computable streaming, which is what the RQU provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.codec import MantCodec, INT_A
+from repro.core.groups import to_groups
+from repro.core.mant import MANT_WEIGHT_A_SET, MantGrid
+from repro.datatypes.int_type import IntType
+
+__all__ = ["MseSearchSelector", "VarianceSelector", "GroupStats", "group_stats"]
+
+
+@dataclass
+class GroupStats:
+    """Streaming statistics of one group: what the RQU accumulates."""
+
+    n: int
+    total: float        # Σ x_i
+    total_sq: float     # Σ x_i²
+    abs_max: float      # max |x_i|
+
+    @property
+    def variance(self) -> float:
+        """Population variance (paper Eq. 7)."""
+        mean = self.total / self.n
+        return self.total_sq / self.n - mean * mean
+
+    @property
+    def normalized_variance(self) -> float:
+        """Variance after scaling the group so max|x| = 1 (Sec. V-C)."""
+        if self.abs_max <= 0:
+            return 0.0
+        return self.variance / (self.abs_max * self.abs_max)
+
+
+def group_stats(values: np.ndarray) -> GroupStats:
+    """Compute :class:`GroupStats` for a 1-D group in one pass."""
+    v = np.asarray(values, dtype=np.float64)
+    return GroupStats(
+        n=v.size,
+        total=float(v.sum()),
+        total_sq=float((v * v).sum()),
+        abs_max=float(np.max(np.abs(v))) if v.size else 0.0,
+    )
+
+
+class MseSearchSelector:
+    """Offline per-group coefficient search (Eq. 6, diagonal surrogate).
+
+    Parameters
+    ----------
+    bits, group_size:
+        Code width and group length (paper: 4 and 64).
+    a_candidates:
+        Coefficients to search; the INT option is always included.
+    include_int:
+        Whether plain INT participates (the paper's 16th type).
+    """
+
+    def __init__(
+        self,
+        bits: int = 4,
+        group_size: int = 64,
+        a_candidates=MANT_WEIGHT_A_SET,
+        include_int: bool = True,
+    ):
+        self.bits = bits
+        self.group_size = group_size
+        self.a_candidates = tuple(float(a) for a in a_candidates)
+        self.include_int = include_int
+        self._codec = MantCodec(bits=bits, group_size=group_size, fp16_scales=False)
+        self._int_type = IntType(bits)
+
+    # ------------------------------------------------------------------
+    def _candidate_errors(
+        self, groups: np.ndarray, col_weight: np.ndarray | None
+    ) -> tuple[np.ndarray, list[float]]:
+        """Weighted MSE of every candidate for every group.
+
+        ``groups``: (..., n_groups, g); ``col_weight``: broadcastable
+        per-element importance (E[x²] of the matching input channels) or
+        None for unweighted.
+        Returns ``(errors, candidate_list)`` with errors shaped
+        ``(len(candidates), ..., n_groups)``.
+        """
+        amax = np.max(np.abs(groups), axis=-1, keepdims=True)
+        amax = np.where(amax <= 0, 1.0, amax)
+        candidates: list[float] = list(self.a_candidates)
+        if self.include_int:
+            candidates.append(INT_A)
+        errs = np.empty((len(candidates),) + groups.shape[:-1])
+        for k, a in enumerate(candidates):
+            if a == INT_A:
+                gmax = self._int_type.qmax
+                scale = amax / gmax
+                q = self._int_type.round_clip(groups / scale)
+                recon = q * scale
+            else:
+                grid = MantGrid(a, self.bits)
+                scale = amax / grid.grid_max
+                scaled = groups / scale
+                recon = grid.decode(grid.encode(scaled)) * scale
+            diff = recon - groups
+            if col_weight is not None:
+                diff = diff * np.sqrt(col_weight)
+            errs[k] = np.mean(diff * diff, axis=-1)
+        return errs, candidates
+
+    # ------------------------------------------------------------------
+    def select(
+        self, w: np.ndarray, act_sq_mean: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-group coefficients for a 2-D weight ``(rows, in_features)``.
+
+        ``act_sq_mean`` is the calibration statistic ``E[x_j²]`` per
+        input channel (length ``in_features``); when given, the search
+        minimises the output-error surrogate instead of raw weight MSE.
+        Returns an ``(rows, n_groups)`` array ready for
+        :meth:`MantCodec.encode`.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        view = to_groups(w, self.group_size, axis=-1)
+        col_weight = None
+        if act_sq_mean is not None:
+            h = np.asarray(act_sq_mean, dtype=np.float64)
+            if h.shape != (w.shape[-1],):
+                raise ValueError(
+                    f"act_sq_mean shape {h.shape} != ({w.shape[-1]},)"
+                )
+            hview = to_groups(h[None, :], self.group_size, axis=-1)
+            col_weight = hview.groups[0]  # (n_groups, g), broadcasts over rows
+        errs, candidates = self._candidate_errors(view.groups, col_weight)
+        best = np.argmin(errs, axis=0)
+        lut = np.asarray(candidates)
+        return lut[best]
+
+    def select_and_encode(self, w: np.ndarray, act_sq_mean: np.ndarray | None = None):
+        """Convenience: search then encode, returning ``MantEncoded``."""
+        a = self.select(w, act_sq_mean)
+        return self._codec.encode(w, a)
+
+
+class VarianceSelector:
+    """Real-time coefficient selection from streaming variance (Sec. V-C).
+
+    ``fit`` calibrates the variance ranges; ``select`` is O(log T) per
+    group at run time and consumes only streaming statistics.
+    An unfitted selector falls back to the theoretical grid variances of
+    :meth:`MantGrid.normalized_variance`, which preserve the monotone
+    variance↔``a`` relationship without calibration data.
+    """
+
+    def __init__(
+        self,
+        bits: int = 4,
+        group_size: int = 64,
+        a_candidates=MANT_WEIGHT_A_SET,
+        include_int: bool = True,
+    ):
+        self.bits = bits
+        self.group_size = group_size
+        self.a_candidates = tuple(float(a) for a in a_candidates)
+        self.include_int = include_int
+        self._sorted_a: np.ndarray
+        self._thresholds: np.ndarray
+        self._init_theoretical()
+
+    # ------------------------------------------------------------------
+    def _init_theoretical(self) -> None:
+        """Default ranges from uniform-usage grid variances (Fig. 6)."""
+        pairs = [
+            (MantGrid(a, self.bits).normalized_variance(), a)
+            for a in self.a_candidates
+        ]
+        if self.include_int:
+            itype = IntType(self.bits)
+            g = itype.grid / itype.qmax
+            pairs.append((float(np.mean(g * g) - np.mean(g) ** 2), INT_A))
+        pairs.sort()
+        variances = np.asarray([p[0] for p in pairs])
+        self._sorted_a = np.asarray([p[1] for p in pairs])
+        self._thresholds = 0.5 * (variances[:-1] + variances[1:])
+
+    # ------------------------------------------------------------------
+    def fit(self, calibration_groups: np.ndarray) -> "VarianceSelector":
+        """Calibrate variance ranges from sample groups (Sec. V-C).
+
+        ``calibration_groups``: array of shape ``(n_samples, group_size)``
+        drawn from K/V tensors on the calibration set.  For each sample
+        we find the MSE-optimal coefficient, then define each
+        coefficient's range around the mean variance of the groups that
+        chose it, cutting at midpoints (the paper's ``a=40 ↦ [0.104,
+        0.118]`` construction).
+        """
+        groups = np.asarray(calibration_groups, dtype=np.float64)
+        if groups.ndim != 2:
+            raise ValueError("calibration_groups must be (n_samples, group_size)")
+        searcher = MseSearchSelector(
+            bits=self.bits,
+            group_size=groups.shape[1],
+            a_candidates=self.a_candidates,
+            include_int=self.include_int,
+        )
+        errs, candidates = searcher._candidate_errors(groups[:, None, :], None)
+        best = np.argmin(errs[:, :, 0], axis=0)  # (n_samples,)
+
+        amax = np.max(np.abs(groups), axis=-1)
+        amax = np.where(amax <= 0, 1.0, amax)
+        norm = groups / amax[:, None]
+        variances = norm.var(axis=-1)
+
+        pairs = []
+        for k, a in enumerate(candidates):
+            mask = best == k
+            if not np.any(mask):
+                continue
+            pairs.append((float(variances[mask].mean()), float(a)))
+        if len(pairs) < 2:
+            # Degenerate calibration (e.g. constant data): keep defaults.
+            return self
+        pairs.sort()
+        var_means = np.asarray([p[0] for p in pairs])
+        self._sorted_a = np.asarray([p[1] for p in pairs])
+        self._thresholds = 0.5 * (var_means[:-1] + var_means[1:])
+        return self
+
+    # ------------------------------------------------------------------
+    def select(self, stats: GroupStats) -> float:
+        """Coefficient for one group from its streaming statistics."""
+        return self.select_from_variance(stats.normalized_variance)
+
+    def select_from_variance(self, normalized_variance) -> float:
+        idx = np.searchsorted(self._thresholds, normalized_variance)
+        return float(np.asarray(self._sorted_a)[idx])
+
+    def select_batch(self, groups: np.ndarray) -> np.ndarray:
+        """Vectorised selection for ``(..., group_size)`` groups."""
+        g = np.asarray(groups, dtype=np.float64)
+        amax = np.max(np.abs(g), axis=-1)
+        amax = np.where(amax <= 0, 1.0, amax)
+        norm_var = g.var(axis=-1) / (amax * amax)
+        idx = np.searchsorted(self._thresholds, norm_var)
+        return np.asarray(self._sorted_a)[idx]

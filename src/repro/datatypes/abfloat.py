@@ -1,0 +1,131 @@
+"""OliVe's ``abfloat`` and the outlier-victim pairing scheme (ISCA'23).
+
+OliVe observes that outliers matter but are sparse: it sacrifices the
+*victim* — the neighbour of an outlier — to free up its code space, so an
+outlier can be stored with double width in ``abfloat`` (adaptive-biased
+float).  abfloat is an exponent-biased minifloat whose bias shifts the
+representable binades up to where outliers live: an outlier was, by
+definition, larger than the normal grid's max.
+
+Reconstruction notes (DESIGN.md §7): OliVe's exact code tables are not
+published; we implement abfloat as an E5M2-style 8-bit float whose bias
+is chosen per tensor/channel so its smallest normal sits just above the
+normal-value grid max — the property OliVe's accuracy rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.base import GridDataType, nearest_grid_index
+from repro.datatypes.floats import float_grid
+
+__all__ = ["AbfloatType", "OutlierVictimCodec"]
+
+
+class AbfloatType(GridDataType):
+    """8-bit adaptive-biased float covering magnitudes in [lo, lo * 2^span].
+
+    ``lo`` anchors the smallest normal binade (just above the inlier
+    grid's max); the exponent field spans ``2^exp_bits`` binades upward
+    from there.
+    """
+
+    def __init__(self, lo: float, exp_bits: int = 5, man_bits: int = 2):
+        if lo <= 0:
+            raise ValueError("abfloat anchor must be positive")
+        base = float_grid(exp_bits, man_bits)
+        base = base[base > 0]
+        pos = base / base[0] * lo  # shift the biased range so min == lo
+        grid = np.concatenate([-pos[::-1], pos])
+        bits = 1 + exp_bits + man_bits
+        super().__init__(name=f"abfloat{bits}", bits=bits, grid=grid)
+        self.lo = float(lo)
+
+
+class OutlierVictimCodec:
+    """OliVe's outlier-victim pair encoding over a 1-D block of values.
+
+    Values are processed in adjacent (even, odd) pairs.  If a value's
+    magnitude exceeds ``threshold`` it is an *outlier*: it is encoded in
+    abfloat using its own slot plus its pair neighbour's slot, and the
+    neighbour (the *victim*) is decoded as exactly zero.  If both
+    elements of a pair exceed the threshold only the larger becomes an
+    outlier — the other saturates to the normal grid max, as in OliVe.
+
+    Parameters
+    ----------
+    normal_type:
+        The inlier data type (OliVe uses 4-bit flint or int).
+    outlier_sigma:
+        Threshold in standard deviations; OliVe's paper prunes the
+        victim for values beyond a few sigma.
+    """
+
+    def __init__(self, normal_type: GridDataType, outlier_sigma: float = 3.5):
+        self.normal_type = normal_type
+        self.outlier_sigma = float(outlier_sigma)
+
+    # ------------------------------------------------------------------
+    def _threshold(self, x: np.ndarray) -> float:
+        return self.outlier_sigma * float(np.std(x)) + 1e-12
+
+    def qdq(self, x: np.ndarray) -> np.ndarray:
+        """Fake-quantize a 1-D block (a channel or group) with OVP.
+
+        The inlier scale is computed from the *non-outlier* values, which
+        is the point of the scheme: outliers no longer stretch the scale.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("OutlierVictimCodec operates on 1-D blocks")
+        n = x.size
+        out = np.empty_like(x)
+
+        thr = self._threshold(x)
+        is_outlier = np.abs(x) > thr
+
+        # Pair arbitration: within each (2i, 2i+1) pair at most one
+        # outlier survives; the other saturates to the inlier max.
+        even = np.arange(0, n - 1, 2)
+        both = is_outlier[even] & is_outlier[even + 1]
+        if np.any(both):
+            left_bigger = np.abs(x[even]) >= np.abs(x[even + 1])
+            lose_right = even[both & left_bigger] + 1
+            lose_left = even[both & ~left_bigger]
+            is_outlier[lose_right] = False
+            is_outlier[lose_left] = False
+        if n % 2 == 1:
+            # The last element has no pair partner to sacrifice.
+            is_outlier[n - 1] = False
+
+        inliers = ~is_outlier
+        # Victims: pair partners of outliers, forced to zero.
+        victims = np.zeros(n, dtype=bool)
+        out_idx = np.flatnonzero(is_outlier)
+        partner = out_idx ^ 1  # 2i <-> 2i+1
+        victims[partner[partner < n]] = True
+        inliers &= ~victims
+
+        inlier_vals = x[inliers]
+        if inlier_vals.size == 0:
+            inlier_scale = 1.0
+        else:
+            inlier_scale = float(
+                np.max(np.abs(inlier_vals)) / self.normal_type.grid_max
+            )
+            if inlier_scale <= 0:
+                inlier_scale = 1.0
+        out[inliers] = self.normal_type.qdq(x[inliers], inlier_scale)
+        out[victims] = 0.0
+
+        if np.any(is_outlier):
+            lo = self.normal_type.grid_max * inlier_scale
+            ab = AbfloatType(lo=max(lo, 1e-12))
+            vals = x[is_outlier]
+            idx = nearest_grid_index(vals, ab.grid)
+            out[is_outlier] = ab.grid[idx]
+
+        # Saturated not-quite-outliers (losers of pair arbitration) were
+        # quantized with the inlier grid above via the `inliers` mask.
+        return out

@@ -1,0 +1,55 @@
+"""ANT's ``flint`` data type (float-int hybrid).
+
+Reconstructed from the ANT paper (MICRO'22): flint spends its bits on a
+variable-length exponent — small magnitudes get integer-like density
+(long mantissa, short exponent), large magnitudes get float-like dynamic
+range (long exponent, short mantissa).  The published flint4 positive
+sequence is integer-spaced near zero and has one mantissa bit per octave
+in its float region:
+
+    0, 1, 2, 3, 4, 6, 8, 12, 16, ...   (truncated to the bit budget)
+
+For 4 bits (sign + 3 magnitude bits → 8 positive levels) that yields
+``{0, 1, 2, 3, 4, 6, 8, 12}``.  This is the approximation documented in
+DESIGN.md §7: the exact RTL code assignment of ANT is not public, but the
+*grid* — which is all that accuracy experiments observe — follows the
+paper's "int head, float tail" construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.base import GridDataType
+
+__all__ = ["FlintType", "flint4", "flint_positive_grid"]
+
+
+def flint_positive_grid(levels: int) -> np.ndarray:
+    """First ``levels`` non-negative flint values: int head + E*M1 tail.
+
+    Head: 0, 1, 2, 3 (pure integers).  Tail: per octave ``2^e`` and
+    ``1.5 * 2^e`` (one mantissa bit), i.e. 4, 6, 8, 12, 16, 24, ...
+    """
+    if levels < 2:
+        raise ValueError("flint needs at least 2 positive levels")
+    values = [0.0, 1.0, 2.0, 3.0]
+    e = 2
+    while len(values) < levels:
+        values.append(float(2**e))
+        if len(values) < levels:
+            values.append(1.5 * 2**e)
+        e += 1
+    return np.asarray(values[:levels], dtype=np.float64)
+
+
+class FlintType(GridDataType):
+    """n-bit flint: sign-magnitude with ``2^(n-1)`` positive levels."""
+
+    def __init__(self, bits: int):
+        pos = flint_positive_grid(2 ** (bits - 1))
+        grid = np.concatenate([-pos[::-1], pos])
+        super().__init__(name=f"flint{bits}", bits=bits, grid=grid)
+
+
+flint4 = FlintType(4)

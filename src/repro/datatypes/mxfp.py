@@ -1,0 +1,50 @@
+"""Microscaling float (MXFP4) — FP4 elements with an E8M0 shared scale.
+
+MXFP (OCP Microscaling, Rouhani et al. 2023) groups 32 elements under a
+shared *power-of-two* scale stored as an 8-bit exponent (E8M0).  The
+element type here is FP4 E2M1.  The restriction of the scale to powers
+of two is what the paper's Tbl. V blames for MXFP4's higher perplexity:
+up to sqrt(2)x of avoidable clipping/rounding error versus a full FP16
+scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.floats import fp4_e2m1
+
+__all__ = ["mxfp4_qdq", "e8m0_scale", "MXFP_GROUP_SIZE"]
+
+MXFP_GROUP_SIZE = 32
+
+
+def e8m0_scale(amax: np.ndarray, grid_max: float) -> np.ndarray:
+    """Quantize the ideal absmax scale to a power of two (E8M0).
+
+    The OCP spec takes ``floor(log2(amax)) - floor(log2(grid_max))`` so
+    that the largest element never overflows after scaling; we clamp the
+    exponent to the E8M0 range [-127, 127].
+    """
+    amax = np.where(amax <= 0, 1.0, amax)
+    exp = np.floor(np.log2(amax)) - np.floor(np.log2(grid_max))
+    exp = np.clip(exp, -127, 127)
+    return 2.0**exp
+
+
+def mxfp4_qdq(x: np.ndarray, group_size: int = MXFP_GROUP_SIZE) -> np.ndarray:
+    """Fake-quantize the last axis of ``x`` with MXFP4 (E8M0 scale + FP4).
+
+    The last axis length must be divisible by ``group_size`` (pad at the
+    caller if needed, as the quantizers in :mod:`repro.quant` do).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] % group_size:
+        raise ValueError(
+            f"last axis {x.shape[-1]} not divisible by MXFP group size {group_size}"
+        )
+    g = x.reshape(*x.shape[:-1], x.shape[-1] // group_size, group_size)
+    amax = np.max(np.abs(g), axis=-1, keepdims=True)
+    scale = e8m0_scale(amax, fp4_e2m1.grid_max)
+    out = fp4_e2m1.qdq(g, scale)
+    return out.reshape(x.shape)

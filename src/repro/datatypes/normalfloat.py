@@ -1,0 +1,47 @@
+"""NormalFloat (NF4) from QLoRA (Dettmers et al., 2023).
+
+NF4's 16 levels are quantiles of a standard Gaussian, normalised to
+[-1, 1], with an exact zero.  Following the QLoRA construction, the
+positive and negative halves are built from ``2^(b-1) + 1`` and
+``2^(b-1)`` quantile points respectively so that zero appears exactly
+once, giving an asymmetric 16-point grid.
+
+The paper's Eq. 3 gives the positive half as ``Φ⁻¹(i·(1-ε)·0.5/7 + 0.5)``
+for ``i ∈ [0, 7]``; we implement the full two-sided QLoRA recipe, which
+reduces to that formula on the positive side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.datatypes.base import GridDataType
+
+__all__ = ["NormalFloatType", "nf4", "nf_positive_half"]
+
+# QLoRA's offset: quantiles are taken in [1-delta, delta] rather than
+# (0, 1) so that Phi^-1 stays finite.  QLoRA uses (1/2)(1/32 + 1/30).
+_DELTA = 0.5 * (1 / 32 + 1 / 30)
+
+
+def nf_positive_half(levels: int) -> np.ndarray:
+    """``levels`` Gaussian-quantile points spanning [0, 1] (paper Eq. 3)."""
+    probs = np.linspace(0.5, 1.0 - _DELTA, levels)
+    q = norm.ppf(probs)
+    return q / q[-1]
+
+
+class NormalFloatType(GridDataType):
+    """b-bit NormalFloat: Gaussian-quantile grid normalised to [-1, 1]."""
+
+    def __init__(self, bits: int = 4):
+        n = 2**bits
+        pos = nf_positive_half(n // 2 + 1)           # includes 0 and 1
+        neg_src = norm.ppf(np.linspace(_DELTA, 0.5, n // 2))
+        neg = neg_src / np.abs(neg_src[0])           # spans [-1, 0)
+        grid = np.unique(np.concatenate([neg, pos]))
+        super().__init__(name=f"nf{bits}", bits=bits, grid=grid)
+
+
+nf4 = NormalFloatType(4)

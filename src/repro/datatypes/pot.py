@@ -1,0 +1,39 @@
+"""Power-of-two (PoT) data type.
+
+The logarithmic type ANT selects for Laplace-distributed tensors and the
+limit case of MANT at ``a = 0``: the positive grid is ``{2^0, ..., 2^(2^(b-1)-1)}``
+mirrored to negative values.  Like MANT, PoT in this formulation has no
+exact zero — the nearest-to-zero codes are ±1 (pre-scaling) — which
+matches Eq. 2 of the paper evaluated at ``a = 0``.
+
+A conventional PoT with zero (as in logarithmic CNN quantization) is also
+provided for the ANT baseline, where the all-zeros code is reserved for 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.base import GridDataType
+
+__all__ = ["PotType", "pot4", "pot4_with_zero"]
+
+
+class PotType(GridDataType):
+    """n-bit sign-magnitude power-of-two grid ±{2^0 .. 2^(2^(n-1)-1)}."""
+
+    def __init__(self, bits: int, with_zero: bool = False):
+        imax = 2 ** (bits - 1) - 1
+        pos = 2.0 ** np.arange(0, imax + 1)
+        if with_zero:
+            # Sacrifice the largest exponent for an exact zero, the
+            # convention used by ANT's PoT variant.
+            pos = np.concatenate([[0.0], 2.0 ** np.arange(0, imax)])
+        grid = np.concatenate([-pos[::-1], pos])
+        name = f"pot{bits}z" if with_zero else f"pot{bits}"
+        super().__init__(name=name, bits=bits, grid=grid)
+        self.with_zero = with_zero
+
+
+pot4 = PotType(4)
+pot4_with_zero = PotType(4, with_zero=True)

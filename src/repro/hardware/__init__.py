@@ -1,0 +1,74 @@
+"""Cycle-approximate accelerator simulator (the paper's HW evaluation)."""
+
+from repro.hardware.pe import PEArray
+from repro.hardware.rqu import RQUModel, DIVIDER_CYCLES
+from repro.hardware.systolic import GemmShape, GemmTiming, systolic_gemm_cycles
+from repro.hardware.memory import MemorySystem, TrafficLedger, fmt_for_bits
+from repro.hardware.energy import EnergyModel, EnergyBreakdown, DEFAULT_ENERGY
+from repro.hardware.area import AreaModel, ACCELERATOR_AREAS, area_table
+from repro.hardware.accelerator import Accelerator, LayerResult, OperandSpec
+from repro.hardware.workloads import (
+    LLMShape,
+    MODEL_SHAPES,
+    linear_layer_gemms,
+    attention_gemms,
+)
+from repro.hardware.workloads import decode_linear_gemms
+from repro.hardware.configs import (
+    PrecisionPolicy,
+    ACCELERATORS,
+    POLICIES,
+    GROUPWISE_ACCELERATORS,
+    GROUPWISE_POLICIES,
+    get_accelerator,
+    get_policy,
+)
+from repro.hardware.simulator import (
+    simulate_linear_layer,
+    simulate_attention_layer,
+    simulate_token,
+    speedup_and_energy,
+    SimPoint,
+)
+from repro.hardware.report import ModelReport, model_report, memory_footprint_bytes
+
+__all__ = [
+    "PEArray",
+    "RQUModel",
+    "DIVIDER_CYCLES",
+    "GemmShape",
+    "GemmTiming",
+    "systolic_gemm_cycles",
+    "MemorySystem",
+    "TrafficLedger",
+    "fmt_for_bits",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "DEFAULT_ENERGY",
+    "AreaModel",
+    "ACCELERATOR_AREAS",
+    "area_table",
+    "Accelerator",
+    "LayerResult",
+    "OperandSpec",
+    "LLMShape",
+    "MODEL_SHAPES",
+    "linear_layer_gemms",
+    "attention_gemms",
+    "decode_linear_gemms",
+    "PrecisionPolicy",
+    "ACCELERATORS",
+    "POLICIES",
+    "GROUPWISE_ACCELERATORS",
+    "GROUPWISE_POLICIES",
+    "get_accelerator",
+    "get_policy",
+    "simulate_linear_layer",
+    "simulate_attention_layer",
+    "simulate_token",
+    "speedup_and_energy",
+    "SimPoint",
+    "ModelReport",
+    "model_report",
+    "memory_footprint_bytes",
+]

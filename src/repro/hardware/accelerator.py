@@ -1,0 +1,161 @@
+"""Accelerator model: timing + energy + traffic for one GEMM or layer.
+
+Combines the PE-array capability, the systolic timing, the memory
+roofline and the energy constants into :meth:`Accelerator.run_gemm`,
+the primitive every experiment builds on.  Latency per GEMM is
+``max(compute, DRAM)`` plus non-hidden quantization overhead — the
+standard double-buffered roofline the paper's simulator also assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.hardware.area import ACCELERATOR_AREAS, AreaModel
+from repro.hardware.energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyModel
+from repro.hardware.memory import MemorySystem, TrafficLedger, fmt_for_bits
+from repro.hardware.pe import PEArray
+from repro.hardware.rqu import RQUModel
+from repro.hardware.systolic import GemmShape, systolic_gemm_cycles
+
+__all__ = ["Accelerator", "LayerResult", "OperandSpec"]
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """Precision + format of one GEMM's operands."""
+
+    a_bits: int = 8
+    w_bits: int = 4
+    group_size: int = 64
+    w_coeff_bits: int = 0        # 8 for MANT/ANT group metadata
+    out_bits: int = 16           # accumulator output written back
+    output_quantized: bool = False
+
+
+@dataclass
+class LayerResult:
+    """Aggregated cycles / energy / traffic for one or more GEMMs."""
+
+    cycles: float = 0.0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    traffic: TrafficLedger = field(default_factory=TrafficLedger)
+    macs: float = 0.0
+
+    def __add__(self, other: "LayerResult") -> "LayerResult":
+        return LayerResult(
+            cycles=self.cycles + other.cycles,
+            energy=self.energy + other.energy,
+            traffic=self.traffic + other.traffic,
+            macs=self.macs + other.macs,
+        )
+
+    def latency_s(self, freq_ghz: float = 1.0) -> float:
+        return self.cycles * 1e-9 / freq_ghz
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """One evaluated design (MANT or a baseline) at equal area.
+
+    ``decoder_per_weight``/``sac_per_mac`` express the method-specific
+    core-energy adders: adaptive-type baselines decode every weight
+    (ANT/OliVe decoders), MANT runs its shift-accumulate lane instead.
+    ``fused_quant`` marks designs whose group-scale pipeline overlaps
+    with GEMM (MANT); unfused designs expose vector-unit passes
+    (Sec. VII-D).
+    """
+
+    name: str
+    array: PEArray = field(default_factory=lambda: PEArray("array"))
+    memory: MemorySystem = field(default_factory=MemorySystem)
+    energy_model: EnergyModel = DEFAULT_ENERGY
+    rqu: RQUModel = field(default_factory=RQUModel)
+    area_key: str = "MANT"
+    uses_decoder: bool = False
+    uses_sac: bool = False
+    fused_quant: bool = True
+
+    @property
+    def area(self) -> AreaModel:
+        return ACCELERATOR_AREAS[self.area_key]
+
+    # ------------------------------------------------------------------
+    def run_gemm(self, shape: GemmShape, op: OperandSpec,
+                 weights_resident: bool = False) -> LayerResult:
+        """Simulate one GEMM.
+
+        ``weights_resident`` skips the weight DRAM fetch (already
+        on-chip from a previous tile), used when a layer's working set
+        fits the 512 KB buffer.
+        """
+        timing = systolic_gemm_cycles(
+            shape,
+            self.array,
+            op.a_bits,
+            op.w_bits,
+            rqu=self.rqu,
+            output_quantized=op.output_quantized,
+            group_size=op.group_size,
+            fused_quant=self.fused_quant,
+        )
+
+        # ---------------- traffic ----------------
+        w_fmt = fmt_for_bits(op.w_bits, op.group_size, op.w_coeff_bits)
+        a_fmt = fmt_for_bits(op.a_bits, op.group_size)
+        w_bytes = 0.0 if weights_resident else w_fmt.tensor_bytes(
+            shape.k * shape.n, inner_dim=shape.k
+        )
+        a_bytes = a_fmt.tensor_bytes(shape.m * shape.k, inner_dim=shape.k)
+        o_bytes = shape.m * shape.n * op.out_bits / 8
+        traffic = TrafficLedger(
+            weight_bytes=0.0 if shape.kv else w_bytes,
+            kv_bytes=w_bytes if shape.kv else 0.0,
+            act_bytes=a_bytes,
+            out_bytes=o_bytes,
+        )
+
+        # ---------------- latency ----------------
+        compute_cycles = timing.compute_cycles + timing.fill_drain_cycles
+        mem_cycles = self.memory.dram_cycles(traffic.dram_bytes)
+        cycles = max(compute_cycles, mem_cycles) + timing.quant_overhead_cycles
+
+        # ---------------- energy ----------------
+        em = self.energy_model
+        macs = shape.macs
+        core = macs * em.mac_pj(op.a_bits, op.w_bits)
+        if self.uses_sac:
+            core += macs * em.sac_pj
+        if self.uses_decoder:
+            core += shape.k * shape.n * em.decoder_pj
+        if op.output_quantized:
+            core += shape.m * shape.n * em.rqu_op_pj
+
+        rows, _cols = self.array.dims(op.a_bits, op.w_bits)
+        tiles_k = ceil(shape.k / rows)
+        tiles_n = ceil(shape.n / self.array.cols)
+        # Weight-stationary reuse: weights enter SRAM once, activations
+        # re-stream per output-column tile, partial sums per K tile.
+        buffer_bytes = (
+            w_bytes
+            + a_bytes * tiles_n
+            + o_bytes * tiles_k
+        )
+        energy = EnergyBreakdown(
+            core=core,
+            buffer=buffer_bytes * em.sram_pj_per_byte,
+            dram=traffic.dram_bytes * em.dram_pj_per_byte,
+            static=cycles * em.static_pj_per_cycle(
+                self.area.total_mm2, self.memory.freq_ghz
+            ),
+        )
+        return LayerResult(cycles=cycles, energy=energy, traffic=traffic, macs=macs)
+
+    # ------------------------------------------------------------------
+    def run_gemms(self, shapes_ops) -> LayerResult:
+        """Sum :meth:`run_gemm` over ``(shape, op)`` pairs."""
+        total = LayerResult()
+        for shape, op in shapes_ops:
+            total = total + self.run_gemm(shape, op)
+        return total

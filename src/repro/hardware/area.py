@@ -1,0 +1,112 @@
+"""Area model (paper Tbl. IV).
+
+Component areas come from the paper's Design Compiler synthesis at TSMC
+28 nm (we cannot re-synthesize offline — DESIGN.md §7); this module does
+the composition bookkeeping: counts × unit area + shared buffers and
+vector units.  The paper's equal-area comparison methodology falls out:
+every accelerator's core lands near 0.3 mm² with the PE counts of
+Tbl. IV.
+
+All areas in mm² unless suffixed ``_um2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AreaModel", "ACCELERATOR_AREAS", "area_table"]
+
+# Unit areas from Tbl. IV (µm²).
+PE_8BIT_UM2 = 281.75          # MANT 8-bit MAC+SAC PE
+RQU_UM2 = 416.63              # MANT real-time quantization unit
+OLIVE_PE_UM2 = 79.57          # OliVe 4-bit PE
+OLIVE_DEC4_UM2 = 48.51        # OliVe 4-bit decoder
+OLIVE_DEC8_UM2 = 73.25        # OliVe 8-bit decoder
+ANT_PE_UM2 = 79.57            # ANT 4-bit PE
+ANT_DEC_UM2 = 4.9             # ANT decoder
+TENDER_PE_UM2 = 77.28         # Tender 4-bit PE
+
+BUFFER_MM2 = 4.2              # 512 KB multi-bank buffer (CACTI)
+VECTOR_UNITS_MM2 = 0.069      # 64 vector units
+ACCUM_UNITS_MM2 = 0.016       # 32 accumulation units
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """One accelerator's core composition."""
+
+    name: str
+    components: tuple[tuple[str, float, int], ...]  # (label, um2, count)
+    buffer_mm2: float = BUFFER_MM2
+    vector_mm2: float = VECTOR_UNITS_MM2
+    accum_mm2: float = ACCUM_UNITS_MM2
+
+    @property
+    def core_mm2(self) -> float:
+        return sum(um2 * count for _, um2, count in self.components) / 1e6
+
+    @property
+    def total_mm2(self) -> float:
+        return self.core_mm2 + self.buffer_mm2 + self.vector_mm2 + self.accum_mm2
+
+    def breakdown(self) -> dict[str, float]:
+        out = {
+            f"{label} x{count}": um2 * count / 1e6
+            for label, um2, count in self.components
+        }
+        out["buffer"] = self.buffer_mm2
+        out["vector units"] = self.vector_mm2
+        out["accumulation units"] = self.accum_mm2
+        return out
+
+
+ACCELERATOR_AREAS: dict[str, AreaModel] = {
+    "MANT": AreaModel(
+        "MANT",
+        components=(
+            ("8-bit PE (281.75um2)", PE_8BIT_UM2, 1024),
+            ("RQU (416.63um2)", RQU_UM2, 32),
+        ),
+    ),
+    "OliVe": AreaModel(
+        "OliVe",
+        components=(
+            ("4-bit PE (79.57um2)", OLIVE_PE_UM2, 4096),
+            ("4-bit decoder (48.51um2)", OLIVE_DEC4_UM2, 128),
+            ("8-bit decoder (73.25um2)", OLIVE_DEC8_UM2, 64),
+        ),
+    ),
+    "ANT": AreaModel(
+        "ANT",
+        components=(
+            ("4-bit PE (79.57um2)", ANT_PE_UM2, 4096),
+            ("decoder (4.9um2)", ANT_DEC_UM2, 128),
+        ),
+    ),
+    "Tender": AreaModel(
+        "Tender",
+        components=(("4-bit PE (77.28um2)", TENDER_PE_UM2, 4096),),
+    ),
+    # BitFusion shares the ANT-style 4-bit fusion fabric; the paper's
+    # table lists the three adaptive baselines, BitFusion is modelled at
+    # the same PE budget for the equal-area comparison.
+    "BitFusion": AreaModel(
+        "BitFusion",
+        components=(("4-bit PE (79.57um2)", ANT_PE_UM2, 4096),),
+    ),
+}
+
+
+def area_table() -> list[dict[str, object]]:
+    """Rows reproducing Tbl. IV (name, core mm², total mm²)."""
+    rows = []
+    for name, model in ACCELERATOR_AREAS.items():
+        rows.append(
+            {
+                "architecture": name,
+                "core_mm2": round(model.core_mm2, 3),
+                "total_mm2": round(model.total_mm2, 3),
+                "breakdown": model.breakdown(),
+            }
+        )
+    return rows

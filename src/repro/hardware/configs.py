@@ -1,0 +1,179 @@
+"""Evaluated accelerator configurations and precision policies.
+
+The five designs of the paper's evaluation (Sec. VII-A), normalised to
+equal area / bandwidth / frequency, plus the group-wise ANT/INT
+variants of the Sec. VII-D comparison.
+
+**Precision policies.**  The paper aligns perplexity before comparing
+performance: OliVe and Tender run 4/8 mixed precision, ANT* runs plain
+INT8, BitFusion 8/16 — each method uses wider weights for the fraction
+of layers its 4-bit accuracy cannot carry.  The mixed fractions below
+are this reproduction's PPL-matching calibration (derived from the
+Tbl. II accuracy gaps; OPT models need more 8-bit in the baselines,
+matching their larger W4A4 blow-ups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.memory import MemorySystem
+from repro.hardware.pe import PEArray
+
+__all__ = [
+    "PrecisionPolicy",
+    "ACCELERATORS",
+    "POLICIES",
+    "GROUPWISE_ACCELERATORS",
+    "GROUPWISE_POLICIES",
+    "get_accelerator",
+    "get_policy",
+]
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """How one design quantizes a model's layers.
+
+    ``weight_mix`` gives (weight_bits, fraction_of_layers); activation
+    width follows the layer's weight width for the W4A4/W8A8 baselines
+    (``act_follows_weights``), or is fixed (MANT's INT8, BitFusion's
+    FP16 activations).
+    """
+
+    name: str
+    weight_mix: tuple[tuple[int, float], ...]
+    act_bits: int = 8
+    act_follows_weights: bool = False
+    kv_bits: int = 16
+    attn_act_bits: int = 16
+    group_size: int = 0           # 0 = tensor/channel-wise formats
+    w_coeff_bits: int = 0
+    output_quantized: bool = False
+
+    def mix(self) -> tuple[tuple[int, float], ...]:
+        total = sum(f for _, f in self.weight_mix)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weight mix of {self.name} sums to {total}")
+        return self.weight_mix
+
+    def act_bits_for(self, w_bits: int) -> int:
+        return w_bits if self.act_follows_weights else self.act_bits
+
+
+_SHARED_MEM = MemorySystem()
+
+
+def _accel(name: str, area_key: str, uses_decoder: bool, uses_sac: bool,
+           fused_quant: bool) -> Accelerator:
+    return Accelerator(
+        name=name,
+        array=PEArray(name=name),
+        memory=_SHARED_MEM,
+        area_key=area_key,
+        uses_decoder=uses_decoder,
+        uses_sac=uses_sac,
+        fused_quant=fused_quant,
+    )
+
+
+ACCELERATORS: dict[str, Accelerator] = {
+    "MANT": _accel("MANT", "MANT", uses_decoder=False, uses_sac=True, fused_quant=True),
+    "Tender": _accel("Tender", "Tender", uses_decoder=False, uses_sac=False, fused_quant=True),
+    "OliVe": _accel("OliVe", "OliVe", uses_decoder=True, uses_sac=False, fused_quant=True),
+    "ANT*": _accel("ANT*", "ANT", uses_decoder=True, uses_sac=False, fused_quant=True),
+    "BitFusion": _accel("BitFusion", "BitFusion", uses_decoder=False, uses_sac=False, fused_quant=True),
+}
+
+
+def _mant_policy() -> PrecisionPolicy:
+    return PrecisionPolicy(
+        name="MANT",
+        weight_mix=((4, 1.0),),
+        act_bits=8,
+        kv_bits=4,
+        attn_act_bits=8,
+        group_size=64,
+        w_coeff_bits=8,
+        output_quantized=True,
+    )
+
+
+POLICIES: dict[str, dict[str, PrecisionPolicy]] = {
+    "MANT": {
+        "llama": _mant_policy(),
+        "opt": _mant_policy(),
+    },
+    "Tender": {
+        "llama": PrecisionPolicy("Tender", ((4, 0.15), (8, 0.85)), act_follows_weights=True),
+        "opt": PrecisionPolicy("Tender", ((4, 0.25), (8, 0.75)), act_follows_weights=True),
+    },
+    "OliVe": {
+        "llama": PrecisionPolicy("OliVe", ((4, 0.08), (8, 0.92)), act_follows_weights=True),
+        "opt": PrecisionPolicy("OliVe", ((4, 0.05), (8, 0.95)), act_follows_weights=True),
+    },
+    "ANT*": {
+        "llama": PrecisionPolicy("ANT*", ((8, 1.0),), act_bits=8),
+        "opt": PrecisionPolicy("ANT*", ((8, 1.0),), act_bits=8),
+    },
+    "BitFusion": {
+        "llama": PrecisionPolicy("BitFusion", ((8, 0.70), (16, 0.30)), act_bits=16),
+        "opt": PrecisionPolicy("BitFusion", ((8, 0.65), (16, 0.35)), act_bits=16),
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Sec. VII-D group-wise comparison (Fig. 14): everyone at group size 64.
+# ANT gains per-group weight types (decoder + metadata) but still needs
+# 4/8 mixing to reach MANT's PPL and pays unfused scale handling; INT
+# needs even more 8-bit layers.  Both now quantize the KV cache with
+# group-wise INT4 (the paper extends them so the comparison isolates
+# the data type).
+# ----------------------------------------------------------------------
+GROUPWISE_ACCELERATORS: dict[str, Accelerator] = {
+    "MANT": ACCELERATORS["MANT"],
+    "ANT-g64": _accel("ANT-g64", "ANT", uses_decoder=True, uses_sac=False, fused_quant=False),
+    "INT-g64": _accel("INT-g64", "Tender", uses_decoder=False, uses_sac=False, fused_quant=False),
+}
+
+GROUPWISE_POLICIES: dict[str, dict[str, PrecisionPolicy]] = {
+    "MANT": POLICIES["MANT"],
+    "ANT-g64": {
+        fam: PrecisionPolicy(
+            "ANT-g64",
+            ((4, 0.40), (8, 0.60)),
+            act_bits=8,
+            kv_bits=4,
+            attn_act_bits=8,
+            group_size=64,
+            w_coeff_bits=8,
+            output_quantized=True,
+        )
+        for fam in ("llama", "opt")
+    },
+    "INT-g64": {
+        fam: PrecisionPolicy(
+            "INT-g64",
+            ((4, 0.30), (8, 0.70)),
+            act_bits=8,
+            kv_bits=4,
+            attn_act_bits=8,
+            group_size=64,
+            w_coeff_bits=0,
+            output_quantized=True,
+        )
+        for fam in ("llama", "opt")
+    },
+}
+
+
+def get_accelerator(name: str, groupwise: bool = False) -> Accelerator:
+    table = GROUPWISE_ACCELERATORS if groupwise else ACCELERATORS
+    return table[name]
+
+
+def get_policy(name: str, family: str, groupwise: bool = False) -> PrecisionPolicy:
+    table = GROUPWISE_POLICIES if groupwise else POLICIES
+    return table[name][family]

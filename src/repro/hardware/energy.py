@@ -1,0 +1,91 @@
+"""Per-operation energy model (28 nm, Horowitz-style constants).
+
+The paper synthesizes at TSMC 28 nm and reports relative energy between
+accelerators; we model energy with per-op constants derived from the
+widely used Horowitz ISSCC'14 numbers (45 nm) scaled to 28 nm (~0.6x
+capacitive scaling), the same modelling level as the DNNWeaver-based
+simulator the paper uses.  Absolute joules are not the reproduction
+target — the core/buffer/DRAM/static *breakdown* and the ratios between
+accelerators are (Fig. 12/13/14).
+
+All constants in picojoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "DEFAULT_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy constants; see module docstring for provenance."""
+
+    # 8-bit x 8-bit integer multiply-accumulate; other widths scale with
+    # the bit product (multiplier energy is ~linear in bit area).
+    mac_8x8_pj: float = 0.20
+    # Shift-accumulate lane of the MANT PE (barrel shift + add).
+    sac_pj: float = 0.04
+    # Per-weight decode of ANT/OliVe-style type decoders.
+    decoder_pj: float = 0.01
+    # FP16 comparator / accumulator step in the RQU.
+    rqu_op_pj: float = 0.05
+    # On-chip SRAM access per byte (512 KB-class multi-bank buffer).
+    sram_pj_per_byte: float = 0.6
+    # Off-chip DRAM access per byte (LPDDR-class).
+    dram_pj_per_byte: float = 20.0
+    # Static (leakage + clock) power density, mW per mm^2.
+    static_mw_per_mm2: float = 60.0
+
+    def mac_pj(self, a_bits: int, w_bits: int) -> float:
+        """MAC energy scaled by the bit product relative to 8x8."""
+        return self.mac_8x8_pj * (a_bits * w_bits) / 64.0
+
+    def static_pj_per_cycle(self, area_mm2: float, freq_ghz: float) -> float:
+        """Static energy burned per cycle by ``area_mm2`` of logic."""
+        watts = self.static_mw_per_mm2 * area_mm2 * 1e-3
+        seconds_per_cycle = 1e-9 / freq_ghz
+        return watts * seconds_per_cycle * 1e12
+
+
+DEFAULT_ENERGY = EnergyModel()
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy accounting in the paper's four Fig. 12 categories (pJ)."""
+
+    core: float = 0.0
+    buffer: float = 0.0
+    dram: float = 0.0
+    static: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.core + self.buffer + self.dram + self.static
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            core=self.core + other.core,
+            buffer=self.buffer + other.buffer,
+            dram=self.dram + other.dram,
+            static=self.static + other.static,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            core=self.core * factor,
+            buffer=self.buffer * factor,
+            dram=self.dram * factor,
+            static=self.static * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "core": self.core,
+            "buffer": self.buffer,
+            "dram": self.dram,
+            "static": self.static,
+            "total": self.total,
+        }

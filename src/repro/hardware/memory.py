@@ -1,0 +1,74 @@
+"""Memory system model: DRAM roofline + on-chip buffer traffic.
+
+The decode stage of LLM inference is memory-bound (paper Sec. II-A), so
+the DRAM model is what decides long-sequence results: bytes moved per
+tensor follow the *storage formats* of :mod:`repro.core.metadata`, which
+is the same accounting the accuracy side uses — 4-bit MANT weights
+really ship 4.375 bits/element including group metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metadata import StorageFormat
+
+__all__ = ["MemorySystem", "TrafficLedger", "fmt_for_bits"]
+
+
+def fmt_for_bits(bits: int, group_size: int = 64, coeff_bits: int = 0,
+                 name: str | None = None) -> StorageFormat:
+    """Storage format helper: FP16 is scale-free, low-bit pays metadata."""
+    if bits >= 16:
+        return StorageFormat(name or "fp16", element_bits=16)
+    return StorageFormat(
+        name or f"q{bits}-g{group_size}",
+        element_bits=bits,
+        group_size=group_size,
+        coeff_bits=coeff_bits,
+    )
+
+
+@dataclass
+class TrafficLedger:
+    """Bytes moved, split by tensor role (weights / acts / KV / output)."""
+
+    weight_bytes: float = 0.0
+    act_bytes: float = 0.0
+    kv_bytes: float = 0.0
+    out_bytes: float = 0.0
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.weight_bytes + self.act_bytes + self.kv_bytes + self.out_bytes
+
+    def __add__(self, other: "TrafficLedger") -> "TrafficLedger":
+        return TrafficLedger(
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            act_bytes=self.act_bytes + other.act_bytes,
+            kv_bytes=self.kv_bytes + other.kv_bytes,
+            out_bytes=self.out_bytes + other.out_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Bandwidth + buffer parameters shared by all accelerators.
+
+    The paper configures "the same memory bandwidth, on-chip buffer
+    size, and frequency across all accelerators" (Sec. VII-A).
+    """
+
+    dram_gb_per_s: float = 256.0
+    freq_ghz: float = 1.0
+    sram_bytes: int = 512 * 1024
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.dram_gb_per_s / self.freq_ghz  # GB/s over Gcycle/s
+
+    def dram_cycles(self, n_bytes: float) -> float:
+        return n_bytes / self.bytes_per_cycle
+
+    def fits_on_chip(self, n_bytes: float) -> bool:
+        return n_bytes <= self.sram_bytes

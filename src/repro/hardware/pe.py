@@ -1,0 +1,45 @@
+"""Processing-element and array capability model.
+
+Every evaluated accelerator is normalised to the same silicon budget
+(paper Tbl. IV): MANT fields 1024 8-bit PEs, the baselines 4096 4-bit
+fusion-style PEs — both 65536 bit-products per cycle.  Mixed precision
+follows BitFusion composition: an ``a x w`` multiply consumes
+``(a*w) / (pe_bits^2)`` PEs, so throughput in MACs/cycle is::
+
+    macs_per_cycle(a, w) = capacity_bitproducts / (a * w)
+
+The systolic organisation keeps 32 output columns (the paper's
+32-column weight-stationary array with per-column RQUs); the effective
+row count (accumulation dimension fed per cycle) scales with precision,
+reproducing the 32x32 / 64x32 / 128x32 configurations of Sec. VI-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PEArray"]
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """Capability of one accelerator's compute array."""
+
+    name: str
+    capacity_bitproducts: int = 65536   # = 1024 x 8x8 = 4096 x 4x4
+    cols: int = 32
+    min_bits: int = 2                   # narrowest supported operand
+
+    def _clamp(self, bits: int) -> int:
+        return max(bits, self.min_bits)
+
+    def macs_per_cycle(self, a_bits: int, w_bits: int) -> int:
+        """Throughput for an ``a_bits x w_bits`` GEMM."""
+        a = self._clamp(a_bits)
+        w = self._clamp(w_bits)
+        return max(1, self.capacity_bitproducts // (a * w))
+
+    def dims(self, a_bits: int, w_bits: int) -> tuple[int, int]:
+        """(rows, cols) of the effective systolic array (Sec. VI-B)."""
+        rows = max(1, self.macs_per_cycle(a_bits, w_bits) // self.cols)
+        return rows, self.cols

@@ -1,0 +1,93 @@
+"""Full-model simulation reports: tokens/s, per-layer breakdowns.
+
+Aggregates :mod:`repro.hardware.simulator` results into the numbers a
+deployment study needs — end-to-end decode throughput at a context
+length, memory-footprint budgets, and a per-component table — for any
+(accelerator, policy, model) triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metadata import StorageFormat
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.configs import PrecisionPolicy
+from repro.hardware.memory import fmt_for_bits
+from repro.hardware.simulator import simulate_token
+from repro.hardware.workloads import LLMShape
+
+__all__ = ["ModelReport", "model_report", "memory_footprint_bytes"]
+
+
+def memory_footprint_bytes(shape: LLMShape, policy: PrecisionPolicy,
+                           context_len: int) -> dict[str, float]:
+    """Weights + KV cache resident bytes under a policy's formats."""
+    weight_elems = shape.layer_weight_elements() * shape.n_layers
+    w_bytes = 0.0
+    for bits, frac in policy.mix():
+        fmt = fmt_for_bits(bits, policy.group_size or 64, policy.w_coeff_bits)
+        w_bytes += frac * fmt.tensor_bytes(weight_elems, inner_dim=shape.d_model)
+    kv_elems = 2 * context_len * shape.d_model * shape.n_layers
+    kv_fmt: StorageFormat = fmt_for_bits(
+        policy.kv_bits, policy.group_size or 64,
+        policy.w_coeff_bits if policy.kv_bits < 16 else 0,
+    )
+    kv_bytes = kv_fmt.tensor_bytes(kv_elems, inner_dim=shape.d_model)
+    return {"weights": w_bytes, "kv_cache": kv_bytes, "total": w_bytes + kv_bytes}
+
+
+@dataclass
+class ModelReport:
+    """End-to-end decode characterisation of one design on one model."""
+
+    accel: str
+    model: str
+    context_len: int
+    token_latency_s: float
+    tokens_per_s: float
+    linear_fraction: float
+    attention_fraction: float
+    energy_per_token_mj: float
+    dram_gb_per_token: float
+    weight_bytes: float
+    kv_bytes: float
+
+    def rows(self) -> list:
+        return [
+            self.accel,
+            self.model,
+            self.context_len,
+            self.tokens_per_s,
+            self.linear_fraction,
+            self.attention_fraction,
+            self.energy_per_token_mj,
+            self.weight_bytes / 1e9,
+            self.kv_bytes / 1e9,
+        ]
+
+
+def model_report(
+    accel: Accelerator,
+    policy: PrecisionPolicy,
+    shape: LLMShape,
+    context_len: int,
+) -> ModelReport:
+    """Simulate one decode token and fold in the footprint budget."""
+    parts = simulate_token(accel, policy, shape, context_len)
+    total = parts["total"]
+    latency = total.latency_s(accel.memory.freq_ghz)
+    footprint = memory_footprint_bytes(shape, policy, context_len)
+    return ModelReport(
+        accel=accel.name,
+        model=shape.name,
+        context_len=context_len,
+        token_latency_s=latency,
+        tokens_per_s=1.0 / latency,
+        linear_fraction=parts["linear"].cycles / total.cycles,
+        attention_fraction=parts["attention"].cycles / total.cycles,
+        energy_per_token_mj=total.energy.total * 1e-9,
+        dram_gb_per_token=total.traffic.dram_bytes / 1e9,
+        weight_bytes=footprint["weights"],
+        kv_bytes=footprint["kv_cache"],
+    )

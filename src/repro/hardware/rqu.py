@@ -1,0 +1,66 @@
+"""Real-time quantization unit (RQU) cycle model (paper Sec. VI-C).
+
+32 RQUs sit under the systolic array's output columns.  Each is an FP16
+comparator plus two FP16 accumulators, supporting two dataflows:
+
+* **spatial** — maxima travel left-to-right across the 32 columns,
+  pipelined with the array's output streaming: after a 32-cycle prime
+  the last RQU emits one group maximum per cycle.  A group of 64
+  elements spread over two column passes needs two comparison rounds.
+* **temporal** — each RQU tracks one output column across decode
+  iterations (the V-cache case), retaining max / Σv / Σv² in its
+  registers; zero added latency per iteration, one finalisation pass
+  when a window closes.
+
+The quantization *division* (scale = max / grid_max, then per-element
+divide) uses a 12-cycle non-pipelined divider (Sec. VI-E); its
+visibility depends on how many K-dimension tiles the surrounding GEMM
+has to hide it behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RQUModel", "DIVIDER_CYCLES"]
+
+DIVIDER_CYCLES = 12
+
+
+@dataclass(frozen=True)
+class RQUModel:
+    """Cycle accounting for the RQU bank."""
+
+    n_units: int = 32
+    pipeline_prime: int = 32     # columns the first maximum crosses
+
+    def spatial_cycles(self, m_rows: int, n_cols: int, group_size: int) -> int:
+        """Extra cycles to reduce maxima for an (m, n) output tile.
+
+        Fully pipelined with the array's column-staggered output: only
+        the prime latency plus one extra pass per additional
+        ``n_units``-wide slice of the group is exposed.
+        """
+        rounds = max(1, group_size // self.n_units)
+        return self.pipeline_prime + rounds * max(m_rows, 1)
+
+    def temporal_cycles_per_iteration(self) -> int:
+        """Streaming accumulate: hidden behind the array output."""
+        return 0
+
+    def finalize_window_cycles(self, channels: int) -> int:
+        """Variance + selection when a V window closes.
+
+        One pass over the RQU registers: variance from (Σv, Σv²) and a
+        range lookup for ``a`` — ``channels / n_units`` vector steps
+        plus the divider.
+        """
+        return -(-channels // self.n_units) + DIVIDER_CYCLES
+
+    def division_overhead(self, k_tiles: int) -> int:
+        """Non-hidden part of the scale division (Sec. VI-E).
+
+        The divider hides behind K-dimension tile iterations; with 12+
+        iterations it vanishes, with fewer the remainder is exposed.
+        """
+        return max(0, DIVIDER_CYCLES - k_tiles)

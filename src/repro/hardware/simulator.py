@@ -1,0 +1,151 @@
+"""End-to-end layer simulation: the engine behind Fig. 12/13/14.
+
+``simulate_linear_layer`` and ``simulate_attention_layer`` evaluate one
+Transformer layer of a given model on a given accelerator+policy;
+mixed-precision policies are handled by simulating the layer set at
+each weight width and blending by the policy's layer fractions (layers
+are homogeneous within a width class, so the blend is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import Accelerator, LayerResult, OperandSpec
+from repro.hardware.configs import PrecisionPolicy
+from repro.hardware.workloads import (
+    LLMShape,
+    attention_gemms,
+    decode_linear_gemms,
+    linear_layer_gemms,
+)
+
+__all__ = [
+    "simulate_linear_layer",
+    "simulate_attention_layer",
+    "simulate_token",
+    "speedup_and_energy",
+    "SimPoint",
+]
+
+
+def _weight_spec(policy: PrecisionPolicy, w_bits: int) -> OperandSpec:
+    return OperandSpec(
+        a_bits=policy.act_bits_for(w_bits),
+        w_bits=w_bits,
+        group_size=policy.group_size or 64,
+        w_coeff_bits=policy.w_coeff_bits,
+        out_bits=16,
+        output_quantized=policy.output_quantized,
+    )
+
+
+def simulate_linear_layer(
+    accel: Accelerator,
+    policy: PrecisionPolicy,
+    shape: LLMShape,
+    seq_len: int = 2048,
+    decode: bool = False,
+) -> LayerResult:
+    """One Transformer layer's linear projections (no attention)."""
+    gemms = decode_linear_gemms(shape) if decode else linear_layer_gemms(shape, seq_len)
+    total = LayerResult()
+    for w_bits, frac in policy.mix():
+        op = _weight_spec(policy, w_bits)
+        res = accel.run_gemms((g, op) for g in gemms)
+        total = total + _scale(res, frac)
+    return total
+
+
+def simulate_attention_layer(
+    accel: Accelerator,
+    policy: PrecisionPolicy,
+    shape: LLMShape,
+    context_len: int,
+    decode: bool = True,
+) -> LayerResult:
+    """The attention GEMMs against the (possibly quantized) KV cache.
+
+    Baselines keep KV at FP16 and compute attention at 16 bit (the
+    paper's setup); MANT runs INT8 activations against 4-bit MANT KV.
+    """
+    gemms = attention_gemms(shape, context_len, decode=decode)
+    op = OperandSpec(
+        a_bits=policy.attn_act_bits,
+        w_bits=policy.kv_bits,
+        group_size=policy.group_size or 64,
+        w_coeff_bits=policy.w_coeff_bits if policy.kv_bits < 16 else 0,
+        out_bits=16,
+        output_quantized=policy.output_quantized and policy.kv_bits < 16,
+    )
+    return accel.run_gemms((g, op) for g in gemms)
+
+
+def simulate_token(
+    accel: Accelerator,
+    policy: PrecisionPolicy,
+    shape: LLMShape,
+    context_len: int,
+) -> dict[str, LayerResult]:
+    """One decode token through all layers: linear + attention split."""
+    linear = simulate_linear_layer(accel, policy, shape, decode=True)
+    attn = simulate_attention_layer(accel, policy, shape, context_len, decode=True)
+    n = shape.n_layers
+    return {
+        "linear": _scale(linear, n),
+        "attention": _scale(attn, n),
+        "total": _scale(linear, n) + _scale(attn, n),
+    }
+
+
+def _scale(res: LayerResult, factor: float) -> LayerResult:
+    return LayerResult(
+        cycles=res.cycles * factor,
+        energy=res.energy.scaled(factor),
+        traffic=_scale_traffic(res.traffic, factor),
+        macs=res.macs * factor,
+    )
+
+
+def _scale_traffic(t, factor):
+    from repro.hardware.memory import TrafficLedger
+
+    return TrafficLedger(
+        weight_bytes=t.weight_bytes * factor,
+        act_bytes=t.act_bytes * factor,
+        kv_bytes=t.kv_bytes * factor,
+        out_bytes=t.out_bytes * factor,
+    )
+
+
+@dataclass
+class SimPoint:
+    """One (accelerator, workload) evaluation for reporting."""
+
+    accel: str
+    workload: str
+    result: LayerResult
+
+    def speedup_vs(self, other: "SimPoint") -> float:
+        return other.result.cycles / self.result.cycles
+
+    def energy_vs(self, other: "SimPoint") -> float:
+        return other.result.energy.total / self.result.energy.total
+
+
+def speedup_and_energy(results: dict[str, LayerResult], baseline: str) -> dict[str, dict[str, float]]:
+    """Normalise a result set: speedup and energy vs ``baseline``."""
+    base = results[baseline]
+    out = {}
+    for name, res in results.items():
+        out[name] = {
+            "speedup": base.cycles / res.cycles,
+            "norm_energy": res.energy.total / base.energy.total,
+            "cycles": res.cycles,
+            "energy_pj": res.energy.total,
+            "core": res.energy.core / base.energy.total,
+            "buffer": res.energy.buffer / base.energy.total,
+            "dram": res.energy.dram / base.energy.total,
+            "static": res.energy.static / base.energy.total,
+        }
+    return out

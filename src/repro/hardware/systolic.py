@@ -1,0 +1,97 @@
+"""Weight-stationary systolic GEMM timing (paper Sec. VI-B/E, Fig. 11).
+
+The model is tile-level, matching the paper's DNNWeaver-style
+simulator: an ``M x K x N`` GEMM is tiled into ``(rows x cols)`` weight
+tiles; each tile streams ``M`` activation rows plus a fill/drain bubble.
+The quantization pipeline (scale products, maxima, division) overlaps
+with tile compute; only the modelled non-hidden residue is added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.hardware.pe import PEArray
+from repro.hardware.rqu import RQUModel
+
+__all__ = ["GemmShape", "GemmTiming", "systolic_gemm_cycles"]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One GEMM: (M x K) activations against (K x N) weights.
+
+    ``kv`` marks the weight-side operand as KV cache (attention GEMMs),
+    which routes it to the KV storage format in the traffic model.
+    """
+
+    m: int
+    k: int
+    n: int
+    kv: bool = False
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass
+class GemmTiming:
+    """Cycle breakdown of one GEMM on one array configuration."""
+
+    compute_cycles: float
+    fill_drain_cycles: float
+    quant_overhead_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.fill_drain_cycles + self.quant_overhead_cycles
+
+
+def systolic_gemm_cycles(
+    shape: GemmShape,
+    array: PEArray,
+    a_bits: int,
+    w_bits: int,
+    rqu: RQUModel | None = None,
+    output_quantized: bool = False,
+    group_size: int = 64,
+    fused_quant: bool = True,
+) -> GemmTiming:
+    """Cycle count for ``shape`` at the given operand widths.
+
+    ``output_quantized`` adds the real-time output quantization path
+    (maxima + scale division); ``fused_quant=False`` models baselines
+    that recompute per-group scales in the vector units instead of the
+    RQU pipeline (the paper's Sec. VII-D group-wise comparison), which
+    exposes one vector pass per output group.
+    """
+    rows, cols = array.dims(a_bits, w_bits)
+    tiles_k = ceil(shape.k / rows)
+    tiles_n = ceil(shape.n / cols)
+
+    compute = tiles_k * tiles_n * shape.m
+    # Weight tiles are double-buffered (loaded while the previous tile
+    # computes), so consecutive tiles overlap: one pipeline fill at the
+    # start plus a one-cycle bubble per tile switch.
+    fill_drain = (rows + cols) + tiles_k * tiles_n
+
+    quant = 0.0
+    if output_quantized:
+        r = rqu or RQUModel()
+        if fused_quant:
+            # Pipeline prime + non-hidden divider residue (Fig. 11).
+            quant += r.spatial_cycles(min(shape.m, 1), cols, group_size)
+            quant += r.division_overhead(tiles_k) * tiles_n
+        else:
+            # Unfused: a vector-unit pass over every output group plus
+            # the full divider per group column.
+            out_groups = ceil(shape.m * shape.n / group_size)
+            quant += out_groups / r.n_units * 2
+            quant += (r.division_overhead(0)) * tiles_n
+    return GemmTiming(
+        compute_cycles=float(compute),
+        fill_drain_cycles=float(fill_drain),
+        quant_overhead_cycles=float(quant),
+    )

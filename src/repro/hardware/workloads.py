@@ -1,0 +1,86 @@
+"""LLM layer workloads: the GEMM shapes the paper evaluates.
+
+Model shapes follow the published LLaMA-1/2 and OPT configurations; a
+Transformer layer contributes the four attention projections and the
+FFN projections (SwiGLU: gate/up/down for LLaMA; two-matrix ReLU FFN
+for OPT), plus the two attention GEMMs whose weight-side operand is the
+KV cache.
+
+``linear_layer_gemms`` models the paper's Fig. 12 setting (sequence
+2048, batch 1, prefill-style M = 2048); ``attention_gemms`` and
+``decode_*`` model the decode stage at a given context length
+(Fig. 13's 2K-128K sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.systolic import GemmShape
+
+__all__ = ["LLMShape", "MODEL_SHAPES", "linear_layer_gemms", "attention_gemms"]
+
+
+@dataclass(frozen=True)
+class LLMShape:
+    """Published architecture dimensions of one evaluated LLM."""
+
+    name: str
+    d_model: int
+    n_heads: int
+    d_ff: int
+    n_layers: int
+    family: str           # "llama" | "opt"
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.n_heads
+
+    def linear_weights(self) -> list[tuple[str, int, int]]:
+        """(name, K=in_features, N=out_features) of one layer's linears."""
+        d, f = self.d_model, self.d_ff
+        gemms = [("wq", d, d), ("wk", d, d), ("wv", d, d), ("wo", d, d)]
+        if self.family == "llama":
+            gemms += [("wgate", d, f), ("wup", d, f), ("wdown", f, d)]
+        else:
+            gemms += [("w1", d, f), ("w2", f, d)]
+        return gemms
+
+    def layer_weight_elements(self) -> int:
+        return sum(k * n for _, k, n in self.linear_weights())
+
+
+MODEL_SHAPES: dict[str, LLMShape] = {
+    "llama-7b": LLMShape("llama-7b", 4096, 32, 11008, 32, "llama"),
+    "llama-13b": LLMShape("llama-13b", 5120, 40, 13824, 40, "llama"),
+    "llama-30b": LLMShape("llama-30b", 6656, 52, 17920, 60, "llama"),
+    "llama-65b": LLMShape("llama-65b", 8192, 64, 22016, 80, "llama"),
+    "opt-6.7b": LLMShape("opt-6.7b", 4096, 32, 16384, 32, "opt"),
+    "opt-13b": LLMShape("opt-13b", 5120, 40, 20480, 40, "opt"),
+}
+
+
+def linear_layer_gemms(shape: LLMShape, seq_len: int = 2048) -> list[GemmShape]:
+    """Prefill-style linear-layer GEMMs of one Transformer layer."""
+    return [GemmShape(m=seq_len, k=k, n=n) for _, k, n in shape.linear_weights()]
+
+
+def decode_linear_gemms(shape: LLMShape) -> list[GemmShape]:
+    """Decode-stage (M = 1) linear GEMVs of one layer."""
+    return [GemmShape(m=1, k=k, n=n) for _, k, n in shape.linear_weights()]
+
+
+def attention_gemms(shape: LLMShape, context_len: int, decode: bool = True) -> list[GemmShape]:
+    """Attention-layer GEMMs: QKᵀ and probs·V against the KV cache.
+
+    In decode mode each of the H heads runs a (1 x d_head x S) and a
+    (1 x S x d_head) GEMV; aggregated across heads that is
+    ``(1, d_model, S)`` + ``(1, S, d_model)`` worth of MACs and a KV
+    operand of ``2 * S * d_model`` elements, which is how we shape it
+    (per-head tiling detail does not change tile counts at these sizes).
+    """
+    m = 1 if decode else context_len
+    return [
+        GemmShape(m=m, k=shape.d_model, n=context_len, kv=True),   # Q Kt
+        GemmShape(m=m, k=context_len, n=shape.d_model, kv=True),   # P V
+    ]

@@ -1,0 +1,84 @@
+"""Calibration pass over a model (the paper's Pile-subset stage).
+
+Runs a handful of batches through the FP16 model collecting:
+
+* per-channel ``E[x²]`` of every linear input — feeds the weight MSE
+  search (Eq. 6 surrogate);
+* sampled K-cache groups (along ``d_head``) and V-cache groups (along
+  the sequence) — fit the variance→``a`` ranges of Sec. V-C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.corpus import MixedCorpus
+from repro.model.transformer import TransformerLM
+from repro.quant.calibration import CalibrationResult, KVGroupSampler, RunningActStats
+
+__all__ = ["calibrate_model"]
+
+
+def calibrate_model(
+    model: TransformerLM,
+    corpus: MixedCorpus,
+    n_batches: int = 4,
+    batch_size: int = 4,
+    seq_len: int = 128,
+    group_size: int = 64,
+    kv_bits: int = 4,
+    seed: int = 4242,
+) -> CalibrationResult:
+    """Collect activation and KV statistics from calibration batches."""
+    stats: dict[str, RunningActStats] = {}
+    k_sampler = KVGroupSampler(group_size=min(group_size, model.config.d_head), seed=seed)
+    v_sampler = KVGroupSampler(group_size=group_size, seed=seed + 1)
+    n_tokens = 0
+
+    def act_hook(name: str, x: np.ndarray) -> np.ndarray:
+        st = stats.get(name)
+        if st is None:
+            st = stats[name] = RunningActStats(x.shape[-1])
+        st.update(x)
+        return x
+
+    def kv_hook(layer: int, q: np.ndarray, k: np.ndarray, v: np.ndarray):
+        # K groups along d_head; V groups along the sequence (its inner
+        # dimension) — exactly the axes the real-time engine quantizes.
+        k_sampler.update(k.reshape(-1, k.shape[-1]), axis=-1)
+        v_per_channel = np.moveaxis(v, -2, -1)  # (B, H, d_head, T)
+        v_sampler.update(v_per_channel.reshape(-1, v.shape[-2]), axis=-1)
+        return q, k, v
+
+    for ids, _targets in corpus.batches(n_batches, batch_size, seq_len, seed=seed):
+        model.forward_logits(ids, act_quant=act_hook, kv_quant=kv_hook)
+        n_tokens += ids.size
+
+    act_sq_means = {name: st.mean_sq for name, st in stats.items()}
+    # The hook fires once per input *site*; projections sharing an input
+    # (wq/wk/wv, wgate/wup) share the statistic.
+    for name in model.config.linear_names():
+        if name in act_sq_means:
+            continue
+        source = (
+            name.replace("attn.wk", "attn.wq")
+            .replace("attn.wv", "attn.wq")
+            .replace("ffn.wup", "ffn.wgate")
+        )
+        if source in act_sq_means:
+            act_sq_means[name] = act_sq_means[source]
+
+    # Fit one selector from the union of K and V groups; group sizes may
+    # differ (d_head vs window), so fit on the V groups (the harder,
+    # temporal case) and fall back to K groups if V is too small.
+    groups = v_sampler.groups()
+    if groups.shape[0] < 16:
+        groups = k_sampler.groups()
+    from repro.core.selection import VarianceSelector
+
+    selector = VarianceSelector(bits=kv_bits, group_size=group_size)
+    if groups.shape[0] >= 16:
+        selector.fit(groups)
+    return CalibrationResult(
+        act_sq_means=act_sq_means, kv_selector=selector, n_tokens=n_tokens
+    )

@@ -1,0 +1,143 @@
+"""Synthetic corpora: the Wikitext / Pile / TriviaQA stand-ins.
+
+Two generative processes, mixed for training (DESIGN.md §2):
+
+* :class:`HmmCorpus` — a hidden-Markov "language": topical hidden
+  states, each emitting from a sparse, state-specific distribution over
+  the vocabulary.  Gives the LM real structure to learn, so perplexity
+  is a meaningful metric with a nontrivial floor (the HMM's entropy
+  rate), and degradations from quantization show up exactly as they do
+  on Wikitext.
+* :class:`InductionCorpus` — sequences of planted key→value bigrams
+  that repeat, training the induction-head behaviour long-context
+  recall tasks need.  The recall evaluation in
+  :mod:`repro.model.tasks` plants *unseen* pairs, so solving it
+  requires attending through the (quantized) KV cache rather than
+  memorisation.
+
+Token space layout (vocab ≥ 64): ``0`` = BOS/PAD, ``1`` = QUERY
+separator, ``[2, 2+n_keys)`` = key tokens, rest = ordinary vocabulary
+shared by the HMM and as value tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HmmCorpus", "InductionCorpus", "MixedCorpus", "TOKEN_BOS", "TOKEN_QUERY", "KEY_BASE"]
+
+TOKEN_BOS = 0
+TOKEN_QUERY = 1
+KEY_BASE = 2
+
+
+class HmmCorpus:
+    """Sparse HMM over the ordinary-vocabulary region."""
+
+    def __init__(
+        self,
+        vocab_size: int = 256,
+        n_states: int = 12,
+        emissions_per_state: int = 24,
+        self_loop: float = 0.6,
+        n_keys: int = 16,
+        seed: int = 1234,
+    ):
+        self.vocab_size = vocab_size
+        self.n_states = n_states
+        rng = np.random.default_rng(seed)
+        lo = KEY_BASE + n_keys
+        self.token_lo = lo
+
+        # Sparse transition matrix: heavy self-loop + a few neighbours.
+        trans = rng.dirichlet(np.ones(n_states) * 0.3, size=n_states)
+        trans = (1 - self_loop) * trans + self_loop * np.eye(n_states)
+        self.trans = trans / trans.sum(axis=1, keepdims=True)
+
+        # Each state emits from its own sparse slice of the vocabulary.
+        self.emit_tokens = np.empty((n_states, emissions_per_state), dtype=np.int64)
+        self.emit_probs = np.empty((n_states, emissions_per_state))
+        usable = np.arange(lo, vocab_size)
+        for s in range(n_states):
+            toks = rng.choice(usable, size=emissions_per_state, replace=False)
+            probs = rng.dirichlet(np.ones(emissions_per_state) * 0.5)
+            self.emit_tokens[s] = toks
+            self.emit_probs[s] = probs
+
+    def sample(self, n_tokens: int, rng: np.random.Generator) -> np.ndarray:
+        """One token stream of length ``n_tokens``."""
+        out = np.empty(n_tokens, dtype=np.int64)
+        state = int(rng.integers(self.n_states))
+        for t in range(n_tokens):
+            out[t] = rng.choice(self.emit_tokens[state], p=self.emit_probs[state])
+            state = rng.choice(self.n_states, p=self.trans[state])
+        return out
+
+    def entropy_rate_bound(self) -> float:
+        """Mean per-state emission entropy (nats): a PPL floor estimate."""
+        ent = -np.sum(self.emit_probs * np.log(self.emit_probs + 1e-12), axis=1)
+        return float(np.mean(ent))
+
+
+class InductionCorpus:
+    """Repeated key→value bigrams embedded in random filler.
+
+    Each sequence plants ``n_pairs`` (key, value) pairs; every key
+    occurrence is followed by its value, and keys repeat 2-4 times, so
+    predicting the value after a repeated key is the learnable skill.
+    """
+
+    def __init__(self, vocab_size: int = 256, n_keys: int = 16, seed: int = 99):
+        self.vocab_size = vocab_size
+        self.n_keys = n_keys
+        self.value_lo = KEY_BASE + n_keys
+        self._seed = seed
+
+    def sample(self, n_tokens: int, rng: np.random.Generator, n_pairs: int = 4) -> np.ndarray:
+        keys = rng.choice(self.n_keys, size=n_pairs, replace=False) + KEY_BASE
+        values = rng.integers(self.value_lo, self.vocab_size, size=n_pairs)
+        out = []
+        while len(out) < n_tokens:
+            if rng.random() < 0.4 and n_pairs:
+                j = int(rng.integers(n_pairs))
+                out += [int(keys[j]), int(values[j])]
+            else:
+                out.append(int(rng.integers(self.value_lo, self.vocab_size)))
+        return np.asarray(out[:n_tokens], dtype=np.int64)
+
+
+@dataclass
+class MixedCorpus:
+    """Training mix: mostly HMM language plus induction sequences."""
+
+    hmm: HmmCorpus
+    induction: InductionCorpus
+    induction_frac: float = 0.4
+
+    def batches(
+        self,
+        n_steps: int,
+        batch_size: int,
+        seq_len: int,
+        seed: int = 0,
+    ):
+        """Yield ``(ids, targets)`` int arrays of shape (B, T)."""
+        rng = np.random.default_rng(seed)
+        for _ in range(n_steps):
+            rows = []
+            for _ in range(batch_size):
+                if rng.random() < self.induction_frac:
+                    seq = self.induction.sample(seq_len + 1, rng)
+                else:
+                    seq = self.hmm.sample(seq_len + 1, rng)
+                rows.append(seq)
+            block = np.stack(rows)
+            yield block[:, :-1], block[:, 1:]
+
+    def eval_tokens(self, n_tokens: int, seq_len: int, seed: int = 777) -> np.ndarray:
+        """Held-out HMM evaluation set, shaped ``(n_rows, seq_len+1)``."""
+        rng = np.random.default_rng(seed)
+        rows = n_tokens // seq_len
+        return np.stack([self.hmm.sample(seq_len + 1, rng) for _ in range(rows)])

@@ -1,0 +1,151 @@
+"""Function-preserving outlier-channel injection.
+
+Real LLMs develop a few channels whose magnitudes dwarf the rest; they
+are what breaks coarse-grained low-bit quantization (the paper's W4A4
+blow-ups for ANT/OliVe) and what makes the K/V caches hard.  Tiny
+models trained on synthetic data develop this only mildly, so we
+replicate it *exactly function-preservingly* by rescaling weight pairs:
+
+* **V/O pair** — scale output channel ``j`` of ``W_V`` by ``s_j`` and
+  input channel ``j`` of ``W_O`` by ``1/s_j``.  Attention mixes value
+  vectors with scalar weights, so the layer output is bit-identical in
+  exact arithmetic, while the V cache and the O-projection's input
+  activations now carry genuine outlier channels.
+* **Q/K pair** — scale output channel ``j`` of ``W_K`` by ``s_j`` and
+  the matching channel of ``W_Q`` by ``1/s_j``.  RoPE commutes with the
+  scaling provided ``s`` is constant on each rotation pair ``(c, c +
+  d_head/2)``, which the channel picker enforces; the QKᵀ scores are
+  then unchanged while the K cache gets outliers.
+
+This gives quantization experiments LLM-like tensor statistics without
+touching the FP16 model's behaviour (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.transformer import ModelConfig
+
+__all__ = ["inject_outliers", "inject_group_scale_diversity", "outlier_channel_stats"]
+
+
+def _pick_pair_channels(rng, n_heads: int, d_head: int, n_channels: int) -> np.ndarray:
+    """Channel indices closed under the RoPE pairing (c, c + d_head/2).
+
+    Outlier channels are drawn from ONE head's leading rotation pairs:
+    in a real LLM (d_model 4096+) outliers are sparse relative to the
+    64-element group, so at tiny widths the scale-faithful emulation
+    keeps them contiguous — a single quantization group absorbs them
+    while the rest stay clean.
+    """
+    half = d_head // 2
+    head = int(rng.integers(n_heads))
+    base = head * d_head
+    n = min(n_channels, half)
+    idx = []
+    for c in range(n):
+        idx += [base + c, base + c + half]
+    return np.asarray(sorted(idx))
+
+
+def inject_outliers(
+    params: dict[str, np.ndarray],
+    config: ModelConfig,
+    scale: float = 8.0,
+    frac: float = 0.05,
+    seed: int = 7,
+    targets: str = "vo+qk",
+) -> dict[str, np.ndarray]:
+    """Return a copy of ``params`` with outlier channels injected.
+
+    ``frac`` is the fraction of channels scaled by ``scale``.  The
+    returned model computes the same function as the input model up to
+    floating-point rounding.
+    """
+    rng = np.random.default_rng(seed)
+    out = {k: v.copy() for k, v in params.items()}
+    d = config.d_model
+    n_pairs = max(1, int(frac * d / 2))
+
+    for i in range(config.n_layers):
+        pre = f"layers.{i}."
+        if "vo" in targets:
+            idx = _pick_pair_channels(rng, config.n_heads, config.d_head, n_pairs)
+            out[pre + "attn.wv"][idx, :] *= scale
+            out[pre + "attn.wo"][:, idx] /= scale
+        if "qk" in targets:
+            idx = _pick_pair_channels(rng, config.n_heads, config.d_head, n_pairs)
+            out[pre + "attn.wk"][idx, :] *= scale
+            out[pre + "attn.wq"][idx, :] /= scale
+    return out
+
+
+def inject_group_scale_diversity(
+    params: dict[str, np.ndarray],
+    config: ModelConfig,
+    sigma: float = 1.2,
+    seed: int = 21,
+) -> dict[str, np.ndarray]:
+    """Inject heavy-tailed per-input-channel scale diversity.
+
+    Real LLM weight matrices have strong scale structure along the
+    input dimension (the quantization axis): some groups of 64 span
+    orders of magnitude more range than others, which is what makes
+    group-wise and adaptive quantization matter (paper Fig. 1-3).
+    Tiny models trained on synthetic data end up nearly i.i.d., so we
+    add the structure *function-preservingly*: in a pre-norm block the
+    normalised hidden state feeds only that block's projections, so
+    scaling the norm gain (and bias) per channel by ``d`` while
+    dividing the matching weight columns by ``d`` leaves every layer
+    output bit-identical in exact arithmetic.
+
+    The scale vector ``d`` mirrors published LLM channel-scale
+    measurements (LLM.int8 / SmoothQuant): log-normal per-channel
+    scales with ``sigma`` ≈ 0.6 (a ~5x absmax/typical spread inside a
+    64-group) plus one fixed large outlier channel per normalisation
+    site (x16, the "outlier channel" phenomenon).  Tensor- and
+    channel-wise quantization lose most of their resolution to the
+    spread and the outlier; group-wise methods localise both — exactly
+    the regime the paper's motivation studies.
+    """
+    rng = np.random.default_rng(seed)
+    out = {k: v.copy() for k, v in params.items()}
+
+    def make_scales() -> np.ndarray:
+        d = np.exp(rng.normal(0.0, sigma, size=config.d_model))
+        # Sparse outlier channels, contiguous so that (like a real
+        # 4096-wide model) only ~one group in many contains them.
+        n_out = max(2, config.d_model // 64)
+        start = int(rng.integers(config.d_model - n_out))
+        d[start : start + n_out] *= 16.0
+        return d
+
+    def scale_block(norm_prefix: str, weight_names: list[str]) -> None:
+        d = make_scales()
+        out[norm_prefix + ".g"] *= d
+        if norm_prefix + ".b" in out:
+            out[norm_prefix + ".b"] *= d
+        for wname in weight_names:
+            out[wname] /= d[None, :]
+
+    for i in range(config.n_layers):
+        pre = f"layers.{i}."
+        scale_block(pre + "norm1", [pre + "attn.wq", pre + "attn.wk", pre + "attn.wv"])
+        if config.arch == "llama":
+            scale_block(pre + "norm2", [pre + "ffn.wgate", pre + "ffn.wup"])
+        else:
+            scale_block(pre + "norm2", [pre + "ffn.w1"])
+    return out
+
+
+def outlier_channel_stats(x: np.ndarray, axis: int = -1) -> dict[str, float]:
+    """Max-to-median channel magnitude ratio — an outlier severity gauge."""
+    moved = np.moveaxis(np.asarray(x, dtype=np.float64), axis, -1)
+    ch_max = np.max(np.abs(moved.reshape(-1, moved.shape[-1])), axis=0)
+    med = float(np.median(ch_max))
+    return {
+        "max_channel": float(ch_max.max()),
+        "median_channel": med,
+        "max_over_median": float(ch_max.max() / (med + 1e-12)),
+    }

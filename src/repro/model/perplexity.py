@@ -1,0 +1,43 @@
+"""Perplexity evaluation (the Wikitext metric of the paper's tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.transformer import TransformerLM
+
+__all__ = ["evaluate_ppl", "perplexity_from_rows"]
+
+
+def perplexity_from_rows(
+    model: TransformerLM,
+    rows: np.ndarray,
+    weights: dict[str, np.ndarray] | None = None,
+    act_quant=None,
+    kv_quant=None,
+    batch_size: int = 8,
+) -> float:
+    """Teacher-forced perplexity over ``rows`` of shape (N, T+1).
+
+    ``rows[:, :-1]`` feeds the model, ``rows[:, 1:]`` are targets; NLL
+    is averaged over every predicted token and exponentiated.
+    """
+    total_nll = 0.0
+    total_tokens = 0
+    for start in range(0, rows.shape[0], batch_size):
+        block = rows[start : start + batch_size]
+        ids, targets = block[:, :-1], block[:, 1:]
+        logits = model.forward_logits(
+            ids, weights=weights, act_quant=act_quant, kv_quant=kv_quant
+        )
+        z = logits - np.max(logits, axis=-1, keepdims=True)
+        logsumexp = np.log(np.sum(np.exp(z), axis=-1))
+        b, t = targets.shape
+        picked = z[np.arange(b)[:, None], np.arange(t)[None, :], targets]
+        total_nll += float(np.sum(logsumexp - picked))
+        total_tokens += b * t
+    return float(np.exp(total_nll / total_tokens))
+
+
+# Backwards-friendly alias used throughout the benches.
+evaluate_ppl = perplexity_from_rows

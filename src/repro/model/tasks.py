@@ -1,0 +1,154 @@
+"""Generation-task evaluation: the TruthfulQA / TriviaQA stand-ins.
+
+Two tasks exercise the decode-stage KV cache exactly where quantization
+hurts (Tbl. III):
+
+* :class:`RecallTask` (TriviaQA substitute) — unseen key→value pairs
+  are planted in a long prompt; after a query token the model must
+  produce the right value by attending through the quantized cache.
+  Scored with token F1 (single-token answers make F1 == accuracy;
+  multi-query episodes make it a proper set overlap).
+* :class:`ContinuationTask` (TruthfulQA substitute) — the quantized
+  model continues held-out HMM prompts; scored with a BLEU-style
+  n-gram overlap against the FP16 model's continuation, measuring
+  generation drift caused by quantization alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.corpus import HmmCorpus, KEY_BASE
+from repro.model.transformer import TransformerLM
+
+__all__ = ["RecallTask", "ContinuationTask", "token_f1", "bleu"]
+
+
+def token_f1(predicted: list[int], reference: list[int]) -> float:
+    """Multiset token F1, the squad-style metric used for TriviaQA."""
+    if not predicted or not reference:
+        return float(predicted == reference)
+    common = Counter(predicted) & Counter(reference)
+    n_common = sum(common.values())
+    if n_common == 0:
+        return 0.0
+    precision = n_common / len(predicted)
+    recall = n_common / len(reference)
+    return 2 * precision * recall / (precision + recall)
+
+
+def bleu(candidate: list[int], reference: list[int], max_n: int = 4) -> float:
+    """Sentence BLEU with uniform n-gram weights and brevity penalty."""
+    if not candidate or not reference:
+        return 0.0
+    log_precisions = []
+    for n in range(1, max_n + 1):
+        cand_ngrams = Counter(
+            tuple(candidate[i : i + n]) for i in range(len(candidate) - n + 1)
+        )
+        ref_ngrams = Counter(
+            tuple(reference[i : i + n]) for i in range(len(reference) - n + 1)
+        )
+        overlap = sum((cand_ngrams & ref_ngrams).values())
+        total = max(sum(cand_ngrams.values()), 1)
+        # Laplace-ish smoothing keeps zero-overlap orders finite.
+        log_precisions.append(np.log((overlap + 0.1) / (total + 0.1)))
+    bp = min(1.0, np.exp(1 - len(reference) / max(len(candidate), 1)))
+    return float(bp * np.exp(np.mean(log_precisions)))
+
+
+def _generate(model: TransformerLM, prompt: np.ndarray, n_tokens: int,
+              cache_factory, weights=None, act_quant=None) -> list[int]:
+    """Greedy generation with per-layer KV caches."""
+    caches = [cache_factory() for _ in range(model.config.n_layers)]
+    logits = model.prefill(prompt, caches, weights=weights, act_quant=act_quant)
+    out = []
+    pos = len(prompt)
+    token = int(np.argmax(logits))
+    for _ in range(n_tokens):
+        out.append(token)
+        logits = model.decode_step(token, caches, pos, weights=weights, act_quant=act_quant)
+        token = int(np.argmax(logits))
+        pos += 1
+    return out
+
+
+@dataclass
+class RecallTask:
+    """Key-value recall through the decode-stage KV cache."""
+
+    vocab_size: int = 256
+    n_keys: int = 16
+    prompt_len: int = 192
+    n_pairs: int = 6
+    n_episodes: int = 24
+    seed: int = 2024
+
+    def _build_episode(self, rng: np.random.Generator):
+        value_lo = KEY_BASE + self.n_keys
+        keys = rng.choice(self.n_keys, size=self.n_pairs, replace=False) + KEY_BASE
+        values = rng.integers(value_lo, self.vocab_size, size=self.n_pairs)
+        body_len = self.prompt_len - 1
+        tokens = rng.integers(value_lo, self.vocab_size, size=body_len)
+        # Plant every pair twice at disjoint even-aligned slots so no
+        # pair is ever truncated or overwritten.
+        n_slots = body_len // 2
+        needed = 2 * self.n_pairs
+        if n_slots < needed:
+            raise ValueError("prompt too short for the requested pairs")
+        slots = rng.choice(n_slots, size=needed, replace=False) * 2
+        for p in range(self.n_pairs):
+            for slot in slots[2 * p : 2 * p + 2]:
+                tokens[slot] = keys[p]
+                tokens[slot + 1] = values[p]
+        j = int(rng.integers(self.n_pairs))
+        prompt = np.concatenate([tokens, [keys[j]]]).astype(np.int64)
+        return prompt, int(values[j])
+
+    def evaluate(self, model: TransformerLM, cache_factory,
+                 weights=None, act_quant=None) -> float:
+        """Mean token F1 of the answers over all episodes."""
+        rng = np.random.default_rng(self.seed)
+        scores = []
+        for _ in range(self.n_episodes):
+            prompt, answer = self._build_episode(rng)
+            pred = _generate(model, prompt, 1, cache_factory,
+                             weights=weights, act_quant=act_quant)
+            scores.append(token_f1(pred, [answer]))
+        return float(np.mean(scores))
+
+
+@dataclass
+class ContinuationTask:
+    """Generation-drift BLEU against the FP16 model's continuation."""
+
+    hmm: HmmCorpus
+    prompt_len: int = 96
+    gen_len: int = 32
+    n_episodes: int = 12
+    seed: int = 31337
+
+    def references(self, model: TransformerLM, cache_factory) -> list[list[int]]:
+        """FP16 continuations (the comparison anchor)."""
+        rng = np.random.default_rng(self.seed)
+        refs = []
+        for _ in range(self.n_episodes):
+            prompt = self.hmm.sample(self.prompt_len, rng)
+            refs.append(_generate(model, prompt, self.gen_len, cache_factory))
+        return refs
+
+    def evaluate(self, model: TransformerLM, cache_factory,
+                 references: list[list[int]],
+                 weights=None, act_quant=None) -> float:
+        """Mean BLEU of quantized continuations vs the references."""
+        rng = np.random.default_rng(self.seed)
+        scores = []
+        for ref in references:
+            prompt = self.hmm.sample(self.prompt_len, rng)
+            cand = _generate(model, prompt, self.gen_len, cache_factory,
+                             weights=weights, act_quant=act_quant)
+            scores.append(bleu(cand, ref))
+        return float(np.mean(scores))

@@ -1,0 +1,93 @@
+"""Adam training loop for the numpy transformer LMs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.transformer import TransformerLM
+
+__all__ = ["AdamState", "Adam", "train_lm", "TrainReport"]
+
+
+@dataclass
+class AdamState:
+    m: dict[str, np.ndarray]
+    v: dict[str, np.ndarray]
+    t: int = 0
+
+
+class Adam:
+    """Standard Adam with bias correction and global-norm clipping."""
+
+    def __init__(self, params: dict[str, np.ndarray], lr: float = 3e-3,
+                 betas=(0.9, 0.95), eps: float = 1e-8, clip: float = 1.0):
+        self.lr = lr
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.clip = clip
+        self.state = AdamState(
+            m={k: np.zeros_like(p) for k, p in params.items()},
+            v={k: np.zeros_like(p) for k, p in params.items()},
+        )
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray],
+             lr_scale: float = 1.0) -> None:
+        gnorm = np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+        scale = min(1.0, self.clip / (gnorm + 1e-12))
+        st = self.state
+        st.t += 1
+        bc1 = 1 - self.b1**st.t
+        bc2 = 1 - self.b2**st.t
+        for k, p in params.items():
+            g = grads[k] * scale
+            st.m[k] = self.b1 * st.m[k] + (1 - self.b1) * g
+            st.v[k] = self.b2 * st.v[k] + (1 - self.b2) * g * g
+            mhat = st.m[k] / bc1
+            vhat = st.v[k] / bc2
+            p -= self.lr * lr_scale * mhat / (np.sqrt(vhat) + self.eps)
+
+
+@dataclass
+class TrainReport:
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def smoothed_final(self, k: int = 20) -> float:
+        tail = self.losses[-k:]
+        return float(np.mean(tail)) if tail else float("nan")
+
+
+def train_lm(
+    model: TransformerLM,
+    batches,
+    lr: float = 3e-3,
+    warmup: int = 50,
+    log_every: int = 0,
+) -> TrainReport:
+    """Train in place over an iterable of ``(ids, targets)`` batches.
+
+    Cosine decay after linear warmup; returns the loss trace.
+    """
+    opt = Adam(model.params, lr=lr)
+    report = TrainReport()
+    batch_list = batches if isinstance(batches, list) else None
+    total = len(batch_list) if batch_list is not None else None
+    for step, (ids, targets) in enumerate(batches):
+        loss, grads = model.loss_and_grads(ids, targets)
+        if warmup and step < warmup:
+            lr_scale = (step + 1) / warmup
+        elif total:
+            progress = (step - warmup) / max(total - warmup, 1)
+            lr_scale = 0.5 * (1 + np.cos(np.pi * min(progress, 1.0)))
+        else:
+            lr_scale = 1.0
+        opt.step(model.params, grads, lr_scale)
+        report.losses.append(loss)
+        if log_every and step % log_every == 0:
+            print(f"step {step:5d}  loss {loss:.4f}")
+    return report

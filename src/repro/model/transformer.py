@@ -1,0 +1,421 @@
+"""Tiny transformer language models in pure numpy.
+
+Two architecture families mirror the paper's model zoo:
+
+* ``"llama"`` — RMSNorm, rotary position embeddings, SwiGLU FFN,
+  pre-norm, tied embeddings (LLaMA-1/2 structure).
+* ``"opt"`` — LayerNorm (gain+bias), learned absolute position
+  embeddings, ReLU FFN, pre-norm, tied embeddings (OPT structure).
+
+The training path (:func:`loss_and_grads`) does a full manual backward
+pass; the inference path (:func:`forward_logits`, :func:`decode_step`)
+accepts the quantization hooks the accuracy experiments plug in:
+
+``weights``
+    Substituted (fake-quantized) weight dict.
+``act_quant(name, x)``
+    Applied to the *input* of every linear projection — this is where
+    group-wise INT8/INT4 activation quantization happens.
+``kv_cache_factory()``
+    Builds one :class:`repro.quant.kvcache.KVCache` per layer for
+    generation; prefill-style evaluation uses ``kv_quant`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model import layers as L
+
+__all__ = ["ModelConfig", "TransformerLM", "init_params", "param_count"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyperparameters."""
+
+    vocab_size: int = 256
+    d_model: int = 128
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 256
+    max_seq: int = 512
+    arch: str = "llama"          # "llama" | "opt"
+    rope_base: float = 10000.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must divide by n_heads")
+        if self.arch not in ("llama", "opt"):
+            raise ValueError(f"unknown arch {self.arch!r}")
+        if self.arch == "llama" and (self.d_model // self.n_heads) % 2:
+            raise ValueError("RoPE needs an even head dimension")
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.n_heads
+
+    def linear_names(self) -> list[str]:
+        """Names of every projection weight, in forward order."""
+        names = []
+        for i in range(self.n_layers):
+            p = f"layers.{i}."
+            names += [p + "attn.wq", p + "attn.wk", p + "attn.wv", p + "attn.wo"]
+            if self.arch == "llama":
+                names += [p + "ffn.wgate", p + "ffn.wup", p + "ffn.wdown"]
+            else:
+                names += [p + "ffn.w1", p + "ffn.w2"]
+        return names
+
+
+def init_params(config: ModelConfig) -> dict[str, np.ndarray]:
+    """Scaled-Gaussian initialisation; deterministic given the seed."""
+    rng = np.random.default_rng(config.seed)
+    d, f = config.d_model, config.d_ff
+    params: dict[str, np.ndarray] = {}
+
+    def w(shape, fan_in):
+        return rng.standard_normal(shape) * (1.0 / np.sqrt(fan_in))
+
+    params["embed"] = rng.standard_normal((config.vocab_size, d)) * 0.02
+    if config.arch == "opt":
+        params["pos_embed"] = rng.standard_normal((config.max_seq, d)) * 0.02
+    for i in range(config.n_layers):
+        p = f"layers.{i}."
+        for name in ("attn.wq", "attn.wk", "attn.wv"):
+            params[p + name] = w((d, d), d)
+        # Residual-branch outputs scaled down for depth stability.
+        params[p + "attn.wo"] = w((d, d), d) / np.sqrt(2 * config.n_layers)
+        if config.arch == "llama":
+            params[p + "ffn.wgate"] = w((f, d), d)
+            params[p + "ffn.wup"] = w((f, d), d)
+            params[p + "ffn.wdown"] = w((d, f), f) / np.sqrt(2 * config.n_layers)
+            params[p + "norm1.g"] = np.ones(d)
+            params[p + "norm2.g"] = np.ones(d)
+        else:
+            params[p + "ffn.w1"] = w((f, d), d)
+            params[p + "ffn.w2"] = w((d, f), f) / np.sqrt(2 * config.n_layers)
+            params[p + "norm1.g"] = np.ones(d)
+            params[p + "norm1.b"] = np.zeros(d)
+            params[p + "norm2.g"] = np.ones(d)
+            params[p + "norm2.b"] = np.zeros(d)
+    if config.arch == "llama":
+        params["norm_f.g"] = np.ones(d)
+    else:
+        params["norm_f.g"] = np.ones(d)
+        params["norm_f.b"] = np.zeros(d)
+    return params
+
+
+def param_count(params: dict[str, np.ndarray]) -> int:
+    return int(sum(p.size for p in params.values()))
+
+
+def _split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    b, t, d = x.shape
+    return x.reshape(b, t, n_heads, d // n_heads).transpose(0, 2, 1, 3)
+
+
+def _merge_heads(x: np.ndarray) -> np.ndarray:
+    b, h, t, dh = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+
+class TransformerLM:
+    """Stateless model wrapper: params dict in, logits/grads out."""
+
+    def __init__(self, config: ModelConfig, params: dict[str, np.ndarray] | None = None):
+        self.config = config
+        self.params = params if params is not None else init_params(config)
+        if config.arch == "llama":
+            self._cos, self._sin = L.rope_tables(
+                config.d_head, config.max_seq, config.rope_base
+            )
+        else:
+            self._cos = self._sin = None
+
+    # ==================================================================
+    # Normalisation helpers (arch-dependent)
+    # ==================================================================
+    def _norm_fwd(self, x, params, prefix):
+        if self.config.arch == "llama":
+            return L.rmsnorm_fwd(x, params[prefix + ".g"])
+        return L.layernorm_fwd(x, params[prefix + ".g"], params[prefix + ".b"])
+
+    # ==================================================================
+    # Inference forward (with quantization hooks)
+    # ==================================================================
+    def forward_logits(
+        self,
+        ids: np.ndarray,
+        weights: dict[str, np.ndarray] | None = None,
+        act_quant=None,
+        kv_quant=None,
+    ) -> np.ndarray:
+        """Teacher-forced full-sequence logits ``(B, T, V)``.
+
+        ``kv_quant(layer_idx, q, k, v) -> (q, k, v)`` intercepts the
+        per-layer attention operands ``(B, H, T, d_head)`` —
+        prefill-style KV cache quantization plus the 8-bit attention
+        activation path (what the Wikitext rows of Tbl. II measure).
+        """
+        cfg = self.config
+        p = self.params if weights is None else weights
+        ids = np.atleast_2d(ids)
+        x, _ = L.embedding_fwd(ids, p["embed"])
+        if cfg.arch == "opt":
+            x = x + p["pos_embed"][: ids.shape[1]]
+
+        def q(name, val):
+            return val if act_quant is None else act_quant(name, val)
+
+        for i in range(cfg.n_layers):
+            pre = f"layers.{i}."
+            h, _ = self._norm_fwd(x, p, pre + "norm1")
+            h_in = q(pre + "attn.wq", h)
+            qp, _ = L.linear_fwd(h_in, p[pre + "attn.wq"])
+            kp, _ = L.linear_fwd(h_in, p[pre + "attn.wk"])
+            vp, _ = L.linear_fwd(h_in, p[pre + "attn.wv"])
+            qh = _split_heads(qp, cfg.n_heads)
+            kh = _split_heads(kp, cfg.n_heads)
+            vh = _split_heads(vp, cfg.n_heads)
+            if cfg.arch == "llama":
+                qh = L.apply_rope(qh, self._cos, self._sin)
+                kh = L.apply_rope(kh, self._cos, self._sin)
+            if kv_quant is not None:
+                qh, kh, vh = kv_quant(i, qh, kh, vh)
+            att, _ = L.causal_attention_fwd(qh, kh, vh)
+            att = _merge_heads(att)
+            o, _ = L.linear_fwd(q(pre + "attn.wo", att), p[pre + "attn.wo"])
+            x = x + o
+
+            h2, _ = self._norm_fwd(x, p, pre + "norm2")
+            if cfg.arch == "llama":
+                h2q = q(pre + "ffn.wgate", h2)
+                g, _ = L.linear_fwd(h2q, p[pre + "ffn.wgate"])
+                u, _ = L.linear_fwd(h2q, p[pre + "ffn.wup"])
+                act, _ = L.silu_fwd(g)
+                ff_in = q(pre + "ffn.wdown", act * u)
+                ff, _ = L.linear_fwd(ff_in, p[pre + "ffn.wdown"])
+            else:
+                h2q = q(pre + "ffn.w1", h2)
+                a1, _ = L.linear_fwd(h2q, p[pre + "ffn.w1"])
+                act, _ = L.relu_fwd(a1)
+                ff_in = q(pre + "ffn.w2", act)
+                ff, _ = L.linear_fwd(ff_in, p[pre + "ffn.w2"])
+            x = x + ff
+
+        xf, _ = self._norm_fwd(x, p, "norm_f")
+        logits = xf @ p["embed"].T
+        return logits
+
+    # ==================================================================
+    # Generation with per-layer KV caches
+    # ==================================================================
+    def prefill(self, ids: np.ndarray, caches: list, weights=None, act_quant=None) -> np.ndarray:
+        """Run the prompt, filling one KVCache per layer.
+
+        ``ids``: 1-D prompt.  Returns logits of the last position (V,).
+        Caches receive per-head tensors shaped ``(H, T, d_head)`` —
+        batch size 1 is assumed for generation, as in the paper's
+        single-batch decode scenario.
+        """
+        x = self._run_tokens(ids[None, :], caches, offset=0, weights=weights, act_quant=act_quant)
+        return x[0, -1]
+
+    def decode_step(self, token: int, caches: list, pos: int, weights=None, act_quant=None) -> np.ndarray:
+        """One decode iteration: append to caches, return logits (V,)."""
+        ids = np.asarray([[token]])
+        x = self._run_tokens(ids, caches, offset=pos, weights=weights, act_quant=act_quant)
+        return x[0, -1]
+
+    def _run_tokens(self, ids, caches, offset, weights=None, act_quant=None):
+        cfg = self.config
+        p = self.params if weights is None else weights
+        t = ids.shape[1]
+        x, _ = L.embedding_fwd(ids, p["embed"])
+        if cfg.arch == "opt":
+            x = x + p["pos_embed"][offset : offset + t]
+
+        def q(name, val):
+            return val if act_quant is None else act_quant(name, val)
+
+        for i in range(cfg.n_layers):
+            pre = f"layers.{i}."
+            h, _ = self._norm_fwd(x, p, pre + "norm1")
+            h_in = q(pre + "attn.wq", h)
+            qp, _ = L.linear_fwd(h_in, p[pre + "attn.wq"])
+            kp, _ = L.linear_fwd(h_in, p[pre + "attn.wk"])
+            vp, _ = L.linear_fwd(h_in, p[pre + "attn.wv"])
+            qh = _split_heads(qp, cfg.n_heads)[0]   # (H, t, dh)
+            kh = _split_heads(kp, cfg.n_heads)[0]
+            vh = _split_heads(vp, cfg.n_heads)[0]
+            if cfg.arch == "llama":
+                qh = L.apply_rope(qh, self._cos, self._sin, offset=offset)
+                kh = L.apply_rope(kh, self._cos, self._sin, offset=offset)
+            cache = caches[i]
+            if offset == 0:
+                cache.prefill(kh, vh)
+            else:
+                for j in range(t):
+                    cache.append(kh[:, j, :], vh[:, j, :])
+            keys = cache.keys()        # (H, S, dh)
+            vals = cache.values()
+            s = keys.shape[1]
+            scores = qh @ np.swapaxes(keys, -1, -2) / np.sqrt(cfg.d_head)
+            # Causal mask: query position offset+j attends to <= itself.
+            qpos = offset + np.arange(t)[:, None]
+            kpos = np.arange(s)[None, :]
+            scores = np.where(kpos <= qpos, scores, -np.inf)
+            probs = L.softmax(scores, axis=-1)
+            att = probs @ vals                     # (H, t, dh)
+            att = _merge_heads(att[None])
+            o, _ = L.linear_fwd(q(pre + "attn.wo", att), p[pre + "attn.wo"])
+            x = x + o
+
+            h2, _ = self._norm_fwd(x, p, pre + "norm2")
+            if cfg.arch == "llama":
+                h2q = q(pre + "ffn.wgate", h2)
+                g, _ = L.linear_fwd(h2q, p[pre + "ffn.wgate"])
+                u, _ = L.linear_fwd(h2q, p[pre + "ffn.wup"])
+                act, _ = L.silu_fwd(g)
+                ff, _ = L.linear_fwd(q(pre + "ffn.wdown", act * u), p[pre + "ffn.wdown"])
+            else:
+                h2q = q(pre + "ffn.w1", h2)
+                a1, _ = L.linear_fwd(h2q, p[pre + "ffn.w1"])
+                act, _ = L.relu_fwd(a1)
+                ff, _ = L.linear_fwd(q(pre + "ffn.w2", act), p[pre + "ffn.w2"])
+            x = x + ff
+
+        xf, _ = self._norm_fwd(x, p, "norm_f")
+        return xf @ p["embed"].T
+
+    # ==================================================================
+    # Training: loss + full gradients
+    # ==================================================================
+    def loss_and_grads(self, ids: np.ndarray, targets: np.ndarray):
+        """Mean next-token NLL and gradients for every parameter."""
+        cfg = self.config
+        p = self.params
+        grads = {k: np.zeros_like(v) for k, v in p.items()}
+        tapes = []
+
+        x, emb_cache = L.embedding_fwd(ids, p["embed"])
+        if cfg.arch == "opt":
+            x = x + p["pos_embed"][: ids.shape[1]]
+
+        for i in range(cfg.n_layers):
+            pre = f"layers.{i}."
+            tape: dict = {}
+            h, tape["n1"] = self._norm_fwd(x, p, pre + "norm1")
+            qp, tape["wq"] = L.linear_fwd(h, p[pre + "attn.wq"])
+            kp, tape["wk"] = L.linear_fwd(h, p[pre + "attn.wk"])
+            vp, tape["wv"] = L.linear_fwd(h, p[pre + "attn.wv"])
+            qh = _split_heads(qp, cfg.n_heads)
+            kh = _split_heads(kp, cfg.n_heads)
+            vh = _split_heads(vp, cfg.n_heads)
+            if cfg.arch == "llama":
+                qh, tape["rope_q"] = L.rope_fwd(qh, self._cos, self._sin)
+                kh, tape["rope_k"] = L.rope_fwd(kh, self._cos, self._sin)
+            att, tape["attn"] = L.causal_attention_fwd(qh, kh, vh)
+            att_m = _merge_heads(att)
+            o, tape["wo"] = L.linear_fwd(att_m, p[pre + "attn.wo"])
+            x = x + o
+
+            h2, tape["n2"] = self._norm_fwd(x, p, pre + "norm2")
+            if cfg.arch == "llama":
+                g, tape["wgate"] = L.linear_fwd(h2, p[pre + "ffn.wgate"])
+                u, tape["wup"] = L.linear_fwd(h2, p[pre + "ffn.wup"])
+                act, tape["silu"] = L.silu_fwd(g)
+                gated = act * u
+                tape["gate_mul"] = (act, u)
+                ff, tape["wdown"] = L.linear_fwd(gated, p[pre + "ffn.wdown"])
+            else:
+                a1, tape["w1"] = L.linear_fwd(h2, p[pre + "ffn.w1"])
+                act, tape["relu"] = L.relu_fwd(a1)
+                ff, tape["w2"] = L.linear_fwd(act, p[pre + "ffn.w2"])
+            x = x + ff
+            tapes.append(tape)
+
+        xf, nf_cache = self._norm_fwd(x, p, "norm_f")
+        logits = xf @ p["embed"].T
+        loss, ce_cache = L.cross_entropy_fwd(logits, targets)
+
+        # ----------------------------- backward -----------------------
+        dlogits = L.cross_entropy_bwd(ce_cache)
+        dxf = dlogits @ p["embed"]
+        grads["embed"] += dlogits.reshape(-1, dlogits.shape[-1]).T @ xf.reshape(
+            -1, xf.shape[-1]
+        )
+        if cfg.arch == "llama":
+            dx, dg = L.rmsnorm_bwd(dxf, nf_cache)
+            grads["norm_f.g"] += dg
+        else:
+            dx, dg, db = L.layernorm_bwd(dxf, nf_cache)
+            grads["norm_f.g"] += dg
+            grads["norm_f.b"] += db
+
+        for i in reversed(range(cfg.n_layers)):
+            pre = f"layers.{i}."
+            tape = tapes[i]
+            # FFN branch
+            if cfg.arch == "llama":
+                dgated, dwdown = L.linear_bwd(dx, tape["wdown"])
+                grads[pre + "ffn.wdown"] += dwdown
+                act, u = tape["gate_mul"]
+                dact = dgated * u
+                du = dgated * act
+                dg_ = L.silu_bwd(dact, tape["silu"])
+                dh2a, dwgate = L.linear_bwd(dg_, tape["wgate"])
+                dh2b, dwup = L.linear_bwd(du, tape["wup"])
+                grads[pre + "ffn.wgate"] += dwgate
+                grads[pre + "ffn.wup"] += dwup
+                dh2 = dh2a + dh2b
+                dxn, dgain = L.rmsnorm_bwd(dh2, tape["n2"])
+                grads[pre + "norm2.g"] += dgain
+            else:
+                dact, dw2 = L.linear_bwd(dx, tape["w2"])
+                grads[pre + "ffn.w2"] += dw2
+                da1 = L.relu_bwd(dact, tape["relu"])
+                dh2, dw1 = L.linear_bwd(da1, tape["w1"])
+                grads[pre + "ffn.w1"] += dw1
+                dxn, dgain, dbias = L.layernorm_bwd(dh2, tape["n2"])
+                grads[pre + "norm2.g"] += dgain
+                grads[pre + "norm2.b"] += dbias
+            dx = dx + dxn
+
+            # Attention branch
+            datt_m, dwo = L.linear_bwd(dx, tape["wo"])
+            grads[pre + "attn.wo"] += dwo
+            b, t, _ = datt_m.shape
+            datt = _split_heads(datt_m, cfg.n_heads)
+            dqh, dkh, dvh = L.causal_attention_bwd(datt, tape["attn"])
+            if cfg.arch == "llama":
+                dqh = L.rope_bwd(dqh, tape["rope_q"])
+                dkh = L.rope_bwd(dkh, tape["rope_k"])
+            dqp = _merge_heads(dqh)
+            dkp = _merge_heads(dkh)
+            dvp = _merge_heads(dvh)
+            dh_q, dwq = L.linear_bwd(dqp, tape["wq"])
+            dh_k, dwk = L.linear_bwd(dkp, tape["wk"])
+            dh_v, dwv = L.linear_bwd(dvp, tape["wv"])
+            grads[pre + "attn.wq"] += dwq
+            grads[pre + "attn.wk"] += dwk
+            grads[pre + "attn.wv"] += dwv
+            dh = dh_q + dh_k + dh_v
+            if cfg.arch == "llama":
+                dxn, dgain = L.rmsnorm_bwd(dh, tape["n1"])
+                grads[pre + "norm1.g"] += dgain
+            else:
+                dxn, dgain, dbias = L.layernorm_bwd(dh, tape["n1"])
+                grads[pre + "norm1.g"] += dgain
+                grads[pre + "norm1.b"] += dbias
+            dx = dx + dxn
+
+        if cfg.arch == "opt":
+            grads["pos_embed"][: ids.shape[1]] += dx.sum(axis=0)
+        grads["embed"] += L.embedding_bwd(dx, emb_cache)
+        return loss, grads

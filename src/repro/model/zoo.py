@@ -1,0 +1,142 @@
+"""Model zoo: the reproduction's LLaMA/OPT stand-in family.
+
+Three tiny models cover both architectures and two sizes, mirroring the
+columns of the paper's Tbl. II.  ``get_model`` trains on first use and
+caches parameters under ``artifacts/`` so every bench sees identical
+weights; training is deterministic given the seeds.
+
+After training, function-preserving outlier channels are injected
+(:mod:`repro.model.outliers`) so quantization sees LLM-like statistics;
+``get_model(..., outliers=False)`` returns the pristine weights.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.corpus import HmmCorpus, InductionCorpus, MixedCorpus
+from repro.model.outliers import inject_group_scale_diversity, inject_outliers
+from repro.model.train import train_lm
+from repro.model.transformer import ModelConfig, TransformerLM
+
+__all__ = ["ZooEntry", "MODEL_ZOO", "get_model", "get_corpus", "default_artifacts_dir"]
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """Architecture plus training recipe for one zoo model."""
+
+    name: str
+    config: ModelConfig
+    steps: int = 800
+    batch_size: int = 8
+    seq_len: int = 128
+    lr: float = 3e-3
+    outlier_scale: float = 16.0
+    outlier_frac: float = 0.05
+    diversity_sigma: float = 0.6
+
+
+_VOCAB = 256
+
+MODEL_ZOO: dict[str, ZooEntry] = {
+    "tinyllama-s": ZooEntry(
+        name="tinyllama-s",
+        config=ModelConfig(
+            vocab_size=_VOCAB, d_model=128, n_heads=4, n_layers=2, d_ff=256,
+            max_seq=512, arch="llama", seed=11,
+        ),
+    ),
+    "tinyllama-m": ZooEntry(
+        name="tinyllama-m",
+        config=ModelConfig(
+            vocab_size=_VOCAB, d_model=160, n_heads=4, n_layers=3, d_ff=320,
+            max_seq=512, arch="llama", seed=12,
+        ),
+        steps=500,
+    ),
+    "tinyopt-s": ZooEntry(
+        name="tinyopt-s",
+        config=ModelConfig(
+            vocab_size=_VOCAB, d_model=128, n_heads=4, n_layers=2, d_ff=512,
+            max_seq=512, arch="opt", seed=13,
+        ),
+    ),
+    # A barely-trained configuration for fast unit tests.
+    "unit-test": ZooEntry(
+        name="unit-test",
+        config=ModelConfig(
+            vocab_size=_VOCAB, d_model=64, n_heads=2, n_layers=2, d_ff=128,
+            max_seq=512, arch="llama", seed=14,
+        ),
+        steps=30,
+        batch_size=4,
+        seq_len=64,
+    ),
+}
+
+
+def default_artifacts_dir() -> str:
+    env = os.environ.get("REPRO_ARTIFACTS")
+    if env:
+        return env
+    return os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "artifacts")
+
+
+def get_corpus(vocab_size: int = _VOCAB) -> MixedCorpus:
+    """The shared synthetic corpus (HMM language + induction mix)."""
+    return MixedCorpus(
+        hmm=HmmCorpus(vocab_size=vocab_size),
+        induction=InductionCorpus(vocab_size=vocab_size),
+    )
+
+
+def get_model(
+    name: str,
+    artifacts_dir: str | None = None,
+    retrain: bool = False,
+    outliers: bool = True,
+    verbose: bool = False,
+) -> tuple[TransformerLM, MixedCorpus]:
+    """Load (training + caching on first use) a zoo model."""
+    if name not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; have {sorted(MODEL_ZOO)}")
+    entry = MODEL_ZOO[name]
+    corpus = get_corpus(entry.config.vocab_size)
+    adir = artifacts_dir or default_artifacts_dir()
+    os.makedirs(adir, exist_ok=True)
+    path = os.path.join(adir, f"{name}.npz")
+
+    model = TransformerLM(entry.config)
+    if os.path.exists(path) and not retrain:
+        data = np.load(path)
+        model.params = {k: data[k] for k in data.files}
+    else:
+        batches = list(
+            corpus.batches(entry.steps, entry.batch_size, entry.seq_len,
+                           seed=entry.config.seed)
+        )
+        report = train_lm(model, batches, lr=entry.lr,
+                          log_every=200 if verbose else 0)
+        if verbose:
+            print(f"{name}: final loss {report.smoothed_final():.4f}")
+        np.savez(path, **model.params)
+
+    if outliers:
+        injected = inject_outliers(
+            model.params,
+            entry.config,
+            scale=entry.outlier_scale,
+            frac=entry.outlier_frac,
+            seed=entry.config.seed,
+        )
+        injected = inject_group_scale_diversity(
+            injected, entry.config, sigma=entry.diversity_sigma,
+            seed=entry.config.seed + 100,
+        )
+        model = TransformerLM(entry.config, injected)
+    return model, corpus

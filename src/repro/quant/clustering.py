@@ -1,0 +1,99 @@
+"""Per-group clustering quantization — the paper's "Ideal" baseline.
+
+GOBO and Mokey quantize by clustering values and storing centroid
+codebooks.  Adapted to group quantization (Sec. III-A), each group of 64
+values gets its own K-means codebook with ``2^bits`` centroids: maximal
+adaptivity, but the codebook costs ``2^bits × 8`` extra bits per group
+(which is why the paper calls 4-bit clustering "effectively 6-bit").
+
+The solver is a vectorised 1-D Lloyd's algorithm with quantile
+initialisation, run simultaneously over all groups.  1-D K-means with
+sorted data converges in a handful of iterations; quantile init makes it
+deterministic, which tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.groups import to_groups, from_groups
+
+__all__ = ["kmeans_1d", "PerGroupClusterQuantizer"]
+
+
+def kmeans_1d(groups: np.ndarray, k: int, iters: int = 12) -> tuple[np.ndarray, np.ndarray]:
+    """Batched 1-D Lloyd's algorithm.
+
+    Parameters
+    ----------
+    groups:
+        ``(n_groups, group_size)`` values.
+    k:
+        Centroids per group.
+    iters:
+        Lloyd iterations (1-D with quantile init converges fast).
+
+    Returns
+    -------
+    centroids:
+        ``(n_groups, k)`` sorted centroids.
+    assignment:
+        ``(n_groups, group_size)`` centroid index per value.
+    """
+    groups = np.asarray(groups, dtype=np.float64)
+    n, g = groups.shape
+    qs = np.linspace(0, 1, k)
+    centroids = np.quantile(groups, qs, axis=1).T  # (n, k)
+
+    for _ in range(iters):
+        # Assign by nearest boundary: boundaries are centroid midpoints.
+        bounds = 0.5 * (centroids[:, 1:] + centroids[:, :-1])  # (n, k-1)
+        idx = np.sum(groups[:, :, None] > bounds[:, None, :], axis=-1)  # (n, g)
+        # Update: mean of members; empty clusters keep their centroid.
+        one_hot = idx[:, :, None] == np.arange(k)[None, None, :]
+        counts = one_hot.sum(axis=1)
+        sums = np.einsum("ng,ngk->nk", groups, one_hot)
+        new_centroids = np.where(counts > 0, sums / np.maximum(counts, 1), centroids)
+        new_centroids = np.sort(new_centroids, axis=1)
+        if np.allclose(new_centroids, centroids, rtol=0, atol=1e-12):
+            centroids = new_centroids
+            break
+        centroids = new_centroids
+
+    bounds = 0.5 * (centroids[:, 1:] + centroids[:, :-1])
+    idx = np.sum(groups[:, :, None] > bounds[:, None, :], axis=-1)
+    return centroids, idx
+
+
+class PerGroupClusterQuantizer:
+    """The accuracy-optimal (and storage-expensive) adaptive method.
+
+    ``chunk`` bounds the number of groups clustered per batch to cap the
+    ``n × g × k`` intermediate.
+    """
+
+    def __init__(self, bits: int = 4, group_size: int = 64, iters: int = 12,
+                 chunk: int = 8192):
+        self.bits = bits
+        self.k = 2**bits
+        self.group_size = group_size
+        self.iters = iters
+        self.chunk = chunk
+
+    def qdq(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Replace every value with its group's nearest centroid."""
+        x = np.asarray(x, dtype=np.float64)
+        view = to_groups(x, self.group_size, axis=axis)
+        flat = view.groups.reshape(-1, view.group_size)
+        out = np.empty_like(flat)
+        for start in range(0, flat.shape[0], self.chunk):
+            block = flat[start : start + self.chunk]
+            centroids, idx = kmeans_1d(block, self.k, self.iters)
+            out[start : start + self.chunk] = np.take_along_axis(
+                centroids, idx, axis=1
+            )
+        return from_groups(view, out.reshape(view.groups.shape))
+
+    def codebook_bits_per_element(self) -> float:
+        """Metadata overhead: k centroids × 8 bits, amortised (Sec. III-B)."""
+        return (self.k * 8) / self.group_size

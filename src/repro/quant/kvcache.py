@@ -1,0 +1,319 @@
+"""Real-time KV-cache quantization (paper Sec. V-C, Fig. 8).
+
+The K and V caches are quantized along their *inner* (matrix-product)
+dimensions so scaling factors can be pulled out of the accumulation:
+
+* **K cache — spatial.**  QKᵀ contracts over ``d_head``, and a decode
+  step produces a complete K vector per head, so each new vector is
+  quantized to 4-bit MANT immediately, groups along ``d_head``.
+* **V cache — temporal.**  softmax(·)·V contracts over the sequence, so
+  a V group spans ``window`` *decode iterations* of one channel.  The
+  two-phase scheme stages incoming vectors in INT8 (channel scales fixed
+  at prefill), accumulates Σv, Σv² and max per channel streaming, and
+  re-quantizes the staged window to 4-bit MANT once full — picking ``a``
+  from the accumulated variance (Eq. 7).
+
+All caches here are *fake-quantized*: they store dequantized float
+values of exactly the precision the hardware would see, which is what
+accuracy experiments need.  The cycle-level behaviour of the same scheme
+is modelled in :mod:`repro.hardware.rqu`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.codec import MantCodec, INT_A
+from repro.core.groups import to_groups, from_groups
+from repro.core.selection import VarianceSelector
+from repro.datatypes.int_type import IntType
+from repro.quant.config import KVCacheConfig, QuantConfig
+
+__all__ = [
+    "KVCache",
+    "FP16KVCache",
+    "IntKVCache",
+    "MantKVCache",
+    "make_kv_cache",
+]
+
+
+class KVCache:
+    """Interface the attention layer drives.
+
+    Shapes: ``prefill`` takes ``(n_heads, seq, d_head)``; ``append``
+    takes one token's ``(n_heads, d_head)``.  ``keys()``/``values()``
+    return the effective (quantization-degraded) cache contents.
+    """
+
+    def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def values(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def seq_len(self) -> int:
+        raise NotImplementedError
+
+
+class FP16KVCache(KVCache):
+    """No quantization — the baselines' 16-bit attention path."""
+
+    def __init__(self):
+        self._k: list[np.ndarray] = []
+        self._v: list[np.ndarray] = []
+
+    def prefill(self, k, v):
+        self._k = [np.asarray(k, dtype=np.float64)]
+        self._v = [np.asarray(v, dtype=np.float64)]
+
+    def append(self, k_t, v_t):
+        self._k.append(np.asarray(k_t, dtype=np.float64)[:, None, :])
+        self._v.append(np.asarray(v_t, dtype=np.float64)[:, None, :])
+
+    def keys(self):
+        return np.concatenate(self._k, axis=1) if self._k else np.empty((0, 0, 0))
+
+    def values(self):
+        return np.concatenate(self._v, axis=1) if self._v else np.empty((0, 0, 0))
+
+    @property
+    def seq_len(self):
+        return sum(x.shape[1] for x in self._k)
+
+
+def _int_qdq_lastaxis(x: np.ndarray, bits: int, group_size: int) -> np.ndarray:
+    """Group-wise symmetric INT fake-quant along the last axis."""
+    itype = IntType(bits)
+    view = to_groups(x, group_size, axis=-1)
+    amax = np.max(np.abs(view.groups), axis=-1, keepdims=True)
+    amax = np.where(amax <= 0, itype.qmax, amax)
+    scale = (amax / itype.qmax).astype(np.float16).astype(np.float64)
+    q = itype.round_clip(view.groups / scale)
+    return from_groups(view, q * scale)
+
+
+class IntKVCache(KVCache):
+    """Baseline INT-quantized cache: per-token groups along ``d_head``.
+
+    The straightforward real-time scheme an INT accelerator would use —
+    no temporal windows, no type adaptation.  Used for Tbl. III's
+    "INT4" row.
+    """
+
+    def __init__(self, bits: int = 4, group_size: int = 64):
+        self.bits = bits
+        self.group_size = group_size
+        self._k: list[np.ndarray] = []
+        self._v: list[np.ndarray] = []
+
+    def _q(self, x: np.ndarray) -> np.ndarray:
+        g = min(self.group_size, x.shape[-1])
+        return _int_qdq_lastaxis(x, self.bits, g)
+
+    def prefill(self, k, v):
+        self._k = [self._q(np.asarray(k, dtype=np.float64))]
+        self._v = [self._q(np.asarray(v, dtype=np.float64))]
+
+    def append(self, k_t, v_t):
+        self._k.append(self._q(np.asarray(k_t, dtype=np.float64))[:, None, :])
+        self._v.append(self._q(np.asarray(v_t, dtype=np.float64))[:, None, :])
+
+    def keys(self):
+        return np.concatenate(self._k, axis=1)
+
+    def values(self):
+        return np.concatenate(self._v, axis=1)
+
+    @property
+    def seq_len(self):
+        return sum(x.shape[1] for x in self._k)
+
+
+class MantKVCache(KVCache):
+    """MANT real-time KV cache: spatial K + two-phase temporal V.
+
+    Parameters
+    ----------
+    selector:
+        Fitted :class:`VarianceSelector` (falls back to its theoretical
+        ranges when unfitted).
+    bits, group_size:
+        MANT code width and group length (4 / 64 in the paper).
+    window:
+        V-cache process window; the paper sets it to the group size.
+    """
+
+    def __init__(
+        self,
+        selector: VarianceSelector | None = None,
+        bits: int = 4,
+        group_size: int = 64,
+        window: int | None = None,
+        staging_bits: int = 8,
+    ):
+        self.bits = bits
+        self.group_size = group_size
+        self.window = window or group_size
+        self.staging_bits = staging_bits
+        self.selector = selector or VarianceSelector(bits=bits, group_size=group_size)
+        self._codec = MantCodec(bits=bits, group_size=group_size)
+        # K state: list of fake-quantized chunks (heads, t, d_head).
+        self._k: list[np.ndarray] = []
+        # V state: finalized MANT windows + INT8 staging.
+        self._v_final: list[np.ndarray] = []
+        self._v_staging: list[np.ndarray] = []   # each (heads, d_head)
+        # Streaming accumulators over the current window, per channel.
+        self._acc_sum: np.ndarray | None = None      # (heads, d_head)
+        self._acc_sqsum: np.ndarray | None = None
+        self._acc_max: np.ndarray | None = None
+        # Channel-wise INT8 staging scales, fixed at prefill (Fig. 8).
+        self._stage_scale: np.ndarray | None = None  # (heads, d_head)
+        self._int8 = IntType(staging_bits)
+
+    # ------------------------------------------------------------------
+    # Shared: variance-selected MANT fake-quant along the last axis
+    # ------------------------------------------------------------------
+    def _mant_qdq_lastaxis(self, x: np.ndarray) -> np.ndarray:
+        g = min(self.group_size, x.shape[-1])
+        codec = self._codec if g == self.group_size else MantCodec(self.bits, g)
+        flat = x.reshape(-1, x.shape[-1])
+        a = self.selector.select_batch(to_groups(flat, g, axis=-1).groups)
+        return codec.qdq(flat, a).reshape(x.shape)
+
+    # ------------------------------------------------------------------
+    # K cache — spatial quantization
+    # ------------------------------------------------------------------
+    def _quantize_k(self, k: np.ndarray) -> np.ndarray:
+        return self._mant_qdq_lastaxis(k)
+
+    # ------------------------------------------------------------------
+    # V cache — temporal two-phase quantization
+    # ------------------------------------------------------------------
+    def _reset_window(self, heads: int, d_head: int) -> None:
+        self._acc_sum = np.zeros((heads, d_head))
+        self._acc_sqsum = np.zeros((heads, d_head))
+        self._acc_max = np.zeros((heads, d_head))
+
+    def _finalize_window(self) -> None:
+        """Phase 2 of Fig. 8: staged INT8 window → 4-bit MANT."""
+        staged = np.stack(self._v_staging, axis=1)   # (heads, window, d_head)
+        heads, t, d_head = staged.shape
+        # Group = one channel across the window (the V inner dimension).
+        per_channel = np.moveaxis(staged, 1, -1)     # (heads, d_head, t)
+        n = float(t)
+        mean = self._acc_sum / n
+        var = self._acc_sqsum / n - mean * mean
+        amax = np.where(self._acc_max <= 0, 1.0, self._acc_max)
+        norm_var = np.clip(var, 0.0, None) / (amax * amax)
+        a_sel = np.asarray(self.selector._sorted_a)[
+            np.searchsorted(self.selector._thresholds, norm_var)
+        ]                                             # (heads, d_head)
+        codec = self._codec if t == self.group_size else MantCodec(self.bits, t)
+        flat = per_channel.reshape(-1, t)
+        out = codec.qdq(flat, a_sel.reshape(-1, 1))
+        final = np.moveaxis(out.reshape(heads, d_head, t), -1, 1)
+        self._v_final.append(final)
+        self._v_staging = []
+        self._reset_window(heads, d_head)
+
+    # ------------------------------------------------------------------
+    def prefill(self, k, v):
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        heads, seq, d_head = v.shape
+        self._k = [self._quantize_k(k)]
+
+        # Channel scales for the decode-stage INT8 staging (Fig. 8).
+        ch_max = np.max(np.abs(v), axis=1)            # (heads, d_head)
+        ch_max = np.where(ch_max <= 0, 1.0, ch_max)
+        self._stage_scale = (ch_max / self._int8.qmax).astype(np.float16).astype(np.float64)
+
+        # Prefill V: full windows quantize straight to MANT (both inner
+        # dimension data are available), remainder enters staging.
+        full = (seq // self.window) * self.window
+        self._v_final = []
+        self._v_staging = []
+        self._reset_window(heads, d_head)
+        if full:
+            body = v[:, :full, :]
+            windows = body.reshape(heads, full // self.window, self.window, d_head)
+            per_channel = np.moveaxis(windows, 2, -1)  # (heads, W, d_head, window)
+            flat = per_channel.reshape(-1, self.window)
+            a = self.selector.select_batch(flat)
+            codec = (
+                self._codec
+                if self.window == self.group_size
+                else MantCodec(self.bits, self.window)
+            )
+            out = codec.qdq(flat, a[:, None])
+            body_q = np.moveaxis(
+                out.reshape(heads, full // self.window, d_head, self.window), -1, 2
+            ).reshape(heads, full, d_head)
+            self._v_final.append(body_q)
+        for t in range(full, seq):
+            self._stage_append(v[:, t, :])
+
+    def _stage_append(self, v_t: np.ndarray) -> None:
+        q = self._int8.round_clip(v_t / self._stage_scale)
+        self._v_staging.append(q * self._stage_scale)
+        self._acc_sum += v_t
+        self._acc_sqsum += v_t * v_t
+        self._acc_max = np.maximum(self._acc_max, np.abs(v_t))
+        if len(self._v_staging) == self.window:
+            self._finalize_window()
+
+    def append(self, k_t, v_t):
+        k_t = np.asarray(k_t, dtype=np.float64)
+        v_t = np.asarray(v_t, dtype=np.float64)
+        if self._stage_scale is None:
+            # Decode without prefill: bootstrap scales from this vector.
+            heads, d_head = v_t.shape
+            ch_max = np.where(np.abs(v_t) <= 0, 1.0, np.abs(v_t))
+            self._stage_scale = ch_max / self._int8.qmax
+            self._reset_window(heads, d_head)
+        self._k.append(self._quantize_k(k_t)[:, None, :])
+        self._stage_append(v_t)
+
+    # ------------------------------------------------------------------
+    def keys(self):
+        return np.concatenate(self._k, axis=1)
+
+    def values(self):
+        parts = list(self._v_final)
+        if self._v_staging:
+            parts.append(np.stack(self._v_staging, axis=1))
+        return np.concatenate(parts, axis=1)
+
+    @property
+    def seq_len(self):
+        n = sum(x.shape[1] for x in self._k)
+        return n
+
+    @property
+    def staging_fill(self) -> int:
+        """Tokens currently held at INT8 (for tests/analysis)."""
+        return len(self._v_staging)
+
+
+def make_kv_cache(config: KVCacheConfig, selector: VarianceSelector | None = None) -> KVCache:
+    """Instantiate the cache implementation a config describes."""
+    if config.is_fp16:
+        return FP16KVCache()
+    if config.key.method == "mant":
+        return MantKVCache(
+            selector=selector,
+            bits=config.key.bits,
+            group_size=config.key.group_size,
+            window=config.window,
+        )
+    if config.key.method == "int":
+        return IntKVCache(bits=config.key.bits, group_size=config.key.group_size)
+    raise ValueError(f"no KV cache implementation for method {config.key.method!r}")

@@ -1,0 +1,62 @@
+"""The OliVe baseline (ISCA'23): outlier-victim pair quantization.
+
+OliVe keeps a plain low-bit grid for the bulk of values but rescues
+outliers by sacrificing their pair neighbour (the victim), whose slot
+stores the outlier's extra bits in ``abfloat``.  Good at tensor/channel
+granularity where outliers dominate the scale; under small groups the
+sacrificed victims start to cost more than the protected outliers gain
+(paper Tbl. V: OliVe gets *worse* from G-128 to G-32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.groups import to_groups, from_groups
+from repro.datatypes.abfloat import OutlierVictimCodec
+from repro.datatypes.int_type import IntType
+from repro.quant.config import Granularity
+
+__all__ = ["OliveQuantizer"]
+
+
+class OliveQuantizer:
+    """OliVe fake quantization.
+
+    ``outlier_sigma`` is the outlier threshold in standard deviations of
+    the quantization unit.  The normal (inlier) type is symmetric INT at
+    ``bits``; outliers use 2x-width abfloat via the victim's slot.
+    """
+
+    def __init__(
+        self,
+        bits: int = 4,
+        granularity: Granularity = Granularity.CHANNEL,
+        group_size: int = 64,
+        outlier_sigma: float = 3.5,
+    ):
+        self.bits = bits
+        self.granularity = granularity
+        self.group_size = group_size
+        self.codec = OutlierVictimCodec(IntType(bits), outlier_sigma)
+
+    def _qdq_rows(self, rows: np.ndarray) -> np.ndarray:
+        out = np.empty_like(rows)
+        for i in range(rows.shape[0]):
+            out[i] = self.codec.qdq(rows[i])
+        return out
+
+    def qdq(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Fake-quantize along ``axis`` with outlier-victim pairs."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.granularity is Granularity.TENSOR:
+            return self.codec.qdq(x.ravel()).reshape(x.shape)
+        if self.granularity is Granularity.CHANNEL:
+            moved = np.moveaxis(x, axis, -1)
+            flat = moved.reshape(-1, moved.shape[-1])
+            out = self._qdq_rows(flat).reshape(moved.shape)
+            return np.moveaxis(out, -1, axis)
+        view = to_groups(x, self.group_size, axis=axis)
+        flat = view.groups.reshape(-1, view.group_size)
+        out = self._qdq_rows(flat).reshape(view.groups.shape)
+        return from_groups(view, out)

@@ -1,0 +1,74 @@
+"""The Tender baseline (ISCA'24): tensor decomposition with 2^k scales.
+
+Tender splits activation channels into chunks by magnitude; within a
+chunk, channel groups share scaling factors that are powers of two of a
+base scale, so "requantization" across groups is a shift in the
+accumulator instead of a multiply.  Reproduced at the accuracy level:
+
+1. rank channels by absmax,
+2. partition into ``n_chunks`` contiguous (in rank order) chunks,
+3. each chunk's scale is the base scale (from the largest chunk)
+   divided by ``2^k`` with ``k`` chosen to fit the chunk's absmax,
+4. symmetric INT quantization per chunk.
+
+This captures Tender's accuracy behaviour: outlier channels no longer
+stretch the scale of everyone else, but inside a chunk the resolution is
+still power-of-two-coupled to the global base, which is why 4-bit Tender
+beats ANT/OliVe yet trails true group-wise methods (paper Tbl. II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.int_type import IntType
+
+__all__ = ["TenderQuantizer"]
+
+
+class TenderQuantizer:
+    """Tender-style chunked quantization along the channel axis."""
+
+    def __init__(self, bits: int = 4, n_chunks: int = 16, fp16_scales: bool = True):
+        self.bits = bits
+        self.n_chunks = n_chunks
+        self.itype = IntType(bits)
+        self.fp16_scales = fp16_scales
+
+    def qdq(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Fake-quantize with rank-ordered chunks of channels.
+
+        ``axis`` indexes the channel dimension being decomposed.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        moved = np.moveaxis(x, axis, -1)
+        flat = moved.reshape(-1, moved.shape[-1])
+        n_ch = flat.shape[-1]
+
+        ch_max = np.max(np.abs(flat), axis=0)
+        order = np.argsort(ch_max)[::-1]          # descending magnitude
+        chunks = np.array_split(order, self.n_chunks)
+
+        base = float(ch_max[order[0]]) if n_ch else 0.0
+        if base <= 0:
+            return x.copy()
+        base_scale = base / self.itype.qmax
+        if self.fp16_scales:
+            base_scale = float(np.float16(base_scale))
+
+        out = np.empty_like(flat)
+        for chunk in chunks:
+            if chunk.size == 0:
+                continue
+            cmax = float(np.max(ch_max[chunk]))
+            if cmax <= 0:
+                out[:, chunk] = 0.0
+                continue
+            # Largest power-of-two downshift that still covers cmax:
+            # scale_chunk = base_scale / 2^k with cmax <= qmax * scale_chunk.
+            k = int(np.floor(np.log2(base / max(cmax, 1e-12))))
+            k = max(k, 0)
+            scale = base_scale / (2.0**k)
+            q = self.itype.round_clip(flat[:, chunk] / scale)
+            out[:, chunk] = q * scale
+        return np.moveaxis(out.reshape(moved.shape), -1, axis)

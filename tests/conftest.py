@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.model.zoo import get_model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def unit_model():
+    """A briefly-trained tiny model, cached in artifacts/ across runs."""
+    model, corpus = get_model("unit-test")
+    return model, corpus
+
+
+@pytest.fixture(scope="session")
+def unit_model_plain():
+    """Same model without outlier injection."""
+    model, corpus = get_model("unit-test", outliers=False)
+    return model, corpus

@@ -1,0 +1,82 @@
+"""Tests for distribution analysis and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    cdf_curves,
+    diversity,
+    granularity_report,
+    ks_distance,
+)
+from repro.analysis.features import FEATURE_TABLE, feature_rows
+from repro.analysis.reporting import fmt, render_series, render_table
+
+
+class TestCdf:
+    def test_cdf_monotone(self, rng):
+        grid, curves = cdf_curves([rng.normal(size=500)])
+        assert np.all(np.diff(curves[0]) >= 0)
+        assert curves[0][-1] == pytest.approx(1.0)
+
+    def test_ks_identical_zero(self, rng):
+        x = rng.normal(size=300)
+        _, curves = cdf_curves([x, x.copy()])
+        assert ks_distance(curves[0], curves[1]) == 0.0
+
+    def test_ks_different_positive(self, rng):
+        _, curves = cdf_curves([rng.normal(size=300), rng.uniform(-1, 1, 300)])
+        assert ks_distance(curves[0], curves[1]) > 0.05
+
+
+class TestDiversity:
+    def test_identical_units_zero(self, rng):
+        x = rng.normal(size=100)
+        assert diversity([x, x.copy(), x.copy()]) == 0.0
+
+    def test_group_diversity_exceeds_tensor(self, rng):
+        # The paper's Fig. 3 finding, reconstructed synthetically:
+        # tensors mix group shapes (so they look alike); groups differ.
+        def make_tensor():
+            rows = []
+            for i in range(32):
+                if i % 2 == 0:
+                    rows.append(rng.uniform(-1, 1, size=128))
+                else:
+                    rows.append(rng.laplace(scale=0.05, size=128))
+            return np.stack(rows)
+
+        tensors = {f"t{i}": make_tensor() for i in range(8)}
+        rep = granularity_report(tensors, group_size=64, n_units=12)
+        assert rep["group"] > rep["tensor"]
+
+    def test_single_unit_zero(self, rng):
+        assert diversity([rng.normal(size=50)]) == 0.0
+
+
+class TestReporting:
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt(1.234) == "1.23"
+        assert fmt(float("nan")) == "nan"
+        assert fmt("x") == "x"
+
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [3, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series(self):
+        s = render_series("mant", [2048, 8192], [1.0, 2.0])
+        assert "2048=1.00" in s
+
+
+class TestFeatures:
+    def test_rows_match_architectures(self):
+        rows = feature_rows()
+        assert len(rows) == len(FEATURE_TABLE) == 6
+        assert rows[-1][0] == "MANT"
+        # MANT's claims in Tbl. I: computes on INT, high adaptivity.
+        assert rows[-1][3] == "INT" and rows[-1][-1] == "High"

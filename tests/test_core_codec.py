@@ -1,0 +1,116 @@
+"""Tests for the group-wise MANT codec (paper Eq. 4, Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import INT_A, MantCodec, MantEncoded
+from repro.core.mant import MantGrid
+
+
+def uniform_a(rows, n_groups, a=17.0):
+    return np.full((rows, n_groups), a)
+
+
+class TestEncodeDecode:
+    def test_fig7_worked_example(self):
+        # Paper Fig. 7: weights [0.33, 0.54, -0.2, 0.97] with a = 17.
+        # s_W = 0.97 / 247; scaled = [84.03, 137.51, -50.93, 247.01];
+        # nearest grid points = [84, 117, -59, 247] = mags [4, 5, 3, 7].
+        codec = MantCodec(bits=4, group_size=4, fp16_scales=False)
+        w = np.array([[0.33, 0.54, -0.2, 0.97]])
+        enc = codec.encode(w, uniform_a(1, 1))
+        assert list(enc.magnitude[0, 0]) == [4, 5, 3, 7]
+        assert list(enc.sign[0, 0]) == [1, 1, -1, 1]
+        assert enc.scale[0, 0] == pytest.approx(0.97 / 247)
+
+    def test_roundtrip_error_bounded(self, rng):
+        codec = MantCodec(group_size=64, fp16_scales=False)
+        w = rng.normal(size=(8, 128))
+        a = uniform_a(8, 2, 60.0)
+        w_hat = codec.qdq(w, a)
+        # Error bounded by half the largest normalised gap times absmax.
+        grid = MantGrid(60)
+        gap = np.max(np.diff(grid.grid)) / grid.grid_max
+        amax = np.max(np.abs(w))
+        assert np.max(np.abs(w - w_hat)) <= gap * amax / 2 + 1e-9
+
+    def test_int_groups_decode_on_int_grid(self, rng):
+        codec = MantCodec(group_size=32, fp16_scales=False)
+        w = rng.normal(size=(2, 32))
+        a = np.full((2, 1), INT_A)
+        enc = codec.encode(w, a)
+        deq = codec.decode(enc)
+        scaled = deq / enc.scale[..., None].reshape(2, 1)
+        # Every dequantized value / scale must be an integer in [-7, 7].
+        assert np.allclose(scaled, np.rint(scaled))
+        assert np.max(np.abs(scaled)) <= 7
+
+    def test_qdq_idempotent(self, rng):
+        codec = MantCodec(group_size=64, fp16_scales=False)
+        w = rng.normal(size=(4, 128))
+        a = uniform_a(4, 2, 17.0)
+        once = codec.qdq(w, a)
+        twice = codec.qdq(once, a)
+        assert np.allclose(once, twice)
+
+    def test_mixed_a_per_group(self, rng):
+        codec = MantCodec(group_size=16, fp16_scales=False)
+        w = rng.normal(size=(1, 32))
+        a = np.array([[0.0, INT_A]])
+        enc = codec.encode(w, a)
+        assert enc.a_coeff[0, 0] == 0.0 and enc.a_coeff[0, 1] == INT_A
+        deq = codec.decode(enc)
+        assert deq.shape == (1, 32)
+
+    def test_padding_handled(self, rng):
+        codec = MantCodec(group_size=64, fp16_scales=False)
+        w = rng.normal(size=(2, 100))
+        a = uniform_a(2, 2, 17.0)
+        w_hat = codec.qdq(w, a)
+        assert w_hat.shape == (2, 100)
+
+    def test_fp16_scale_rounding(self, rng):
+        codec = MantCodec(group_size=64, fp16_scales=True)
+        w = rng.normal(size=(2, 64))
+        enc = codec.encode(w, uniform_a(2, 1))
+        assert np.array_equal(
+            enc.scale, enc.scale.astype(np.float16).astype(np.float64)
+        )
+
+    def test_shape_validation(self):
+        codec = MantCodec(group_size=64)
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((2, 64, 3)), np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((2, 64)), np.zeros((3, 1)))
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            MantCodec(bits=8)
+
+
+class TestMetadataAccounting:
+    def test_bits_per_element(self, rng):
+        codec = MantCodec(group_size=64, fp16_scales=False)
+        enc = codec.encode(rng.normal(size=(1, 64)), uniform_a(1, 1))
+        assert enc.bits_per_element() == pytest.approx(4 + 24 / 64)
+        assert enc.metadata_bits_per_element() == pytest.approx(0.375)
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(8, 80),
+    st.sampled_from([0.0, 5.0, 17.0, 60.0, 120.0, float(INT_A)]),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_never_increases_groupwise_absmax(rows, cols, a):
+    rng = np.random.default_rng(int(rows * 997 + cols * 31 + a))
+    codec = MantCodec(group_size=16, fp16_scales=False)
+    w = rng.normal(size=(rows, cols))
+    n_groups = -(-cols // 16)
+    enc = codec.encode(w, np.full((rows, n_groups), a))
+    w_hat = codec.decode(enc)
+    assert w_hat.shape == w.shape
+    # Absmax scaling can never produce values beyond the group max.
+    assert np.max(np.abs(w_hat)) <= np.max(np.abs(w)) * (1 + 1e-3) + 1e-9

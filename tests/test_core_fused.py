@@ -1,0 +1,111 @@
+"""Tests for decode-compute fusion (paper Eq. 5).
+
+The headline invariant: the fused integer kernel (MAC lane + SAC lane)
+produces *exactly* the same result as dequantize-then-matmul.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import INT_A, MantCodec
+from repro.core.fused import (
+    fused_group_gemm,
+    integer_partial_sums,
+    quantize_activations_int8,
+    reference_group_gemm,
+)
+from repro.core.selection import MseSearchSelector
+
+
+def make_encoded(rng, n=8, k=128, group=64, a_values=(0.0, 17.0, 60.0, INT_A)):
+    codec = MantCodec(group_size=group, fp16_scales=False)
+    w = rng.normal(size=(n, k))
+    a = rng.choice(a_values, size=(n, k // group))
+    return codec.encode(w, a)
+
+
+class TestActivationQuantization:
+    def test_codes_in_int8_range(self, rng):
+        xq = quantize_activations_int8(rng.normal(size=(4, 128)) * 10, 64)
+        assert xq.codes.max() <= 127 and xq.codes.min() >= -127
+
+    def test_dequantize_shape(self, rng):
+        x = rng.normal(size=(4, 100))
+        xq = quantize_activations_int8(x, 64)
+        assert xq.dequantize().shape == x.shape
+
+    def test_dequantize_error_small(self, rng):
+        x = rng.normal(size=(4, 128))
+        xq = quantize_activations_int8(x, 64, fp16_scales=False)
+        err = np.abs(xq.dequantize() - x)
+        assert np.max(err) <= np.max(np.abs(x)) / 127 + 1e-9
+
+
+class TestFusedEquality:
+    def test_fused_equals_reference(self, rng):
+        enc = make_encoded(rng)
+        xq = quantize_activations_int8(rng.normal(size=(4, 128)), 64)
+        fused = fused_group_gemm(xq, enc)
+        ref = reference_group_gemm(xq, enc)
+        np.testing.assert_allclose(fused, ref, rtol=1e-10, atol=1e-10)
+
+    def test_fused_with_real_selection(self, rng):
+        sel = MseSearchSelector(group_size=64)
+        w = rng.normal(size=(16, 256))
+        enc = sel.select_and_encode(w)
+        xq = quantize_activations_int8(rng.normal(size=(3, 256)), 64)
+        np.testing.assert_allclose(
+            fused_group_gemm(xq, enc), reference_group_gemm(xq, enc),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    def test_partial_sums_are_integers(self, rng):
+        enc = make_encoded(rng)
+        xq = quantize_activations_int8(rng.normal(size=(2, 128)), 64)
+        p1, p2 = integer_partial_sums(xq, enc)
+        assert p1.dtype == np.int64 and p2.dtype == np.int64
+
+    def test_partial_sum_bounds(self, rng):
+        # |psum2| <= group * 127 * 128 — no int64 overflow headroom issue.
+        enc = make_encoded(rng)
+        xq = quantize_activations_int8(rng.normal(size=(2, 128)) * 100, 64)
+        _, p2 = integer_partial_sums(xq, enc)
+        assert np.max(np.abs(p2)) <= 64 * 127 * 128
+
+    def test_group_size_mismatch_rejected(self, rng):
+        enc = make_encoded(rng, group=64)
+        xq = quantize_activations_int8(rng.normal(size=(2, 128)), 32)
+        with pytest.raises(ValueError):
+            fused_group_gemm(xq, enc)
+
+    def test_k_mismatch_rejected(self, rng):
+        enc = make_encoded(rng, k=128)
+        xq = quantize_activations_int8(rng.normal(size=(2, 192)), 64)
+        with pytest.raises(ValueError):
+            fused_group_gemm(xq, enc)
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(1, 6),
+    st.integers(1, 3),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_fused_reference_property(m, n, n_groups, seed):
+    """Eq. 5 holds for any shapes and any per-group coefficient mix."""
+    rng = np.random.default_rng(seed)
+    group = 16
+    k = n_groups * group
+    codec = MantCodec(group_size=group, fp16_scales=False)
+    w = rng.normal(size=(n, k)) * rng.uniform(0.1, 10)
+    a = rng.choice([0.0, 5.0, 17.0, 40.0, 90.0, 120.0, INT_A], size=(n, n_groups))
+    enc = codec.encode(w, a)
+    xq = quantize_activations_int8(rng.normal(size=(m, k)), group, fp16_scales=False)
+    np.testing.assert_allclose(
+        fused_group_gemm(xq, enc),
+        reference_group_gemm(xq, enc),
+        rtol=1e-9,
+        atol=1e-9,
+    )

@@ -1,0 +1,68 @@
+"""Tests for group partitioning utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.groups import from_groups, num_groups, to_groups
+
+
+class TestNumGroups:
+    def test_exact_division(self):
+        assert num_groups(128, 64) == 2
+
+    def test_ceiling(self):
+        assert num_groups(129, 64) == 3
+
+    def test_single(self):
+        assert num_groups(1, 64) == 1
+
+
+class TestToFromGroups:
+    def test_roundtrip_exact(self, rng):
+        x = rng.normal(size=(3, 128))
+        view = to_groups(x, 64)
+        assert view.groups.shape == (3, 2, 64)
+        assert np.array_equal(from_groups(view), x)
+
+    def test_roundtrip_with_padding(self, rng):
+        x = rng.normal(size=(2, 100))
+        view = to_groups(x, 64)
+        assert view.pad == 28
+        assert view.groups.shape == (2, 2, 64)
+        assert np.array_equal(from_groups(view), x)
+
+    def test_padding_is_zero(self, rng):
+        x = rng.normal(size=(2, 100))
+        view = to_groups(x, 64)
+        assert np.all(view.groups[..., 1, 36:] == 0)
+
+    def test_axis_zero(self, rng):
+        x = rng.normal(size=(6, 5))
+        view = to_groups(x, 3, axis=0)
+        assert view.groups.shape == (5, 2, 3)
+        assert np.array_equal(from_groups(view), x)
+
+    def test_substituted_groups(self, rng):
+        x = rng.normal(size=(2, 8))
+        view = to_groups(x, 4)
+        doubled = from_groups(view, view.groups * 2)
+        assert np.allclose(doubled, x * 2)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            to_groups(np.zeros(4), 0)
+
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 100),
+        st.integers(1, 70),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, rows, length, group):
+        rng = np.random.default_rng(rows * 1000 + length * 7 + group)
+        x = rng.normal(size=(rows, length))
+        view = to_groups(x, group)
+        assert np.array_equal(from_groups(view), x)
+        assert view.groups.shape[-1] == group
+        assert view.groups.shape[-2] == num_groups(length, group)

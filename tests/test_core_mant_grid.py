@@ -1,0 +1,104 @@
+"""Tests for the MANT grid (paper Eq. 2, Fig. 5-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mant import (
+    MANT_A_MAX,
+    MANT_WEIGHT_A_SET,
+    MantGrid,
+    approximate_datatype,
+    mant_positive_grid,
+)
+from repro.datatypes import fp4_e2m1, nf4, pot4
+
+
+class TestGridConstruction:
+    def test_fig7_values_at_a17(self):
+        # The paper's Fig. 7 worked example: a = 17 gives the positive
+        # grid {1, 19, 38, 59, 84, 117, 166, 247}.
+        g = MantGrid(17)
+        assert list(g.positive_grid) == [1, 19, 38, 59, 84, 117, 166, 247]
+
+    def test_a0_equals_pot(self):
+        g = MantGrid(0)
+        pos = pot4.grid[pot4.grid > 0]
+        assert np.allclose(g.positive_grid, pos)
+
+    def test_grid_has_no_zero(self):
+        assert not MantGrid(17).has_zero
+
+    def test_grid_is_symmetric(self):
+        g = MantGrid(40).grid
+        assert np.allclose(g, -g[::-1])
+
+    def test_positive_grid_strictly_increasing(self):
+        for a in MANT_WEIGHT_A_SET:
+            assert np.all(np.diff(MantGrid(a).positive_grid) > 0)
+
+    def test_grid_max(self):
+        # 7a + 2^7 (Sec. IV-A normalisation constant)
+        assert MantGrid(17).grid_max == 7 * 17 + 128
+
+    def test_a_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mant_positive_grid(-1)
+        with pytest.raises(ValueError):
+            mant_positive_grid(MANT_A_MAX + 1)
+
+    @given(st.integers(0, MANT_A_MAX), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=50, deadline=None)
+    def test_level_count(self, a, bits):
+        g = MantGrid(float(a), bits)
+        assert g.num_levels == 2**bits
+
+
+class TestSignMagnitudeCodec:
+    def test_roundtrip(self, rng):
+        g = MantGrid(30)
+        x = rng.uniform(-g.grid_max, g.grid_max, size=500)
+        s, m = g.encode_sign_magnitude(x)
+        back = g.decode_sign_magnitude(s, m)
+        # Every decoded value must be a grid point and the nearest one.
+        ref = g.decode(g.encode(x))
+        assert np.allclose(back, ref)
+
+    def test_magnitude_range(self, rng):
+        g = MantGrid(17)
+        _, m = g.encode_sign_magnitude(rng.normal(size=100) * 300)
+        assert m.max() <= 7 and m.min() >= 0
+
+    def test_signs_are_pm_one(self, rng):
+        g = MantGrid(17)
+        s, _ = g.encode_sign_magnitude(rng.normal(size=100))
+        assert set(np.unique(s)) <= {-1, 1}
+
+
+class TestVarianceMonotonicity:
+    def test_variance_increases_with_a(self):
+        variances = [MantGrid(a).normalized_variance() for a in (0, 10, 30, 60, 100, 128)]
+        assert all(b > a for a, b in zip(variances, variances[1:]))
+
+
+class TestDatatypeApproximation:
+    def test_float_matches_near_17(self):
+        a, err = approximate_datatype(fp4_e2m1)
+        assert 10 <= a <= 25, f"fp4 approx a={a}"
+        assert err < 0.08
+
+    def test_nf_matches_near_25(self):
+        a, err = approximate_datatype(nf4)
+        assert 17 <= a <= 35, f"nf4 approx a={a}"
+
+    def test_pot_matches_a0(self):
+        a, err = approximate_datatype(pot4)
+        assert a == 0 and err < 1e-12
+
+    def test_smooth_transition(self):
+        # Fig. 6: normalised grids change continuously in a.
+        prev = MantGrid(0).normalized_grid()
+        for a in range(1, 128, 8):
+            cur = MantGrid(a).normalized_grid()
+            assert np.max(np.abs(cur - prev)) < 0.25
+            prev = cur

@@ -1,0 +1,37 @@
+"""Tests for storage-format bit accounting."""
+
+import pytest
+
+from repro.core.metadata import FP16_FORMAT, INT8_G64, MANT4_G64, StorageFormat
+
+
+class TestBitsPerElement:
+    def test_mant4_g64(self):
+        # 4 code bits + (16 scale + 8 coeff) / 64 = 4.375
+        assert MANT4_G64.bits_per_element() == pytest.approx(4.375)
+
+    def test_int8_g64(self):
+        assert INT8_G64.bits_per_element() == pytest.approx(8.25)
+
+    def test_fp16_no_metadata(self):
+        assert FP16_FORMAT.bits_per_element() == 16.0
+
+
+class TestTensorBits:
+    def test_full_groups(self):
+        f = StorageFormat("q4", 4, group_size=64, coeff_bits=8)
+        assert f.tensor_bits(128) == 128 * 4 + 2 * 24
+
+    def test_tail_padding_counted_per_row(self):
+        f = StorageFormat("q4", 4, group_size=64, coeff_bits=8)
+        # 2 rows x 100 elements: each row needs 2 groups.
+        bits = f.tensor_bits(200, inner_dim=100)
+        assert bits == 200 * 4 + 2 * 2 * 24
+
+    def test_tensor_bytes(self):
+        f = StorageFormat("q8", 8)
+        assert f.tensor_bytes(1000) == 1000.0
+
+    def test_groupless_format_ignores_metadata(self):
+        f = StorageFormat("ch8", 8, group_size=0, scale_bits=16)
+        assert f.bits_per_element() == 8.0

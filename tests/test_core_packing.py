@@ -1,0 +1,98 @@
+"""Tests for the bit-level packing of MANT tensors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import INT_A, MantCodec
+from repro.core.metadata import StorageFormat
+from repro.core.packing import pack_mant, packed_nbytes, unpack_mant
+from repro.core.selection import MseSearchSelector
+
+
+def encode(rng, rows=8, cols=128, group=64):
+    codec = MantCodec(group_size=group)
+    sel = MseSearchSelector(group_size=group)
+    w = rng.normal(size=(rows, cols))
+    return codec, codec.encode(w, sel.select(w)), w
+
+
+class TestRoundTrip:
+    def test_bit_exact(self, rng):
+        codec, enc, _ = encode(rng)
+        back = unpack_mant(pack_mant(enc))
+        assert np.array_equal(back.sign, enc.sign)
+        assert np.array_equal(back.magnitude, enc.magnitude)
+        assert np.array_equal(back.a_coeff, enc.a_coeff)
+        assert np.allclose(back.scale, enc.scale)
+        assert back.original_shape == enc.original_shape
+
+    def test_decode_after_roundtrip(self, rng):
+        codec, enc, _ = encode(rng)
+        assert np.allclose(codec.decode(unpack_mant(pack_mant(enc))),
+                           codec.decode(enc))
+
+    def test_int_groups_survive(self, rng):
+        codec = MantCodec(group_size=32)
+        w = rng.normal(size=(2, 64))
+        a = np.array([[INT_A, 17.0], [0.0, INT_A]])
+        enc = codec.encode(w, a)
+        back = unpack_mant(pack_mant(enc))
+        assert np.array_equal(back.a_coeff, a)
+
+    def test_padded_shape(self, rng):
+        codec = MantCodec(group_size=64)
+        w = rng.normal(size=(3, 100))
+        enc = codec.encode(w, np.full((3, 2), 17.0))
+        back = unpack_mant(pack_mant(enc))
+        assert back.original_shape == (3, 100)
+        assert np.allclose(codec.decode(back), codec.decode(enc))
+
+    @given(st.integers(1, 5), st.integers(8, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, rows, cols):
+        rng = np.random.default_rng(rows * 131 + cols)
+        codec = MantCodec(group_size=16)
+        w = rng.normal(size=(rows, cols))
+        n_groups = -(-cols // 16)
+        a = rng.choice([0.0, 17.0, 60.0, INT_A], size=(rows, n_groups))
+        enc = codec.encode(w, a)
+        back = unpack_mant(pack_mant(enc))
+        assert np.allclose(codec.decode(back), codec.decode(enc))
+
+
+class TestSizeAccounting:
+    def test_matches_analytic_model(self, rng):
+        # The packed image must agree with the StorageFormat arithmetic
+        # the hardware memory model uses (modulo the fixed header and
+        # nibble padding).
+        _, enc, w = encode(rng, rows=16, cols=256, group=64)
+        fmt = StorageFormat("mant4-g64", element_bits=4, group_size=64,
+                            coeff_bits=8)
+        analytic = fmt.tensor_bytes(w.size, inner_dim=w.shape[1])
+        from repro.core.packing import _HEADER
+
+        assert packed_nbytes(enc) == pytest.approx(analytic + _HEADER.size, abs=2)
+
+    def test_packed_nbytes_exact(self, rng):
+        _, enc, _ = encode(rng)
+        assert len(pack_mant(enc)) == packed_nbytes(enc)
+
+    def test_compression_ratio(self, rng):
+        _, enc, w = encode(rng, rows=32, cols=512)
+        fp16_bytes = w.size * 2
+        ratio = fp16_bytes / packed_nbytes(enc)
+        assert ratio > 3.4  # ~16 bits -> ~4.375 bits
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_mant(b"NOPE" + bytes(40))
+
+    def test_non4bit_rejected(self, rng):
+        codec = MantCodec(bits=2, group_size=16)
+        w = rng.normal(size=(2, 16))
+        enc = codec.encode(w, np.full((2, 1), 17.0))
+        with pytest.raises(ValueError):
+            pack_mant(enc)

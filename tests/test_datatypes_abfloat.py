@@ -1,0 +1,68 @@
+"""Tests for abfloat and the OliVe outlier-victim codec."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes.abfloat import AbfloatType, OutlierVictimCodec
+from repro.datatypes.int_type import IntType
+
+
+class TestAbfloat:
+    def test_anchor_is_smallest_positive(self):
+        ab = AbfloatType(lo=3.0)
+        pos = ab.grid[ab.grid > 0]
+        assert pos[0] == pytest.approx(3.0)
+
+    def test_rejects_nonpositive_anchor(self):
+        with pytest.raises(ValueError):
+            AbfloatType(lo=0.0)
+
+    def test_span_covers_binades(self):
+        ab = AbfloatType(lo=1.0, exp_bits=5, man_bits=2)
+        assert ab.grid_max > 1e6  # 2^31-ish binades above the anchor
+
+
+class TestOutlierVictimCodec:
+    def make(self):
+        return OutlierVictimCodec(IntType(4), outlier_sigma=3.0)
+
+    def test_no_outliers_matches_int(self, rng):
+        x = np.clip(rng.normal(size=64), -2, 2)
+        codec = self.make()
+        out = codec.qdq(x)
+        ref = IntType(4).qdq(x, float(np.max(np.abs(x))) / 7)
+        assert np.allclose(out, ref)
+
+    def test_outlier_preserved_victim_zeroed(self, rng):
+        x = rng.normal(size=64) * 0.5
+        x[10] = 50.0  # big outlier; victim is index 11
+        codec = self.make()
+        out = codec.qdq(x)
+        assert out[11] == 0.0
+        assert abs(out[10] - 50.0) / 50.0 < 0.2  # abfloat keeps outliers close
+
+    def test_beats_plain_int_with_outliers(self, rng):
+        x = rng.normal(size=256)
+        x[::32] = 40.0  # sparse outliers stretch the INT scale
+        codec = self.make()
+        ovp_err = np.mean((codec.qdq(x) - x) ** 2)
+        int_err = np.mean((IntType(4).qdq(x) - x) ** 2)
+        assert ovp_err < int_err
+
+    def test_pair_arbitration_keeps_larger(self):
+        x = np.zeros(8)
+        x[0], x[1] = 30.0, -40.0  # both outliers in one pair
+        out = self.make().qdq(x)
+        # The larger (|-40|) wins outlier treatment; its partner is the
+        # victim/saturated side.
+        assert abs(out[1] + 40.0) < abs(out[0] - 30.0) or out[0] == 0.0
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            self.make().qdq(np.zeros((2, 4)))
+
+    def test_odd_length_last_element_never_outlier(self, rng):
+        x = rng.normal(size=7)
+        x[6] = 100.0
+        out = self.make().qdq(x)
+        assert np.all(np.isfinite(out))

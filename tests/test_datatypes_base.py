@@ -1,0 +1,95 @@
+"""Unit tests for the GridDataType machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes.base import GridDataType, absmax_scale, nearest_grid_index
+
+
+def make_dtype():
+    return GridDataType("toy", 3, np.array([-4.0, -1.0, 0.0, 0.5, 2.0, 8.0]))
+
+
+class TestNearestGridIndex:
+    def test_exact_points_map_to_themselves(self):
+        grid = np.array([-2.0, 0.0, 1.0, 5.0])
+        idx = nearest_grid_index(grid.copy(), grid)
+        assert np.array_equal(idx, np.arange(4))
+
+    def test_midpoint_ties_go_left(self):
+        grid = np.array([0.0, 2.0])
+        assert nearest_grid_index(np.array([1.0]), grid)[0] == 0
+
+    def test_clipping_beyond_range(self):
+        grid = np.array([-1.0, 1.0])
+        idx = nearest_grid_index(np.array([-100.0, 100.0]), grid)
+        assert list(idx) == [0, 1]
+
+    @given(
+        st.lists(st.floats(-50, 50), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nearest_is_optimal(self, values):
+        grid = np.array([-7.0, -3.0, -0.5, 0.0, 1.0, 2.5, 9.0])
+        v = np.asarray(values)
+        idx = nearest_grid_index(v, grid)
+        chosen = np.abs(grid[idx] - v)
+        best = np.min(np.abs(grid[None, :] - v[:, None]), axis=1)
+        assert np.allclose(chosen, best)
+
+
+class TestAbsmaxScale:
+    def test_scalar_scale(self):
+        s = absmax_scale(np.array([1.0, -4.0, 2.0]), grid_max=8.0)
+        assert s == pytest.approx(0.5)
+
+    def test_axis_scale_shape(self):
+        x = np.ones((3, 8))
+        s = absmax_scale(x, grid_max=2.0, axis=-1)
+        assert s.shape == (3, 1)
+
+    def test_zero_input_gives_unit_scale(self):
+        s = absmax_scale(np.zeros(5), grid_max=7.0)
+        assert s == pytest.approx(1.0)
+
+
+class TestGridDataType:
+    def test_grid_sorted_and_unique(self):
+        dt = GridDataType("d", 2, np.array([1.0, -1.0, 1.0, 0.0]))
+        assert np.array_equal(dt.grid, np.array([-1.0, 0.0, 1.0]))
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            GridDataType("bad", 1, np.array([3.0]))
+
+    def test_roundtrip_on_grid_points(self):
+        dt = make_dtype()
+        codes = dt.encode(dt.grid)
+        assert np.allclose(dt.decode(codes), dt.grid)
+
+    def test_qdq_idempotent(self, rng):
+        dt = make_dtype()
+        x = rng.normal(size=100)
+        once = dt.qdq(x)
+        twice = dt.qdq(once)
+        assert np.allclose(once, twice)
+
+    def test_qdq_error_bounded_by_half_gap(self, rng):
+        dt = make_dtype()
+        # Values inside the grid span: error <= half the largest gap.
+        x = rng.uniform(dt.grid[0], dt.grid[-1], size=200)
+        err = np.abs(dt.qdq(x, 1.0) - x)
+        max_gap = np.max(np.diff(dt.grid))
+        assert np.all(err <= max_gap / 2 + 1e-12)
+
+    def test_mse_of_grid_points_is_zero(self):
+        dt = make_dtype()
+        assert dt.mse(dt.grid, scale=1.0) == pytest.approx(0.0)
+
+    def test_normalized_grid_max_is_one(self):
+        dt = make_dtype()
+        assert np.max(np.abs(dt.normalized_grid())) == pytest.approx(1.0)
+
+    def test_has_zero(self):
+        assert make_dtype().has_zero

@@ -1,0 +1,90 @@
+"""Tests for FP4/FP8, NormalFloat and MXFP4."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes.floats import FloatType, cast_fp16, float_grid, fp4_e2m1
+from repro.datatypes.mxfp import MXFP_GROUP_SIZE, e8m0_scale, mxfp4_qdq
+from repro.datatypes.normalfloat import NormalFloatType, nf4
+
+
+class TestFloatGrid:
+    def test_fp4_e2m1_values(self):
+        pos = fp4_e2m1.grid[fp4_e2m1.grid > 0]
+        assert list(pos) == [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+
+    def test_fp4_has_zero(self):
+        assert fp4_e2m1.has_zero
+
+    def test_subnormals_present(self):
+        g = float_grid(2, 1)
+        assert 0.5 in g  # subnormal of E2M1
+
+    def test_fp8_e4m3_max(self):
+        # Generic no-NaN minifloat: full top binade, (1 + 7/8) * 2^8.
+        # (OCP E4M3 reserves two codes for NaN and tops out at 448.)
+        dt = FloatType(4, 3)
+        assert dt.grid_max == pytest.approx(480.0)
+
+    def test_cast_fp16_roundtrip(self):
+        x = np.array([1.0, 2.5, -0.125])
+        assert np.allclose(cast_fp16(x), x)
+
+    def test_cast_fp16_rounds(self):
+        x = np.array([1.0 + 2**-13])
+        assert cast_fp16(x)[0] == pytest.approx(1.0)
+
+
+class TestNormalFloat:
+    def test_nf4_level_count(self):
+        assert nf4.num_levels == 16
+
+    def test_nf4_contains_zero_and_endpoints(self):
+        assert nf4.has_zero
+        assert nf4.grid[0] == pytest.approx(-1.0)
+        assert nf4.grid[-1] == pytest.approx(1.0)
+
+    def test_nf4_asymmetric(self):
+        # QLoRA's NF4 has 8 positive and 7 negative nonzero levels.
+        assert np.sum(nf4.grid > 0) == 8
+        assert np.sum(nf4.grid < 0) == 7
+
+    def test_nf4_best_on_gaussian(self, rng):
+        from repro.datatypes.int_type import int4
+
+        x = rng.normal(size=8000)
+        # Tensor-wise absmax scaling: NF4's quantile grid should beat
+        # uniform INT4 on Gaussian data (QLoRA's design claim).
+        assert nf4.mse(x) < int4.mse(x)
+
+    def test_nf_bits_param(self):
+        dt = NormalFloatType(3)
+        assert dt.num_levels == 8
+
+
+class TestMxfp:
+    def test_scale_is_power_of_two(self):
+        s = e8m0_scale(np.array([0.7, 3.0, 100.0]), grid_max=6.0)
+        exps = np.log2(s)
+        assert np.allclose(exps, np.round(exps))
+
+    def test_no_overflow_after_scaling(self, rng):
+        x = rng.normal(size=(4, MXFP_GROUP_SIZE)) * 10
+        out = mxfp4_qdq(x)
+        assert np.all(np.isfinite(out))
+
+    def test_group_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            mxfp4_qdq(np.zeros((2, 33)))
+
+    def test_mxfp_worse_than_fp16_scale_fp4(self, rng):
+        # The E8M0 restriction should cost accuracy vs a free scale —
+        # the effect Tbl. V attributes MXFP4's PPL gap to.
+        from repro.core.groups import to_groups, from_groups
+
+        x = rng.normal(size=(8, 64))
+        mx = mxfp4_qdq(x, 32)
+        view = to_groups(x, 32)
+        amax = np.max(np.abs(view.groups), axis=-1, keepdims=True)
+        free = from_groups(view, fp4_e2m1.qdq(view.groups, amax / fp4_e2m1.grid_max))
+        assert np.mean((mx - x) ** 2) >= np.mean((free - x) ** 2)

@@ -1,0 +1,88 @@
+"""Tests for INT, PoT and flint data types."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes.flint import FlintType, flint4, flint_positive_grid
+from repro.datatypes.int_type import IntType, int4, int8, round_to_int
+from repro.datatypes.pot import PotType, pot4, pot4_with_zero
+
+
+class TestIntType:
+    def test_int4_range(self):
+        assert int4.qmax == 7
+        assert int4.grid[0] == -7 and int4.grid[-1] == 7
+        assert int4.num_levels == 15
+
+    def test_int8_range(self):
+        assert int8.qmax == 127
+
+    def test_round_clip_saturates(self):
+        q = int4.round_clip(np.array([-100.0, 100.0, 3.4, 3.6]))
+        assert list(q) == [-7, 7, 3, 4]
+
+    def test_encode_matches_rounding(self, rng):
+        x = rng.uniform(-7, 7, 50)
+        codes = int4.encode(x)
+        assert np.allclose(int4.decode(codes), np.rint(x))
+
+    def test_round_to_int_eq1(self):
+        q = round_to_int(np.array([1.0, 2.49, -3.5]), bits=4, scale=1.0)
+        assert list(q) == [1, 2, -4]
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IntType(1)
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_grid_symmetric(self, bits):
+        dt = IntType(bits)
+        assert np.allclose(dt.grid, -dt.grid[::-1])
+
+
+class TestPotType:
+    def test_pot4_values(self):
+        pos = pot4.grid[pot4.grid > 0]
+        assert list(pos) == [1, 2, 4, 8, 16, 32, 64, 128]
+
+    def test_pot4_has_no_zero(self):
+        assert not pot4.has_zero
+
+    def test_pot4_with_zero(self):
+        assert pot4_with_zero.has_zero
+        pos = pot4_with_zero.grid[pot4_with_zero.grid > 0]
+        assert list(pos) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_pot_better_for_peaked_data(self, rng):
+        # Laplace-like data: PoT with zero should beat INT on MSE after
+        # normalising, the premise of ANT's type selection.
+        x = rng.laplace(scale=0.05, size=4000)
+        x = np.clip(x, -1, 1)
+        assert pot4_with_zero.mse(x) < IntType(4).mse(x)
+
+
+class TestFlint:
+    def test_flint4_grid(self):
+        pos = flint4.grid[flint4.grid >= 0]
+        assert list(pos) == [0, 1, 2, 3, 4, 6, 8, 12]
+
+    def test_flint_positive_grid_extends(self):
+        g = flint_positive_grid(10)
+        assert list(g) == [0, 1, 2, 3, 4, 6, 8, 12, 16, 24]
+
+    def test_flint_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            flint_positive_grid(1)
+
+    def test_flint_bits(self):
+        assert FlintType(4).bits == 4
+        # Sign-magnitude with zero: ±0 collapse, 15 distinct values.
+        assert FlintType(4).num_levels == 15
+
+    def test_flint_between_int_and_pot_density(self, rng):
+        # Gaussian data: flint should be competitive with INT (it was
+        # designed for Gaussians) and beat PoT-without-zero.
+        x = rng.normal(size=4000)
+        assert flint4.mse(x) < pot4.mse(x)

@@ -1,0 +1,125 @@
+"""Tests for the accelerator model: roofline, energy, traffic."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.accelerator import Accelerator, OperandSpec
+from repro.hardware.area import ACCELERATOR_AREAS, area_table
+from repro.hardware.energy import DEFAULT_ENERGY, EnergyBreakdown
+from repro.hardware.memory import MemorySystem, fmt_for_bits
+from repro.hardware.systolic import GemmShape
+
+
+def mant_accel():
+    return Accelerator(name="MANT", area_key="MANT", uses_sac=True)
+
+
+class TestEnergyModel:
+    def test_mac_scales_with_bit_product(self):
+        em = DEFAULT_ENERGY
+        assert em.mac_pj(8, 4) == pytest.approx(em.mac_pj(8, 8) / 2)
+        assert em.mac_pj(16, 16) == pytest.approx(4 * em.mac_pj(8, 8))
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(core=1, buffer=2, dram=3, static=4)
+        b = a + a
+        assert b.total == 20
+
+    def test_static_scales_with_area(self):
+        em = DEFAULT_ENERGY
+        assert em.static_pj_per_cycle(2.0, 1.0) == pytest.approx(
+            2 * em.static_pj_per_cycle(1.0, 1.0)
+        )
+
+
+class TestStorageFormats:
+    def test_fp16_format(self):
+        f = fmt_for_bits(16)
+        assert f.bits_per_element() == 16
+
+    def test_mant_format_bytes(self):
+        f = fmt_for_bits(4, 64, coeff_bits=8)
+        # 4096-element row: 4 bits each + 64 groups * 24 bits metadata.
+        bits = f.tensor_bits(4096, inner_dim=4096)
+        assert bits == 4096 * 4 + 64 * 24
+
+
+class TestAreaTable:
+    def test_paper_core_areas(self):
+        # Tbl. IV core areas: MANT 0.302, OliVe 0.337, ANT 0.327,
+        # Tender 0.317 mm^2.
+        areas = {r["architecture"]: r["core_mm2"] for r in area_table()}
+        assert areas["MANT"] == pytest.approx(0.302, abs=0.002)
+        assert areas["OliVe"] == pytest.approx(0.337, abs=0.002)
+        assert areas["ANT"] == pytest.approx(0.327, abs=0.002)
+        assert areas["Tender"] == pytest.approx(0.317, abs=0.002)
+
+    def test_equal_area_within_tolerance(self):
+        totals = [m.total_mm2 for m in ACCELERATOR_AREAS.values()]
+        assert max(totals) / min(totals) < 1.02
+
+
+class TestRunGemm:
+    def test_prefill_compute_bound(self):
+        acc = mant_accel()
+        res = acc.run_gemm(GemmShape(2048, 4096, 4096), OperandSpec(8, 4))
+        compute = 2048 * 4096 * 4096 / acc.array.macs_per_cycle(8, 4)
+        assert res.cycles == pytest.approx(compute, rel=0.05)
+
+    def test_decode_memory_bound(self):
+        acc = mant_accel()
+        res = acc.run_gemm(GemmShape(1, 4096, 4096), OperandSpec(8, 4, w_coeff_bits=8))
+        mem = acc.memory.dram_cycles(res.traffic.dram_bytes)
+        assert res.cycles == pytest.approx(mem, rel=0.2)
+
+    def test_kv_routing(self):
+        acc = mant_accel()
+        res = acc.run_gemm(GemmShape(1, 4096, 8192, kv=True), OperandSpec(8, 4))
+        assert res.traffic.kv_bytes > 0
+        assert res.traffic.weight_bytes == 0
+
+    def test_weights_resident_skips_fetch(self):
+        acc = mant_accel()
+        a = acc.run_gemm(GemmShape(1, 4096, 4096), OperandSpec(8, 4))
+        b = acc.run_gemm(GemmShape(1, 4096, 4096), OperandSpec(8, 4),
+                         weights_resident=True)
+        assert b.traffic.weight_bytes == 0
+        assert b.cycles < a.cycles
+
+    def test_energy_components_positive(self):
+        res = mant_accel().run_gemm(GemmShape(128, 1024, 1024), OperandSpec(8, 4))
+        e = res.energy
+        assert e.core > 0 and e.buffer > 0 and e.dram > 0 and e.static > 0
+
+    def test_narrow_weights_less_dram(self):
+        acc = mant_accel()
+        r4 = acc.run_gemm(GemmShape(1, 4096, 4096), OperandSpec(8, 4))
+        r8 = acc.run_gemm(GemmShape(1, 4096, 4096), OperandSpec(8, 8))
+        assert r4.traffic.weight_bytes < r8.traffic.weight_bytes
+
+    def test_decoder_energy_adds_core(self):
+        shape = GemmShape(128, 1024, 1024)
+        with_dec = Accelerator(name="d", area_key="ANT", uses_decoder=True)
+        without = Accelerator(name="n", area_key="ANT", uses_decoder=False)
+        assert (
+            with_dec.run_gemm(shape, OperandSpec(8, 4)).energy.core
+            > without.run_gemm(shape, OperandSpec(8, 4)).energy.core
+        )
+
+    def test_result_addition(self):
+        acc = mant_accel()
+        r = acc.run_gemm(GemmShape(16, 256, 256), OperandSpec(8, 4))
+        total = r + r
+        assert total.cycles == 2 * r.cycles
+        assert total.macs == 2 * r.macs
+
+
+class TestMemorySystem:
+    def test_bytes_per_cycle(self):
+        mem = MemorySystem(dram_gb_per_s=256, freq_ghz=1.0)
+        assert mem.bytes_per_cycle == 256
+
+    def test_fits_on_chip(self):
+        mem = MemorySystem()
+        assert mem.fits_on_chip(1000)
+        assert not mem.fits_on_chip(10**9)

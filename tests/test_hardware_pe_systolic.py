@@ -1,0 +1,101 @@
+"""Tests for the PE array, systolic timing and RQU models."""
+
+import pytest
+
+from repro.hardware.pe import PEArray
+from repro.hardware.rqu import DIVIDER_CYCLES, RQUModel
+from repro.hardware.systolic import GemmShape, systolic_gemm_cycles
+
+
+class TestPEArray:
+    def test_equal_bit_capacity(self):
+        # MANT's 1024 8-bit PEs == baselines' 4096 4-bit PEs.
+        assert 1024 * 8 * 8 == 4096 * 4 * 4 == PEArray("x").capacity_bitproducts
+
+    def test_mixed_precision_throughput(self):
+        arr = PEArray("x")
+        assert arr.macs_per_cycle(8, 8) == 1024
+        assert arr.macs_per_cycle(8, 4) == 2048
+        assert arr.macs_per_cycle(8, 2) == 4096
+        assert arr.macs_per_cycle(4, 4) == 4096
+        assert arr.macs_per_cycle(16, 16) == 256
+
+    def test_paper_array_dims(self):
+        # Sec. VI-B: 32x32 for INT8xINT8, 64x32 for INT8xINT4,
+        # 128x32 for INT8xINT2.
+        arr = PEArray("mant")
+        assert arr.dims(8, 8) == (32, 32)
+        assert arr.dims(8, 4) == (64, 32)
+        assert arr.dims(8, 2) == (128, 32)
+
+    def test_min_bits_clamp(self):
+        arr = PEArray("x", min_bits=2)
+        assert arr.macs_per_cycle(8, 1) == arr.macs_per_cycle(8, 2)
+
+
+class TestSystolicTiming:
+    def shape(self, m=256, k=256, n=64):
+        return GemmShape(m=m, k=k, n=n)
+
+    def test_compute_cycles_scale_with_m(self):
+        arr = PEArray("x")
+        t1 = systolic_gemm_cycles(self.shape(m=128), arr, 8, 8)
+        t2 = systolic_gemm_cycles(self.shape(m=256), arr, 8, 8)
+        assert t2.compute_cycles == pytest.approx(2 * t1.compute_cycles)
+
+    def test_narrower_weights_fewer_cycles(self):
+        arr = PEArray("x")
+        t8 = systolic_gemm_cycles(self.shape(), arr, 8, 8)
+        t4 = systolic_gemm_cycles(self.shape(), arr, 8, 4)
+        assert t4.compute_cycles < t8.compute_cycles
+
+    def test_tile_counts(self):
+        arr = PEArray("x")
+        # K=256 with 64 rows -> 4 K-tiles; N=64 with 32 cols -> 2 N-tiles.
+        t = systolic_gemm_cycles(GemmShape(100, 256, 64), arr, 8, 4)
+        assert t.compute_cycles == 4 * 2 * 100
+
+    def test_division_hidden_with_many_k_tiles(self):
+        arr = PEArray("x")
+        # K = 2048 at 64 rows -> 32 K-tiles >= 12: divider fully hidden.
+        t = systolic_gemm_cycles(GemmShape(64, 2048, 32), arr, 8, 4,
+                                 output_quantized=True)
+        t_ref = systolic_gemm_cycles(GemmShape(64, 2048, 32), arr, 8, 4)
+        assert t.quant_overhead_cycles - t_ref.quant_overhead_cycles < 200
+
+    def test_division_exposed_with_few_k_tiles(self):
+        arr = PEArray("x")
+        t = systolic_gemm_cycles(GemmShape(64, 64, 32), arr, 8, 4,
+                                 output_quantized=True)
+        assert t.quant_overhead_cycles > 0
+
+    def test_unfused_costs_more(self):
+        arr = PEArray("x")
+        fused = systolic_gemm_cycles(GemmShape(2048, 4096, 4096), arr, 8, 4,
+                                     output_quantized=True, fused_quant=True)
+        unfused = systolic_gemm_cycles(GemmShape(2048, 4096, 4096), arr, 8, 4,
+                                       output_quantized=True, fused_quant=False)
+        assert unfused.quant_overhead_cycles > fused.quant_overhead_cycles
+
+    def test_macs_property(self):
+        assert GemmShape(2, 3, 4).macs == 24
+
+
+class TestRQU:
+    def test_spatial_pipeline_prime(self):
+        r = RQUModel()
+        assert r.spatial_cycles(1, 32, 64) >= 32
+
+    def test_temporal_is_free_per_iteration(self):
+        assert RQUModel().temporal_cycles_per_iteration() == 0
+
+    def test_finalize_window(self):
+        r = RQUModel()
+        assert r.finalize_window_cycles(128) == 4 + DIVIDER_CYCLES
+
+    def test_division_overhead_monotone(self):
+        r = RQUModel()
+        assert r.division_overhead(0) == DIVIDER_CYCLES
+        assert r.division_overhead(6) == 6
+        assert r.division_overhead(12) == 0
+        assert r.division_overhead(40) == 0

@@ -1,0 +1,55 @@
+"""Tests for the full-model simulation report."""
+
+import pytest
+
+from repro.hardware.configs import ACCELERATORS, get_policy
+from repro.hardware.report import memory_footprint_bytes, model_report
+from repro.hardware.workloads import MODEL_SHAPES
+
+
+class TestFootprint:
+    def test_llama7b_mant_weights_near_3_7gb(self):
+        fp = memory_footprint_bytes(
+            MODEL_SHAPES["llama-7b"], get_policy("MANT", "llama"), 2048
+        )
+        # ~6.5B linear params at 4.375 bits/elem ~= 3.5 GB.
+        assert 3.0e9 < fp["weights"] < 4.2e9
+
+    def test_kv_grows_linearly_with_context(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        pol = get_policy("MANT", "llama")
+        a = memory_footprint_bytes(shape, pol, 2048)["kv_cache"]
+        b = memory_footprint_bytes(shape, pol, 4096)["kv_cache"]
+        assert b == pytest.approx(2 * a, rel=0.01)
+
+    def test_mant_kv_4x_smaller_than_fp16(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        mant = memory_footprint_bytes(shape, get_policy("MANT", "llama"), 65536)
+        olive = memory_footprint_bytes(shape, get_policy("OliVe", "llama"), 65536)
+        ratio = olive["kv_cache"] / mant["kv_cache"]
+        assert 3.3 < ratio < 4.0  # 16b vs 4.375b
+
+
+class TestModelReport:
+    def test_report_fields_consistent(self):
+        rep = model_report(
+            ACCELERATORS["MANT"], get_policy("MANT", "llama"),
+            MODEL_SHAPES["llama-7b"], 8192,
+        )
+        assert rep.tokens_per_s == pytest.approx(1 / rep.token_latency_s)
+        assert rep.linear_fraction + rep.attention_fraction == pytest.approx(1.0)
+        assert rep.energy_per_token_mj > 0
+
+    def test_mant_higher_throughput_than_baselines(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        mant = model_report(ACCELERATORS["MANT"], get_policy("MANT", "llama"),
+                            shape, 32768)
+        for name in ("Tender", "OliVe", "ANT*", "BitFusion"):
+            base = model_report(ACCELERATORS[name], get_policy(name, "llama"),
+                                shape, 32768)
+            assert mant.tokens_per_s > base.tokens_per_s, name
+
+    def test_attention_dominates_long_context(self):
+        rep = model_report(ACCELERATORS["OliVe"], get_policy("OliVe", "llama"),
+                           MODEL_SHAPES["llama-7b"], 131072)
+        assert rep.attention_fraction > 0.5

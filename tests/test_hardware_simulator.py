@@ -1,0 +1,164 @@
+"""Tests for the end-to-end simulator: the Fig. 12/13/14 engine."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.configs import (
+    ACCELERATORS,
+    GROUPWISE_ACCELERATORS,
+    GROUPWISE_POLICIES,
+    POLICIES,
+    PrecisionPolicy,
+    get_accelerator,
+    get_policy,
+)
+from repro.hardware.simulator import (
+    simulate_attention_layer,
+    simulate_linear_layer,
+    simulate_token,
+    speedup_and_energy,
+)
+from repro.hardware.workloads import MODEL_SHAPES, LLMShape
+
+
+class TestPolicies:
+    def test_all_mixes_sum_to_one(self):
+        for table in (POLICIES, GROUPWISE_POLICIES):
+            for per_family in table.values():
+                for pol in per_family.values():
+                    assert sum(f for _, f in pol.mix()) == pytest.approx(1.0)
+
+    def test_invalid_mix_rejected(self):
+        pol = PrecisionPolicy("bad", ((4, 0.5), (8, 0.2)))
+        with pytest.raises(ValueError):
+            pol.mix()
+
+    def test_act_follows_weights(self):
+        pol = get_policy("Tender", "llama")
+        assert pol.act_bits_for(4) == 4 and pol.act_bits_for(8) == 8
+
+    def test_mant_policy_quantizes_kv(self):
+        pol = get_policy("MANT", "llama")
+        assert pol.kv_bits == 4 and pol.attn_act_bits == 8
+
+    def test_baselines_keep_fp16_kv(self):
+        for name in ("Tender", "OliVe", "ANT*", "BitFusion"):
+            assert get_policy(name, "llama").kv_bits == 16
+
+
+class TestModelShapes:
+    def test_llama7b_params_near_7b(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        total = shape.layer_weight_elements() * shape.n_layers
+        assert 6e9 < total < 7.2e9
+
+    def test_opt_ffn_is_two_matrices(self):
+        assert len(MODEL_SHAPES["opt-6.7b"].linear_weights()) == 6
+        assert len(MODEL_SHAPES["llama-7b"].linear_weights()) == 7
+
+
+class TestLinearLayerComparison:
+    def test_mant_fastest_and_most_efficient(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        results = {
+            n: simulate_linear_layer(a, get_policy(n, "llama"), shape, 2048)
+            for n, a in ACCELERATORS.items()
+        }
+        for name, res in results.items():
+            if name == "MANT":
+                continue
+            assert res.cycles > results["MANT"].cycles, name
+            assert res.energy.total > results["MANT"].energy.total, name
+
+    def test_paper_fig12_ordering(self):
+        # MANT < Tender < OliVe < ANT* < BitFusion in latency.
+        shape = MODEL_SHAPES["llama-7b"]
+        cyc = {
+            n: simulate_linear_layer(a, get_policy(n, "llama"), shape, 2048).cycles
+            for n, a in ACCELERATORS.items()
+        }
+        assert cyc["MANT"] < cyc["Tender"] < cyc["OliVe"] < cyc["ANT*"] < cyc["BitFusion"]
+
+    def test_speedups_in_paper_band(self):
+        # Geomean over the four models should land near the paper's
+        # 1.83 / 1.96 / 2.00 / 4.93 (tolerance: same regime, not exact).
+        speedups = {n: [] for n in ACCELERATORS}
+        for model in ("llama-7b", "llama-65b", "opt-6.7b", "opt-13b"):
+            shape = MODEL_SHAPES[model]
+            res = {
+                n: simulate_linear_layer(a, get_policy(n, shape.family), shape, 2048)
+                for n, a in ACCELERATORS.items()
+            }
+            for n in ACCELERATORS:
+                speedups[n].append(res[n].cycles / res["MANT"].cycles)
+        geo = {n: float(np.exp(np.mean(np.log(v)))) for n, v in speedups.items()}
+        assert 1.4 < geo["Tender"] < 2.2
+        assert 1.6 < geo["OliVe"] < 2.4
+        assert 1.7 < geo["ANT*"] < 2.4
+        assert 3.5 < geo["BitFusion"] < 6.5
+
+
+class TestSequenceSweep:
+    def test_attention_grows_with_context(self):
+        accel = get_accelerator("MANT")
+        pol = get_policy("MANT", "llama")
+        shape = MODEL_SHAPES["llama-7b"]
+        short = simulate_attention_layer(accel, pol, shape, 2048)
+        long = simulate_attention_layer(accel, pol, shape, 131072)
+        assert long.cycles > 10 * short.cycles
+
+    def test_speedup_grows_with_context(self):
+        # Fig. 13: MANT's advantage over KV-FP16 baselines grows with
+        # sequence length (attention dominance).
+        shape = MODEL_SHAPES["llama-7b"]
+        ratios = []
+        for s in (2048, 32768, 131072):
+            mant = simulate_token(get_accelerator("MANT"), get_policy("MANT", "llama"), shape, s)
+            olive = simulate_token(get_accelerator("OliVe"), get_policy("OliVe", "llama"), shape, s)
+            ratios.append(olive["total"].cycles / mant["total"].cycles)
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 2.5
+
+    def test_linear_dominates_short_attention_long(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        tok_short = simulate_token(get_accelerator("OliVe"), get_policy("OliVe", "llama"), shape, 2048)
+        tok_long = simulate_token(get_accelerator("OliVe"), get_policy("OliVe", "llama"), shape, 131072)
+        assert tok_short["linear"].cycles > tok_short["attention"].cycles
+        assert tok_long["attention"].cycles > tok_long["linear"].cycles
+
+
+class TestGroupwiseComparison:
+    def test_fig14_ordering(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        cyc = {
+            n: simulate_linear_layer(
+                a, GROUPWISE_POLICIES[n]["llama"], shape, 2048
+            ).cycles
+            for n, a in GROUPWISE_ACCELERATORS.items()
+        }
+        assert cyc["MANT"] < cyc["ANT-g64"]
+        assert cyc["MANT"] < cyc["INT-g64"]
+
+    def test_fig14_band(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        res = {
+            n: simulate_linear_layer(a, GROUPWISE_POLICIES[n]["llama"], shape, 2048)
+            for n, a in GROUPWISE_ACCELERATORS.items()
+        }
+        ant_speedup = res["ANT-g64"].cycles / res["MANT"].cycles
+        assert 1.3 < ant_speedup < 2.1  # paper: 1.70x
+
+
+class TestSpeedupHelper:
+    def test_normalisation(self):
+        shape = MODEL_SHAPES["llama-7b"]
+        results = {
+            n: simulate_linear_layer(a, get_policy(n, "llama"), shape, 2048)
+            for n, a in ACCELERATORS.items()
+        }
+        norm = speedup_and_energy(results, baseline="BitFusion")
+        assert norm["BitFusion"]["speedup"] == pytest.approx(1.0)
+        assert norm["MANT"]["speedup"] > 1.0
+        # Breakdown fractions of the baseline sum to 1.
+        b = norm["BitFusion"]
+        assert b["core"] + b["buffer"] + b["dram"] + b["static"] == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Tests for LLM workload shape generation."""
+
+import pytest
+
+from repro.hardware.workloads import (
+    MODEL_SHAPES,
+    attention_gemms,
+    decode_linear_gemms,
+    linear_layer_gemms,
+)
+
+
+class TestShapes:
+    def test_all_published_models_present(self):
+        assert set(MODEL_SHAPES) == {
+            "llama-7b", "llama-13b", "llama-30b", "llama-65b",
+            "opt-6.7b", "opt-13b",
+        }
+
+    def test_head_dim_is_128(self):
+        for shape in MODEL_SHAPES.values():
+            assert shape.d_head == 128
+
+    def test_param_counts_near_names(self):
+        # Linear parameters should be within ~15% of the headline size
+        # (embeddings and norms excluded).
+        expected = {"llama-7b": 6.7e9, "llama-13b": 13e9, "llama-65b": 65e9,
+                    "opt-6.7b": 6.7e9, "opt-13b": 13e9}
+        for name, target in expected.items():
+            shape = MODEL_SHAPES[name]
+            total = shape.layer_weight_elements() * shape.n_layers
+            assert abs(total - target) / target < 0.18, name
+
+
+class TestGemmGeneration:
+    def test_linear_prefill_m(self):
+        gemms = linear_layer_gemms(MODEL_SHAPES["llama-7b"], 2048)
+        assert all(g.m == 2048 for g in gemms)
+        assert len(gemms) == 7  # q, k, v, o, gate, up, down
+
+    def test_opt_has_6_linears(self):
+        assert len(linear_layer_gemms(MODEL_SHAPES["opt-6.7b"], 128)) == 6
+
+    def test_decode_linear_is_gemv(self):
+        gemms = decode_linear_gemms(MODEL_SHAPES["llama-7b"])
+        assert all(g.m == 1 for g in gemms)
+
+    def test_attention_kv_flag(self):
+        gemms = attention_gemms(MODEL_SHAPES["llama-7b"], 4096)
+        assert len(gemms) == 2
+        assert all(g.kv for g in gemms)
+
+    def test_attention_macs_scale_with_context(self):
+        a = sum(g.macs for g in attention_gemms(MODEL_SHAPES["llama-7b"], 2048))
+        b = sum(g.macs for g in attention_gemms(MODEL_SHAPES["llama-7b"], 4096))
+        assert b == pytest.approx(2 * a)
+
+    def test_prefill_attention_m(self):
+        gemms = attention_gemms(MODEL_SHAPES["llama-7b"], 512, decode=False)
+        assert all(g.m == 512 for g in gemms)

@@ -1,0 +1,104 @@
+"""Tests for the synthetic corpora and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.model.corpus import (
+    KEY_BASE,
+    HmmCorpus,
+    InductionCorpus,
+    MixedCorpus,
+)
+from repro.model.train import Adam, train_lm
+from repro.model.transformer import ModelConfig, TransformerLM
+
+
+class TestHmmCorpus:
+    def test_tokens_in_range(self):
+        c = HmmCorpus(vocab_size=256)
+        s = c.sample(500, np.random.default_rng(0))
+        assert s.min() >= c.token_lo and s.max() < 256
+
+    def test_deterministic_given_rng(self):
+        c = HmmCorpus()
+        a = c.sample(100, np.random.default_rng(7))
+        b = c.sample(100, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_transitions_are_stochastic(self):
+        c = HmmCorpus()
+        assert np.allclose(c.trans.sum(axis=1), 1.0)
+
+    def test_entropy_bound_positive(self):
+        assert HmmCorpus().entropy_rate_bound() > 0
+
+    def test_structure_learnable(self):
+        # Bigram statistics should be far from uniform — the corpus has
+        # learnable structure.
+        c = HmmCorpus()
+        s = c.sample(20000, np.random.default_rng(1))
+        _, counts = np.unique(s, return_counts=True)
+        freq = counts / counts.sum()
+        uniform = 1.0 / freq.size
+        assert freq.max() > 4 * uniform
+
+
+class TestInductionCorpus:
+    def test_key_value_consistency(self):
+        c = InductionCorpus(vocab_size=256, n_keys=16)
+        s = c.sample(400, np.random.default_rng(0))
+        mapping = {}
+        for i in range(len(s) - 1):
+            if KEY_BASE <= s[i] < KEY_BASE + 16:
+                mapping.setdefault(s[i], set()).add(s[i + 1])
+        # Every key maps to exactly one value within a sequence.
+        assert all(len(v) == 1 for v in mapping.values())
+        assert len(mapping) >= 1
+
+
+class TestMixedCorpus:
+    def make(self):
+        return MixedCorpus(HmmCorpus(), InductionCorpus())
+
+    def test_batch_shapes(self):
+        c = self.make()
+        batches = list(c.batches(3, 4, 32, seed=0))
+        assert len(batches) == 3
+        ids, tgt = batches[0]
+        assert ids.shape == (4, 32) and tgt.shape == (4, 32)
+        assert np.array_equal(ids[:, 1:], tgt[:, :-1])
+
+    def test_eval_rows(self):
+        rows = self.make().eval_tokens(256, 64)
+        assert rows.shape == (4, 65)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        cfg = ModelConfig(vocab_size=64, d_model=32, n_heads=2, n_layers=1,
+                          d_ff=48, max_seq=64, arch="llama", seed=2)
+        m = TransformerLM(cfg)
+        corpus = MixedCorpus(HmmCorpus(vocab_size=64, n_keys=4),
+                             InductionCorpus(vocab_size=64, n_keys=4),
+                             induction_frac=0.0)
+        batches = list(corpus.batches(40, 4, 32, seed=3))
+        report = train_lm(m, batches, lr=5e-3, warmup=5)
+        assert report.smoothed_final(10) < report.losses[0] - 0.3
+
+    def test_adam_updates_params(self, rng):
+        cfg = ModelConfig(vocab_size=16, d_model=8, n_heads=2, n_layers=1,
+                          d_ff=12, max_seq=16, arch="llama", seed=4)
+        m = TransformerLM(cfg)
+        before = {k: v.copy() for k, v in m.params.items()}
+        opt = Adam(m.params, lr=1e-2)
+        ids = rng.integers(0, 16, size=(2, 8))
+        _, grads = m.loss_and_grads(ids, ids)
+        opt.step(m.params, grads)
+        changed = sum(not np.allclose(before[k], m.params[k]) for k in before)
+        assert changed >= len(before) - 1  # all but possibly unused pos rows
+
+    def test_gradient_clipping_bounds_step(self, rng):
+        params = {"w": np.zeros(4)}
+        opt = Adam(params, lr=1.0, clip=1.0)
+        opt.step(params, {"w": np.full(4, 1e6)})
+        assert np.max(np.abs(params["w"])) <= 1.0 + 1e-6

@@ -1,0 +1,103 @@
+"""Tests for outlier injection and the generation-task metrics."""
+
+import numpy as np
+import pytest
+
+from repro.model.corpus import HmmCorpus
+from repro.model.outliers import inject_outliers, outlier_channel_stats
+from repro.model.tasks import ContinuationTask, RecallTask, bleu, token_f1
+from repro.model.transformer import ModelConfig, TransformerLM
+from repro.quant.kvcache import FP16KVCache
+
+
+class TestOutlierInjection:
+    def test_function_preserved(self, rng):
+        cfg = ModelConfig(vocab_size=32, d_model=32, n_heads=2, n_layers=2,
+                          d_ff=48, max_seq=32, arch="llama", seed=5)
+        m = TransformerLM(cfg)
+        ids = rng.integers(0, 32, size=(2, 10))
+        base = m.forward_logits(ids)
+        inj = TransformerLM(cfg, inject_outliers(m.params, cfg, scale=16.0, frac=0.1))
+        assert np.allclose(inj.forward_logits(ids), base, atol=1e-8)
+
+    def test_function_preserved_opt(self, rng):
+        cfg = ModelConfig(vocab_size=32, d_model=32, n_heads=2, n_layers=1,
+                          d_ff=48, max_seq=32, arch="opt", seed=5)
+        m = TransformerLM(cfg)
+        ids = rng.integers(0, 32, size=(1, 8))
+        inj = TransformerLM(cfg, inject_outliers(m.params, cfg, scale=16.0, frac=0.1))
+        assert np.allclose(inj.forward_logits(ids), m.forward_logits(ids), atol=1e-8)
+
+    def test_creates_weight_outliers(self, rng):
+        cfg = ModelConfig(vocab_size=32, d_model=64, n_heads=2, n_layers=1,
+                          d_ff=96, max_seq=32, arch="llama", seed=6)
+        m = TransformerLM(cfg)
+        inj = inject_outliers(m.params, cfg, scale=16.0, frac=0.05)
+        stats = outlier_channel_stats(inj["layers.0.attn.wv"].T)
+        base = outlier_channel_stats(m.params["layers.0.attn.wv"].T)
+        assert stats["max_over_median"] > 4 * base["max_over_median"]
+
+    def test_original_untouched(self, rng):
+        cfg = ModelConfig(vocab_size=32, d_model=32, n_heads=2, n_layers=1,
+                          d_ff=48, max_seq=32, arch="llama", seed=7)
+        m = TransformerLM(cfg)
+        snapshot = m.params["layers.0.attn.wv"].copy()
+        inject_outliers(m.params, cfg)
+        assert np.array_equal(m.params["layers.0.attn.wv"], snapshot)
+
+
+class TestMetrics:
+    def test_f1_perfect(self):
+        assert token_f1([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_f1_disjoint(self):
+        assert token_f1([1], [2]) == 0.0
+
+    def test_f1_partial(self):
+        assert token_f1([1, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_f1_empty(self):
+        assert token_f1([], []) == 1.0
+        assert token_f1([1], []) == 0.0
+
+    def test_bleu_identity(self):
+        assert bleu([1, 2, 3, 4, 5], [1, 2, 3, 4, 5]) > 0.9
+
+    def test_bleu_disjoint_low(self):
+        assert bleu([1] * 8, [2] * 8) < 0.1
+
+    def test_bleu_brevity_penalty(self):
+        long_ref = list(range(20))
+        assert bleu(long_ref[:5], long_ref) < bleu(long_ref, long_ref)
+
+
+class TestTasks:
+    def test_recall_episode_structure(self):
+        task = RecallTask(prompt_len=64, n_pairs=3, n_episodes=2)
+        rng = np.random.default_rng(0)
+        prompt, answer = task._build_episode(rng)
+        assert len(prompt) == 64
+        # Query key appears earlier in the prompt, followed by answer.
+        key = prompt[-1]
+        idx = np.flatnonzero(prompt[:-1] == key)
+        assert idx.size >= 1
+        assert prompt[idx[0] + 1] == answer
+
+    def test_recall_runs_on_untrained_model(self):
+        cfg = ModelConfig(vocab_size=64, d_model=16, n_heads=2, n_layers=1,
+                          d_ff=24, max_seq=128, arch="llama", seed=8)
+        m = TransformerLM(cfg)
+        task = RecallTask(vocab_size=64, prompt_len=48, n_episodes=2, n_pairs=2)
+        score = task.evaluate(m, FP16KVCache)
+        assert 0.0 <= score <= 1.0
+
+    def test_continuation_references_and_eval(self):
+        cfg = ModelConfig(vocab_size=64, d_model=16, n_heads=2, n_layers=1,
+                          d_ff=24, max_seq=160, arch="llama", seed=9)
+        m = TransformerLM(cfg)
+        task = ContinuationTask(hmm=HmmCorpus(vocab_size=64), prompt_len=24,
+                                gen_len=8, n_episodes=2)
+        refs = task.references(m, FP16KVCache)
+        # FP16 vs itself: identical generations, BLEU = 1.
+        score = task.evaluate(m, FP16KVCache, refs)
+        assert score == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,107 @@
+"""Tests for the PTQ harness internals (repro.model.quantized)."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import VarianceSelector
+from repro.model.quantized import (
+    PTQConfig,
+    build_ptq,
+    int_kv_prefill_qdq,
+    mant_kv_prefill_qdq,
+)
+from repro.model.transformer import ModelConfig, TransformerLM
+
+
+def tiny_model(arch="llama"):
+    cfg = ModelConfig(vocab_size=48, d_model=32, n_heads=2, n_layers=2,
+                      d_ff=48, max_seq=64, arch=arch, seed=3)
+    return TransformerLM(cfg)
+
+
+class TestPTQConfigNames:
+    def test_default_name(self):
+        assert PTQConfig(method="mant", w_bits=4, a_bits=8).name == "mant-W4A8"
+
+    def test_kv_suffix(self):
+        cfg = PTQConfig(method="mant", kv_method="mant", kv_bits=4)
+        assert cfg.name.endswith("+KVmant4")
+
+    def test_label_overrides(self):
+        assert PTQConfig(label="row 7").name == "row 7"
+
+
+class TestKVPrefillQdq:
+    def test_mant_shapes(self, rng):
+        k = rng.normal(size=(2, 2, 70, 16))
+        v = rng.normal(size=(2, 2, 70, 16))
+        sel = VarianceSelector(group_size=32)
+        kq, vq = mant_kv_prefill_qdq(k, v, sel, bits=4, group_size=32)
+        assert kq.shape == k.shape and vq.shape == v.shape
+
+    def test_mant_tail_is_int8_staged(self, rng):
+        # 70 tokens with window 32: 64 finalized, 6 staged at INT8.
+        k = rng.normal(size=(1, 1, 70, 16))
+        v = rng.normal(size=(1, 1, 70, 16))
+        sel = VarianceSelector(group_size=32)
+        _, vq = mant_kv_prefill_qdq(k, v, sel, bits=4, group_size=32, window=32)
+        tail_err = np.abs(vq[..., 64:, :] - v[..., 64:, :])
+        body_err = np.abs(vq[..., :64, :] - v[..., :64, :])
+        assert tail_err.mean() < body_err.mean()  # INT8 tail beats MANT4 body
+
+    def test_int_kv_shapes(self, rng):
+        k = rng.normal(size=(2, 2, 20, 16))
+        v = rng.normal(size=(2, 2, 20, 16))
+        kq, vq = int_kv_prefill_qdq(k, v, bits=4, group_size=64)
+        assert kq.shape == k.shape
+        assert np.all(np.isfinite(vq))
+
+    def test_mant_matches_cache_semantics(self, rng):
+        # The vectorised prefill hook and the streaming MantKVCache
+        # agree on finalized windows (same selector, same grouping).
+        from repro.quant.kvcache import MantKVCache
+
+        sel = VarianceSelector(group_size=32).fit(rng.normal(size=(256, 32)))
+        k = rng.normal(size=(1, 2, 64, 16))
+        v = rng.normal(size=(1, 2, 64, 16))
+        kq, vq = mant_kv_prefill_qdq(k, v, sel, bits=4, group_size=32, window=32)
+        cache = MantKVCache(selector=sel, bits=4, group_size=32, window=32)
+        cache.prefill(k[0], v[0])
+        assert np.allclose(cache.values(), vq[0], atol=1e-9)
+        assert np.allclose(cache.keys(), kq[0], atol=1e-9)
+
+
+class TestBuildPtqPerArch:
+    @pytest.mark.parametrize("arch", ["llama", "opt"])
+    @pytest.mark.parametrize("method", ["mant", "int", "ant", "olive", "tender"])
+    def test_forward_runs(self, arch, method, rng):
+        model = tiny_model(arch)
+        cfg = PTQConfig(method=method, w_bits=4, a_bits=8, group_size=16)
+        setup = build_ptq(model, cfg, None)
+        ids = rng.integers(0, 48, size=(2, 10))
+        logits = model.forward_logits(ids, weights=setup.weights,
+                                      act_quant=setup.act_quant)
+        assert np.all(np.isfinite(logits))
+
+    def test_fp16_config_is_identity(self, rng):
+        model = tiny_model()
+        setup = build_ptq(model, PTQConfig(method="fp16", w_bits=16, a_bits=16), None)
+        assert setup.act_quant is None and setup.kv_quant is None
+        name = model.config.linear_names()[0]
+        assert np.array_equal(setup.weights[name], model.params[name])
+
+    def test_kv_hook_preserves_shapes(self, rng):
+        model = tiny_model()
+        cfg = PTQConfig(method="mant", w_bits=4, a_bits=8, group_size=16,
+                        kv_method="mant", kv_bits=4, attn_act_bits=8)
+        setup = build_ptq(model, cfg, None)
+        ids = rng.integers(0, 48, size=(1, 34))
+        logits = model.forward_logits(ids, weights=setup.weights,
+                                      act_quant=setup.act_quant,
+                                      kv_quant=setup.kv_quant)
+        assert logits.shape == (1, 34, 48)
+
+    def test_unknown_method_raises(self):
+        model = tiny_model()
+        with pytest.raises(ValueError):
+            build_ptq(model, PTQConfig(method="quux"), None)

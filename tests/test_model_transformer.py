@@ -1,0 +1,131 @@
+"""Tests for the transformer model: shapes, backprop, decode paths."""
+
+import numpy as np
+import pytest
+
+from repro.model.transformer import ModelConfig, TransformerLM, init_params, param_count
+from repro.quant.kvcache import FP16KVCache
+
+
+def tiny(arch="llama", **kw):
+    defaults = dict(vocab_size=23, d_model=16, n_heads=2, n_layers=2,
+                    d_ff=24, max_seq=32, arch=arch, seed=1)
+    defaults.update(kw)
+    return ModelConfig(**defaults)
+
+
+class TestConfig:
+    def test_head_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelConfig(d_model=10, n_heads=3)
+
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError):
+            ModelConfig(arch="gpt5")
+
+    def test_rope_even_head(self):
+        with pytest.raises(ValueError):
+            ModelConfig(d_model=6, n_heads=2, arch="llama")
+
+    def test_linear_names(self):
+        assert len(tiny("llama").linear_names()) == 2 * 7
+        assert len(tiny("opt").linear_names()) == 2 * 6
+
+
+class TestForward:
+    @pytest.mark.parametrize("arch", ["llama", "opt"])
+    def test_logits_shape(self, arch, rng):
+        m = TransformerLM(tiny(arch))
+        ids = rng.integers(0, 23, size=(3, 8))
+        assert m.forward_logits(ids).shape == (3, 8, 23)
+
+    def test_deterministic(self, rng):
+        m = TransformerLM(tiny())
+        ids = rng.integers(0, 23, size=(1, 8))
+        assert np.array_equal(m.forward_logits(ids), m.forward_logits(ids))
+
+    def test_weight_substitution(self, rng):
+        m = TransformerLM(tiny())
+        ids = rng.integers(0, 23, size=(1, 8))
+        base = m.forward_logits(ids)
+        w2 = {k: v.copy() for k, v in m.params.items()}
+        w2["layers.0.attn.wq"] = w2["layers.0.attn.wq"] * 0
+        changed = m.forward_logits(ids, weights=w2)
+        assert not np.allclose(base, changed)
+
+    def test_act_quant_hook_called_per_linear(self, rng):
+        m = TransformerLM(tiny())
+        seen = []
+
+        def hook(name, x):
+            seen.append(name)
+            return x
+
+        m.forward_logits(rng.integers(0, 23, size=(1, 4)), act_quant=hook)
+        # 2 layers x (attn input, wo input, ffn gate input, ffn down input)
+        assert len(seen) == 2 * 4
+
+    def test_kv_quant_hook_shapes(self, rng):
+        m = TransformerLM(tiny())
+        shapes = []
+
+        def hook(layer, q, k, v):
+            shapes.append((q.shape, k.shape, v.shape))
+            return q, k, v
+
+        m.forward_logits(rng.integers(0, 23, size=(2, 6)), act_quant=None, kv_quant=hook)
+        assert shapes[0][0] == (2, 2, 6, 8)
+
+
+class TestBackprop:
+    @pytest.mark.parametrize("arch", ["llama", "opt"])
+    def test_gradcheck_sampled(self, arch, rng):
+        cfg = tiny(arch, d_model=8, d_ff=12, vocab_size=11)
+        m = TransformerLM(cfg)
+        ids = rng.integers(0, 11, size=(2, 5))
+        tgt = rng.integers(0, 11, size=(2, 5))
+        loss, grads = m.loss_and_grads(ids, tgt)
+        eps = 1e-5
+        for name in ["embed", "layers.0.attn.wv", "layers.1.norm1.g"]:
+            p = m.params[name]
+            flat = p.ravel()
+            for i in rng.choice(flat.size, size=3, replace=False):
+                orig = flat[i]
+                flat[i] = orig + eps
+                lp, _ = m.loss_and_grads(ids, tgt)
+                flat[i] = orig - eps
+                lm, _ = m.loss_and_grads(ids, tgt)
+                flat[i] = orig
+                num = (lp - lm) / (2 * eps)
+                ana = grads[name].ravel()[i]
+                assert num == pytest.approx(ana, abs=1e-4, rel=1e-3), name
+
+    def test_grads_cover_all_params(self, rng):
+        m = TransformerLM(tiny())
+        _, grads = m.loss_and_grads(
+            rng.integers(0, 23, size=(2, 6)), rng.integers(0, 23, size=(2, 6))
+        )
+        assert set(grads) == set(m.params)
+
+
+class TestDecodePath:
+    @pytest.mark.parametrize("arch", ["llama", "opt"])
+    def test_decode_matches_teacher_forcing(self, arch, rng):
+        m = TransformerLM(tiny(arch))
+        ids = rng.integers(0, 23, size=17)
+        tf = m.forward_logits(ids[None, :])[0]
+        caches = [FP16KVCache() for _ in range(2)]
+        out = [m.prefill(ids[:9], caches)]
+        for j in range(9, 17):
+            out.append(m.decode_step(int(ids[j]), caches, pos=j))
+        dec = np.stack(out)
+        assert np.allclose(dec[:-1], tf[8:16], atol=1e-10)
+
+    def test_param_count(self):
+        m = TransformerLM(tiny())
+        assert param_count(m.params) == sum(p.size for p in m.params.values())
+
+    def test_init_deterministic(self):
+        a = init_params(tiny())
+        b = init_params(tiny())
+        assert all(np.array_equal(a[k], b[k]) for k in a)

@@ -1,0 +1,122 @@
+"""Cross-method property tests: invariants every quantizer must obey.
+
+Three families of invariant, checked across all fake-quantization
+paths with hypothesis-driven inputs:
+
+* **idempotence** — quantizing an already-quantized tensor is a no-op
+  (the grid is a fixed point set);
+* **scale equivariance** — absmax-scaled methods commute with positive
+  rescaling: ``qdq(c x) == c qdq(x)`` (up to FP16-scale rounding, so
+  checked with exact scales);
+* **group locality** — group-wise methods never let values in one
+  group influence another group's reconstruction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import MantCodec
+from repro.core.selection import MseSearchSelector
+from repro.datatypes.int_type import IntType
+from repro.quant.ant import AntQuantizer
+from repro.quant.clustering import PerGroupClusterQuantizer
+from repro.quant.config import Granularity
+from repro.quant.quantizer import GroupQuantizer
+
+
+def mant_qdq(x):
+    sel = MseSearchSelector(group_size=16)
+    codec = MantCodec(group_size=16, fp16_scales=False)
+    return codec.qdq(x, sel.select(x))
+
+
+def int_group_qdq(x):
+    return GroupQuantizer(IntType(4), Granularity.GROUP, 16,
+                          fp16_scales=False).qdq(x)
+
+
+def ant_group_qdq(x):
+    return AntQuantizer(bits=4, granularity=Granularity.GROUP, group_size=16,
+                        fp16_scales=False).qdq(x)
+
+
+def cluster_qdq(x):
+    return PerGroupClusterQuantizer(bits=4, group_size=16).qdq(x)
+
+
+METHODS = {
+    "mant": mant_qdq,
+    "int-group": int_group_qdq,
+    "ant-group": ant_group_qdq,
+    "cluster": cluster_qdq,
+}
+
+
+@pytest.mark.parametrize("name", sorted(METHODS))
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_idempotence(name, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 48)) * rng.uniform(0.01, 100)
+    qdq = METHODS[name]
+    once = qdq(x)
+    twice = qdq(once)
+    assert np.allclose(once, twice, rtol=1e-9, atol=1e-12), name
+
+
+@pytest.mark.parametrize("name", sorted(METHODS))
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    scale=st.floats(1e-3, 1e3),
+)
+@settings(max_examples=15, deadline=None)
+def test_scale_equivariance(name, seed, scale):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(2, 48))
+    qdq = METHODS[name]
+    assert np.allclose(qdq(x * scale), qdq(x) * scale,
+                       rtol=1e-7, atol=1e-10), name
+
+
+@pytest.mark.parametrize("name", sorted(METHODS))
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_group_locality(name, seed):
+    # Perturbing group 1 must not change group 0's reconstruction.
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(2, 32))  # two groups of 16
+    y = x.copy()
+    y[:, 16:] = rng.normal(size=(2, 16)) * 50
+    qdq = METHODS[name]
+    assert np.allclose(qdq(x)[:, :16], qdq(y)[:, :16],
+                       rtol=1e-9, atol=1e-12), name
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_mant_never_worse_than_forced_single_grid(seed):
+    # The searched per-group coefficients can only improve on any fixed
+    # single coefficient (the search space contains it).
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(4, 64)) * np.exp(rng.normal(0, 1, size=(1, 64)))
+    sel = MseSearchSelector(group_size=16)
+    codec = MantCodec(group_size=16, fp16_scales=False)
+    searched = codec.qdq(x, sel.select(x))
+    for a in (0.0, 17.0, 120.0):
+        forced = codec.qdq(x, np.full((4, 4), a))
+        assert (np.mean((searched - x) ** 2)
+                <= np.mean((forced - x) ** 2) + 1e-12)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_cluster_is_lower_bound(seed):
+    # Per-group k-means is the accuracy-optimal 16-level quantizer: no
+    # grid-based method may beat it by more than its convergence slack.
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(2, 32))
+    c_err = np.mean((cluster_qdq(x) - x) ** 2)
+    for name in ("mant", "int-group", "ant-group"):
+        err = np.mean((METHODS[name](x) - x) ** 2)
+        assert c_err <= err * 1.05 + 1e-12, name

@@ -1,0 +1,138 @@
+"""Tests for the baseline adaptive methods: ANT, OliVe, Tender, clustering."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes.int_type import IntType
+from repro.quant.ant import AntQuantizer, select_ant_type
+from repro.quant.clustering import PerGroupClusterQuantizer, kmeans_1d
+from repro.quant.config import Granularity
+from repro.quant.olive import OliveQuantizer
+from repro.quant.tender import TenderQuantizer
+
+
+class TestAnt:
+    def test_type_selection_uniform(self, rng):
+        dt = select_ant_type(rng.uniform(-1, 1, 4000))
+        assert dt.name.startswith("int")
+
+    def test_type_selection_laplace(self, rng):
+        x = rng.laplace(scale=0.02, size=4000)
+        x[0] = 1.0
+        dt = select_ant_type(x)
+        assert dt.name.startswith("pot")
+
+    def test_group_adaptive_beats_fixed_int_on_mixed(self, rng):
+        # Groups with different shapes: per-group type selection wins.
+        g1 = rng.uniform(-1, 1, size=(8, 64))
+        g2 = rng.laplace(scale=0.02, size=(8, 64))
+        g2[:, 0] = 1.0
+        x = np.concatenate([g1, g2], axis=1)
+        ant = AntQuantizer(bits=4, granularity=Granularity.GROUP, group_size=64)
+        int_err = np.mean((IntType(4).qdq(x) - x) ** 2)
+        ant_err = np.mean((ant.qdq(x) - x) ** 2)
+        assert ant_err < int_err
+
+    def test_8bit_falls_back_to_int(self, rng):
+        x = rng.normal(size=(4, 64))
+        ant = AntQuantizer(bits=8, granularity=Granularity.TENSOR)
+        out = ant.qdq(x)
+        assert np.max(np.abs(out - x)) < np.max(np.abs(x)) / 100
+
+    def test_activation_rule_single_type(self, rng):
+        # per_unit_type=False must still produce per-group scales.
+        x = rng.normal(size=(4, 128))
+        ant = AntQuantizer(bits=4, granularity=Granularity.GROUP, group_size=64,
+                           per_unit_type=False)
+        assert ant.qdq(x).shape == x.shape
+
+    def test_type_histogram_sums_to_one(self, rng):
+        ant = AntQuantizer(bits=4, granularity=Granularity.GROUP, group_size=32)
+        hist = ant.type_histogram(rng.normal(size=(8, 128)))
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+
+class TestOlive:
+    def test_channelwise_outliers(self, rng):
+        x = rng.normal(size=(16, 128))
+        x[:, 5] = 30.0
+        q = OliveQuantizer(bits=4, granularity=Granularity.CHANNEL)
+        out = q.qdq(x, axis=-1)
+        assert out.shape == x.shape
+        # Outlier channel survives within abfloat relative error.
+        assert np.all(np.abs(out[:, 5] - 30.0) / 30.0 < 0.25)
+
+    def test_groupwise_runs(self, rng):
+        q = OliveQuantizer(bits=4, granularity=Granularity.GROUP, group_size=64)
+        x = rng.normal(size=(4, 128))
+        assert q.qdq(x).shape == x.shape
+
+    def test_group_shrink_hurts_olive(self, rng):
+        # Tbl. V's effect: at smaller groups the victim cost outweighs
+        # outlier protection, so error should not improve the way other
+        # methods' does.  We check OVP loses to plain group INT at G-32
+        # on outlier-free data (every false outlier costs a victim).
+        x = rng.standard_t(df=4, size=(16, 128))
+        from repro.quant.quantizer import quantize_dequantize
+
+        int_err = np.mean(
+            (quantize_dequantize(x, IntType(4), Granularity.GROUP, 32) - x) ** 2
+        )
+        ovp_err = np.mean(
+            (OliveQuantizer(4, Granularity.GROUP, 32).qdq(x) - x) ** 2
+        )
+        assert ovp_err > int_err * 0.5  # OVP offers no decisive win here
+
+
+class TestTender:
+    def test_power_of_two_chunk_scales(self, rng):
+        x = rng.normal(size=(32, 256))
+        x[:, :8] *= 64
+        q = TenderQuantizer(bits=4, n_chunks=8, fp16_scales=False)
+        out = q.qdq(x, axis=-1)
+        assert out.shape == x.shape
+
+    def test_beats_tensorwise_int_with_outlier_channels(self, rng):
+        x = rng.normal(size=(64, 256))
+        x[:, :4] *= 100
+        t_err = np.mean((IntType(4).qdq(x) - x) ** 2)
+        tender_err = np.mean((TenderQuantizer(bits=4).qdq(x) - x) ** 2)
+        assert tender_err < t_err
+
+    def test_zero_tensor(self):
+        q = TenderQuantizer(bits=4)
+        x = np.zeros((4, 16))
+        assert np.allclose(q.qdq(x), 0)
+
+
+class TestClustering:
+    def test_kmeans_converges_sorted(self, rng):
+        groups = rng.normal(size=(10, 64))
+        centroids, idx = kmeans_1d(groups, k=16)
+        assert centroids.shape == (10, 16)
+        assert np.all(np.diff(centroids, axis=1) >= -1e-12)
+        assert idx.min() >= 0 and idx.max() < 16
+
+    def test_ideal_beats_every_fixed_grid(self, rng):
+        # Fig. 2: per-group clustering is the accuracy-optimal method.
+        from repro.core.codec import MantCodec
+        from repro.core.selection import MseSearchSelector
+
+        x = rng.normal(size=(16, 128))
+        cq = PerGroupClusterQuantizer(bits=4, group_size=64)
+        cluster_err = np.mean((cq.qdq(x) - x) ** 2)
+        mant_err = np.mean(
+            (MantCodec(group_size=64, fp16_scales=False).qdq(
+                x, MseSearchSelector(group_size=64).select(x)) - x) ** 2
+        )
+        int_err = np.mean((IntType(4).qdq(x) - x) ** 2)
+        assert cluster_err < mant_err < int_err
+
+    def test_exact_when_few_distinct_values(self):
+        x = np.tile(np.array([[-1.0, 0.0, 2.0, 5.0]]), (1, 16))
+        cq = PerGroupClusterQuantizer(bits=4, group_size=64)
+        assert np.allclose(cq.qdq(x), x)
+
+    def test_codebook_overhead(self):
+        cq = PerGroupClusterQuantizer(bits=4, group_size=64)
+        assert cq.codebook_bits_per_element() == pytest.approx(2.0)

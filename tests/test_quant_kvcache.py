@@ -1,0 +1,158 @@
+"""Tests for the real-time KV-cache quantizers (paper Sec. V-C, Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.config import KVCacheConfig, QuantConfig
+from repro.quant.kvcache import (
+    FP16KVCache,
+    IntKVCache,
+    MantKVCache,
+    make_kv_cache,
+)
+
+
+def fill(cache, heads=2, seq=70, dh=64, extra=70, seed=0):
+    rng = np.random.default_rng(seed)
+    k = rng.normal(size=(heads, seq, dh))
+    v = rng.normal(size=(heads, seq, dh))
+    cache.prefill(k, v)
+    for _ in range(extra):
+        cache.append(rng.normal(size=(heads, dh)), rng.normal(size=(heads, dh)))
+    return k, v
+
+
+class TestFP16Cache:
+    def test_exact_passthrough(self):
+        cache = FP16KVCache()
+        k, v = fill(cache, extra=3)
+        assert cache.keys().shape == (2, 73, 64)
+        assert np.allclose(cache.keys()[:, :70], k)
+        assert np.allclose(cache.values()[:, :70], v)
+
+    def test_seq_len(self):
+        cache = FP16KVCache()
+        fill(cache, extra=5)
+        assert cache.seq_len == 75
+
+
+class TestIntCache:
+    def test_shapes(self):
+        cache = IntKVCache(bits=4, group_size=64)
+        fill(cache)
+        assert cache.keys().shape == (2, 140, 64)
+
+    def test_error_bounded(self):
+        cache = IntKVCache(bits=8, group_size=64)
+        k, v = fill(cache, extra=0)
+        err = np.max(np.abs(cache.keys() - k))
+        assert err <= np.max(np.abs(k)) / 127 * 1.2
+
+    def test_small_head_dim(self):
+        cache = IntKVCache(bits=4, group_size=64)
+        rng = np.random.default_rng(0)
+        cache.prefill(rng.normal(size=(2, 10, 16)), rng.normal(size=(2, 10, 16)))
+        assert cache.keys().shape == (2, 10, 16)
+
+
+class TestMantCache:
+    def test_shapes_and_growth(self):
+        cache = MantKVCache(group_size=64)
+        fill(cache, seq=70, extra=70)
+        assert cache.keys().shape == (2, 140, 64)
+        assert cache.values().shape == (2, 140, 64)
+        assert cache.seq_len == 140
+
+    def test_two_phase_window_flush(self):
+        cache = MantKVCache(group_size=64, window=64)
+        rng = np.random.default_rng(1)
+        cache.prefill(rng.normal(size=(2, 64, 32)), rng.normal(size=(2, 64, 32)))
+        assert cache.staging_fill == 0  # prefill seq = exact window
+        for t in range(63):
+            cache.append(rng.normal(size=(2, 32)), rng.normal(size=(2, 32)))
+        assert cache.staging_fill == 63
+        cache.append(rng.normal(size=(2, 32)), rng.normal(size=(2, 32)))
+        assert cache.staging_fill == 0  # window closed and finalised
+
+    def test_prefill_remainder_staged(self):
+        cache = MantKVCache(group_size=64, window=64)
+        rng = np.random.default_rng(2)
+        cache.prefill(rng.normal(size=(1, 100, 32)), rng.normal(size=(1, 100, 32)))
+        assert cache.staging_fill == 36
+
+    def test_values_reasonably_accurate(self):
+        # With a calibrated variance selector (the deployment mode),
+        # 4-bit MANT lands near the MSE-search optimum (~1% rel MSE).
+        from repro.core.selection import VarianceSelector
+
+        rng = np.random.default_rng(42)
+        sel = VarianceSelector(group_size=64).fit(rng.normal(size=(500, 64)))
+        cache = MantKVCache(selector=sel, group_size=64)
+        k, v = fill(cache, extra=0, seq=128)
+        rel = np.mean((cache.values() - v) ** 2) / np.mean(v * v)
+        assert rel < 0.015
+
+    def test_unfitted_selector_still_usable(self):
+        cache = MantKVCache(group_size=64)
+        k, v = fill(cache, extra=0, seq=128)
+        rel = np.mean((cache.values() - v) ** 2) / np.mean(v * v)
+        assert rel < 0.05  # theoretical ranges: degraded but sane
+
+    def test_keys_better_than_int4(self):
+        rng = np.random.default_rng(3)
+        k = rng.normal(size=(2, 64, 64))
+        # Outlier channel in K (what the Q/K injection produces).
+        k[:, :, 3] *= 16
+        v = rng.normal(size=(2, 64, 64))
+        mant = MantKVCache(group_size=64)
+        mant.prefill(k, v)
+        intc = IntKVCache(bits=4, group_size=64)
+        intc.prefill(k, v)
+        mant_err = np.mean((mant.keys() - k) ** 2)
+        int_err = np.mean((intc.keys() - k) ** 2)
+        assert mant_err <= int_err * 1.05
+
+    def test_decode_without_prefill(self):
+        cache = MantKVCache(group_size=8, window=8)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            cache.append(rng.normal(size=(1, 8)), rng.normal(size=(1, 8)))
+        assert cache.seq_len == 10
+        assert cache.values().shape == (1, 10, 8)
+
+    def test_staging_is_int8_quality(self):
+        # Values still in the staging window carry INT8 error, not 4-bit.
+        cache = MantKVCache(group_size=64, window=64)
+        rng = np.random.default_rng(5)
+        cache.prefill(rng.normal(size=(1, 64, 16)), rng.normal(size=(1, 64, 16)))
+        v_t = rng.normal(size=(1, 16))
+        cache.append(rng.normal(size=(1, 16)), v_t)
+        staged = cache.values()[:, -1, :]
+        rel = np.abs(staged - v_t) / (np.abs(v_t) + 1e-9)
+        assert np.median(rel) < 0.1
+
+
+class TestFactory:
+    def test_fp16(self):
+        assert isinstance(make_kv_cache(KVCacheConfig(
+            key=QuantConfig(bits=16, method="fp16"),
+            value=QuantConfig(bits=16, method="fp16"))), FP16KVCache)
+
+    def test_mant(self):
+        cfg = KVCacheConfig()
+        assert isinstance(make_kv_cache(cfg), MantKVCache)
+
+    def test_int(self):
+        cfg = KVCacheConfig(
+            key=QuantConfig(bits=4, method="int"),
+            value=QuantConfig(bits=4, method="int"),
+        )
+        assert isinstance(make_kv_cache(cfg), IntKVCache)
+
+    def test_unknown_rejected(self):
+        cfg = KVCacheConfig(
+            key=QuantConfig(bits=4, method="nf"),
+            value=QuantConfig(bits=4, method="nf"),
+        )
+        with pytest.raises(ValueError):
+            make_kv_cache(cfg)

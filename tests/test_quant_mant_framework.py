@@ -1,0 +1,74 @@
+"""Tests for the MANT weight-quantization framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.codec import INT_A
+from repro.quant.mant_framework import MantModelQuantizer, MantQuantizer
+
+
+class TestMantQuantizer:
+    def test_qdq_improves_over_worst_choice(self, rng):
+        q = MantQuantizer(group_size=64)
+        w = rng.normal(size=(16, 128))
+        searched = q.qdq(w)
+        from repro.core.codec import MantCodec
+
+        codec = MantCodec(group_size=64)
+        forced_pot = codec.qdq(w, np.zeros((16, 2)))
+        assert np.mean((searched - w) ** 2) <= np.mean((forced_pot - w) ** 2)
+
+    def test_qdq_tensor_axes(self, rng):
+        q = MantQuantizer(group_size=32)
+        x = rng.normal(size=(3, 5, 64))
+        out = q.qdq_tensor(x, axis=-1)
+        assert out.shape == x.shape
+        out0 = q.qdq_tensor(x, axis=0)
+        assert out0.shape == x.shape
+
+    def test_encode_decode_roundtrip(self, rng):
+        q = MantQuantizer(group_size=64, fp16_scales=False)
+        w = rng.normal(size=(8, 128))
+        enc = q.encode(w)
+        assert np.allclose(q.dequantize(enc), q.qdq(w))
+
+    def test_calibrated_selection_accepts_stats(self, rng):
+        q = MantQuantizer(group_size=64)
+        w = rng.normal(size=(8, 128))
+        h = np.abs(rng.normal(size=128)) + 0.1
+        out = q.qdq(w, act_sq_mean=h)
+        assert out.shape == w.shape
+
+
+class TestMantModelQuantizer:
+    def test_quantize_collection(self, rng):
+        mq = MantModelQuantizer(group_size=64)
+        weights = {
+            "a": rng.normal(size=(8, 128)),
+            "b": rng.normal(size=(4, 64)),
+        }
+        out = mq.quantize_weights(weights)
+        assert set(out) == {"a", "b"}
+        assert "a" in mq.results
+
+    def test_histogram_fractions(self, rng):
+        mq = MantModelQuantizer(group_size=64)
+        mq.quantize_weights({"w": rng.normal(size=(16, 256))})
+        hist = mq.datatype_ratio_table()["w"]
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_int_fraction_range(self, rng):
+        mq = MantModelQuantizer(group_size=64)
+        mq.quantize_weights({"w": rng.uniform(-1, 1, size=(16, 256))})
+        f = mq.int_fraction()
+        assert 0.0 <= f <= 1.0
+
+    def test_uniform_weights_pick_int_often(self, rng):
+        # Uniform groups should mostly select INT or very large a.
+        mq = MantModelQuantizer(group_size=64)
+        mq.quantize_weights({"w": rng.uniform(-1, 1, size=(32, 256))})
+        hist = mq.datatype_ratio_table()["w"]
+        uniform_like = sum(
+            frac for a, frac in hist.items() if a == INT_A or a >= 80
+        )
+        assert uniform_like > 0.9

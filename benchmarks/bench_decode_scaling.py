@@ -1,0 +1,110 @@
+"""Decode-step scaling of the KV caches: per-token cost vs sequence length.
+
+Not a paper table — this certifies the O(T) property of the buffered
+KV caches.  Each decode step appends one token and reads the full cache
+(exactly what the attention loop does); with the preallocated
+zero-copy buffers the append+read cost must stay *flat* as the
+sequence grows, whereas the seed's list+concatenate layout
+(:class:`legacy_impl.LegacyListKVCache`) grows linearly per step,
+i.e. O(T²) for the whole generation.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_decode_scaling.py``)
+for the scaling table, or through pytest-benchmark for timings.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.quant.kvcache import FP16KVCache, IntKVCache, MantKVCache
+
+from legacy_impl import LegacyListKVCache
+
+HEADS = 8
+D_HEAD = 64
+PREFILL = 64
+TOKENS = 768
+CHUNK = 128
+
+
+def decode_chunk_times(cache, tokens=TOKENS, chunk=CHUNK, seed=0):
+    """Wall time of each ``chunk``-token slice of a decode run.
+
+    Every step performs the attention loop's cache traffic: one append
+    plus a full keys()/values() read.
+    """
+    rng = np.random.default_rng(seed)
+    cache.prefill(
+        rng.normal(size=(HEADS, PREFILL, D_HEAD)),
+        rng.normal(size=(HEADS, PREFILL, D_HEAD)),
+    )
+    times = []
+    t0 = time.perf_counter()
+    for t in range(tokens):
+        cache.append(rng.normal(size=(HEADS, D_HEAD)), rng.normal(size=(HEADS, D_HEAD)))
+        k = cache.keys()
+        v = cache.values()
+        assert k.shape[1] == v.shape[1] == PREFILL + t + 1
+        if (t + 1) % chunk == 0:
+            t1 = time.perf_counter()
+            times.append(t1 - t0)
+            t0 = t1
+    return times
+
+
+def scaling_report():
+    caches = {
+        "fp16": FP16KVCache(),
+        "int4": IntKVCache(bits=4, group_size=64),
+        "mant4": MantKVCache(group_size=64),
+        "mant4-legacy-list": LegacyListKVCache(MantKVCache(group_size=64)),
+    }
+    report = {}
+    for name, cache in caches.items():
+        times = decode_chunk_times(cache)
+        report[name] = {
+            "chunk_ms": [round(t * 1e3, 3) for t in times],
+            "last_over_first": round(times[-1] / times[0], 3),
+            "total_ms": round(sum(times) * 1e3, 2),
+        }
+    return report
+
+
+def test_bench_decode_scaling(benchmark):
+    report = benchmark.pedantic(scaling_report, rounds=1, iterations=1)
+    print()
+    for name, row in report.items():
+        print(
+            f"  {name:>18}: total {row['total_ms']:8.1f} ms, "
+            f"last/first chunk ratio {row['last_over_first']:5.2f}"
+        )
+    # The buffered caches must be flat in sequence length (ratio ~1; 2.0
+    # leaves headroom for timer noise), while the legacy list layout
+    # demonstrably grows with T.
+    for name in ("fp16", "int4", "mant4"):
+        assert report[name]["last_over_first"] < 2.0, (name, report[name])
+    assert (
+        report["mant4-legacy-list"]["last_over_first"]
+        > report["mant4"]["last_over_first"]
+    )
+
+
+def main():
+    report = scaling_report()
+    print(f"decode scaling: {TOKENS} tokens after a {PREFILL}-token prefill; "
+          f"per-{CHUNK}-token chunk wall times (ms)")
+    for name, row in report.items():
+        chunks = " ".join(f"{c:7.1f}" for c in row["chunk_ms"])
+        print(f"  {name:>18}: {chunks}   (last/first {row['last_over_first']:.2f})")
+    out = os.path.join(os.path.dirname(__file__), "..", "artifacts", "results")
+    os.makedirs(out, exist_ok=True)
+    path = os.path.join(out, "decode_scaling.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"saved {os.path.normpath(path)}")
+
+
+if __name__ == "__main__":
+    main()

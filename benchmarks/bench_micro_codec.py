@@ -1,30 +1,51 @@
 """Microbenchmarks: codec / fused-kernel / selection throughput.
 
 Not a paper table — these time the core primitives so performance
-regressions in the library itself are visible in CI.
+regressions in the library itself are visible in CI.  The ``legacy_*``
+benchmarks time the seed (pre-fast-path) implementations from
+:mod:`legacy_impl`, so one ``pytest benchmarks/bench_micro_codec.py
+--benchmark-only`` run shows the select/encode speedups directly;
+``check_perf.py`` gates on them.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.codec import MantCodec
-from repro.core.fused import fused_group_gemm, quantize_activations_int8
+from repro.core.fused import (
+    fused_group_gemm,
+    fused_group_gemm_two_psum,
+    quantize_activations_int8,
+)
 from repro.core.selection import MseSearchSelector, VarianceSelector
+
+from legacy_impl import LegacyMantCodec, LegacyMseSearchSelector
 
 RNG = np.random.default_rng(0)
 W = RNG.standard_normal((256, 1024))
 X = RNG.standard_normal((16, 1024))
 A17 = np.full((256, 16), 17.0)
+AMIX = RNG.choice([0.0, 5.0, 17.0, 60.0, 120.0, -1.0], size=(256, 16))
 CODEC = MantCodec(group_size=64)
+LEGACY_CODEC = LegacyMantCodec(group_size=64)
 ENC = CODEC.encode(W, A17)
 XQ = quantize_activations_int8(X, 64)
 SELECTOR = MseSearchSelector(group_size=64)
+LEGACY_SELECTOR = LegacyMseSearchSelector(group_size=64)
 VAR_SELECTOR = VarianceSelector(group_size=64)
 GROUPS = RNG.standard_normal((4096, 64))
 
 
 def test_bench_encode(benchmark):
     benchmark(CODEC.encode, W, A17)
+
+
+def test_bench_encode_mixed_a(benchmark):
+    benchmark(CODEC.encode, W, AMIX)
+
+
+def test_bench_legacy_encode(benchmark):
+    benchmark(LEGACY_CODEC.encode, W, A17)
 
 
 def test_bench_decode(benchmark):
@@ -35,12 +56,24 @@ def test_bench_fused_gemm(benchmark):
     benchmark(fused_group_gemm, XQ, ENC)
 
 
+def test_bench_fused_gemm_two_psum(benchmark):
+    benchmark(fused_group_gemm_two_psum, XQ, ENC)
+
+
 def test_bench_activation_quant(benchmark):
     benchmark(quantize_activations_int8, X, 64)
 
 
 def test_bench_mse_search(benchmark):
     benchmark(SELECTOR.select, W)
+
+
+def test_bench_legacy_mse_search(benchmark):
+    benchmark(LEGACY_SELECTOR.select, W)
+
+
+def test_bench_fused_select_encode(benchmark):
+    benchmark(SELECTOR.select_and_encode, W)
 
 
 def test_bench_variance_select(benchmark):

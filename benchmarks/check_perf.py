@@ -1,0 +1,188 @@
+"""Performance regression gate for the MANT hot loops.
+
+Times the core primitives, compares against the committed baseline in
+``artifacts/perf_baseline.json`` and fails on a >2x slowdown of any op.
+Also verifies the headline fast-path speedups against the in-repo seed
+implementations (``legacy_impl``) and the O(T) decode property, so the
+perf architecture cannot silently rot.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/check_perf.py            # gate
+    PYTHONPATH=src python benchmarks/check_perf.py --update   # rebaseline
+    PYTHONPATH=src python benchmarks/check_perf.py --check-speedups
+
+The gate compares wall-clock on the current machine against a baseline
+recorded on a (possibly different) machine, hence the generous 2x
+threshold: it catches algorithmic regressions (an accidental O(n²), a
+dropped LUT cache), not scheduler jitter.  Re-run with ``--update``
+after intentional perf-relevant changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import timeit
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.core.codec import MantCodec
+from repro.core.fused import fused_group_gemm, quantize_activations_int8
+from repro.core.selection import MseSearchSelector, VarianceSelector
+from repro.quant.kvcache import MantKVCache
+
+from bench_decode_scaling import decode_chunk_times
+from legacy_impl import LegacyListKVCache, LegacyMantCodec, LegacyMseSearchSelector
+
+BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "artifacts", "perf_baseline.json"
+)
+SLOWDOWN_LIMIT = 2.0
+
+# Acceptance floors for the fast paths vs the seed implementations.
+MIN_SELECT_SPEEDUP = 5.0
+MIN_ENCODE_SPEEDUP = 3.0
+
+
+def _time(fn, number=10, repeat=3) -> float:
+    fn()  # warm caches (grid tables, numpy buffers)
+    return min(timeit.repeat(fn, number=number, repeat=repeat)) / number
+
+
+def build_suite():
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((256, 1024))
+    x = rng.standard_normal((16, 1024))
+    a17 = np.full((256, 16), 17.0)
+    amix = rng.choice([0.0, 5.0, 17.0, 60.0, 120.0, -1.0], size=(256, 16))
+    groups = rng.standard_normal((4096, 64))
+
+    codec = MantCodec(group_size=64)
+    selector = MseSearchSelector(group_size=64)
+    var_selector = VarianceSelector(group_size=64)
+    enc = codec.encode(w, a17)
+    xq = quantize_activations_int8(x, 64)
+
+    def decode_step_cost():
+        cache = MantKVCache(group_size=64)
+        return sum(decode_chunk_times(cache, tokens=256, chunk=256))
+
+    return {
+        "mse_select": lambda: selector.select(w),
+        "fused_select_encode": lambda: selector.select_and_encode(w),
+        "encode_single_a": lambda: codec.encode(w, a17),
+        "encode_mixed_a": lambda: codec.encode(w, amix),
+        "decode": lambda: codec.decode(enc),
+        "fused_gemm": lambda: fused_group_gemm(xq, enc),
+        "variance_select_batch": lambda: var_selector.select_batch(groups),
+        "kv_decode_256_tokens": decode_step_cost,
+    }
+
+
+def measure() -> dict[str, float]:
+    return {name: _time(fn) for name, fn in build_suite().items()}
+
+
+def check_speedups() -> list[str]:
+    """Assert the fast paths beat the seed implementations."""
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((256, 1024))
+    a17 = np.full((256, 16), 17.0)
+
+    new_sel = MseSearchSelector(group_size=64)
+    old_sel = LegacyMseSearchSelector(group_size=64)
+    new_codec = MantCodec(group_size=64)
+    old_codec = LegacyMantCodec(group_size=64)
+
+    failures = []
+    s_sel = _time(lambda: old_sel.select(w)) / _time(lambda: new_sel.select(w))
+    s_enc = _time(lambda: old_codec.encode(w, a17)) / _time(
+        lambda: new_codec.encode(w, a17)
+    )
+    print(f"  MseSearchSelector.select speedup vs seed: {s_sel:5.1f}x "
+          f"(floor {MIN_SELECT_SPEEDUP}x)")
+    print(f"  MantCodec.encode speedup vs seed:         {s_enc:5.1f}x "
+          f"(floor {MIN_ENCODE_SPEEDUP}x)")
+    if s_sel < MIN_SELECT_SPEEDUP:
+        failures.append(f"select speedup {s_sel:.1f}x < {MIN_SELECT_SPEEDUP}x")
+    if s_enc < MIN_ENCODE_SPEEDUP:
+        failures.append(f"encode speedup {s_enc:.1f}x < {MIN_ENCODE_SPEEDUP}x")
+
+    # O(T) decode: buffered cache flat, legacy list cache growing.
+    flat = decode_chunk_times(MantKVCache(group_size=64), tokens=512, chunk=128)
+    listy = decode_chunk_times(
+        LegacyListKVCache(MantKVCache(group_size=64)), tokens=512, chunk=128
+    )
+    r_flat = flat[-1] / flat[0]
+    r_list = listy[-1] / listy[0]
+    print(f"  decode chunk-cost growth (buffered):      {r_flat:5.2f}x "
+          f"(must stay < 2x)")
+    print(f"  decode chunk-cost growth (seed list):     {r_list:5.2f}x")
+    if r_flat >= 2.0:
+        failures.append(f"buffered decode cost grew {r_flat:.2f}x over 512 tokens")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline")
+    parser.add_argument("--check-speedups", action="store_true",
+                        help="also verify fast-path speedups vs the seed impls")
+    args = parser.parse_args()
+
+    print("measuring hot-loop timings ...")
+    current = measure()
+    for name, t in current.items():
+        print(f"  {name:>24}: {t * 1e3:8.3f} ms")
+
+    if args.update:
+        os.makedirs(os.path.dirname(BASELINE), exist_ok=True)
+        with open(BASELINE, "w") as fh:
+            json.dump({k: round(v, 6) for k, v in current.items()}, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written to {os.path.normpath(BASELINE)}")
+        return 0
+
+    if not os.path.exists(BASELINE):
+        # A gate that self-bootstraps would approve any regression on a
+        # checkout missing the baseline; demand an explicit rebaseline.
+        print(f"PERF GATE FAILED: no baseline at {os.path.normpath(BASELINE)} "
+              "(run with --update to create one intentionally)")
+        return 1
+
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+
+    failures = []
+    for name, t in current.items():
+        base = baseline.get(name)
+        if base is None:
+            print(f"  note: no baseline for {name!r} (run --update)")
+            continue
+        ratio = t / base
+        flag = "FAIL" if ratio > SLOWDOWN_LIMIT else "ok"
+        print(f"  {name:>24}: {ratio:5.2f}x baseline  [{flag}]")
+        if ratio > SLOWDOWN_LIMIT:
+            failures.append(f"{name} slowed down {ratio:.2f}x (> {SLOWDOWN_LIMIT}x)")
+
+    if args.check_speedups:
+        print("verifying fast-path speedups vs seed implementations ...")
+        failures += check_speedups()
+
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,13 +13,16 @@ from repro.core.mant import (
     MANT_WEIGHT_A_SET,
     MANT_A_MAX,
     approximate_datatype,
+    get_mant_grid,
     mant_positive_grid,
 )
-from repro.core.codec import MantCodec, MantEncoded, INT_A
+from repro.core.codec import MantCodec, MantEncoded, GridTables, grid_tables, INT_A
 from repro.core.fused import (
     QuantizedActivations,
     quantize_activations_int8,
+    combined_weight_terms,
     fused_group_gemm,
+    fused_group_gemm_two_psum,
     reference_group_gemm,
     integer_partial_sums,
 )
@@ -38,13 +41,18 @@ __all__ = [
     "MANT_WEIGHT_A_SET",
     "MANT_A_MAX",
     "approximate_datatype",
+    "get_mant_grid",
     "mant_positive_grid",
     "MantCodec",
     "MantEncoded",
+    "GridTables",
+    "grid_tables",
     "INT_A",
     "QuantizedActivations",
     "quantize_activations_int8",
+    "combined_weight_terms",
     "fused_group_gemm",
+    "fused_group_gemm_two_psum",
     "reference_group_gemm",
     "integer_partial_sums",
     "MseSearchSelector",

@@ -8,22 +8,52 @@ of ``group_size`` elements along the input dimension:
 * the FP16 scaling factor ``s_W = max|W_group| / max(grid_a)``,
 * the 8-bit coefficient ``a`` (or the INT sentinel).
 
-The encode path is the expensive nearest-point search the paper runs
-*offline* for weights; the decode path is cheap and is what the fused
-kernel in :mod:`repro.core.fused` folds into the GEMM.
+Encoding works in the *normalized* domain: each group is divided by its
+absmax and snapped against the selected grid's precomputed
+decision-boundary LUT (one comparator ladder per grid, shared
+process-wide).  That makes nearest-point search a single
+``searchsorted`` — and, because coefficient selection (in
+:mod:`repro.core.selection`) scores candidates against the same
+boundary tables, the winning candidate's codes can be reused verbatim
+via :meth:`MantCodec.from_codes` without a final re-quantization pass.
+
+Trade-offs vs the seed implementation (all produce valid nearest-point
+codes; reconstruction differs only on boundary-adjacent values):
+
+* With ``fp16_scales=True`` decode multiplies by the fp16-rounded
+  scale while codes were chosen under the exact absmax, so the ~0.04%
+  of elements whose nearest level differs between the two scales land
+  on a marginally suboptimal code (+4e-6 relative MSE measured on
+  gaussian weights).  Choosing codes under the rounded scale would
+  require a per-candidate normalization domain and break the fused
+  search.
+* INT groups break ties toward the lower level (the comparator-ladder
+  rule, same as the MANT grids) where the seed used ``np.rint``'s
+  round-half-to-even; values exactly on a ``.5`` quotient — which INT8
+  re-staged data can realistically produce — code to an equal-error
+  neighbouring level.
+* Values within ~1 ulp of a decision boundary can flip to the adjacent
+  level in either direction, because the normalized-domain comparison
+  (``v/amax`` vs ``boundary/grid_max``) rounds differently than the
+  seed's scaled-domain comparison.
+
+The decode path is cheap and is what the fused kernel in
+:mod:`repro.core.fused` folds into the GEMM.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from repro.core.groups import to_groups, from_groups
-from repro.core.mant import MantGrid, MANT_A_MAX
+from repro.core.groups import GroupView, to_groups, from_groups
+from repro.core.mant import MANT_WEIGHT_A_SET, get_mant_grid
+from repro.datatypes.base import grid_boundaries
 from repro.datatypes.int_type import IntType
 
-__all__ = ["MantCodec", "MantEncoded", "INT_A"]
+__all__ = ["MantCodec", "MantEncoded", "GridTables", "grid_tables", "INT_A"]
 
 # Sentinel stored in the per-group ``a`` array for groups that chose the
 # plain INT option (the 16th data type of Sec. V-A).  Encoded in
@@ -31,12 +61,220 @@ __all__ = ["MantCodec", "MantEncoded", "INT_A"]
 INT_A = -1
 
 
-@dataclass
+@dataclass(frozen=True)
+class GridTables:
+    """Immutable lookup tables for one grid: the LUT codec's ROM image.
+
+    ``grid_norm`` is the grid scaled to max magnitude 1 and
+    ``boundaries_norm`` its decision midpoints, so encoding a group is
+    ``searchsorted(boundaries_norm, values / absmax)``.  ``sign`` /
+    ``magnitude`` map a grid index straight to the stored sign-magnitude
+    code.
+    """
+
+    a: float
+    bits: int
+    grid: np.ndarray            # representable values, ascending
+    grid_norm: np.ndarray       # grid / grid_max
+    boundaries_norm: np.ndarray  # decision midpoints of grid_norm
+    sign: np.ndarray            # int8 ±1 per grid index
+    magnitude: np.ndarray       # uint8 magnitude per grid index
+    grid_max: float
+
+
+@lru_cache(maxsize=None)
+def grid_tables(a: float, bits: int) -> GridTables:
+    """Process-wide memoised :class:`GridTables` for coefficient ``a``.
+
+    ``a == INT_A`` yields the plain symmetric INT grid; anything else a
+    MANT grid from :func:`repro.core.mant.get_mant_grid`.
+    """
+    if a == INT_A:
+        itype = IntType(bits)
+        grid = itype.grid
+        gmax = float(itype.qmax)
+        sign = np.where(grid < 0, -1, 1).astype(np.int8)
+        magnitude = np.abs(grid).astype(np.uint8)
+    else:
+        g = get_mant_grid(float(a), bits)
+        grid = g.grid
+        gmax = g.grid_max
+        L = g.levels_per_sign
+        idx = np.arange(grid.size)
+        sign = np.where(idx >= L, 1, -1).astype(np.int8)
+        magnitude = np.where(idx >= L, idx - L, L - 1 - idx).astype(np.uint8)
+    grid_norm = grid / gmax
+    return GridTables(
+        a=float(a),
+        bits=bits,
+        grid=grid,
+        grid_norm=grid_norm,
+        boundaries_norm=grid_boundaries(grid_norm),
+        sign=sign,
+        magnitude=magnitude,
+        grid_max=gmax,
+    )
+
+
+@dataclass(frozen=True)
+class _StackedTables:
+    """Merged lookup tables for a set of grids.
+
+    ``merged_boundaries`` is the sorted union of every grid's normalized
+    decision boundaries.  A value's insertion position ``p`` in that
+    ladder (one ``searchsorted`` for the whole tensor, regardless of how
+    many grids are mixed) determines its code in *every* grid at once:
+    ``code_table[u, p]`` is the grid index, ``pos_sign``/``pos_magnitude``
+    the sign-magnitude code, for grid ``u``.  ``grid_sign`` /
+    ``grid_magnitude`` map per-grid *indices* (rather than merged
+    positions) to codes, padded to a common width, for rebuilding an
+    encoding from stored indices.
+    """
+
+    ladder: "_MergedLadder"
+    code_table: np.ndarray         # (n_grids, B+1) intp
+    pos_sign: np.ndarray           # (n_grids, B+1) int8
+    pos_magnitude: np.ndarray      # (n_grids, B+1) uint8
+    grid_sign: np.ndarray          # (n_grids, max_levels) int8
+    grid_magnitude: np.ndarray     # (n_grids, max_levels) uint8
+    grid_max: np.ndarray           # (n_grids,) float64
+    max_levels: int
+
+    @property
+    def n_grids(self) -> int:
+        return self.grid_max.size
+
+
+# The paper's 16-type search space: 15 coefficients + INT (the same set
+# for every supported bit width).
+_CANONICAL_CANDIDATES = tuple(float(a) for a in MANT_WEIGHT_A_SET) + (float(INT_A),)
+
+
+# The stacked tables and ladders below are keyed by coefficient tuples.
+# Encode calls carry data-dependent *subsets* of the searched set
+# (whatever the groups of one tensor selected), so subset keys could
+# churn without bound over a long generation; any subset of the
+# canonical 16-type set is therefore served by one shared canonical
+# table (counting positions in a finer merged ladder yields
+# bit-identical codes), and the fallback caches for exotic coefficient
+# sets are LRU-bounded.
+_TABLE_CACHE_SIZE = 64
+
+
+@lru_cache(maxsize=_TABLE_CACHE_SIZE)
+def _stacked_tables(a_tuple: tuple, bits: int) -> _StackedTables:
+    tables = [grid_tables(a, bits) for a in a_tuple]
+    ladder = _merged_ladder(a_tuple, bits)
+    merged = ladder.boundaries
+    n, B = len(tables), merged.size
+    lmax = max(t.grid.size for t in tables)
+    code_table = np.zeros((n, B + 1), dtype=np.intp)
+    pos_sign = np.empty((n, B + 1), dtype=np.int8)
+    pos_magnitude = np.empty((n, B + 1), dtype=np.uint8)
+    grid_sign = np.empty((n, lmax), dtype=np.int8)
+    grid_magnitude = np.empty((n, lmax), dtype=np.uint8)
+    gmax = np.empty(n)
+    for u, t in enumerate(tables):
+        k = t.grid.size
+        # A value at merged position p satisfies merged[p-1] < v, so its
+        # code in grid u counts the u-boundaries <= merged[p-1].
+        code_table[u, 1:] = np.searchsorted(t.boundaries_norm, merged, side="right")
+        pos_sign[u] = t.sign[code_table[u]]
+        pos_magnitude[u] = t.magnitude[code_table[u]]
+        # Index-level LUTs padded by repeating the top level.
+        grid_sign[u, :k] = t.sign
+        grid_sign[u, k:] = t.sign[-1]
+        grid_magnitude[u, :k] = t.magnitude
+        grid_magnitude[u, k:] = t.magnitude[-1]
+        gmax[u] = t.grid_max
+    return _StackedTables(
+        ladder=ladder,
+        code_table=code_table,
+        pos_sign=pos_sign,
+        pos_magnitude=pos_magnitude,
+        grid_sign=grid_sign,
+        grid_magnitude=grid_magnitude,
+        grid_max=gmax,
+        max_levels=lmax,
+    )
+
+
+@dataclass(frozen=True)
+class _MergedLadder:
+    """Merged decision boundaries of several grids + a bucket LUT.
+
+    ``positions`` computes, for normalized values in ``[-1, 1]``, the
+    count of merged boundaries strictly below each value — the quantity
+    every per-grid code derives from.  Instead of a binary search per
+    element, the range is pre-split into ``n_buckets`` uniform buckets;
+    buckets that no boundary touches (with a one-bucket safety margin
+    for float rounding at the edges) resolve by a single LUT load, and
+    only values in the few straddling buckets fall back to an exact
+    ``searchsorted``.  Bit-identical to the plain binary search.
+    """
+
+    boundaries: np.ndarray   # (B,) merged normalized boundaries
+    bucket_pos: np.ndarray   # (n_buckets,) position, or -1 if ambiguous
+    n_buckets: int
+
+    def positions(self, values: np.ndarray) -> np.ndarray:
+        """Merged-ladder position (#boundaries < v) per value, exact."""
+        flat = values.ravel()
+        half = self.n_buckets / 2.0
+        idx = ((flat + 1.0) * half).astype(np.intp)
+        np.minimum(idx, self.n_buckets - 1, out=idx)
+        pos = self.bucket_pos.take(idx)
+        ambiguous = pos < 0
+        if ambiguous.any():
+            pos[ambiguous] = np.searchsorted(
+                self.boundaries, flat[ambiguous], side="left"
+            )
+        return pos.reshape(values.shape)
+
+
+_LADDER_BUCKETS = 8192
+
+
+@lru_cache(maxsize=_TABLE_CACHE_SIZE)
+def _merged_ladder(a_tuple: tuple, bits: int) -> _MergedLadder:
+    merged = np.unique(
+        np.concatenate([grid_tables(a, bits).boundaries_norm for a in a_tuple])
+    )
+    k = _LADDER_BUCKETS
+    width = 2.0 / k
+    edges = -1.0 + np.arange(k + 1) * width
+    # A bucket is unambiguous when the boundary count is identical across
+    # its margin-extended interval; the margin absorbs 1-ulp bucket
+    # misassignment at the edges, keeping the LUT path exact.
+    lo = np.searchsorted(merged, edges[:-1] - width, side="left")
+    hi = np.searchsorted(merged, edges[1:] + width, side="right")
+    return _MergedLadder(
+        boundaries=merged,
+        bucket_pos=np.where(lo == hi, lo, -1),
+        n_buckets=k,
+    )
+
+
+def _group_absmax(groups: np.ndarray) -> np.ndarray:
+    """Per-group absmax with all-zero groups mapped to scale base 1."""
+    amax = np.maximum(groups.max(axis=-1), -groups.min(axis=-1))
+    return np.where(amax <= 0, 1.0, amax)
+
+
+@dataclass(frozen=True)
 class MantEncoded:
     """Encoded weight tensor: codes + per-group metadata.
 
     ``sign``/``magnitude`` have the grouped shape ``(rows, n_groups,
     group_size)``; ``scale``/``a_coeff`` have ``(rows, n_groups)``.
+
+    Immutable — fields cannot be rebound and the arrays are
+    defensively copied and frozen on construction (caller-owned inputs
+    stay writable; view-backed inputs cannot leak mutations through
+    their base), so derived data (the fused kernel's precombined
+    weight terms) can be cached against the encoding without
+    staleness.  To alter codes, build a new encoding (e.g. via
+    :meth:`MantCodec.from_codes`).
     """
 
     sign: np.ndarray          # int8, ±1
@@ -47,6 +285,17 @@ class MantEncoded:
     group_size: int
     original_shape: tuple
     pad: int
+
+    def __post_init__(self):
+        for name in ("sign", "magnitude", "scale", "a_coeff"):
+            arr = getattr(self, name)
+            if arr.base is not None or arr.flags.writeable:
+                # Copy rather than freeze in place: freezing the
+                # caller's array would be action at a distance, and a
+                # view's data stays writable through its base anyway.
+                arr = arr.copy()
+                arr.flags.writeable = False
+                object.__setattr__(self, name, arr)
 
     @property
     def rows(self) -> int:
@@ -84,21 +333,58 @@ class MantCodec:
         self.bits = bits
         self.group_size = group_size
         self.fp16_scales = fp16_scales
-        self._grids: dict[float, MantGrid] = {}
         self._int_type = IntType(bits)
 
     # ------------------------------------------------------------------
-    def grid(self, a: float) -> MantGrid:
-        """Memoised :class:`MantGrid` for coefficient ``a``."""
-        key = float(a)
-        if key not in self._grids:
-            self._grids[key] = MantGrid(key, self.bits)
-        return self._grids[key]
+    def grid(self, a: float):
+        """Process-wide memoised :class:`MantGrid` for coefficient ``a``."""
+        return get_mant_grid(float(a), self.bits)
+
+    def tables(self, a: float) -> GridTables:
+        """Process-wide memoised lookup tables for coefficient ``a``."""
+        return grid_tables(float(a), self.bits)
 
     def _round_scale(self, scale: np.ndarray) -> np.ndarray:
         if self.fp16_scales:
             return scale.astype(np.float16).astype(np.float64)
         return scale
+
+    # ------------------------------------------------------------------
+    def _resolve_grids(self, a_per_group: np.ndarray):
+        """Map per-group coefficients to stacked-table grid ids.
+
+        Coefficient sets inside the canonical 16-type search space share
+        that one cached table (code counts are identical under the finer
+        merged ladder); only exotic sets build their own, LRU-bounded.
+        """
+        uniq, inv = np.unique(a_per_group.ravel(), return_inverse=True)
+        canon = _CANONICAL_CANDIDATES
+        if uniq.size > 1 and set(uniq.tolist()) <= set(canon):
+            # Mixed canonical coefficients: share the one canonical
+            # table rather than minting a cache entry per subset.
+            st = _stacked_tables(canon, self.bits)
+            index = {a: i for i, a in enumerate(canon)}
+            remap = np.asarray([index[a] for a in uniq.tolist()], dtype=np.intp)
+            gid = remap[inv].reshape(a_per_group.shape)
+        else:
+            # Single coefficient (key space = distinct a values, small)
+            # or an exotic set: per-set tables, LRU-bounded.
+            st = _stacked_tables(tuple(float(a) for a in uniq), self.bits)
+            gid = inv.reshape(a_per_group.shape).astype(np.intp)
+        return st, gid
+
+    @staticmethod
+    def _flat_gather(table_rows: np.ndarray, row_sel, col_idx: np.ndarray):
+        """``table_rows[row_sel[..., None], col_idx]`` via one flat take.
+
+        Flattening the 2-D gather into ``row·width + col`` indices lets
+        numpy run a single contiguous ``take`` instead of a broadcast
+        advanced-indexing pass — the hot gather of the encode path.
+        """
+        if table_rows.shape[0] == 1:
+            return table_rows[0].take(col_idx)
+        lin = col_idx + (row_sel * table_rows.shape[1])[..., None]
+        return table_rows.ravel().take(lin)
 
     # ------------------------------------------------------------------
     def encode(self, w: np.ndarray, a_per_group: np.ndarray) -> MantEncoded:
@@ -121,41 +407,71 @@ class MantCodec:
                 f"a_per_group shape {a_per_group.shape} != {(rows, n_groups)}"
             )
 
-        sign = np.empty((rows, n_groups, g), dtype=np.int8)
-        magnitude = np.empty((rows, n_groups, g), dtype=np.uint8)
-        scale = np.empty((rows, n_groups), dtype=np.float64)
-
-        amax = np.max(np.abs(groups), axis=-1)
-        amax = np.where(amax <= 0, 1.0, amax)
-
-        # Process groups bucketed by coefficient so each grid's search
-        # runs vectorised over every group that selected it.
-        for a in np.unique(a_per_group):
-            mask = a_per_group == a
-            vals = groups[mask]                      # (k, g)
-            if a == INT_A:
-                gmax = self._int_type.qmax
-                s = self._round_scale(amax[mask] / gmax)
-                q = self._int_type.round_clip(vals / s[:, None])
-                sign[mask] = np.where(q < 0, -1, 1).astype(np.int8)
-                magnitude[mask] = np.abs(q).astype(np.uint8)
-            else:
-                grid = self.grid(a)
-                s = self._round_scale(amax[mask] / grid.grid_max)
-                sg, mg = grid.encode_sign_magnitude(vals / s[:, None])
-                sign[mask] = sg
-                magnitude[mask] = mg
-            scale[mask] = s
+        st, gid = self._resolve_grids(a_per_group)
+        amax = _group_absmax(groups)
+        vnorm = groups / amax[..., None]
+        # One bucketized lookup against the merged boundary ladder
+        # locates every value in every selected grid simultaneously; the
+        # per-group grid choice is then two LUT gathers — no Python loop
+        # over coefficient buckets.
+        pos = st.ladder.positions(vnorm)
+        sign = self._flat_gather(st.pos_sign, gid, pos)
+        magnitude = self._flat_gather(st.pos_magnitude, gid, pos)
+        scale = self._round_scale(amax / st.grid_max[gid])
+        # Freshly allocated here — freeze now so MantEncoded skips its
+        # defensive copy (reserved for caller-supplied arrays).
+        for arr in (sign, magnitude, scale):
+            arr.flags.writeable = False
 
         return MantEncoded(
             sign=sign,
             magnitude=magnitude,
             scale=scale,
-            a_coeff=a_per_group.copy(),
+            a_coeff=a_per_group,  # __post_init__ copies and freezes
             bits=self.bits,
             group_size=self.group_size,
             original_shape=w.shape,
             pad=view.pad,
+        )
+
+    # ------------------------------------------------------------------
+    def from_codes(
+        self,
+        codes: np.ndarray,
+        a_per_group: np.ndarray,
+        amax: np.ndarray,
+        original_shape: tuple,
+        pad: int = 0,
+    ) -> MantEncoded:
+        """Build a :class:`MantEncoded` from precomputed grid indices.
+
+        ``codes`` holds per-element indices into each group's grid
+        (shape ``(rows, n_groups, group_size)``), ``amax`` the per-group
+        absmax with zero groups already replaced by 1 — exactly what the
+        fused select+encode search in
+        :meth:`repro.core.selection.MseSearchSelector.select_and_encode`
+        produces.  No nearest-point search happens here; the codes are
+        only gathered through the sign/magnitude LUTs, so the result is
+        bit-identical to :meth:`encode` with the same coefficients.
+        """
+        a_per_group = np.asarray(a_per_group, dtype=np.float64)
+        st, gid = self._resolve_grids(a_per_group)
+        sign = self._flat_gather(st.grid_sign, gid, codes)
+        magnitude = self._flat_gather(st.grid_magnitude, gid, codes)
+        scale = self._round_scale(amax / st.grid_max[gid])
+        # Freshly allocated here — freeze now so MantEncoded skips its
+        # defensive copy (reserved for caller-supplied arrays).
+        for arr in (sign, magnitude, scale):
+            arr.flags.writeable = False
+        return MantEncoded(
+            sign=sign,
+            magnitude=magnitude,
+            scale=scale,
+            a_coeff=a_per_group,  # __post_init__ copies and freezes
+            bits=self.bits,
+            group_size=self.group_size,
+            original_shape=tuple(original_shape),
+            pad=pad,
         )
 
     # ------------------------------------------------------------------
@@ -169,8 +485,16 @@ class MantCodec:
         int_vals = sgn * mag
         vals = np.where(a == INT_A, int_vals, mant_vals)
         vals = vals * enc.scale[..., None]
-        view = to_groups(np.zeros(enc.original_shape), self.group_size, axis=-1)
-        return from_groups(view, vals)
+        # Rebuild the group view metadata directly — encode only accepts
+        # 2-D weights grouped along the last axis, so no throwaway
+        # allocation is needed to recover shape/pad.
+        view = GroupView(
+            groups=vals,
+            original_shape=tuple(enc.original_shape),
+            axis=len(enc.original_shape) - 1,
+            pad=enc.pad,
+        )
+        return from_groups(view)
 
     # ------------------------------------------------------------------
     def qdq(self, w: np.ndarray, a_per_group: np.ndarray) -> np.ndarray:

@@ -35,7 +35,9 @@ from repro.datatypes.int_type import IntType
 __all__ = [
     "QuantizedActivations",
     "quantize_activations_int8",
+    "combined_weight_terms",
     "fused_group_gemm",
+    "fused_group_gemm_two_psum",
     "reference_group_gemm",
     "integer_partial_sums",
 ]
@@ -95,14 +97,12 @@ def quantize_activations_int8(
     )
 
 
-def integer_partial_sums(xq: QuantizedActivations, enc: MantEncoded):
-    """The two integer partial sums of Eq. 5, before any scaling.
+# 2^i for every uint8 magnitude, so the precombine gathers instead of
+# computing a float pow per element.
+_POW2 = 2.0 ** np.arange(256)
 
-    Returns ``(psum1, psum2)`` with shape ``(m, rows, n_groups)`` where
-    ``psum1[m, n, G] = Σ_g x[m,G,g] · (±i)[n,G,g]`` (the MAC lane) and
-    ``psum2[m, n, G] = Σ_g (x·±1)[m,G,g] << i[n,G,g]`` (the SAC lane).
-    All arithmetic is int64 and exact.
-    """
+
+def _check_compatible(xq: QuantizedActivations, enc: MantEncoded) -> None:
     if xq.group_size != enc.group_size:
         raise ValueError(
             f"activation group {xq.group_size} != weight group {enc.group_size}"
@@ -112,6 +112,17 @@ def integer_partial_sums(xq: QuantizedActivations, enc: MantEncoded):
             f"grouped K mismatch: activations {xq.codes.shape[1:]}, "
             f"weights {enc.sign.shape[1:]}"
         )
+
+
+def integer_partial_sums(xq: QuantizedActivations, enc: MantEncoded):
+    """The two integer partial sums of Eq. 5, before any scaling.
+
+    Returns ``(psum1, psum2)`` with shape ``(m, rows, n_groups)`` where
+    ``psum1[m, n, G] = Σ_g x[m,G,g] · (±i)[n,G,g]`` (the MAC lane) and
+    ``psum2[m, n, G] = Σ_g (x·±1)[m,G,g] << i[n,G,g]`` (the SAC lane).
+    All arithmetic is int64 and exact.
+    """
+    _check_compatible(xq, enc)
     x = xq.codes  # (m, G, g) int64
     w_signed_mag = enc.sign.astype(np.int64) * enc.magnitude.astype(np.int64)
     w_signed_pow = enc.sign.astype(np.int64) * (
@@ -122,12 +133,56 @@ def integer_partial_sums(xq: QuantizedActivations, enc: MantEncoded):
     return psum1, psum2
 
 
+def combined_weight_terms(enc: MantEncoded) -> np.ndarray:
+    """Per-element combined integer terms ``±(a·i + 2^i)`` (``±i`` for INT).
+
+    Folding the coefficient into the weight terms collapses the MAC and
+    SAC einsums of Eq. 5 into a single contraction: ``a·Σx·(±i) +
+    Σx·(±2^i) = Σ x·(a·(±i) + (±2^i))``.  Every entry is an exact
+    integer-valued float64 (``a ≤ 128``, ``i ≤ 7``), so the contraction
+    stays bit-exact with the two-lane integer path while halving the
+    einsum work.  The result is cached against the encoding — safe
+    because :class:`MantEncoded` is immutable (frozen fields, read-only
+    arrays) — so repeated GEMMs against the same encoding (e.g. every
+    decode step) pay the precombine once.
+    """
+    cached = getattr(enc, "_combined_terms", None)
+    if cached is not None:
+        return cached
+    mag = enc.magnitude.astype(np.float64)
+    sgn = enc.sign.astype(np.float64)
+    a = enc.a_coeff[..., None]
+    pow2 = _POW2.take(enc.magnitude)  # LUT beats a float pow per element
+    terms = sgn * np.where(a == INT_A, mag, a * mag + pow2)
+    object.__setattr__(enc, "_combined_terms", terms)  # frozen dataclass
+    return terms
+
+
 def fused_group_gemm(xq: QuantizedActivations, enc: MantEncoded) -> np.ndarray:
     """Compute ``X_hat @ W_hat.T`` without dequantizing the weights.
 
-    Implements Eq. 5: per group, ``(a·psum1 + psum2) · s_X · s_W`` for
-    MANT groups and plain ``psum1 · s_X · s_W`` for INT groups (the INT
-    option uses only the MAC lane).  Output shape ``(m, rows)``.
+    Implements Eq. 5 with the coefficient precombined into the weight
+    terms (:func:`combined_weight_terms`), so the whole integer compute
+    is one einsum followed by the per-group scale contraction.
+    Bit-exact with :func:`fused_group_gemm_two_psum`, the MAC+SAC
+    two-lane formulation the PE array actually implements.  Output
+    shape ``(m, rows)``.
+    """
+    _check_compatible(xq, enc)
+    terms = combined_weight_terms(enc)
+    psum = np.einsum("mGg,nGg->mnG", xq.codes.astype(np.float64), terms)
+    scale = xq.scale[:, None, :] * enc.scale[None, :, :]
+    return np.einsum("mnG,mnG->mn", psum, scale)
+
+
+def fused_group_gemm_two_psum(xq: QuantizedActivations, enc: MantEncoded) -> np.ndarray:
+    """Eq. 5 as the hardware computes it: separate MAC and SAC lanes.
+
+    Kept as the validated integer reference for
+    :func:`fused_group_gemm`'s single-einsum formulation — per group,
+    ``(a·psum1 + psum2) · s_X · s_W`` for MANT groups and plain
+    ``psum1 · s_X · s_W`` for INT groups (the INT option uses only the
+    MAC lane).
     """
     psum1, psum2 = integer_partial_sums(xq, enc)
     a = enc.a_coeff[None, :, :]                      # (1, n, G)

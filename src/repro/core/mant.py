@@ -14,6 +14,8 @@ cache (Sec. V-A): 15 coefficients plus the plain-INT option.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.datatypes.base import GridDataType
@@ -23,6 +25,7 @@ __all__ = [
     "MANT_WEIGHT_A_SET",
     "MANT_A_MAX",
     "approximate_datatype",
+    "get_mant_grid",
     "mant_positive_grid",
 ]
 
@@ -104,6 +107,17 @@ class MantGrid(GridDataType):
         return float(np.mean(g * g) - np.mean(g) ** 2)
 
 
+@lru_cache(maxsize=None)
+def get_mant_grid(a: float, bits: int = 4) -> MantGrid:
+    """Process-wide memoised :class:`MantGrid`.
+
+    Grids (and their lazily built decision-boundary LUTs) are immutable,
+    so every codec, selector and cache in the process shares one
+    instance per ``(a, bits)`` instead of rebuilding the tables.
+    """
+    return MantGrid(float(a), bits)
+
+
 def approximate_datatype(
     target: GridDataType,
     candidates=None,
@@ -121,7 +135,7 @@ def approximate_datatype(
     tpos = np.sort(tpos / tpos.max())
     best_a, best_err = 0.0, np.inf
     for a in candidates:
-        mant = MantGrid(float(a), bits)
+        mant = get_mant_grid(float(a), bits)
         mpos = mant.positive_grid / mant.positive_grid[-1]
         k = min(len(tpos), len(mpos))
         # Compare the top-k levels (largest magnitudes aligned).

@@ -10,6 +10,16 @@ Two selectors, matching the paper's two deployment regimes:
   weighted by ``E[x_j²]`` from calibration, which decouples groups and
   keeps the search O(groups × types).
 
+  The search itself runs against a *combined decision-boundary table*:
+  the normalized boundaries of every candidate grid are merged into one
+  sorted array, so a single ``searchsorted`` per element locates the
+  value in every candidate's grid at once, and per-candidate codes and
+  reconstructions fall out of two tiny LUT gathers.  Because the codes
+  are produced during the search, :meth:`MseSearchSelector.select_and_encode`
+  hands the winning candidate's codes straight to
+  :meth:`repro.core.codec.MantCodec.from_codes` — no re-quantization
+  pass after selection.
+
 * :class:`VarianceSelector` — KV cache, real time (Sec. V-C, Eq. 7).
   Maps a group's normalised variance to a coefficient through ranges
   calibrated offline: sample calibration groups, find each group's
@@ -21,15 +31,30 @@ Two selectors, matching the paper's two deployment regimes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from repro.core.codec import MantCodec, INT_A
+from repro.core.codec import (
+    MantCodec,
+    MantEncoded,
+    INT_A,
+    grid_tables,
+    _group_absmax,
+    _stacked_tables,
+)
 from repro.core.groups import to_groups
-from repro.core.mant import MANT_WEIGHT_A_SET, MantGrid
+from repro.core.mant import MANT_WEIGHT_A_SET, get_mant_grid
 from repro.datatypes.int_type import IntType
 
 __all__ = ["MseSearchSelector", "VarianceSelector", "GroupStats", "group_stats"]
+
+# Cap on the per-chunk position-histogram allocation in
+# MseSearchSelector._search: each chunk materialises two
+# (chunk_groups, n_bins) float64 histograms, where n_bins is the merged
+# boundary-ladder size (~200 for the canonical candidate set), so the
+# chunk length is chosen as _SEARCH_CHUNK_BINS // n_bins groups.
+_SEARCH_CHUNK_BINS = 1 << 19
 
 
 @dataclass
@@ -43,9 +68,14 @@ class GroupStats:
 
     @property
     def variance(self) -> float:
-        """Population variance (paper Eq. 7)."""
+        """Population variance (paper Eq. 7).
+
+        Clipped at 0: the ``E[x²] − E[x]²`` form can go slightly
+        negative from floating-point cancellation on near-constant
+        groups.
+        """
         mean = self.total / self.n
-        return self.total_sq / self.n - mean * mean
+        return max(0.0, self.total_sq / self.n - mean * mean)
 
     @property
     def normalized_variance(self) -> float:
@@ -63,6 +93,52 @@ def group_stats(values: np.ndarray) -> GroupStats:
         total=float(v.sum()),
         total_sq=float((v * v).sum()),
         abs_max=float(np.max(np.abs(v))) if v.size else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class _CandidateTables:
+    """Merged decision boundaries of a whole candidate set.
+
+    ``merged_boundaries`` is the sorted union of every candidate's
+    normalized boundaries.  For a value with insertion position ``p``
+    (``searchsorted(merged_boundaries, v, side='left')``),
+    ``code_table[c, p]`` is that value's grid index in candidate ``c``
+    and ``recon_table[c, p]`` the matching normalized reconstruction —
+    position in the merged ladder determines the code in *every* grid
+    simultaneously, which is what collapses the 16-pass search into one.
+    ``recon_sq_table`` is the elementwise square, precomputed for the
+    sufficient-statistics error expansion (see
+    :meth:`MseSearchSelector._search`).
+    """
+
+    candidates: tuple
+    ladder: object                 # _MergedLadder over all candidates
+    code_table: np.ndarray         # (n_candidates, B+1) intp
+    recon_table: np.ndarray        # (n_candidates, B+1) float64
+    recon_sq_table: np.ndarray     # (n_candidates, B+1) float64
+
+
+@lru_cache(maxsize=None)
+def _candidate_tables(candidates: tuple, bits: int) -> _CandidateTables:
+    # The merged ladder and per-candidate code tables are the codec's
+    # (one construction of the position→code invariant, shared with
+    # encode/from_codes); this only adds the reconstruction tables the
+    # error expansion contracts against.
+    key = tuple(float(a) for a in candidates)
+    st = _stacked_tables(key, bits)
+    recon_table = np.stack(
+        [
+            grid_tables(a, bits).grid_norm[st.code_table[c]]
+            for c, a in enumerate(key)
+        ]
+    )
+    return _CandidateTables(
+        candidates=key,
+        ladder=st.ladder,
+        code_table=st.code_table,
+        recon_table=recon_table,
+        recon_sq_table=recon_table * recon_table,
     )
 
 
@@ -94,6 +170,80 @@ class MseSearchSelector:
         self._int_type = IntType(bits)
 
     # ------------------------------------------------------------------
+    def _all_candidates(self) -> tuple:
+        if self.include_int:
+            return self.a_candidates + (float(INT_A),)
+        return self.a_candidates
+
+    def _search(self, groups: np.ndarray, col_weight: np.ndarray | None):
+        """Vectorised candidate sweep over ``(..., n_groups, g)`` groups.
+
+        One ``searchsorted`` against the merged boundary ladder places
+        every (normalized) element in every candidate grid at once.  The
+        weighted MSE then expands into sufficient statistics::
+
+            Σ w·(r − v)² = Σ w·r² − 2·Σ w·r·v + Σ w·v²
+
+        where the reconstruction ``r`` only depends on the merged
+        position, so the per-group sums reduce to two position
+        histograms (``Σw`` and ``Σw·v`` per position) contracted with
+        the precomputed ``r`` / ``r²`` tables — a (groups × positions) @
+        (positions × candidates) matmul instead of 16 full
+        quantize-reconstruct passes.
+
+        Returns ``(errs, candidates, pos, amax)`` where ``errs`` has
+        shape ``(n_candidates, ..., n_groups)``, ``pos`` the per-element
+        merged-boundary positions (reusable to recover any candidate's
+        codes without re-quantizing) and ``amax`` the per-group absmax.
+        """
+        candidates = list(self._all_candidates())
+        tab = _candidate_tables(tuple(candidates), self.bits)
+        n_cand = len(candidates)
+
+        amax = _group_absmax(groups)
+        vnorm = groups / amax[..., None]
+        pos = tab.ladder.positions(vnorm)
+
+        g = groups.shape[-1]
+        m = groups.size // g
+        n_bins = tab.ladder.boundaries.size + 1
+        flat_vn = vnorm.reshape(m, g)
+        flat_pos = pos.reshape(m, g)
+        flat_w = None
+        if col_weight is not None:
+            flat_w = np.broadcast_to(col_weight, groups.shape).reshape(m, g)
+            const = (flat_w * flat_vn * flat_vn).sum(axis=-1)
+        else:
+            const = (flat_vn * flat_vn).sum(axis=-1)
+
+        errs = np.empty((n_cand, m))
+        block = max(1, _SEARCH_CHUNK_BINS // n_bins)
+        for s in range(0, m, block):
+            e = min(m, s + block)
+            keys = (flat_pos[s:e] + np.arange(e - s)[:, None] * n_bins).ravel()
+            if flat_w is None:
+                hist_w = np.bincount(keys, minlength=(e - s) * n_bins)
+                hist_wv = np.bincount(
+                    keys, weights=flat_vn[s:e].ravel(), minlength=(e - s) * n_bins
+                )
+            else:
+                wchunk = flat_w[s:e].ravel()
+                hist_w = np.bincount(
+                    keys, weights=wchunk, minlength=(e - s) * n_bins
+                )
+                hist_wv = np.bincount(
+                    keys,
+                    weights=wchunk * flat_vn[s:e].ravel(),
+                    minlength=(e - s) * n_bins,
+                )
+            hist_w = hist_w.reshape(e - s, n_bins)
+            hist_wv = hist_wv.reshape(e - s, n_bins)
+            # (chunk, n_cand): Σw·r² − 2·Σw·v·r per candidate.
+            quad = hist_w @ tab.recon_sq_table.T - 2.0 * (hist_wv @ tab.recon_table.T)
+            errs[:, s:e] = quad.T + const[s:e]
+        errs *= (amax.reshape(m) ** 2 / g)[None, :]
+        return errs.reshape((n_cand,) + groups.shape[:-1]), candidates, pos, amax
+
     def _candidate_errors(
         self, groups: np.ndarray, col_weight: np.ndarray | None
     ) -> tuple[np.ndarray, list[float]]:
@@ -105,30 +255,19 @@ class MseSearchSelector:
         Returns ``(errors, candidate_list)`` with errors shaped
         ``(len(candidates), ..., n_groups)``.
         """
-        amax = np.max(np.abs(groups), axis=-1, keepdims=True)
-        amax = np.where(amax <= 0, 1.0, amax)
-        candidates: list[float] = list(self.a_candidates)
-        if self.include_int:
-            candidates.append(INT_A)
-        errs = np.empty((len(candidates),) + groups.shape[:-1])
-        for k, a in enumerate(candidates):
-            if a == INT_A:
-                gmax = self._int_type.qmax
-                scale = amax / gmax
-                q = self._int_type.round_clip(groups / scale)
-                recon = q * scale
-            else:
-                grid = MantGrid(a, self.bits)
-                scale = amax / grid.grid_max
-                scaled = groups / scale
-                recon = grid.decode(grid.encode(scaled)) * scale
-            diff = recon - groups
-            if col_weight is not None:
-                diff = diff * np.sqrt(col_weight)
-            errs[k] = np.mean(diff * diff, axis=-1)
+        errs, candidates, _, _ = self._search(groups, col_weight)
         return errs, candidates
 
     # ------------------------------------------------------------------
+    def _col_weight(self, w: np.ndarray, act_sq_mean: np.ndarray | None):
+        if act_sq_mean is None:
+            return None
+        h = np.asarray(act_sq_mean, dtype=np.float64)
+        if h.shape != (w.shape[-1],):
+            raise ValueError(f"act_sq_mean shape {h.shape} != ({w.shape[-1]},)")
+        hview = to_groups(h[None, :], self.group_size, axis=-1)
+        return hview.groups[0]  # (n_groups, g), broadcasts over rows
+
     def select(
         self, w: np.ndarray, act_sq_mean: np.ndarray | None = None
     ) -> np.ndarray:
@@ -142,24 +281,47 @@ class MseSearchSelector:
         """
         w = np.asarray(w, dtype=np.float64)
         view = to_groups(w, self.group_size, axis=-1)
-        col_weight = None
-        if act_sq_mean is not None:
-            h = np.asarray(act_sq_mean, dtype=np.float64)
-            if h.shape != (w.shape[-1],):
-                raise ValueError(
-                    f"act_sq_mean shape {h.shape} != ({w.shape[-1]},)"
-                )
-            hview = to_groups(h[None, :], self.group_size, axis=-1)
-            col_weight = hview.groups[0]  # (n_groups, g), broadcasts over rows
-        errs, candidates = self._candidate_errors(view.groups, col_weight)
+        errs, candidates, _, _ = self._search(
+            view.groups, self._col_weight(w, act_sq_mean)
+        )
         best = np.argmin(errs, axis=0)
         lut = np.asarray(candidates)
         return lut[best]
 
-    def select_and_encode(self, w: np.ndarray, act_sq_mean: np.ndarray | None = None):
-        """Convenience: search then encode, returning ``MantEncoded``."""
-        a = self.select(w, act_sq_mean)
-        return self._codec.encode(w, a)
+    def select_and_encode(
+        self,
+        w: np.ndarray,
+        act_sq_mean: np.ndarray | None = None,
+        codec: MantCodec | None = None,
+    ) -> MantEncoded:
+        """Fused search + encode: one pass instead of 16 + 1.
+
+        The candidate sweep already locates every element in the merged
+        boundary ladder; the winning candidate's codes are recovered by
+        a table gather and handed to :meth:`MantCodec.from_codes`, so
+        the weights are never nearest-point-searched a 17th time.
+        Bit-identical to ``codec.encode(w, self.select(w, act_sq_mean))``.
+        """
+        codec = self._codec if codec is None else codec
+        if codec.bits != self.bits or codec.group_size != self.group_size:
+            raise ValueError(
+                f"codec (bits={codec.bits}, group={codec.group_size}) does not "
+                f"match selector (bits={self.bits}, group={self.group_size})"
+            )
+        w = np.asarray(w, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError(f"select_and_encode expects 2-D weights, got {w.shape}")
+        view = to_groups(w, self.group_size, axis=-1)
+        errs, candidates, pos, amax = self._search(
+            view.groups, self._col_weight(w, act_sq_mean)
+        )
+        best = np.argmin(errs, axis=0)                    # (rows, n_groups)
+        a = np.asarray(candidates)[best]
+        tab = _candidate_tables(tuple(candidates), self.bits)
+        # (rows, n_groups, g): the winning grid's codes, recovered from
+        # the merged positions the search already computed.
+        codes = MantCodec._flat_gather(tab.code_table, best, pos)
+        return codec.from_codes(codes, a, amax, w.shape, view.pad)
 
 
 class VarianceSelector:
@@ -191,7 +353,7 @@ class VarianceSelector:
     def _init_theoretical(self) -> None:
         """Default ranges from uniform-usage grid variances (Fig. 6)."""
         pairs = [
-            (MantGrid(a, self.bits).normalized_variance(), a)
+            (get_mant_grid(a, self.bits).normalized_variance(), a)
             for a in self.a_candidates
         ]
         if self.include_int:
@@ -252,8 +414,19 @@ class VarianceSelector:
         return self.select_from_variance(stats.normalized_variance)
 
     def select_from_variance(self, normalized_variance) -> float:
-        idx = np.searchsorted(self._thresholds, normalized_variance)
-        return float(np.asarray(self._sorted_a)[idx])
+        return float(self.select_from_variances(normalized_variance))
+
+    def select_from_variances(self, normalized_variances) -> np.ndarray:
+        """Vectorised range lookup: normalized variances → coefficients.
+
+        The public entry point for callers that already hold streaming
+        statistics (e.g. the KV cache's window accumulators): one
+        ``searchsorted`` against the calibrated thresholds, any input
+        shape.
+        """
+        nv = np.asarray(normalized_variances, dtype=np.float64)
+        idx = np.searchsorted(self._thresholds, nv)
+        return self._sorted_a[idx]
 
     def select_batch(self, groups: np.ndarray) -> np.ndarray:
         """Vectorised selection for ``(..., group_size)`` groups."""
@@ -261,5 +434,4 @@ class VarianceSelector:
         amax = np.max(np.abs(g), axis=-1)
         amax = np.where(amax <= 0, 1.0, amax)
         norm_var = g.var(axis=-1) / (amax * amax)
-        idx = np.searchsorted(self._thresholds, norm_var)
-        return np.asarray(self._sorted_a)[idx]
+        return self.select_from_variances(norm_var)

@@ -15,25 +15,41 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["GridDataType", "nearest_grid_index", "absmax_scale"]
+__all__ = ["GridDataType", "nearest_grid_index", "grid_boundaries", "absmax_scale"]
 
 # Guards against division by zero when a tensor (or group) is all zeros.
 _EPS = 1e-12
 
 
-def nearest_grid_index(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+def grid_boundaries(grid: np.ndarray) -> np.ndarray:
+    """Decision boundaries of a sorted grid: the midpoints between levels.
+
+    A value belongs to grid cell ``k`` iff it lies strictly above
+    boundary ``k-1`` and at or below boundary ``k``, so nearest-point
+    encoding reduces to one ``searchsorted`` against this table — the
+    precomputed comparator ladder an ANT-style LUT codec burns into
+    hardware.
+    """
+    return 0.5 * (grid[:-1] + grid[1:])
+
+
+def nearest_grid_index(
+    values: np.ndarray, grid: np.ndarray, boundaries: np.ndarray | None = None
+) -> np.ndarray:
     """Return the index of the nearest grid point for each value.
 
     ``grid`` must be sorted ascending.  Ties round toward the lower grid
     point, matching how a hardware comparator tree with ``<=`` breaks
-    ties.  Runs in O(n log g) via binary search.
+    ties.  Runs in O(n log g) via a single binary search against the
+    decision-boundary table — no clip or where fixups; pass a
+    precomputed ``boundaries`` (from :func:`grid_boundaries`) to skip
+    recomputing the table.
     """
-    idx = np.searchsorted(grid, values)
-    idx = np.clip(idx, 1, len(grid) - 1)
-    left = grid[idx - 1]
-    right = grid[idx]
-    choose_left = (values - left) <= (right - values)
-    return np.where(choose_left, idx - 1, idx)
+    if boundaries is None:
+        boundaries = grid_boundaries(grid)
+    # side='left' counts boundaries strictly below each value, so a value
+    # exactly on a boundary keeps the lower cell (ties go left).
+    return np.searchsorted(boundaries, values, side="left")
 
 
 def absmax_scale(x: np.ndarray, grid_max: float, axis=None) -> np.ndarray:
@@ -71,6 +87,7 @@ class GridDataType:
         self.name = name
         self.bits = int(bits)
         self.grid = grid
+        self._boundaries: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -79,6 +96,13 @@ class GridDataType:
     def grid_max(self) -> float:
         """Largest representable magnitude (used for absmax scaling)."""
         return float(np.max(np.abs(self.grid)))
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Decision-boundary LUT (grid midpoints), computed once."""
+        if self._boundaries is None:
+            self._boundaries = grid_boundaries(self.grid)
+        return self._boundaries
 
     @property
     def num_levels(self) -> int:
@@ -97,7 +121,9 @@ class GridDataType:
     # ------------------------------------------------------------------
     def encode(self, scaled: np.ndarray) -> np.ndarray:
         """Snap already-scaled values to grid indices (paper's argmin)."""
-        return nearest_grid_index(np.asarray(scaled, dtype=np.float64), self.grid)
+        return nearest_grid_index(
+            np.asarray(scaled, dtype=np.float64), self.grid, self.boundaries
+        )
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Map grid indices back to their representable values."""

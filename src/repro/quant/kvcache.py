@@ -17,6 +17,15 @@ All caches here are *fake-quantized*: they store dequantized float
 values of exactly the precision the hardware would see, which is what
 accuracy experiments need.  The cycle-level behaviour of the same scheme
 is modelled in :mod:`repro.hardware.rqu`.
+
+Storage is a preallocated ``(heads, capacity, d_head)`` buffer per
+tensor with amortized doubling (Anda-style grouped layout): appends are
+O(1) amortized and ``keys()``/``values()`` return zero-copy views, so a
+T-token generation costs O(T) cache work instead of the O(T²) a
+concatenate-per-read layout pays.  Returned views are *read-only*,
+alias the cache's storage and are only valid until the next ``append``
+— consume them (or copy) before mutating the cache, which is exactly
+how the attention loop uses them.
 """
 
 from __future__ import annotations
@@ -31,11 +40,68 @@ from repro.quant.config import KVCacheConfig, QuantConfig
 
 __all__ = [
     "KVCache",
+    "TokenBuffer",
     "FP16KVCache",
     "IntKVCache",
     "MantKVCache",
     "make_kv_cache",
 ]
+
+_EMPTY = np.empty((0, 0, 0))
+
+
+class TokenBuffer:
+    """Preallocated ``(heads, capacity, d_head)`` token storage.
+
+    Capacity doubles when exhausted (amortized O(1) appends) and
+    :meth:`view` / :meth:`tail` return zero-copy slices of the live
+    region, which is what makes per-decode-step cache reads O(1).
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, heads: int, d_head: int, capacity: int = 16):
+        self._buf = np.empty((heads, max(1, capacity), d_head))
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _reserve(self, extra: int) -> None:
+        need = self._len + extra
+        cap = self._buf.shape[1]
+        if need <= cap:
+            return
+        heads, _, d_head = self._buf.shape
+        grown = np.empty((heads, max(need, 2 * cap), d_head))
+        grown[:, : self._len] = self._buf[:, : self._len]
+        self._buf = grown
+
+    def append(self, block: np.ndarray) -> None:
+        """Append ``(heads, d_head)`` or ``(heads, t, d_head)`` tokens."""
+        if block.ndim == 2:
+            block = block[:, None, :]
+        t = block.shape[1]
+        self._reserve(t)
+        self._buf[:, self._len : self._len + t] = block
+        self._len += t
+
+    def view(self) -> np.ndarray:
+        """Zero-copy ``(heads, len, d_head)`` view of all live tokens.
+
+        Read-only: the seed returned freshly concatenated arrays, so
+        callers mutating the result in place were harmless; a writable
+        view here would let them silently corrupt the cache history.
+        """
+        v = self._buf[:, : self._len]
+        v.flags.writeable = False
+        return v
+
+    def tail(self, n: int) -> np.ndarray:
+        """Zero-copy writable view of the last ``n`` tokens."""
+        if n > self._len:
+            raise ValueError(f"tail({n}) exceeds buffer length {self._len}")
+        return self._buf[:, self._len - n : self._len]
 
 
 class KVCache:
@@ -43,7 +109,8 @@ class KVCache:
 
     Shapes: ``prefill`` takes ``(n_heads, seq, d_head)``; ``append``
     takes one token's ``(n_heads, d_head)``.  ``keys()``/``values()``
-    return the effective (quantization-degraded) cache contents.
+    return the effective (quantization-degraded) cache contents as
+    zero-copy views valid until the next mutation.
     """
 
     def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
@@ -63,30 +130,45 @@ class KVCache:
         raise NotImplementedError
 
 
-class FP16KVCache(KVCache):
-    """No quantization — the baselines' 16-bit attention path."""
+class _BufferedKVCache(KVCache):
+    """Shared buffer plumbing: subclasses only define the quantizers."""
 
     def __init__(self):
-        self._k: list[np.ndarray] = []
-        self._v: list[np.ndarray] = []
+        self._k: TokenBuffer | None = None
+        self._v: TokenBuffer | None = None
 
-    def prefill(self, k, v):
-        self._k = [np.asarray(k, dtype=np.float64)]
-        self._v = [np.asarray(v, dtype=np.float64)]
+    def _reset_buffers(self, heads: int, d_head: int, capacity: int) -> None:
+        self._k = TokenBuffer(heads, d_head, capacity)
+        self._v = TokenBuffer(heads, d_head, capacity)
 
-    def append(self, k_t, v_t):
-        self._k.append(np.asarray(k_t, dtype=np.float64)[:, None, :])
-        self._v.append(np.asarray(v_t, dtype=np.float64)[:, None, :])
+    def keys(self) -> np.ndarray:
+        return self._k.view() if self._k is not None else _EMPTY
 
-    def keys(self):
-        return np.concatenate(self._k, axis=1) if self._k else np.empty((0, 0, 0))
-
-    def values(self):
-        return np.concatenate(self._v, axis=1) if self._v else np.empty((0, 0, 0))
+    def values(self) -> np.ndarray:
+        return self._v.view() if self._v is not None else _EMPTY
 
     @property
-    def seq_len(self):
-        return sum(x.shape[1] for x in self._k)
+    def seq_len(self) -> int:
+        return len(self._k) if self._k is not None else 0
+
+
+class FP16KVCache(_BufferedKVCache):
+    """No quantization — the baselines' 16-bit attention path."""
+
+    def prefill(self, k, v):
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        heads, seq, d_head = k.shape
+        self._reset_buffers(heads, d_head, seq)
+        self._k.append(k)
+        self._v.append(v)
+
+    def append(self, k_t, v_t):
+        k_t = np.asarray(k_t, dtype=np.float64)
+        if self._k is None:
+            self._reset_buffers(*k_t.shape, capacity=16)
+        self._k.append(k_t)
+        self._v.append(np.asarray(v_t, dtype=np.float64))
 
 
 def _int_qdq_lastaxis(x: np.ndarray, bits: int, group_size: int) -> np.ndarray:
@@ -100,7 +182,7 @@ def _int_qdq_lastaxis(x: np.ndarray, bits: int, group_size: int) -> np.ndarray:
     return from_groups(view, q * scale)
 
 
-class IntKVCache(KVCache):
+class IntKVCache(_BufferedKVCache):
     """Baseline INT-quantized cache: per-token groups along ``d_head``.
 
     The straightforward real-time scheme an INT accelerator would use —
@@ -109,36 +191,38 @@ class IntKVCache(KVCache):
     """
 
     def __init__(self, bits: int = 4, group_size: int = 64):
+        super().__init__()
         self.bits = bits
         self.group_size = group_size
-        self._k: list[np.ndarray] = []
-        self._v: list[np.ndarray] = []
 
     def _q(self, x: np.ndarray) -> np.ndarray:
         g = min(self.group_size, x.shape[-1])
         return _int_qdq_lastaxis(x, self.bits, g)
 
     def prefill(self, k, v):
-        self._k = [self._q(np.asarray(k, dtype=np.float64))]
-        self._v = [self._q(np.asarray(v, dtype=np.float64))]
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        heads, seq, d_head = k.shape
+        self._reset_buffers(heads, d_head, seq)
+        self._k.append(self._q(k))
+        self._v.append(self._q(v))
 
     def append(self, k_t, v_t):
-        self._k.append(self._q(np.asarray(k_t, dtype=np.float64))[:, None, :])
-        self._v.append(self._q(np.asarray(v_t, dtype=np.float64))[:, None, :])
-
-    def keys(self):
-        return np.concatenate(self._k, axis=1)
-
-    def values(self):
-        return np.concatenate(self._v, axis=1)
-
-    @property
-    def seq_len(self):
-        return sum(x.shape[1] for x in self._k)
+        k_t = np.asarray(k_t, dtype=np.float64)
+        if self._k is None:
+            self._reset_buffers(*k_t.shape, capacity=16)
+        self._k.append(self._q(k_t))
+        self._v.append(self._q(np.asarray(v_t, dtype=np.float64)))
 
 
-class MantKVCache(KVCache):
+class MantKVCache(_BufferedKVCache):
     """MANT real-time KV cache: spatial K + two-phase temporal V.
+
+    K rows and V windows live in :class:`TokenBuffer` storage.  The V
+    buffer holds the finalized 4-bit MANT prefix in ``[0, _v_final)``
+    and the INT8-staged suffix behind it; closing a window re-quantizes
+    the staged region *in place*, so ``values()`` is always one
+    zero-copy view regardless of staging state.
 
     Parameters
     ----------
@@ -159,17 +243,14 @@ class MantKVCache(KVCache):
         window: int | None = None,
         staging_bits: int = 8,
     ):
+        super().__init__()
         self.bits = bits
         self.group_size = group_size
         self.window = window or group_size
         self.staging_bits = staging_bits
         self.selector = selector or VarianceSelector(bits=bits, group_size=group_size)
         self._codec = MantCodec(bits=bits, group_size=group_size)
-        # K state: list of fake-quantized chunks (heads, t, d_head).
-        self._k: list[np.ndarray] = []
-        # V state: finalized MANT windows + INT8 staging.
-        self._v_final: list[np.ndarray] = []
-        self._v_staging: list[np.ndarray] = []   # each (heads, d_head)
+        self._v_final = 0  # tokens of the V buffer already at 4-bit MANT
         # Streaming accumulators over the current window, per channel.
         self._acc_sum: np.ndarray | None = None      # (heads, d_head)
         self._acc_sqsum: np.ndarray | None = None
@@ -181,9 +262,12 @@ class MantKVCache(KVCache):
     # ------------------------------------------------------------------
     # Shared: variance-selected MANT fake-quant along the last axis
     # ------------------------------------------------------------------
+    def _codec_for(self, g: int) -> MantCodec:
+        return self._codec if g == self.group_size else MantCodec(self.bits, g)
+
     def _mant_qdq_lastaxis(self, x: np.ndarray) -> np.ndarray:
         g = min(self.group_size, x.shape[-1])
-        codec = self._codec if g == self.group_size else MantCodec(self.bits, g)
+        codec = self._codec_for(g)
         flat = x.reshape(-1, x.shape[-1])
         a = self.selector.select_batch(to_groups(flat, g, axis=-1).groups)
         return codec.qdq(flat, a).reshape(x.shape)
@@ -203,8 +287,8 @@ class MantKVCache(KVCache):
         self._acc_max = np.zeros((heads, d_head))
 
     def _finalize_window(self) -> None:
-        """Phase 2 of Fig. 8: staged INT8 window → 4-bit MANT."""
-        staged = np.stack(self._v_staging, axis=1)   # (heads, window, d_head)
+        """Phase 2 of Fig. 8: staged INT8 window → 4-bit MANT, in place."""
+        staged = self._v.tail(self.window)           # (heads, window, d_head)
         heads, t, d_head = staged.shape
         # Group = one channel across the window (the V inner dimension).
         per_channel = np.moveaxis(staged, 1, -1)     # (heads, d_head, t)
@@ -213,15 +297,12 @@ class MantKVCache(KVCache):
         var = self._acc_sqsum / n - mean * mean
         amax = np.where(self._acc_max <= 0, 1.0, self._acc_max)
         norm_var = np.clip(var, 0.0, None) / (amax * amax)
-        a_sel = np.asarray(self.selector._sorted_a)[
-            np.searchsorted(self.selector._thresholds, norm_var)
-        ]                                             # (heads, d_head)
-        codec = self._codec if t == self.group_size else MantCodec(self.bits, t)
+        a_sel = self.selector.select_from_variances(norm_var)  # (heads, d_head)
+        codec = self._codec_for(t)
         flat = per_channel.reshape(-1, t)
         out = codec.qdq(flat, a_sel.reshape(-1, 1))
-        final = np.moveaxis(out.reshape(heads, d_head, t), -1, 1)
-        self._v_final.append(final)
-        self._v_staging = []
+        staged[:] = np.moveaxis(out.reshape(heads, d_head, t), -1, 1)
+        self._v_final += self.window
         self._reset_window(heads, d_head)
 
     # ------------------------------------------------------------------
@@ -229,7 +310,8 @@ class MantKVCache(KVCache):
         k = np.asarray(k, dtype=np.float64)
         v = np.asarray(v, dtype=np.float64)
         heads, seq, d_head = v.shape
-        self._k = [self._quantize_k(k)]
+        self._reset_buffers(heads, d_head, seq)
+        self._k.append(self._quantize_k(k))
 
         # Channel scales for the decode-stage INT8 staging (Fig. 8).
         ch_max = np.max(np.abs(v), axis=1)            # (heads, d_head)
@@ -239,8 +321,7 @@ class MantKVCache(KVCache):
         # Prefill V: full windows quantize straight to MANT (both inner
         # dimension data are available), remainder enters staging.
         full = (seq // self.window) * self.window
-        self._v_final = []
-        self._v_staging = []
+        self._v_final = 0
         self._reset_window(heads, d_head)
         if full:
             body = v[:, :full, :]
@@ -248,59 +329,59 @@ class MantKVCache(KVCache):
             per_channel = np.moveaxis(windows, 2, -1)  # (heads, W, d_head, window)
             flat = per_channel.reshape(-1, self.window)
             a = self.selector.select_batch(flat)
-            codec = (
-                self._codec
-                if self.window == self.group_size
-                else MantCodec(self.bits, self.window)
-            )
+            codec = self._codec_for(self.window)
             out = codec.qdq(flat, a[:, None])
             body_q = np.moveaxis(
                 out.reshape(heads, full // self.window, d_head, self.window), -1, 2
             ).reshape(heads, full, d_head)
-            self._v_final.append(body_q)
-        for t in range(full, seq):
-            self._stage_append(v[:, t, :])
+            self._v.append(body_q)
+            self._v_final = full
+        if full < seq:
+            # Batched staging: the remainder is < window, so no window
+            # can close mid-batch and the accumulators update in bulk.
+            self._stage_block(v[:, full:, :])
+
+    def _stage_block(self, block: np.ndarray) -> None:
+        """INT8-stage ``(heads, t, d_head)`` tokens + update accumulators.
+
+        The single place the staging quantization and streaming-stat
+        semantics live; does not close windows — callers decide that.
+        """
+        scale = self._stage_scale[:, None, :]
+        q = self._int8.round_clip(block / scale)
+        self._v.append(q * scale)
+        self._acc_sum += block.sum(axis=1)
+        self._acc_sqsum += (block * block).sum(axis=1)
+        self._acc_max = np.maximum(self._acc_max, np.max(np.abs(block), axis=1))
 
     def _stage_append(self, v_t: np.ndarray) -> None:
-        q = self._int8.round_clip(v_t / self._stage_scale)
-        self._v_staging.append(q * self._stage_scale)
-        self._acc_sum += v_t
-        self._acc_sqsum += v_t * v_t
-        self._acc_max = np.maximum(self._acc_max, np.abs(v_t))
-        if len(self._v_staging) == self.window:
+        self._stage_block(v_t[:, None, :])
+        if len(self._v) - self._v_final == self.window:
             self._finalize_window()
 
     def append(self, k_t, v_t):
         k_t = np.asarray(k_t, dtype=np.float64)
         v_t = np.asarray(v_t, dtype=np.float64)
         if self._stage_scale is None:
-            # Decode without prefill: bootstrap scales from this vector.
+            # Decode without prefill: bootstrap scales from this vector,
+            # fp16-rounded like the prefill path (Fig. 8 stores 16-bit
+            # channel scales regardless of how the cache started).
             heads, d_head = v_t.shape
             ch_max = np.where(np.abs(v_t) <= 0, 1.0, np.abs(v_t))
-            self._stage_scale = ch_max / self._int8.qmax
+            self._stage_scale = (
+                (ch_max / self._int8.qmax).astype(np.float16).astype(np.float64)
+            )
+            self._reset_buffers(heads, d_head, 16)
+            self._v_final = 0
             self._reset_window(heads, d_head)
-        self._k.append(self._quantize_k(k_t)[:, None, :])
+        self._k.append(self._quantize_k(k_t))
         self._stage_append(v_t)
 
     # ------------------------------------------------------------------
-    def keys(self):
-        return np.concatenate(self._k, axis=1)
-
-    def values(self):
-        parts = list(self._v_final)
-        if self._v_staging:
-            parts.append(np.stack(self._v_staging, axis=1))
-        return np.concatenate(parts, axis=1)
-
-    @property
-    def seq_len(self):
-        n = sum(x.shape[1] for x in self._k)
-        return n
-
     @property
     def staging_fill(self) -> int:
         """Tokens currently held at INT8 (for tests/analysis)."""
-        return len(self._v_staging)
+        return len(self._v) - self._v_final if self._v is not None else 0
 
 
 def make_kv_cache(config: KVCacheConfig, selector: VarianceSelector | None = None) -> KVCache:

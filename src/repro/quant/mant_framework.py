@@ -58,7 +58,11 @@ class MantQuantizer:
         return self.selector.select(w, act_sq_mean)
 
     def encode(self, w: np.ndarray, act_sq_mean: np.ndarray | None = None) -> MantEncoded:
-        return self.codec.encode(w, self.select(w, act_sq_mean))
+        # Fused search + encode: the selector keeps the winning
+        # candidate's codes from the sweep, so the weights are not
+        # nearest-point-searched again after selection.  Bit-identical
+        # to ``self.codec.encode(w, self.select(w, act_sq_mean))``.
+        return self.selector.select_and_encode(w, act_sq_mean, codec=self.codec)
 
     def quantize(self, w: np.ndarray, act_sq_mean: np.ndarray | None = None) -> MantEncoded:
         """Alias of :meth:`encode` (paper's terminology)."""
@@ -69,8 +73,8 @@ class MantQuantizer:
 
     # ------------------------------------------------------------------
     def qdq(self, w: np.ndarray, act_sq_mean: np.ndarray | None = None) -> np.ndarray:
-        """Fake-quantize a 2-D weight matrix."""
-        return self.codec.qdq(w, self.select(w, act_sq_mean))
+        """Fake-quantize a 2-D weight matrix (fused search + encode)."""
+        return self.codec.decode(self.encode(w, act_sq_mean))
 
     def qdq_tensor(
         self,

@@ -8,6 +8,8 @@ clustering) build on top of these in their own modules.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.core.groups import to_groups, from_groups
@@ -18,6 +20,20 @@ from repro.datatypes.floats import cast_fp16
 from repro.quant.config import QuantConfig, Granularity
 
 __all__ = ["GroupQuantizer", "quantize_dequantize", "qdq_with_config"]
+
+
+@lru_cache(maxsize=None)
+def _mant_quantizer(bits: int, group_size: int):
+    """Process-wide MANT quantizer pool.
+
+    The quantizer is stateless (grids and boundary tables are shared
+    process-wide anyway), so config-driven dispatch reuses one instance
+    per (bits, group_size) instead of rebuilding the search machinery on
+    every call.
+    """
+    from repro.quant.mant_framework import MantQuantizer
+
+    return MantQuantizer(bits=bits, group_size=group_size)
 
 
 def _dtype_for(config: QuantConfig) -> GridDataType:
@@ -106,11 +122,9 @@ def qdq_with_config(x: np.ndarray, config: QuantConfig, axis: int = -1,
     if config.method == "mxfp":
         return mxfp4_qdq(np.asarray(x, dtype=np.float64), config.group_size)
     if config.method == "mant":
-        from repro.quant.mant_framework import MantQuantizer
-
-        return MantQuantizer(
-            bits=config.bits, group_size=config.group_size
-        ).qdq_tensor(x, axis=axis, act_sq_mean=calibration)
+        return _mant_quantizer(config.bits, config.group_size).qdq_tensor(
+            x, axis=axis, act_sq_mean=calibration
+        )
     if config.method == "ant":
         from repro.quant.ant import AntQuantizer
 

@@ -43,6 +43,19 @@ class TestGroupStats:
         st = group_stats(np.zeros(8))
         assert st.normalized_variance == 0.0
 
+    def test_variance_never_negative(self):
+        # E[x²] − E[x]² cancels catastrophically on near-constant groups;
+        # accumulators crafted so the raw difference is a tiny negative.
+        st = GroupStats(n=3, total=0.30000000000000004, total_sq=0.03, abs_max=0.1)
+        assert st.variance >= 0.0
+        assert st.normalized_variance >= 0.0
+
+    def test_constant_group_variance_clipped(self):
+        for c in (0.1, 1e8, -3.7e-5):
+            st = group_stats(np.full(64, c))
+            assert st.variance >= 0.0
+            assert st.normalized_variance >= 0.0
+
 
 class TestMseSearchSelector:
     def test_uniform_data_prefers_int_like(self, rng):

@@ -34,9 +34,11 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from repro.core.codec import MantCodec
 from repro.core.fused import fused_group_gemm, quantize_activations_int8
 from repro.core.selection import MseSearchSelector, VarianceSelector
-from repro.quant.kvcache import MantKVCache
+from repro.model.zoo import get_model
+from repro.quant.kvcache import FP16KVCache, MantKVCache
 
 from bench_decode_scaling import decode_chunk_times
+from bench_serve_throughput import CACHE_FACTORIES, make_requests, run_workload
 from legacy_impl import LegacyListKVCache, LegacyMantCodec, LegacyMseSearchSelector
 
 BASELINE = os.path.join(
@@ -47,6 +49,10 @@ SLOWDOWN_LIMIT = 2.0
 # Acceptance floors for the fast paths vs the seed implementations.
 MIN_SELECT_SPEEDUP = 5.0
 MIN_ENCODE_SPEEDUP = 3.0
+
+# Serving: aggregate decode throughput at batch 8 vs 1-by-1 serving of
+# the same workload (the continuous-batching payoff).
+MIN_SERVE_SPEEDUP = 2.0
 
 
 def _time(fn, number=10, repeat=3) -> float:
@@ -72,6 +78,12 @@ def build_suite():
         cache = MantKVCache(group_size=64)
         return sum(decode_chunk_times(cache, tokens=256, chunk=256))
 
+    serve_model, _ = get_model("unit-test")
+
+    def serve_workload():
+        requests = make_requests(serve_model.config.vocab_size, n_requests=8)
+        return run_workload(serve_model, FP16KVCache, requests, max_batch=8)
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -81,6 +93,7 @@ def build_suite():
         "fused_gemm": lambda: fused_group_gemm(xq, enc),
         "variance_select_batch": lambda: var_selector.select_batch(groups),
         "kv_decode_256_tokens": decode_step_cost,
+        "serve_fp16_batch8": serve_workload,
     }
 
 
@@ -125,6 +138,27 @@ def check_speedups() -> list[str]:
     print(f"  decode chunk-cost growth (seed list):     {r_list:5.2f}x")
     if r_flat >= 2.0:
         failures.append(f"buffered decode cost grew {r_flat:.2f}x over 512 tokens")
+
+    # Continuous batching: aggregate decode throughput must scale with
+    # concurrency for every cache type; the floor is enforced on FP16
+    # (pure engine batching, no quantizer noise).
+    model, _ = get_model("unit-test")
+    for name, factory in CACHE_FACTORIES.items():
+        seq_elapsed, seq_stats = run_workload(
+            model, factory, make_requests(model.config.vocab_size), max_batch=1
+        )
+        bat_elapsed, bat_stats = run_workload(
+            model, factory, make_requests(model.config.vocab_size), max_batch=8
+        )
+        speedup = (bat_stats.tokens_generated / bat_elapsed) / (
+            seq_stats.tokens_generated / seq_elapsed
+        )
+        floor = f"(floor {MIN_SERVE_SPEEDUP}x)" if name == "fp16" else ""
+        print(f"  serve {name} batch-8 vs sequential:        {speedup:5.2f}x {floor}")
+        if name == "fp16" and speedup < MIN_SERVE_SPEEDUP:
+            failures.append(
+                f"serve fp16 batch-8 speedup {speedup:.2f}x < {MIN_SERVE_SPEEDUP}x"
+            )
     return failures
 
 

@@ -1,0 +1,90 @@
+"""Multi-tenant serving demo: concurrent recall requests, one engine.
+
+Eight clients each plant key->value facts in a long prompt (the
+Tbl. III decode scenario) and generate a continuation — but instead of
+running one at a time, all eight stream through the continuous-batching
+engine concurrently over a pooled MANT4-quantized KV cache: tokens
+arrive interleaved, finished requests hand their cache slots to queued
+ones, and the engine reports throughput / occupancy / queue latency.
+
+The punchline is the determinism guarantee: every client's tokens are
+verified identical to what the single-stream decode loop produces —
+continuous batching changes latency and throughput, never the output.
+
+Run:  python examples/serving_demo.py
+"""
+
+import functools
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.model import calibrate_model, get_model
+from repro.model.tasks import RecallTask, _generate
+from repro.quant.kvcache import MantKVCache
+from repro.serve import GenerationEngine, GenerationRequest, ServeConfig
+
+N_CLIENTS = 8
+MAX_BATCH = 4
+MAX_TOKENS = 12
+
+print("loading tinyllama-s (trains and caches on first use)...")
+model, corpus = get_model("tinyllama-s")
+calibration = calibrate_model(model, corpus, n_batches=3, batch_size=4, seq_len=128)
+
+# One recall episode per client: a long prompt with planted key->value
+# pairs, ending on a query key.
+task = RecallTask(vocab_size=model.config.vocab_size, prompt_len=160, n_pairs=4)
+rng = np.random.default_rng(task.seed)
+prompts = [task._build_episode(rng)[0] for _ in range(N_CLIENTS)]
+
+cache_factory = functools.partial(
+    MantKVCache, selector=calibration.kv_selector, group_size=64, window=64
+)
+engine = GenerationEngine(model, cache_factory,
+                          ServeConfig(max_batch_size=MAX_BATCH))
+
+requests = [
+    GenerationRequest(f"client-{i}", prompt, max_tokens=MAX_TOKENS)
+    for i, prompt in enumerate(prompts)
+]
+
+print(f"\nserving {N_CLIENTS} concurrent requests "
+      f"({MAX_TOKENS} tokens each, max batch {MAX_BATCH}, MANT4 KV cache)...")
+arrivals: dict[str, int] = {}
+for event in engine.run(requests):
+    if event.token is not None:
+        arrivals.setdefault(event.request_id, len(arrivals))
+print("first-token arrival order: "
+      + " ".join(sorted(arrivals, key=arrivals.get)))
+
+print("\nverifying batched output == single-stream output per client...")
+rows = []
+all_match = True
+for i, prompt in enumerate(prompts):
+    result = engine.result(f"client-{i}")
+    reference = _generate(model, prompt, MAX_TOKENS, cache_factory)
+    match = result.tokens == reference
+    all_match &= match
+    rows.append([
+        f"client-{i}",
+        " ".join(str(t) for t in result.tokens[:6]) + " ...",
+        "yes" if match else "NO",
+        result.finish_reason,
+        f"{result.queue_latency_s * 1e3:.1f}",
+    ])
+print(render_table(
+    ["request", "tokens (first 6)", "== single-stream", "finish", "queue ms"],
+    rows, title="Per-request results"))
+
+st = engine.stats()
+print(f"\nengine stats: {st.requests_completed}/{st.requests_submitted} requests, "
+      f"{st.tokens_generated} tokens in {st.elapsed_s * 1e3:.0f} ms "
+      f"({st.tokens_per_s:.0f} tok/s aggregate)")
+print(f"  decode ticks:    {st.decode_ticks}, "
+      f"mean batch occupancy {st.mean_batch_occupancy:.2f} of {st.cache_slots} "
+      f"lanes (high water {st.cache_slots_high_water})")
+print(f"  queue latency:   mean {st.mean_queue_latency_s * 1e3:.1f} ms, "
+      f"max {st.max_queue_latency_s * 1e3:.1f} ms")
+print(f"\nall outputs identical to single-stream decoding: "
+      f"{'yes' if all_match else 'NO'}")

@@ -435,3 +435,17 @@ class VarianceSelector:
         amax = np.where(amax <= 0, 1.0, amax)
         norm_var = g.var(axis=-1) / (amax * amax)
         return self.select_from_variances(norm_var)
+
+    def same_policy(self, other) -> bool:
+        """True when both selectors decide identically on every input.
+
+        The decision is fully determined by the sorted coefficient array
+        and its variance thresholds, so distinct instances (e.g. one per
+        pooled KV cache) compare equal if those match — which is what
+        lets the caches' fused batch append share one selection call.
+        """
+        return self is other or (
+            isinstance(other, VarianceSelector)
+            and np.array_equal(self._sorted_a, other._sorted_a)
+            and np.array_equal(self._thresholds, other._thresholds)
+        )

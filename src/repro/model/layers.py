@@ -16,10 +16,10 @@ __all__ = [
     "embedding_fwd", "embedding_bwd",
     "rmsnorm_fwd", "rmsnorm_bwd",
     "layernorm_fwd", "layernorm_bwd",
-    "rope_tables", "rope_fwd", "rope_bwd", "apply_rope",
+    "rope_tables", "rope_fwd", "rope_bwd", "apply_rope", "apply_rope_at",
     "silu_fwd", "silu_bwd",
     "relu_fwd", "relu_bwd",
-    "causal_attention_fwd", "causal_attention_bwd",
+    "causal_attention_fwd", "causal_attention_bwd", "cached_attention_fwd",
     "softmax", "cross_entropy_fwd", "cross_entropy_bwd",
 ]
 
@@ -121,6 +121,23 @@ def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray, offset: int = 0)
     return np.concatenate([x1 * c - x2 * s, x1 * s + x2 * c], axis=-1)
 
 
+def apply_rope_at(x: np.ndarray, cos: np.ndarray, sin: np.ndarray, positions: np.ndarray):
+    """Rotate single-token ``x (B, H, 1, d_head)`` at absolute ``positions (B,)``.
+
+    The batched-decode counterpart of :func:`apply_rope`: each sequence
+    in the batch sits at its own position, so the rotation row is
+    gathered per sequence instead of sliced from a common offset.
+    Elementwise ops match :func:`apply_rope` exactly, so a batch row
+    equals the single-stream rotation at the same position.
+    """
+    positions = np.asarray(positions)
+    c = cos[positions][:, None, None, :]        # (B, 1, 1, half)
+    s = sin[positions][:, None, None, :]
+    half = x.shape[-1] // 2
+    x1, x2 = x[..., :half], x[..., half:]
+    return np.concatenate([x1 * c - x2 * s, x1 * s + x2 * c], axis=-1)
+
+
 def rope_fwd(x: np.ndarray, cos: np.ndarray, sin: np.ndarray, offset: int = 0):
     return apply_rope(x, cos, sin, offset), (cos, sin, offset, x.shape[-2])
 
@@ -179,6 +196,27 @@ def causal_attention_fwd(q: np.ndarray, k: np.ndarray, v: np.ndarray):
     probs = softmax(scores, axis=-1)
     out = probs @ v
     return out, (q, k, v, probs)
+
+
+def cached_attention_fwd(q: np.ndarray, keys: np.ndarray, values: np.ndarray,
+                         offset: int = 0) -> np.ndarray:
+    """Attention of ``q (H, t, d_head)`` against cached ``(H, S, d_head)``.
+
+    Query ``j`` sits at absolute position ``offset + j`` and attends to
+    cache entries at positions ``<= offset + j``.  This is the decode
+    path both the single-stream and the batched generation loops share,
+    which is what makes batched greedy decoding token-for-token
+    identical to the one-sequence loop.
+    """
+    d_head = q.shape[-1]
+    t = q.shape[-2]
+    s = keys.shape[-2]
+    scores = q @ np.swapaxes(keys, -1, -2) / np.sqrt(d_head)
+    qpos = offset + np.arange(t)[:, None]
+    kpos = np.arange(s)[None, :]
+    scores = np.where(kpos <= qpos, scores, -np.inf)
+    probs = softmax(scores, axis=-1)
+    return probs @ values
 
 
 def causal_attention_bwd(dout: np.ndarray, cache):

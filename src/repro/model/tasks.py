@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.model.corpus import HmmCorpus, KEY_BASE
 from repro.model.transformer import TransformerLM
+from repro.sampling import Sampler
 
 __all__ = ["RecallTask", "ContinuationTask", "token_f1", "bleu"]
 
@@ -61,17 +62,23 @@ def bleu(candidate: list[int], reference: list[int], max_n: int = 4) -> float:
 
 
 def _generate(model: TransformerLM, prompt: np.ndarray, n_tokens: int,
-              cache_factory, weights=None, act_quant=None) -> list[int]:
-    """Greedy generation with per-layer KV caches."""
+              cache_factory, weights=None, act_quant=None,
+              sampler: Sampler | None = None) -> list[int]:
+    """Single-stream generation with per-layer KV caches.
+
+    The default :class:`~repro.sampling.Sampler` is greedy, the
+    deterministic policy all accuracy tables use.
+    """
+    sampler = sampler or Sampler()
     caches = [cache_factory() for _ in range(model.config.n_layers)]
     logits = model.prefill(prompt, caches, weights=weights, act_quant=act_quant)
     out = []
     pos = len(prompt)
-    token = int(np.argmax(logits))
+    token = sampler.sample(logits)
     for _ in range(n_tokens):
         out.append(token)
         logits = model.decode_step(token, caches, pos, weights=weights, act_quant=act_quant)
-        token = int(np.argmax(logits))
+        token = sampler.sample(logits)
         pos += 1
     return out
 

@@ -8,8 +8,9 @@ Two architecture families mirror the paper's model zoo:
   embeddings, ReLU FFN, pre-norm, tied embeddings (OPT structure).
 
 The training path (:func:`loss_and_grads`) does a full manual backward
-pass; the inference path (:func:`forward_logits`, :func:`decode_step`)
-accepts the quantization hooks the accuracy experiments plug in:
+pass; the inference path (:func:`forward_logits`, :func:`decode_step`,
+and the continuous-batching :func:`decode_step_batch`) accepts the
+quantization hooks the accuracy experiments plug in:
 
 ``weights``
     Substituted (fake-quantized) weight dict.
@@ -232,6 +233,101 @@ class TransformerLM:
         x = self._run_tokens(ids, caches, offset=pos, weights=weights, act_quant=act_quant)
         return x[0, -1]
 
+    def decode_step_batch(
+        self,
+        tokens,
+        caches_per_seq: list[list],
+        positions,
+        weights=None,
+        act_quant=None,
+    ) -> np.ndarray:
+        """One fused decode step for ``B`` independent sequences.
+
+        ``tokens``: length-``B`` ints (the token each sequence feeds in);
+        ``caches_per_seq``: per-sequence lists of per-layer KV caches;
+        ``positions``: length-``B`` absolute positions of those tokens.
+        Returns logits ``(B, V)``.
+
+        The dense projections and FFN run batched ``(B, 1, d)`` — one
+        pass through the layer stack instead of ``B`` — while attention
+        walks each sequence's own cache at its own position (sequence
+        lengths are ragged under continuous batching).  Every
+        per-sequence op has the same operand shapes as
+        :meth:`decode_step` (numpy matmul applies the ``(1, d)``
+        kernels per batch row), so row ``b`` of the result is
+        bit-identical to the single-stream step — the invariant the
+        serving engine's greedy-equivalence guarantee rests on.
+        """
+        cfg = self.config
+        p = self.params if weights is None else weights
+        bsz = len(tokens)
+        if not (bsz == len(caches_per_seq) == len(positions)):
+            raise ValueError("tokens, caches_per_seq and positions must align")
+        positions = np.asarray(positions, dtype=np.int64)
+        ids = np.asarray(tokens, dtype=np.int64).reshape(bsz, 1)
+        x, _ = L.embedding_fwd(ids, p["embed"])               # (B, 1, d)
+        if cfg.arch == "opt":
+            x = x + p["pos_embed"][positions][:, None, :]
+
+        def q(name, val):
+            # Activation quantization is applied per sequence: tensor- or
+            # channel-granularity scales computed over the whole batch
+            # would couple sequences and break the per-row bit-identity
+            # with the single-stream step (which quantizes (1, 1, d)).
+            if act_quant is None:
+                return val
+            return np.concatenate(
+                [act_quant(name, val[b : b + 1]) for b in range(bsz)]
+            )
+
+        for i in range(cfg.n_layers):
+            pre = f"layers.{i}."
+            h, _ = self._norm_fwd(x, p, pre + "norm1")
+            h_in = q(pre + "attn.wq", h)
+            qp, _ = L.linear_fwd(h_in, p[pre + "attn.wq"])
+            kp, _ = L.linear_fwd(h_in, p[pre + "attn.wk"])
+            vp, _ = L.linear_fwd(h_in, p[pre + "attn.wv"])
+            qh = _split_heads(qp, cfg.n_heads)                # (B, H, 1, dh)
+            kh = _split_heads(kp, cfg.n_heads)
+            vh = _split_heads(vp, cfg.n_heads)
+            if cfg.arch == "llama":
+                qh = L.apply_rope_at(qh, self._cos, self._sin, positions)
+                kh = L.apply_rope_at(kh, self._cos, self._sin, positions)
+            layer_caches = [caches_per_seq[b][i] for b in range(bsz)]
+            # Fused when the caches' configs allow, one quantization call
+            # for the whole batch — bit-identical to per-cache appends;
+            # append_batch itself falls back to the loop on mixed setups.
+            type(layer_caches[0]).append_batch(
+                layer_caches, kh[:, :, 0, :], vh[:, :, 0, :]
+            )
+            att_rows = []
+            for b, cache in enumerate(layer_caches):
+                att_rows.append(
+                    L.cached_attention_fwd(
+                        qh[b], cache.keys(), cache.values(), offset=int(positions[b])
+                    )
+                )
+            att = _merge_heads(np.stack(att_rows))            # (B, 1, d)
+            o, _ = L.linear_fwd(q(pre + "attn.wo", att), p[pre + "attn.wo"])
+            x = x + o
+
+            h2, _ = self._norm_fwd(x, p, pre + "norm2")
+            if cfg.arch == "llama":
+                h2q = q(pre + "ffn.wgate", h2)
+                g, _ = L.linear_fwd(h2q, p[pre + "ffn.wgate"])
+                u, _ = L.linear_fwd(h2q, p[pre + "ffn.wup"])
+                act, _ = L.silu_fwd(g)
+                ff, _ = L.linear_fwd(q(pre + "ffn.wdown", act * u), p[pre + "ffn.wdown"])
+            else:
+                h2q = q(pre + "ffn.w1", h2)
+                a1, _ = L.linear_fwd(h2q, p[pre + "ffn.w1"])
+                act, _ = L.relu_fwd(a1)
+                ff, _ = L.linear_fwd(q(pre + "ffn.w2", act), p[pre + "ffn.w2"])
+            x = x + ff
+
+        xf, _ = self._norm_fwd(x, p, "norm_f")
+        return (xf @ p["embed"].T)[:, -1]                     # (B, V)
+
     def _run_tokens(self, ids, caches, offset, weights=None, act_quant=None):
         cfg = self.config
         p = self.params if weights is None else weights
@@ -262,16 +358,8 @@ class TransformerLM:
             else:
                 for j in range(t):
                     cache.append(kh[:, j, :], vh[:, j, :])
-            keys = cache.keys()        # (H, S, dh)
-            vals = cache.values()
-            s = keys.shape[1]
-            scores = qh @ np.swapaxes(keys, -1, -2) / np.sqrt(cfg.d_head)
-            # Causal mask: query position offset+j attends to <= itself.
-            qpos = offset + np.arange(t)[:, None]
-            kpos = np.arange(s)[None, :]
-            scores = np.where(kpos <= qpos, scores, -np.inf)
-            probs = L.softmax(scores, axis=-1)
-            att = probs @ vals                     # (H, t, dh)
+            att = L.cached_attention_fwd(qh, cache.keys(), cache.values(),
+                                         offset=offset)      # (H, t, dh)
             att = _merge_heads(att[None])
             o, _ = L.linear_fwd(q(pre + "attn.wo", att), p[pre + "attn.wo"])
             x = x + o

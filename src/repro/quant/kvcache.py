@@ -26,6 +26,16 @@ concatenate-per-read layout pays.  Returned views are *read-only*,
 alias the cache's storage and are only valid until the next ``append``
 — consume them (or copy) before mutating the cache, which is exactly
 how the attention loop uses them.
+
+For multi-tenant serving, :class:`KVCacheArena` pools that storage:
+per-sequence, per-layer caches are carved out of shared
+``(slots, heads, capacity, d_head)`` slabs (one K and one V slab per
+layer), and a sequence's slot is recycled into the free list when its
+request completes — so ``S`` concurrent sequences share ``2 ×
+n_layers`` allocations, and a recycled slot inherits the capacity its
+predecessors already grew.  Arena-backed caches behave identically to
+standalone ones; views are valid until the next append on *any* slot
+of the same arena (a growth reallocates the shared slab).
 """
 
 from __future__ import annotations
@@ -41,13 +51,34 @@ from repro.quant.config import KVCacheConfig, QuantConfig
 __all__ = [
     "KVCache",
     "TokenBuffer",
+    "SlabTokenBuffer",
     "FP16KVCache",
     "IntKVCache",
     "MantKVCache",
     "make_kv_cache",
+    "KVCacheArena",
+    "CacheLease",
 ]
 
 _EMPTY = np.empty((0, 0, 0))
+
+
+def _promote_token_block(block: np.ndarray, heads: int, d_head: int) -> np.ndarray:
+    """Normalize an append block to ``(heads, t, d_head)``, validating shape.
+
+    The single place the token-storage geometry contract lives, shared
+    by :class:`TokenBuffer` and the arena slabs so the standalone and
+    pooled paths cannot drift apart.
+    """
+    if block.ndim == 2:
+        block = block[:, None, :]
+    if block.shape[0] != heads or block.shape[-1] != d_head:
+        raise ValueError(
+            f"token block (n_heads, d_head)=({block.shape[0]}, "
+            f"{block.shape[-1]}) does not match this buffer's "
+            f"({heads}, {d_head})"
+        )
+    return block
 
 
 class TokenBuffer:
@@ -67,6 +98,14 @@ class TokenBuffer:
     def __len__(self) -> int:
         return self._len
 
+    @property
+    def heads(self) -> int:
+        return self._buf.shape[0]
+
+    @property
+    def d_head(self) -> int:
+        return self._buf.shape[2]
+
     def _reserve(self, extra: int) -> None:
         need = self._len + extra
         cap = self._buf.shape[1]
@@ -79,8 +118,7 @@ class TokenBuffer:
 
     def append(self, block: np.ndarray) -> None:
         """Append ``(heads, d_head)`` or ``(heads, t, d_head)`` tokens."""
-        if block.ndim == 2:
-            block = block[:, None, :]
+        block = _promote_token_block(block, self.heads, self.d_head)
         t = block.shape[1]
         self._reserve(t)
         self._buf[:, self._len : self._len + t] = block
@@ -119,6 +157,20 @@ class KVCache:
     def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
         raise NotImplementedError
 
+    @classmethod
+    def append_batch(cls, caches: list, k_batch: np.ndarray, v_batch: np.ndarray) -> None:
+        """Append one token to each of ``caches`` (``k/v_batch`` are
+        ``(B, n_heads, d_head)``, row ``b`` for cache ``b``).
+
+        The default is the per-cache loop; quantized subclasses fuse the
+        group-wise quantization math across the batch — bit-identical
+        (groups are row-independent) but one vectorized call instead of
+        ``B``, which is what makes batched decode throughput scale for
+        quantized caches.
+        """
+        for cache, k_t, v_t in zip(caches, k_batch, v_batch):
+            cache.append(k_t, v_t)
+
     def keys(self) -> np.ndarray:
         raise NotImplementedError
 
@@ -136,10 +188,44 @@ class _BufferedKVCache(KVCache):
     def __init__(self):
         self._k: TokenBuffer | None = None
         self._v: TokenBuffer | None = None
+        self._buffer_factory = None
+
+    def bind_buffer_factory(self, factory) -> None:
+        """Route buffer allocation through a pool (see :class:`KVCacheArena`).
+
+        ``factory(role, heads, d_head, capacity)`` must return a
+        :class:`TokenBuffer`-compatible object for ``role`` in
+        ``("k", "v")``.  Must be bound before the cache holds data.
+        """
+        if self._k is not None:
+            raise RuntimeError("cannot rebind buffers on a cache already holding data")
+        self._buffer_factory = factory
 
     def _reset_buffers(self, heads: int, d_head: int, capacity: int) -> None:
-        self._k = TokenBuffer(heads, d_head, capacity)
-        self._v = TokenBuffer(heads, d_head, capacity)
+        if self._buffer_factory is None:
+            self._k = TokenBuffer(heads, d_head, capacity)
+            self._v = TokenBuffer(heads, d_head, capacity)
+        else:
+            self._k = self._buffer_factory("k", heads, d_head, capacity)
+            self._v = self._buffer_factory("v", heads, d_head, capacity)
+
+    def _validate_token(self, name: str, arr: np.ndarray) -> None:
+        """Reject appends whose head geometry drifts from the cache's.
+
+        Without this, a ``(n_heads, d_head)`` mismatch against the
+        first append surfaces later as a cryptic broadcast error deep
+        inside the buffer or the staging quantizer.
+        """
+        if arr.ndim != 2:
+            raise ValueError(
+                f"{name} must be one token shaped (n_heads, d_head), "
+                f"got {arr.ndim}-D shape {arr.shape}"
+            )
+        if self._k is not None and arr.shape != (self._k.heads, self._k.d_head):
+            raise ValueError(
+                f"{name} shape {arr.shape} does not match this cache's "
+                f"established (n_heads, d_head)=({self._k.heads}, {self._k.d_head})"
+            )
 
     def keys(self) -> np.ndarray:
         return self._k.view() if self._k is not None else _EMPTY
@@ -165,10 +251,13 @@ class FP16KVCache(_BufferedKVCache):
 
     def append(self, k_t, v_t):
         k_t = np.asarray(k_t, dtype=np.float64)
+        v_t = np.asarray(v_t, dtype=np.float64)
+        self._validate_token("k_t", k_t)
+        self._validate_token("v_t", v_t)
         if self._k is None:
             self._reset_buffers(*k_t.shape, capacity=16)
         self._k.append(k_t)
-        self._v.append(np.asarray(v_t, dtype=np.float64))
+        self._v.append(v_t)
 
 
 def _int_qdq_lastaxis(x: np.ndarray, bits: int, group_size: int) -> np.ndarray:
@@ -209,10 +298,36 @@ class IntKVCache(_BufferedKVCache):
 
     def append(self, k_t, v_t):
         k_t = np.asarray(k_t, dtype=np.float64)
+        v_t = np.asarray(v_t, dtype=np.float64)
+        self._validate_token("k_t", k_t)
+        self._validate_token("v_t", v_t)
         if self._k is None:
             self._reset_buffers(*k_t.shape, capacity=16)
         self._k.append(self._q(k_t))
-        self._v.append(self._q(np.asarray(v_t, dtype=np.float64)))
+        self._v.append(self._q(v_t))
+
+    @classmethod
+    def append_batch(cls, caches, k_batch, v_batch):
+        """Fused batch append: one group-wise INT quantization for all rows."""
+        k_batch = np.asarray(k_batch, dtype=np.float64)
+        v_batch = np.asarray(v_batch, dtype=np.float64)
+        first = caches[0]
+        if not all(
+            type(c) is cls and c.bits == first.bits
+            and c.group_size == first.group_size for c in caches
+        ):
+            super().append_batch(caches, k_batch, v_batch)
+            return
+        for c, k_t, v_t in zip(caches, k_batch, v_batch):
+            c._validate_token("k_t", k_t)
+            c._validate_token("v_t", v_t)
+        kq = first._q(k_batch)          # (B, heads, d_head), rows independent
+        vq = first._q(v_batch)
+        for b, c in enumerate(caches):
+            if c._k is None:
+                c._reset_buffers(*k_batch[b].shape, capacity=16)
+            c._k.append(kq[b])
+            c._v.append(vq[b])
 
 
 class MantKVCache(_BufferedKVCache):
@@ -350,18 +465,35 @@ class MantKVCache(_BufferedKVCache):
         scale = self._stage_scale[:, None, :]
         q = self._int8.round_clip(block / scale)
         self._v.append(q * scale)
+        self._accumulate_stats(block)
+
+    def _accumulate_stats(self, block: np.ndarray) -> None:
+        """Fold ``(heads, t, d_head)`` raw tokens into the window stats."""
         self._acc_sum += block.sum(axis=1)
         self._acc_sqsum += (block * block).sum(axis=1)
         self._acc_max = np.maximum(self._acc_max, np.max(np.abs(block), axis=1))
 
-    def _stage_append(self, v_t: np.ndarray) -> None:
-        self._stage_block(v_t[:, None, :])
+    def _close_window_if_full(self) -> None:
         if len(self._v) - self._v_final == self.window:
             self._finalize_window()
+
+    def _stage_append(self, v_t: np.ndarray) -> None:
+        self._stage_block(v_t[:, None, :])
+        self._close_window_if_full()
+
+    def _stage_prequantized(self, v_raw_t: np.ndarray, v_q_t: np.ndarray) -> None:
+        """The tail of :meth:`_stage_append` for callers (the fused batch
+        path) that already INT8-staged the token: append + stats +
+        window close share one implementation with the per-cache path."""
+        self._v.append(v_q_t)
+        self._accumulate_stats(v_raw_t[:, None, :])
+        self._close_window_if_full()
 
     def append(self, k_t, v_t):
         k_t = np.asarray(k_t, dtype=np.float64)
         v_t = np.asarray(v_t, dtype=np.float64)
+        self._validate_token("k_t", k_t)
+        self._validate_token("v_t", v_t)
         if self._stage_scale is None:
             # Decode without prefill: bootstrap scales from this vector,
             # fp16-rounded like the prefill path (Fig. 8 stores 16-bit
@@ -376,6 +508,43 @@ class MantKVCache(_BufferedKVCache):
             self._reset_window(heads, d_head)
         self._k.append(self._quantize_k(k_t))
         self._stage_append(v_t)
+
+    @classmethod
+    def append_batch(cls, caches, k_batch, v_batch):
+        """Fused batch append: one MANT select+encode for every K row and
+        one INT8 staging round for every V row.
+
+        Group-wise quantization is row-independent, so the fused call is
+        bit-identical to per-cache :meth:`append`; caches whose configs
+        differ (or that still need bootstrap scales) fall back to the
+        loop.  Per-cache streaming accumulators and window finalization
+        are untouched — only the heavy per-token math is batched.
+        """
+        k_batch = np.asarray(k_batch, dtype=np.float64)
+        v_batch = np.asarray(v_batch, dtype=np.float64)
+        first = caches[0]
+        fusable = all(
+            type(c) is cls
+            and c.selector.same_policy(first.selector)
+            and c.bits == first.bits
+            and c.group_size == first.group_size
+            and c.window == first.window
+            and c.staging_bits == first.staging_bits
+            and c._stage_scale is not None
+            for c in caches
+        )
+        if not fusable:
+            super().append_batch(caches, k_batch, v_batch)
+            return
+        for c, k_t, v_t in zip(caches, k_batch, v_batch):
+            c._validate_token("k_t", k_t)
+            c._validate_token("v_t", v_t)
+        kq = first._mant_qdq_lastaxis(k_batch)        # (B, heads, d_head)
+        scales = np.stack([c._stage_scale for c in caches])
+        vq = first._int8.round_clip(v_batch / scales) * scales
+        for b, c in enumerate(caches):
+            c._k.append(kq[b])
+            c._stage_prequantized(v_batch[b], vq[b])
 
     # ------------------------------------------------------------------
     @property
@@ -398,3 +567,224 @@ def make_kv_cache(config: KVCacheConfig, selector: VarianceSelector | None = Non
     if config.key.method == "int":
         return IntKVCache(bits=config.key.bits, group_size=config.key.group_size)
     raise ValueError(f"no KV cache implementation for method {config.key.method!r}")
+
+
+# ======================================================================
+# Pooled cache arena for multi-tenant serving
+# ======================================================================
+class _ArenaSlab:
+    """Shared ``(slots, heads, capacity, d_head)`` storage for one
+    (layer, K/V-role) across every sequence slot of an arena.
+
+    A single amortized-doubling allocation backs all slots: growing for
+    any sequence grows the capacity axis once for everyone, and a
+    recycled slot reuses the capacity its predecessors paid for.
+    """
+
+    __slots__ = ("_buf", "_lens")
+
+    def __init__(self, slots: int, heads: int, d_head: int, capacity: int = 16):
+        self._buf = np.empty((slots, heads, max(1, capacity), d_head))
+        self._lens = np.zeros(slots, dtype=np.int64)
+
+    @property
+    def heads(self) -> int:
+        return self._buf.shape[1]
+
+    @property
+    def d_head(self) -> int:
+        return self._buf.shape[3]
+
+    @property
+    def capacity(self) -> int:
+        return self._buf.shape[2]
+
+    def ensure_capacity(self, capacity: int) -> None:
+        cap = self._buf.shape[2]
+        if capacity <= cap:
+            return
+        slots, heads, _, d_head = self._buf.shape
+        grown = np.empty((slots, heads, max(capacity, 2 * cap), d_head))
+        live = int(self._lens.max())
+        grown[:, :, :live] = self._buf[:, :, :live]
+        self._buf = grown
+
+    def reset(self, slot: int) -> None:
+        self._lens[slot] = 0
+
+    def length(self, slot: int) -> int:
+        return int(self._lens[slot])
+
+    def append(self, slot: int, block: np.ndarray) -> None:
+        block = _promote_token_block(block, self.heads, self.d_head)
+        n = int(self._lens[slot])
+        t = block.shape[1]
+        self.ensure_capacity(n + t)
+        self._buf[slot, :, n : n + t] = block
+        self._lens[slot] = n + t
+
+    def view(self, slot: int) -> np.ndarray:
+        v = self._buf[slot, :, : int(self._lens[slot])]
+        v.flags.writeable = False
+        return v
+
+    def tail(self, slot: int, n: int) -> np.ndarray:
+        length = int(self._lens[slot])
+        if n > length:
+            raise ValueError(f"tail({n}) exceeds slot length {length}")
+        return self._buf[slot, :, length - n : length]
+
+
+class SlabTokenBuffer:
+    """:class:`TokenBuffer`-compatible facade over one arena slab slot.
+
+    Construction resets the slot (a fresh buffer is empty by
+    definition); all storage and growth live in the shared slab.
+    """
+
+    __slots__ = ("_slab", "_slot")
+
+    def __init__(self, slab: _ArenaSlab, slot: int):
+        self._slab = slab
+        self._slot = slot
+        slab.reset(slot)
+
+    def __len__(self) -> int:
+        return self._slab.length(self._slot)
+
+    @property
+    def heads(self) -> int:
+        return self._slab.heads
+
+    @property
+    def d_head(self) -> int:
+        return self._slab.d_head
+
+    def append(self, block: np.ndarray) -> None:
+        self._slab.append(self._slot, block)
+
+    def view(self) -> np.ndarray:
+        return self._slab.view(self._slot)
+
+    def tail(self, n: int) -> np.ndarray:
+        return self._slab.tail(self._slot, n)
+
+
+class CacheLease:
+    """One sequence's tenancy in a :class:`KVCacheArena`.
+
+    ``caches`` holds one arena-backed :class:`KVCache` per model layer;
+    ``slot`` is the slab row they share.  Return it with
+    :meth:`KVCacheArena.release` when the request finishes.
+    """
+
+    __slots__ = ("slot", "caches", "active")
+
+    def __init__(self, slot: int, caches: list):
+        self.slot = slot
+        self.caches = caches
+        self.active = True
+
+
+class KVCacheArena:
+    """Pooled per-layer KV caches carved out of shared slab buffers.
+
+    ``acquire()`` hands out a :class:`CacheLease` whose per-layer caches
+    (built by ``cache_factory`` — any :class:`KVCache` subclass using
+    the buffered storage, i.e. FP16/INT/MANT) write into per-slot
+    regions of ``2 × n_layers`` shared slabs instead of private
+    allocations.  ``release()`` recycles the slot for the next
+    sequence.  Invariants:
+
+    * at most ``slots`` leases are live at a time (``acquire`` raises
+      once exhausted — the serving scheduler's admission policy is what
+      keeps this from triggering);
+    * a released slot's storage is reused as-is (no zeroing; a fresh
+      lease's caches start at length 0 and overwrite);
+    * zero-copy cache views are valid until the next append through
+      *any* lease of the arena, since growth reallocates shared slabs.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        cache_factory,
+        slots: int = 8,
+        initial_capacity: int = 64,
+    ):
+        if slots < 1:
+            raise ValueError("arena needs at least one slot")
+        self.n_layers = n_layers
+        self._cache_factory = cache_factory
+        self._n_slots = slots
+        self._initial_capacity = initial_capacity
+        self._free = list(reversed(range(slots)))
+        self._slabs: dict[tuple[int, str], _ArenaSlab] = {}
+        self.high_water = 0
+        self.total_leases = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def slots_total(self) -> int:
+        return self._n_slots
+
+    @property
+    def slots_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def slots_in_use(self) -> int:
+        return self._n_slots - len(self._free)
+
+    # ------------------------------------------------------------------
+    def _get_slab(self, layer: int, role: str, heads: int, d_head: int) -> _ArenaSlab:
+        key = (layer, role)
+        slab = self._slabs.get(key)
+        if slab is None:
+            slab = _ArenaSlab(self._n_slots, heads, d_head, self._initial_capacity)
+            self._slabs[key] = slab
+        elif (slab.heads, slab.d_head) != (heads, d_head):
+            raise ValueError(
+                f"layer {layer} {role}-cache geometry ({heads}, {d_head}) does "
+                f"not match the arena's ({slab.heads}, {slab.d_head})"
+            )
+        return slab
+
+    def _buffer_factory(self, slot: int, layer: int):
+        def make(role: str, heads: int, d_head: int, capacity: int) -> SlabTokenBuffer:
+            slab = self._get_slab(layer, role, heads, d_head)
+            slab.ensure_capacity(capacity)
+            return SlabTokenBuffer(slab, slot)
+
+        return make
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> CacheLease:
+        """Lease one slot: a fresh set of per-layer arena-backed caches."""
+        if not self._free:
+            raise RuntimeError(
+                f"KVCacheArena exhausted: all {self._n_slots} slots leased"
+            )
+        slot = self._free.pop()
+        caches = []
+        for layer in range(self.n_layers):
+            cache = self._cache_factory()
+            if not isinstance(cache, _BufferedKVCache):
+                raise TypeError(
+                    f"cache_factory produced {type(cache).__name__}, which does "
+                    "not use the pooled buffer storage"
+                )
+            cache.bind_buffer_factory(self._buffer_factory(slot, layer))
+            caches.append(cache)
+        self.total_leases += 1
+        self.high_water = max(self.high_water, self.slots_in_use)
+        return CacheLease(slot, caches)
+
+    def release(self, lease: CacheLease) -> None:
+        """Recycle a lease's slot; its caches must not be used afterwards."""
+        if not lease.active:
+            raise RuntimeError("lease already released")
+        lease.active = False
+        for slab in self._slabs.values():
+            slab.reset(lease.slot)
+        self._free.append(lease.slot)

@@ -1,0 +1,79 @@
+"""Token sampling shared by the serving engine and the eval tasks.
+
+Lives at the package top level (below both ``repro.model`` and
+``repro.serve``, numpy-only) so the model-layer tasks and the serving
+engine share one sampler without a dependency between those layers;
+:mod:`repro.serve.sampling` re-exports it as part of the serving API.
+
+One :class:`Sampler` per request keeps an independent seeded RNG
+stream, so a request's output depends only on its own logits and seed —
+never on which other requests happen to share its decode batch.  That,
+plus the bit-identical batched decode path, is what makes serving
+deterministic under continuous batching.
+
+``temperature == 0`` is exact greedy (:func:`greedy_sample`), the
+default everywhere so existing single-stream evaluations are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SamplingParams", "Sampler", "greedy_sample", "GREEDY"]
+
+
+def greedy_sample(logits: np.ndarray) -> int:
+    """Deterministic argmax decoding (ties break to the lowest id)."""
+    return int(np.argmax(logits))
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """How one request turns logits into tokens.
+
+    ``temperature == 0`` selects greedy decoding (``top_k``/``seed``
+    are ignored); otherwise softmax sampling at the given temperature,
+    optionally truncated to the ``top_k`` highest-logit tokens.
+    """
+
+    temperature: float = 0.0
+    top_k: int = 0          # 0 = no truncation
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        if self.top_k < 0:
+            raise ValueError(f"top_k must be >= 0, got {self.top_k}")
+
+    @property
+    def is_greedy(self) -> bool:
+        return self.temperature == 0.0
+
+
+GREEDY = SamplingParams()
+
+
+class Sampler:
+    """Stateful per-request sampler: params + a private RNG stream."""
+
+    def __init__(self, params: SamplingParams = GREEDY):
+        self.params = params
+        self._rng = None if params.is_greedy else np.random.default_rng(params.seed)
+
+    def sample(self, logits: np.ndarray) -> int:
+        """Draw the next token id from one sequence's logits ``(V,)``."""
+        p = self.params
+        if p.is_greedy:
+            return greedy_sample(logits)
+        z = logits / p.temperature
+        if p.top_k and p.top_k < z.shape[-1]:
+            cutoff = np.partition(z, -p.top_k)[-p.top_k]
+            z = np.where(z >= cutoff, z, -np.inf)
+        z = z - np.max(z)
+        probs = np.exp(z)
+        probs /= probs.sum()
+        u = self._rng.random()
+        return int(min(np.searchsorted(np.cumsum(probs), u), len(probs) - 1))

@@ -1,0 +1,36 @@
+"""Multi-tenant serving: continuous batching over quantized KV caches.
+
+The serving layer on top of the MANT quantization stack — an engine
+that schedules many concurrent generation requests into one fused
+decode batch, with per-request streaming, pooled per-layer KV caches
+(FP16/INT/MANT) recycled across requests, and aggregate throughput /
+occupancy / latency statistics.  See :mod:`repro.serve.engine` for the
+determinism guarantees.
+"""
+
+from repro.serve.sampling import GREEDY, Sampler, SamplingParams, greedy_sample
+from repro.serve.request import (
+    FINISH_LENGTH,
+    FINISH_STOP,
+    GenerationRequest,
+    GenerationResult,
+    TokenEvent,
+)
+from repro.serve.scheduler import Scheduler, ServeConfig
+from repro.serve.engine import EngineStats, GenerationEngine
+
+__all__ = [
+    "GREEDY",
+    "Sampler",
+    "SamplingParams",
+    "greedy_sample",
+    "FINISH_LENGTH",
+    "FINISH_STOP",
+    "GenerationRequest",
+    "GenerationResult",
+    "TokenEvent",
+    "Scheduler",
+    "ServeConfig",
+    "EngineStats",
+    "GenerationEngine",
+]

@@ -1,0 +1,297 @@
+"""Continuous-batching generation engine over pooled quantized KV caches.
+
+The engine turns the repo's single-stream ``prefill``/``decode_step``
+generation into multi-tenant serving:
+
+* clients :meth:`~GenerationEngine.submit` concurrent
+  :class:`GenerationRequest`s;
+* an FCFS :class:`~repro.serve.scheduler.Scheduler` admits them into a
+  dynamic decode batch (new requests join as others finish) under a
+  batch-size cap and an optional KV token budget;
+* each :meth:`~GenerationEngine.step` runs *one* fused
+  ``decode_step_batch`` tick for every running sequence, each attending
+  through its own arena-backed FP16/INT/MANT cache at its own position;
+* tokens stream out per request through :class:`TokenEvent`s (iterator
+  via :meth:`run`, or a per-request ``on_token`` callback).
+
+Determinism guarantee: the batched decode path is bit-identical per
+sequence to the single-stream loop and every request samples from its
+own seeded RNG, so a request's output never depends on which other
+requests shared its batch — greedy engine output == the plain
+``prefill`` + ``decode_step`` loop, token for token, for every cache
+type.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.quant.kvcache import KVCacheArena
+from repro.serve.request import (
+    FINISH_LENGTH,
+    FINISH_STOP,
+    GenerationRequest,
+    GenerationResult,
+    TokenEvent,
+)
+from repro.sampling import Sampler
+from repro.serve.scheduler import Scheduler, ServeConfig
+
+__all__ = ["GenerationEngine", "EngineStats"]
+
+
+class _Sequence:
+    """Engine-internal state of one in-flight request."""
+
+    __slots__ = (
+        "request", "sampler", "on_token", "lease", "pos", "next_token",
+        "tokens", "finished", "finish_reason", "decode_steps",
+        "submit_time", "admit_time",
+    )
+
+    def __init__(self, request: GenerationRequest, on_token, submit_time: float):
+        self.request = request
+        self.sampler = Sampler(request.sampling)
+        self.on_token = on_token
+        self.lease = None
+        self.pos = 0
+        self.next_token = None
+        self.tokens: list[int] = []
+        self.finished = False
+        self.finish_reason: str | None = None
+        self.decode_steps = 0
+        self.submit_time = submit_time
+        self.admit_time = float("nan")
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Aggregate serving statistics since engine construction."""
+
+    requests_submitted: int
+    requests_completed: int
+    requests_queued: int
+    requests_running: int
+    tokens_generated: int
+    decode_ticks: int
+    mean_batch_occupancy: float   # sequences per decode tick
+    elapsed_s: float              # time spent inside step(), idle gaps excluded
+    tokens_per_s: float           # aggregate serving throughput over elapsed_s
+    mean_queue_latency_s: float
+    max_queue_latency_s: float
+    cache_slots: int
+    cache_slots_high_water: int
+
+
+class GenerationEngine:
+    """Schedule many :class:`GenerationRequest`s through one model.
+
+    ``cache_factory`` builds one buffered KV cache (FP16/INT/MANT —
+    anything :class:`~repro.quant.kvcache.KVCacheArena` can pool); the
+    engine owns an arena with one slot per batch lane and recycles
+    slots as requests finish.  ``weights``/``act_quant`` are the usual
+    quantization hooks, applied identically to every request.
+    """
+
+    def __init__(
+        self,
+        model,
+        cache_factory,
+        config: ServeConfig = ServeConfig(),
+        weights=None,
+        act_quant=None,
+        clock=time.perf_counter,
+    ):
+        self.model = model
+        self.config = config
+        self.weights = weights
+        self.act_quant = act_quant
+        self._clock = clock
+        self.scheduler = Scheduler(config)
+        self.arena = KVCacheArena(
+            n_layers=model.config.n_layers,
+            cache_factory=cache_factory,
+            slots=config.max_batch_size,
+            initial_capacity=config.initial_cache_capacity,
+        )
+        self._results: dict[str, GenerationResult] = {}
+        self._active_ids: set[str] = set()
+        self._submitted = 0
+        self._completed = 0
+        self._tokens_generated = 0
+        self._decode_ticks = 0
+        self._occupancy_sum = 0
+        self._lat_sum = 0.0
+        self._lat_max = 0.0
+        self._busy_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: GenerationRequest, on_token=None) -> str:
+        """Queue a request; returns its id.  ``on_token(event)`` streams."""
+        rid = request.request_id
+        if rid in self._active_ids or rid in self._results:
+            raise ValueError(f"duplicate request_id {rid!r}")
+        max_seq = self.model.config.max_seq
+        if request.token_footprint > max_seq:
+            raise ValueError(
+                f"request {rid!r} needs {request.token_footprint} positions, "
+                f"over the model's max_seq of {max_seq}"
+            )
+        seq = _Sequence(request, on_token, self._clock())
+        self.scheduler.submit(seq)   # may reject (e.g. over the token budget)
+        self._active_ids.add(rid)
+        self._submitted += 1
+        return rid
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def step(self) -> list[TokenEvent]:
+        """One engine tick: admit, one batched decode, retire finished."""
+        if not self.scheduler.has_work():
+            return []
+        now = self._clock()
+        events: list[TokenEvent] = []
+
+        # 1. Admission: prefill newly admitted prompts one by one
+        # (prompts are ragged) and emit their first sampled token.
+        for seq in self.scheduler.admit():
+            seq.admit_time = now
+            seq.lease = self.arena.acquire()
+            logits = self.model.prefill(
+                seq.request.prompt, seq.lease.caches,
+                weights=self.weights, act_quant=self.act_quant,
+            )
+            seq.pos = int(seq.request.prompt.size)
+            self._emit(seq, seq.sampler.sample(logits), events)
+
+        # 2. One fused decode tick across every live sequence.
+        live = [s for s in self.scheduler.running if not s.finished]
+        if live:
+            logits = self.model.decode_step_batch(
+                [s.next_token for s in live],
+                [s.lease.caches for s in live],
+                [s.pos for s in live],
+                weights=self.weights, act_quant=self.act_quant,
+            )
+            self._decode_ticks += 1
+            self._occupancy_sum += len(live)
+            for b, seq in enumerate(live):
+                seq.pos += 1
+                seq.decode_steps += 1
+                self._emit(seq, seq.sampler.sample(logits[b]), events)
+
+        # 3. Retire finished sequences, recycling their cache slots.
+        for seq in [s for s in self.scheduler.running if s.finished]:
+            self._retire(seq)
+        # Busy time accumulates per tick so throughput reflects time
+        # spent serving, not idle gaps between bursts.
+        self._busy_s += self._clock() - now
+        return events
+
+    def _emit(self, seq: _Sequence, token: int, events: list[TokenEvent]) -> None:
+        """Record one sampled token, deciding emission and finish state."""
+        rid = seq.request.request_id
+        if token in seq.request.stop_tokens:
+            seq.finished = True
+            seq.finish_reason = FINISH_STOP
+            event = TokenEvent(rid, None, len(seq.tokens), True, FINISH_STOP)
+        else:
+            seq.tokens.append(token)
+            seq.next_token = token
+            if len(seq.tokens) >= seq.request.max_tokens:
+                seq.finished = True
+                seq.finish_reason = FINISH_LENGTH
+            event = TokenEvent(
+                rid, token, len(seq.tokens) - 1, seq.finished, seq.finish_reason
+            )
+        self._tokens_generated += event.token is not None
+        events.append(event)
+        if seq.on_token is not None:
+            seq.on_token(event)
+
+    def _retire(self, seq: _Sequence) -> None:
+        now = self._clock()
+        self.scheduler.release(seq)
+        self.arena.release(seq.lease)
+        rid = seq.request.request_id
+        self._active_ids.discard(rid)
+        latency = seq.admit_time - seq.submit_time
+        self._completed += 1
+        self._lat_sum += latency
+        self._lat_max = max(self._lat_max, latency)
+        self._results[rid] = GenerationResult(
+            request_id=rid,
+            tokens=seq.tokens,
+            finish_reason=seq.finish_reason,
+            queue_latency_s=latency,
+            service_time_s=now - seq.admit_time,
+            decode_steps=seq.decode_steps,
+        )
+
+    # ------------------------------------------------------------------
+    # Driving loops
+    # ------------------------------------------------------------------
+    def has_work(self) -> bool:
+        return self.scheduler.has_work()
+
+    def run(self, requests=()):
+        """Submit ``requests`` then step until idle, yielding every event."""
+        for request in requests:
+            self.submit(request)
+        while self.has_work():
+            yield from self.step()
+
+    def generate(self, requests=()) -> dict[str, GenerationResult]:
+        """Drain :meth:`run` and return results for the drained requests.
+
+        With no ``requests``, drains already-submitted work and returns
+        the results of the requests that finished *during this call*
+        (results retained from earlier calls are not re-reported).
+        """
+        requests = list(requests)    # may be a generator; iterated twice
+        ids = [r.request_id for r in requests]
+        finished = []
+        for event in self.run(requests):
+            if event.finished:
+                finished.append(event.request_id)
+        return {rid: self._results[rid] for rid in (ids or finished)}
+
+    def result(self, request_id: str) -> GenerationResult:
+        return self._results[request_id]
+
+    def pop_result(self, request_id: str) -> GenerationResult:
+        """Retrieve and evict one finished request's result.
+
+        Long-lived engines must consume results this way: retained
+        results hold their token lists and reserve the request id, so a
+        server that only ever reads with :meth:`result` grows without
+        bound.  After eviction the id may be reused by a new request.
+        """
+        return self._results.pop(request_id)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        elapsed = self._busy_s
+        return EngineStats(
+            requests_submitted=self._submitted,
+            requests_completed=self._completed,
+            requests_queued=self.scheduler.queue_depth,
+            requests_running=self.scheduler.n_running,
+            tokens_generated=self._tokens_generated,
+            decode_ticks=self._decode_ticks,
+            mean_batch_occupancy=(
+                self._occupancy_sum / self._decode_ticks if self._decode_ticks else 0.0
+            ),
+            elapsed_s=elapsed,
+            tokens_per_s=self._tokens_generated / elapsed if elapsed > 0 else 0.0,
+            mean_queue_latency_s=self._lat_sum / self._completed if self._completed else 0.0,
+            max_queue_latency_s=self._lat_max,
+            cache_slots=self.arena.slots_total,
+            cache_slots_high_water=self.arena.high_water,
+        )

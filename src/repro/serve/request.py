@@ -1,0 +1,92 @@
+"""Request/response types of the serving engine.
+
+A :class:`GenerationRequest` is everything one client asks for: prompt,
+output budget, sampling policy, optional stop tokens.  The engine
+streams :class:`TokenEvent`s while the request runs and retires it into
+a :class:`GenerationResult` carrying the finish reason and the
+request's queue/service timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sampling import GREEDY, SamplingParams
+
+__all__ = [
+    "GenerationRequest",
+    "TokenEvent",
+    "GenerationResult",
+    "FINISH_LENGTH",
+    "FINISH_STOP",
+]
+
+FINISH_LENGTH = "length"   # produced max_tokens tokens
+FINISH_STOP = "stop"       # sampled a stop token (not emitted)
+
+
+@dataclass(frozen=True, eq=False)
+class GenerationRequest:
+    """One client request: prompt tokens plus generation policy.
+
+    ``stop_tokens`` end generation when *sampled*; the stop token
+    itself is not emitted.  ``request_id`` must be unique among the
+    requests an engine currently knows about.
+    """
+
+    request_id: str
+    prompt: np.ndarray
+    max_tokens: int = 16
+    sampling: SamplingParams = GREEDY
+    stop_tokens: frozenset = frozenset()
+
+    def __post_init__(self):
+        prompt = np.asarray(self.prompt, dtype=np.int64)
+        if prompt.ndim != 1:
+            raise ValueError(f"prompt must be 1-D, got shape {prompt.shape}")
+        if prompt.size == 0:
+            raise ValueError("empty prompt rejected: nothing to prefill")
+        object.__setattr__(self, "prompt", prompt)
+        object.__setattr__(self, "stop_tokens", frozenset(self.stop_tokens))
+        if self.max_tokens < 1:
+            raise ValueError(f"max_tokens must be >= 1, got {self.max_tokens}")
+
+    @property
+    def token_footprint(self) -> int:
+        """Worst-case KV-cache tokens this request can occupy."""
+        return int(self.prompt.size) + self.max_tokens
+
+
+@dataclass(frozen=True)
+class TokenEvent:
+    """One streamed output token (or a bare finish notification).
+
+    ``token`` is ``None`` only on a finish event that emitted nothing
+    new (a sampled stop token); ``index`` is the token's position in
+    the request's output.  ``finished``/``finish_reason`` are set on
+    the request's last event.
+    """
+
+    request_id: str
+    token: int | None
+    index: int
+    finished: bool = False
+    finish_reason: str | None = None
+
+
+@dataclass
+class GenerationResult:
+    """Final state of one served request."""
+
+    request_id: str
+    tokens: list[int]
+    finish_reason: str
+    queue_latency_s: float      # submit -> admission into the batch
+    service_time_s: float       # admission -> finish
+    decode_steps: int           # batched decode ticks this request rode
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.tokens)

@@ -1,0 +1,11 @@
+"""Serving-API re-export of the shared sampler.
+
+The implementation lives in :mod:`repro.sampling` (below both the
+model and serve layers) so eval tasks can use the same sampler without
+importing the serving stack; this module keeps the sampler addressable
+as part of the serving subsystem's API surface.
+"""
+
+from repro.sampling import GREEDY, Sampler, SamplingParams, greedy_sample
+
+__all__ = ["SamplingParams", "Sampler", "greedy_sample", "GREEDY"]

@@ -1,0 +1,109 @@
+"""Continuous-batching admission control (FCFS + token budget).
+
+The scheduler decides *which* requests share the decode batch; it owns
+no model or cache state.  Policy:
+
+* **FCFS, head-of-line.**  Requests are admitted strictly in arrival
+  order; if the head of the queue does not fit, nothing behind it is
+  considered (no starvation of large requests by small ones).
+* **Batch-size cap.**  At most ``max_batch_size`` requests decode per
+  tick — which is also the cache arena's slot count.
+* **Token-budget admission.**  If ``max_tokens_in_flight`` is set, the
+  sum of worst-case KV footprints (``prompt + max_tokens`` per running
+  request) stays under it, modelling a bounded cache-memory pool.
+
+Admission happens between decode ticks: as requests finish mid-batch,
+their slots free up and the next tick's :meth:`Scheduler.admit` pulls
+queued requests in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine/scheduler knobs.
+
+    ``max_tokens_in_flight = None`` disables the token budget (the
+    batch-size cap alone bounds concurrency).
+    """
+
+    max_batch_size: int = 8
+    max_tokens_in_flight: int | None = None
+    initial_cache_capacity: int = 64
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_tokens_in_flight is not None and self.max_tokens_in_flight < 1:
+            raise ValueError("max_tokens_in_flight must be >= 1 (or None)")
+
+
+class Scheduler:
+    """FCFS queue + running set under the :class:`ServeConfig` policy."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._queue: deque = deque()
+        self._running: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def running(self) -> list:
+        return list(self._running)
+
+    @property
+    def tokens_in_flight(self) -> int:
+        """Worst-case KV tokens the running set may occupy."""
+        return sum(seq.request.token_footprint for seq in self._running)
+
+    def has_work(self) -> bool:
+        return bool(self._queue or self._running)
+
+    # ------------------------------------------------------------------
+    def submit(self, seq) -> None:
+        # A request that can never fit the budget must be rejected at
+        # submission: queued, it would reach the head and wedge the FCFS
+        # queue forever (head-of-line admission never skips it).
+        budget = self.config.max_tokens_in_flight
+        if budget is not None and seq.request.token_footprint > budget:
+            raise ValueError(
+                f"request {seq.request.request_id!r} needs "
+                f"{seq.request.token_footprint} tokens, over the "
+                f"max_tokens_in_flight budget of {budget}"
+            )
+        self._queue.append(seq)
+
+    def _fits(self, seq) -> bool:
+        if len(self._running) >= self.config.max_batch_size:
+            return False
+        budget = self.config.max_tokens_in_flight
+        if budget is not None:
+            if self.tokens_in_flight + seq.request.token_footprint > budget:
+                return False
+        return True
+
+    def admit(self) -> list:
+        """Move queued requests into the running set, FCFS, while they fit."""
+        admitted = []
+        while self._queue and self._fits(self._queue[0]):
+            seq = self._queue.popleft()
+            self._running.append(seq)
+            admitted.append(seq)
+        return admitted
+
+    def release(self, seq) -> None:
+        self._running.remove(seq)

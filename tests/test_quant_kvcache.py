@@ -132,6 +132,52 @@ class TestMantCache:
         assert np.median(rel) < 0.1
 
 
+class TestAppendValidation:
+    """Shape drift must fail loudly at append, not as a buffer error."""
+
+    CACHES = {
+        "fp16": lambda: FP16KVCache(),
+        "int4": lambda: IntKVCache(bits=4, group_size=16),
+        "mant4": lambda: MantKVCache(group_size=16, window=16),
+    }
+
+    @pytest.mark.parametrize("name", list(CACHES))
+    def test_head_dim_drift_rejected(self, name):
+        cache = self.CACHES[name]()
+        rng = np.random.default_rng(0)
+        cache.append(rng.normal(size=(2, 16)), rng.normal(size=(2, 16)))
+        with pytest.raises(ValueError, match=r"\(n_heads, d_head\)"):
+            cache.append(rng.normal(size=(2, 8)), rng.normal(size=(2, 8)))
+
+    @pytest.mark.parametrize("name", list(CACHES))
+    def test_head_count_drift_rejected(self, name):
+        cache = self.CACHES[name]()
+        rng = np.random.default_rng(1)
+        cache.prefill(rng.normal(size=(2, 16, 16)), rng.normal(size=(2, 16, 16)))
+        with pytest.raises(ValueError, match=r"\(n_heads, d_head\)"):
+            cache.append(rng.normal(size=(4, 16)), rng.normal(size=(4, 16)))
+
+    @pytest.mark.parametrize("name", list(CACHES))
+    def test_v_mismatching_k_rejected(self, name):
+        cache = self.CACHES[name]()
+        rng = np.random.default_rng(2)
+        cache.prefill(rng.normal(size=(2, 16, 16)), rng.normal(size=(2, 16, 16)))
+        with pytest.raises(ValueError, match="v_t"):
+            cache.append(rng.normal(size=(2, 16)), rng.normal(size=(2, 8)))
+
+    def test_non_2d_token_rejected(self):
+        cache = FP16KVCache()
+        with pytest.raises(ValueError, match="one token"):
+            cache.append(np.zeros((2, 3, 16)), np.zeros((2, 3, 16)))
+
+    def test_matching_append_still_works(self):
+        cache = MantKVCache(group_size=16, window=16)
+        rng = np.random.default_rng(3)
+        cache.prefill(rng.normal(size=(2, 16, 16)), rng.normal(size=(2, 16, 16)))
+        cache.append(rng.normal(size=(2, 16)), rng.normal(size=(2, 16)))
+        assert cache.seq_len == 17
+
+
 class TestFactory:
     def test_fp16(self):
         assert isinstance(make_kv_cache(KVCacheConfig(

@@ -1,0 +1,144 @@
+"""Tests for the pooled KV-cache arena (repro.quant.kvcache.KVCacheArena)."""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.quant.kvcache import (
+    FP16KVCache,
+    IntKVCache,
+    KVCacheArena,
+    KVCache,
+    MantKVCache,
+    SlabTokenBuffer,
+    TokenBuffer,
+)
+
+FACTORIES = {
+    "fp16": FP16KVCache,
+    "int4": functools.partial(IntKVCache, bits=4, group_size=16),
+    "mant4": functools.partial(MantKVCache, group_size=16, window=16),
+}
+
+
+def drive(cache, rng, heads=2, seq=20, dh=16, extra=12, scale=1.0):
+    k = rng.normal(size=(heads, seq, dh)) * scale
+    v = rng.normal(size=(heads, seq, dh)) * scale
+    cache.prefill(k, v)
+    for _ in range(extra):
+        cache.append(rng.normal(size=(heads, dh)) * scale,
+                     rng.normal(size=(heads, dh)) * scale)
+
+
+class TestArenaEquivalence:
+    @pytest.mark.parametrize("name", list(FACTORIES))
+    def test_pooled_cache_matches_standalone(self, name):
+        """An arena-backed cache is bit-identical to a private one."""
+        factory = FACTORIES[name]
+        arena = KVCacheArena(n_layers=2, cache_factory=factory, slots=3,
+                             initial_capacity=8)
+        lease_a, lease_b = arena.acquire(), arena.acquire()
+        solo = factory()
+        # Same stream into solo and lease_a; a different stream into
+        # lease_b to prove slots don't bleed into each other.
+        drive(solo, np.random.default_rng(0))
+        drive(lease_a.caches[0], np.random.default_rng(0))
+        drive(lease_b.caches[0], np.random.default_rng(1), scale=3.0)
+        assert np.array_equal(solo.keys(), lease_a.caches[0].keys())
+        assert np.array_equal(solo.values(), lease_a.caches[0].values())
+        assert lease_a.caches[0].seq_len == solo.seq_len
+
+    def test_growth_past_initial_capacity(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=2,
+                             initial_capacity=4)
+        l1, l2 = arena.acquire(), arena.acquire()
+        drive(l1.caches[0], np.random.default_rng(0), seq=8, extra=40)
+        drive(l2.caches[0], np.random.default_rng(1), seq=8, extra=2)
+        assert l1.caches[0].seq_len == 48
+        assert l2.caches[0].seq_len == 10
+
+
+class TestSlotLifecycle:
+    def test_exhaustion_raises(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=1)
+        arena.acquire()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            arena.acquire()
+
+    def test_release_recycles_slot(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=1)
+        lease = arena.acquire()
+        drive(lease.caches[0], np.random.default_rng(0))
+        arena.release(lease)
+        assert arena.slots_free == 1
+        fresh = arena.acquire()
+        assert fresh.slot == lease.slot
+        assert fresh.caches[0].seq_len == 0          # recycled slot starts empty
+        drive(fresh.caches[0], np.random.default_rng(2))
+        solo = FP16KVCache()
+        drive(solo, np.random.default_rng(2))
+        assert np.array_equal(solo.keys(), fresh.caches[0].keys())
+
+    def test_double_release_rejected(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=1)
+        lease = arena.acquire()
+        arena.release(lease)
+        with pytest.raises(RuntimeError, match="already released"):
+            arena.release(lease)
+
+    def test_high_water_and_lease_count(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=4)
+        l1, l2 = arena.acquire(), arena.acquire()
+        arena.release(l1)
+        arena.acquire()
+        assert arena.high_water == 2
+        assert arena.total_leases == 3
+
+    def test_geometry_mismatch_rejected(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=2)
+        l1, l2 = arena.acquire(), arena.acquire()
+        rng = np.random.default_rng(0)
+        l1.caches[0].prefill(rng.normal(size=(2, 4, 16)), rng.normal(size=(2, 4, 16)))
+        with pytest.raises(ValueError, match="geometry"):
+            l2.caches[0].prefill(rng.normal(size=(4, 4, 8)), rng.normal(size=(4, 4, 8)))
+
+    def test_rebind_on_live_cache_rejected(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=1)
+        lease = arena.acquire()
+        drive(lease.caches[0], np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="rebind"):
+            lease.caches[0].bind_buffer_factory(lambda *a: None)
+
+    def test_non_buffered_cache_rejected(self):
+        class Odd(KVCache):
+            pass
+
+        arena = KVCacheArena(n_layers=1, cache_factory=Odd, slots=1)
+        with pytest.raises(TypeError, match="pooled buffer"):
+            arena.acquire()
+
+
+class TestSlabBuffer:
+    def test_views_are_read_only(self):
+        arena = KVCacheArena(n_layers=1, cache_factory=FP16KVCache, slots=1)
+        lease = arena.acquire()
+        drive(lease.caches[0], np.random.default_rng(0))
+        view = lease.caches[0].keys()
+        with pytest.raises(ValueError):
+            view[0, 0, 0] = 1.0
+
+    def test_slab_token_buffer_matches_token_buffer(self):
+        from repro.quant.kvcache import _ArenaSlab
+
+        rng = np.random.default_rng(0)
+        plain = TokenBuffer(2, 8, capacity=4)
+        slab = SlabTokenBuffer(_ArenaSlab(3, 2, 8, capacity=4), slot=1)
+        for _ in range(10):
+            block = rng.normal(size=(2, 8))
+            plain.append(block)
+            slab.append(block)
+        assert len(plain) == len(slab) == 10
+        assert np.array_equal(plain.view(), slab.view())
+        assert np.array_equal(plain.tail(3), slab.tail(3))
+        assert (plain.heads, plain.d_head) == (slab.heads, slab.d_head)

@@ -1,0 +1,72 @@
+"""Tests for the shared token sampler (repro.serve.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.serve.sampling import GREEDY, Sampler, SamplingParams, greedy_sample
+
+
+class TestGreedy:
+    def test_argmax(self):
+        logits = np.array([0.1, 3.0, -1.0, 2.9])
+        assert greedy_sample(logits) == 1
+        assert Sampler().sample(logits) == 1
+
+    def test_default_params_are_greedy(self):
+        assert GREEDY.is_greedy
+        assert SamplingParams().is_greedy
+
+    def test_tie_breaks_to_lowest_id(self):
+        assert greedy_sample(np.array([2.0, 2.0, 1.0])) == 0
+
+
+class TestTemperature:
+    def test_seeded_stream_reproducible(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(20, 64))
+        a = Sampler(SamplingParams(temperature=0.8, seed=7))
+        b = Sampler(SamplingParams(temperature=0.8, seed=7))
+        assert [a.sample(l) for l in logits] == [b.sample(l) for l in logits]
+
+    def test_different_seeds_diverge(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(50, 64))
+        a = Sampler(SamplingParams(temperature=2.0, seed=1))
+        b = Sampler(SamplingParams(temperature=2.0, seed=2))
+        assert [a.sample(l) for l in logits] != [b.sample(l) for l in logits]
+
+    def test_low_temperature_concentrates(self):
+        logits = np.zeros(16)
+        logits[5] = 10.0
+        s = Sampler(SamplingParams(temperature=0.1, seed=0))
+        assert all(s.sample(logits) == 5 for _ in range(20))
+
+    def test_samples_follow_distribution(self):
+        # Two-token distribution: softmax([0, log 3]) = [0.25, 0.75].
+        logits = np.array([0.0, np.log(3.0)])
+        s = Sampler(SamplingParams(temperature=1.0, seed=3))
+        draws = [s.sample(logits) for _ in range(2000)]
+        assert 0.70 < np.mean(draws) < 0.80
+
+
+class TestTopK:
+    def test_truncates_to_top_k(self):
+        logits = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        s = Sampler(SamplingParams(temperature=5.0, top_k=2, seed=0))
+        draws = {s.sample(logits) for _ in range(200)}
+        assert draws <= {3, 4}
+
+    def test_top_k_larger_than_vocab_is_noop(self):
+        logits = np.array([0.0, 1.0])
+        s = Sampler(SamplingParams(temperature=1.0, top_k=100, seed=0))
+        assert {s.sample(logits) for _ in range(100)} == {0, 1}
+
+
+class TestValidation:
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingParams(temperature=-0.1)
+
+    def test_negative_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingParams(top_k=-1)

@@ -1,0 +1,97 @@
+"""Tests for FCFS + token-budget admission (repro.serve.scheduler)."""
+
+import numpy as np
+import pytest
+
+from repro.serve.request import GenerationRequest
+from repro.serve.scheduler import Scheduler, ServeConfig
+
+
+class _Seq:
+    """Minimal stand-in for the engine's sequence state."""
+
+    def __init__(self, rid, prompt_len=8, max_tokens=8):
+        self.request = GenerationRequest(
+            rid, np.arange(1, prompt_len + 1), max_tokens=max_tokens
+        )
+
+
+def ids(seqs):
+    return [s.request.request_id for s in seqs]
+
+
+class TestBatchCap:
+    def test_admits_up_to_max_batch(self):
+        sch = Scheduler(ServeConfig(max_batch_size=2))
+        for i in range(4):
+            sch.submit(_Seq(f"r{i}"))
+        assert ids(sch.admit()) == ["r0", "r1"]
+        assert sch.queue_depth == 2 and sch.n_running == 2
+
+    def test_admission_after_release(self):
+        sch = Scheduler(ServeConfig(max_batch_size=2))
+        for i in range(3):
+            sch.submit(_Seq(f"r{i}"))
+        admitted = sch.admit()
+        assert sch.admit() == []          # full: nothing more admitted
+        sch.release(admitted[0])          # one finishes mid-batch
+        assert ids(sch.admit()) == ["r2"]
+        assert sch.queue_depth == 0 and sch.n_running == 2
+
+    def test_fcfs_order_preserved(self):
+        sch = Scheduler(ServeConfig(max_batch_size=1))
+        for i in range(3):
+            sch.submit(_Seq(f"r{i}"))
+        order = []
+        while sch.has_work():
+            batch = sch.admit()
+            order += ids(batch)
+            for s in batch:
+                sch.release(s)
+        assert order == ["r0", "r1", "r2"]
+
+
+class TestTokenBudget:
+    def test_budget_limits_admission(self):
+        # Each request's worst case is 8 + 8 = 16 tokens.
+        sch = Scheduler(ServeConfig(max_batch_size=8, max_tokens_in_flight=40))
+        for i in range(4):
+            sch.submit(_Seq(f"r{i}"))
+        assert ids(sch.admit()) == ["r0", "r1"]   # 32 fits, 48 would not
+        assert sch.tokens_in_flight == 32
+
+    def test_head_of_line_blocks_smaller_requests(self):
+        sch = Scheduler(ServeConfig(max_batch_size=8, max_tokens_in_flight=40))
+        sch.submit(_Seq("big", prompt_len=16, max_tokens=16))    # 32
+        sch.submit(_Seq("huge", prompt_len=24, max_tokens=12))   # 36
+        sch.submit(_Seq("small", prompt_len=2, max_tokens=2))    # 4, would fit
+        assert ids(sch.admit()) == ["big"]   # "huge" blocks "small" (FCFS)
+
+    def test_oversized_request_rejected_at_submit(self):
+        # Queued, it would reach the FCFS head and wedge the queue
+        # forever; rejection must happen before it is ever enqueued.
+        sch = Scheduler(ServeConfig(max_batch_size=8, max_tokens_in_flight=10))
+        with pytest.raises(ValueError, match="max_tokens_in_flight"):
+            sch.submit(_Seq("too-big", prompt_len=16, max_tokens=16))
+        assert sch.queue_depth == 0
+        sch.submit(_Seq("ok", prompt_len=3, max_tokens=3))
+        assert ids(sch.admit()) == ["ok"]   # queue still serviceable
+
+    def test_budget_frees_on_release(self):
+        sch = Scheduler(ServeConfig(max_batch_size=8, max_tokens_in_flight=16))
+        sch.submit(_Seq("a"))
+        sch.submit(_Seq("b"))
+        (a,) = sch.admit()
+        assert sch.admit() == []
+        sch.release(a)
+        assert ids(sch.admit()) == ["b"]
+
+
+class TestConfigValidation:
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_batch_size=0)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_tokens_in_flight=0)

@@ -1,0 +1,155 @@
+"""Paged vs contiguous-arena KV cache: throughput parity + prefix reuse.
+
+Two questions, answered on the unit-test model at batch 8:
+
+1. **Throughput parity.**  Paging gathers non-contiguous pages at
+   attention time and allocates on demand per tick; that bookkeeping
+   must not cost real decode throughput.  The same workload as
+   ``bench_serve_throughput.py`` runs through the arena engine and the
+   paged engine; ``check_perf.py --check-speedups`` enforces paged
+   >= 0.9x arena (the "within 10%" acceptance floor).
+
+2. **Prefill-block reuse.**  A shared-prefix workload (every request
+   starts with one common system prompt) measures how many prompt
+   pages the hash-based prefix cache deduplicates: *reuse* is tokens
+   prefilled divided by the tokens actually allocated for them
+   (``block_tokens x freshly written prefill pages``).  The arena
+   engine always re-materializes every prompt, so its reuse is 1.0 by
+   construction; the acceptance floor for the paged engine is >= 1.5x.
+
+Run:  PYTHONPATH=src python benchmarks/bench_paged_kv.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.model.zoo import get_model
+from repro.serve import GenerationEngine, GenerationRequest, ServeConfig
+
+from bench_serve_throughput import (
+    CACHE_FACTORIES,
+    MAX_TOKENS,
+    N_REQUESTS,
+    PROMPT_LEN,
+    make_requests,
+    run_workload,
+)
+
+BATCH = 8
+BLOCK_TOKENS = 32          # multiple of the mant4 window (32) in CACHE_FACTORIES
+PREFIX_LEN = 64            # shared system prompt: 2 full pages
+TAIL_LEN = 8               # unique per-request suffix
+
+
+def paged_config(max_batch: int = BATCH, enable_prefix_cache: bool = True) -> ServeConfig:
+    return ServeConfig(
+        max_batch_size=max_batch,
+        paged=True,
+        block_tokens=BLOCK_TOKENS,
+        enable_prefix_cache=enable_prefix_cache,
+    )
+
+
+def make_shared_prefix_requests(vocab_size: int, n_requests: int = N_REQUESTS,
+                                prefix_len: int = PREFIX_LEN,
+                                tail_len: int = TAIL_LEN,
+                                max_tokens: int = MAX_TOKENS,
+                                seed: int = 0) -> list[GenerationRequest]:
+    """N requests sharing one system prompt, each with a unique tail."""
+    rng = np.random.default_rng(seed)
+    system = rng.integers(0, vocab_size, size=prefix_len)
+    return [
+        GenerationRequest(
+            f"req-{i}",
+            np.concatenate([system, rng.integers(0, vocab_size, size=tail_len)]),
+            max_tokens=max_tokens,
+        )
+        for i in range(n_requests)
+    ]
+
+
+def throughput_parity(model, cache_name: str = "fp16"):
+    """(arena_tps, paged_tps, ratio) on the standard serving workload."""
+    factory = CACHE_FACTORIES[cache_name]
+    a_elapsed, a_stats = run_workload(
+        model, factory, make_requests(model.config.vocab_size), max_batch=BATCH
+    )
+    p_elapsed, p_stats = run_workload(
+        model, factory, make_requests(model.config.vocab_size), max_batch=BATCH,
+        config=paged_config(),
+    )
+    arena_tps = a_stats.tokens_generated / a_elapsed
+    paged_tps = p_stats.tokens_generated / p_elapsed
+    return arena_tps, paged_tps, paged_tps / arena_tps
+
+
+def prefix_reuse(model, cache_name: str = "mant4"):
+    """Serve the shared-prefix workload paged; return (reuse, detail)."""
+    factory = CACHE_FACTORIES[cache_name]
+    engine = GenerationEngine(model, factory, paged_config())
+    requests = make_shared_prefix_requests(model.config.vocab_size)
+    results = engine.generate(requests)
+    pool = engine.pool
+    tokens_prefilled = sum(int(r.prompt.size) for r in requests)
+    fresh_pages = pool.prefill_pages_total - pool.prefill_pages_hit
+    reuse = tokens_prefilled / (BLOCK_TOKENS * fresh_pages)
+    detail = {
+        "tokens_prefilled": tokens_prefilled,
+        "prefill_pages_total": pool.prefill_pages_total,
+        "prefill_pages_hit": pool.prefill_pages_hit,
+        "fresh_prefill_pages": fresh_pages,
+        "prefix_hit_tokens": pool.prefix_hit_tokens,
+        "block_tokens": BLOCK_TOKENS,
+        "blocks_high_water": pool.high_water,
+        "reuse": round(reuse, 2),
+        "requests_completed": len(results),
+    }
+    return reuse, detail
+
+
+def main():
+    print("loading unit-test model ...")
+    model, _ = get_model("unit-test")
+
+    print(f"\npaged vs arena decode throughput "
+          f"({N_REQUESTS} requests x {MAX_TOKENS} tokens, "
+          f"{PROMPT_LEN}-token prompts, batch {BATCH}, "
+          f"block_tokens={BLOCK_TOKENS})")
+    report: dict[str, dict] = {"throughput": {}, "prefix_reuse": {}}
+    for name in CACHE_FACTORIES:
+        arena_tps, paged_tps, ratio = throughput_parity(model, name)
+        report["throughput"][name] = {
+            "arena_tokens_per_s": round(arena_tps, 1),
+            "paged_tokens_per_s": round(paged_tps, 1),
+            "paged_vs_arena": round(ratio, 3),
+        }
+        print(f"  {name:>6} | arena {arena_tps:8.1f} tok/s | "
+              f"paged {paged_tps:8.1f} tok/s | ratio {ratio:5.2f}x")
+
+    print(f"\nshared-prefix prefill-block reuse "
+          f"({N_REQUESTS} requests, {PREFIX_LEN}-token shared system prompt "
+          f"+ {TAIL_LEN}-token unique tails)")
+    for name in CACHE_FACTORIES:
+        reuse, detail = prefix_reuse(model, name)
+        report["prefix_reuse"][name] = detail
+        print(f"  {name:>6} | {detail['prefill_pages_hit']:3d}/"
+              f"{detail['prefill_pages_total']:3d} prompt pages shared | "
+              f"{detail['fresh_prefill_pages']:3d} fresh | reuse {reuse:5.2f}x")
+
+    out = os.path.join(os.path.dirname(__file__), "..", "artifacts", "results")
+    os.makedirs(out, exist_ok=True)
+    path = os.path.join(out, "paged_kv.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"saved {os.path.normpath(path)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,11 +54,16 @@ def make_requests(vocab_size: int, n_requests: int = N_REQUESTS,
     ]
 
 
-def run_workload(model, cache_factory, requests, max_batch: int):
-    """Serve ``requests`` at ``max_batch`` lanes; returns (elapsed_s, stats)."""
-    engine = GenerationEngine(
-        model, cache_factory, ServeConfig(max_batch_size=max_batch)
-    )
+def run_workload(model, cache_factory, requests, max_batch: int, config=None):
+    """Serve ``requests`` at ``max_batch`` lanes; returns (elapsed_s, stats).
+
+    ``config`` overrides the whole :class:`ServeConfig` (the paged
+    benchmark passes one with ``paged=True``); ``max_batch`` is ignored
+    when it is given.
+    """
+    if config is None:
+        config = ServeConfig(max_batch_size=max_batch)
+    engine = GenerationEngine(model, cache_factory, config)
     t0 = time.perf_counter()
     engine.generate(requests)
     elapsed = time.perf_counter() - t0

@@ -38,6 +38,7 @@ from repro.model.zoo import get_model
 from repro.quant.kvcache import FP16KVCache, MantKVCache
 
 from bench_decode_scaling import decode_chunk_times
+from bench_paged_kv import paged_config, prefix_reuse, throughput_parity
 from bench_serve_throughput import CACHE_FACTORIES, make_requests, run_workload
 from legacy_impl import LegacyListKVCache, LegacyMantCodec, LegacyMseSearchSelector
 
@@ -53,6 +54,12 @@ MIN_ENCODE_SPEEDUP = 3.0
 # Serving: aggregate decode throughput at batch 8 vs 1-by-1 serving of
 # the same workload (the continuous-batching payoff).
 MIN_SERVE_SPEEDUP = 2.0
+
+# Paged KV cache: decode throughput within 10% of the contiguous arena
+# on the same batch-8 workload, and >= 1.5x prefill-block reuse on the
+# shared-system-prompt workload (prefix cache actually deduplicating).
+MIN_PAGED_VS_ARENA = 0.9
+MIN_PREFIX_REUSE = 1.5
 
 
 def _time(fn, number=10, repeat=3) -> float:
@@ -84,6 +91,11 @@ def build_suite():
         requests = make_requests(serve_model.config.vocab_size, n_requests=8)
         return run_workload(serve_model, FP16KVCache, requests, max_batch=8)
 
+    def serve_paged_workload():
+        requests = make_requests(serve_model.config.vocab_size, n_requests=8)
+        return run_workload(serve_model, FP16KVCache, requests, max_batch=8,
+                            config=paged_config())
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -94,6 +106,7 @@ def build_suite():
         "variance_select_batch": lambda: var_selector.select_batch(groups),
         "kv_decode_256_tokens": decode_step_cost,
         "serve_fp16_batch8": serve_workload,
+        "serve_paged_batch8": serve_paged_workload,
     }
 
 
@@ -159,6 +172,34 @@ def check_speedups() -> list[str]:
             failures.append(
                 f"serve fp16 batch-8 speedup {speedup:.2f}x < {MIN_SERVE_SPEEDUP}x"
             )
+
+    # Paged KV cache: no-regression floor vs the contiguous arena (the
+    # page-gather/alloc bookkeeping must not cost real throughput), and
+    # the prefix cache must actually deduplicate shared prompt pages.
+    for name in CACHE_FACTORIES:
+        if name == "fp16":
+            # Gated: best of 3 so the floor reflects algorithmic cost,
+            # not scheduler jitter.  The other types are informational
+            # and get a single run.
+            ratio = max(throughput_parity(model, name)[2] for _ in range(3))
+            print(f"  serve {name} paged vs arena @ batch 8:     {ratio:5.2f}x "
+                  f"(floor {MIN_PAGED_VS_ARENA}x)")
+            if ratio < MIN_PAGED_VS_ARENA:
+                failures.append(
+                    f"paged fp16 throughput {ratio:.2f}x arena < {MIN_PAGED_VS_ARENA}x"
+                )
+        else:
+            ratio = throughput_parity(model, name)[2]
+            print(f"  serve {name} paged vs arena @ batch 8:     {ratio:5.2f}x ")
+    reuse, detail = prefix_reuse(model)
+    print(f"  paged prefill-block reuse (shared prefix): {reuse:5.2f}x "
+          f"(floor {MIN_PREFIX_REUSE}x; "
+          f"{detail['prefill_pages_hit']}/{detail['prefill_pages_total']} "
+          "pages shared)")
+    if reuse < MIN_PREFIX_REUSE:
+        failures.append(
+            f"prefix-cache block reuse {reuse:.2f}x < {MIN_PREFIX_REUSE}x"
+        )
     return failures
 
 

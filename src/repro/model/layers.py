@@ -207,7 +207,18 @@ def cached_attention_fwd(q: np.ndarray, keys: np.ndarray, values: np.ndarray,
     path both the single-stream and the batched generation loops share,
     which is what makes batched greedy decoding token-for-token
     identical to the one-sequence loop.
+
+    ``keys``/``values`` may also be paged views over non-contiguous
+    KV-cache pages (anything exposing ``gather()``, see
+    :class:`repro.serve.paging.PagedView`); they are materialized here
+    — duck-typed so this model layer needs no serving import — and the
+    attention math below runs on the gathered array, making paged
+    logits bit-identical to the contiguous-cache path.
     """
+    if hasattr(keys, "gather"):
+        keys = keys.gather()
+    if hasattr(values, "gather"):
+        values = values.gather()
     d_head = q.shape[-1]
     t = q.shape[-2]
     s = keys.shape[-2]

@@ -20,6 +20,13 @@ quantization hooks the accuracy experiments plug in:
 ``kv_cache_factory()``
     Builds one :class:`repro.quant.kvcache.KVCache` per layer for
     generation; prefill-style evaluation uses ``kv_quant`` instead.
+
+Caches may store tokens contiguously or in non-contiguous pages
+(:mod:`repro.serve.paging`): ``keys()``/``values()`` results flow
+straight into :func:`repro.model.layers.cached_attention_fwd`, which
+gathers paged views before the attention math, so every generation
+path here is storage-layout agnostic and bit-identical across
+backends.
 """
 
 from __future__ import annotations

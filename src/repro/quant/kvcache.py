@@ -36,6 +36,13 @@ n_layers`` allocations, and a recycled slot inherits the capacity its
 predecessors already grew.  Arena-backed caches behave identically to
 standalone ones; views are valid until the next append on *any* slot
 of the same arena (a growth reallocates the shared slab).
+
+The same ``bind_buffer_factory`` seam carries the *paged* backend
+(:mod:`repro.serve.paging`): a :class:`TokenBuffer`-compatible facade
+over fixed-size ref-counted pages of a block pool, with hash-based
+prompt-prefix sharing and copy-on-write.  Every cache class here runs
+unchanged over either storage — the quantization math never sees the
+layout, which is what makes paged caches bit-identical to flat ones.
 """
 
 from __future__ import annotations

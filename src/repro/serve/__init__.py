@@ -2,10 +2,16 @@
 
 The serving layer on top of the MANT quantization stack — an engine
 that schedules many concurrent generation requests into one fused
-decode batch, with per-request streaming, pooled per-layer KV caches
-(FP16/INT/MANT) recycled across requests, and aggregate throughput /
-occupancy / latency statistics.  See :mod:`repro.serve.engine` for the
-determinism guarantees.
+decode batch, with per-request streaming (token ids plus optional
+incremental detokenized text), pooled per-layer KV caches (FP16/INT/
+MANT) recycled across requests, and aggregate throughput / occupancy /
+latency statistics.  Two storage backends: the contiguous
+:class:`~repro.quant.kvcache.KVCacheArena` (one slab slot per batch
+lane) and the paged :class:`~repro.serve.paging.BlockPool` (fixed-size
+ref-counted pages with hash-based prompt-prefix sharing, copy-on-write
+and block-aware admission — ``ServeConfig(paged=True)``).  See
+:mod:`repro.serve.engine` for the determinism guarantees and
+:mod:`repro.serve.paging` for the paging design.
 """
 
 from repro.serve.sampling import GREEDY, Sampler, SamplingParams, greedy_sample
@@ -16,7 +22,16 @@ from repro.serve.request import (
     GenerationResult,
     TokenEvent,
 )
-from repro.serve.scheduler import Scheduler, ServeConfig
+from repro.serve.scheduler import QueueFullError, Scheduler, ServeConfig
+from repro.serve.paging import (
+    BlockPool,
+    PagedKVCache,
+    PagedLease,
+    PagedTokenBuffer,
+    PagedView,
+    PageTable,
+    PoolExhausted,
+)
 from repro.serve.engine import EngineStats, GenerationEngine
 
 __all__ = [
@@ -31,6 +46,14 @@ __all__ = [
     "TokenEvent",
     "Scheduler",
     "ServeConfig",
+    "QueueFullError",
+    "BlockPool",
+    "PageTable",
+    "PagedTokenBuffer",
+    "PagedView",
+    "PagedKVCache",
+    "PagedLease",
+    "PoolExhausted",
     "EngineStats",
     "GenerationEngine",
 ]

@@ -7,27 +7,47 @@ generation into multi-tenant serving:
   :class:`GenerationRequest`s;
 * an FCFS :class:`~repro.serve.scheduler.Scheduler` admits them into a
   dynamic decode batch (new requests join as others finish) under a
-  batch-size cap and an optional KV token budget;
+  batch-size cap and either a KV token budget (arena mode) or actual
+  free pages (paged mode);
 * each :meth:`~GenerationEngine.step` runs *one* fused
   ``decode_step_batch`` tick for every running sequence, each attending
-  through its own arena-backed FP16/INT/MANT cache at its own position;
+  through its own pooled FP16/INT/MANT cache at its own position;
 * tokens stream out per request through :class:`TokenEvent`s (iterator
-  via :meth:`run`, or a per-request ``on_token`` callback).
+  via :meth:`run`, or a per-request ``on_token`` callback), optionally
+  carrying incremental text from a pluggable ``detokenize`` callback.
+
+Two storage backends share this loop:
+
+* **Arena** (default): contiguous per-slot slabs
+  (:class:`~repro.quant.kvcache.KVCacheArena`), one slot per batch lane.
+* **Paged** (``ServeConfig(paged=True)``): fixed-size pages from a
+  :class:`~repro.serve.paging.BlockPool` — admission on actually-free
+  blocks instead of worst-case token budgets, on-demand page allocation
+  each tick, hash-based prefix sharing of identical full prompt pages,
+  and preemption-by-recompute (youngest first, back to the queue head)
+  when the pool runs dry mid-decode.
 
 Determinism guarantee: the batched decode path is bit-identical per
 sequence to the single-stream loop and every request samples from its
 own seeded RNG, so a request's output never depends on which other
 requests shared its batch — greedy engine output == the plain
 ``prefill`` + ``decode_step`` loop, token for token, for every cache
-type.
+type and for both storage backends.  (Preemption is the one exception:
+a preempted request's suffix is *recomputed* through the prefill path,
+which re-quantizes decode-staged MANT windows from scratch — the same
+trade every recompute-based paged server makes.)
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.quant.kvcache import KVCacheArena
+from repro.serve.paging import BlockPool, PoolExhausted, validate_block_compat
 from repro.serve.request import (
     FINISH_LENGTH,
     FINISH_STOP,
@@ -36,7 +56,7 @@ from repro.serve.request import (
     TokenEvent,
 )
 from repro.sampling import Sampler
-from repro.serve.scheduler import Scheduler, ServeConfig
+from repro.serve.scheduler import QueueFullError, Scheduler, ServeConfig
 
 __all__ = ["GenerationEngine", "EngineStats"]
 
@@ -47,7 +67,7 @@ class _Sequence:
     __slots__ = (
         "request", "sampler", "on_token", "lease", "pos", "next_token",
         "tokens", "finished", "finish_reason", "decode_steps",
-        "submit_time", "admit_time",
+        "submit_time", "admit_time", "resuming", "text_len",
     )
 
     def __init__(self, request: GenerationRequest, on_token, submit_time: float):
@@ -63,6 +83,29 @@ class _Sequence:
         self.decode_steps = 0
         self.submit_time = submit_time
         self.admit_time = float("nan")
+        self.resuming = False        # preempted: rebuild cache, don't re-emit
+        self.text_len = 0            # detokenized chars already streamed
+
+    @property
+    def prefill_len(self) -> int:
+        """Tokens the next prefill must run (grows after preemption)."""
+        n = int(self.request.prompt.size)
+        if self.resuming:
+            n += max(0, len(self.tokens) - 1)
+        return n
+
+    def prefill_ids(self) -> np.ndarray:
+        """Prompt ids — plus already-generated tokens when resuming.
+
+        ``tokens[-1]`` (== ``next_token``) is excluded: it has been
+        emitted but not yet fed, exactly as in the uninterrupted loop.
+        """
+        prompt = self.request.prompt
+        if self.resuming and len(self.tokens) > 1:
+            return np.concatenate(
+                [prompt, np.asarray(self.tokens[:-1], dtype=np.int64)]
+            )
+        return prompt
 
 
 @dataclass(frozen=True)
@@ -73,6 +116,7 @@ class EngineStats:
     requests_completed: int
     requests_queued: int
     requests_running: int
+    requests_rejected: int        # submit-time backpressure/budget rejections
     tokens_generated: int
     decode_ticks: int
     mean_batch_occupancy: float   # sequences per decode tick
@@ -80,18 +124,24 @@ class EngineStats:
     tokens_per_s: float           # aggregate serving throughput over elapsed_s
     mean_queue_latency_s: float
     max_queue_latency_s: float
-    cache_slots: int
+    cache_slots: int              # arena slots, or pool blocks when paged
     cache_slots_high_water: int
+    preemptions: int              # paged: sequences bumped back to the queue
+    prefix_hit_tokens: int        # paged: prompt tokens served from shared pages
 
 
 class GenerationEngine:
     """Schedule many :class:`GenerationRequest`s through one model.
 
     ``cache_factory`` builds one buffered KV cache (FP16/INT/MANT —
-    anything :class:`~repro.quant.kvcache.KVCacheArena` can pool); the
-    engine owns an arena with one slot per batch lane and recycles
-    slots as requests finish.  ``weights``/``act_quant`` are the usual
-    quantization hooks, applied identically to every request.
+    anything the pooled storage backends can carve); the engine owns
+    either a :class:`~repro.quant.kvcache.KVCacheArena` (one slot per
+    batch lane) or, with ``config.paged``, a
+    :class:`~repro.serve.paging.BlockPool` of fixed-size pages shared
+    by all lanes.  ``weights``/``act_quant`` are the usual quantization
+    hooks, applied identically to every request.  ``detokenize`` is an
+    optional ``(token_ids) -> str`` callback; when given, every emitted
+    :class:`TokenEvent` carries the incremental ``text`` suffix.
     """
 
     def __init__(
@@ -102,23 +152,50 @@ class GenerationEngine:
         weights=None,
         act_quant=None,
         clock=time.perf_counter,
+        detokenize=None,
     ):
         self.model = model
         self.config = config
         self.weights = weights
         self.act_quant = act_quant
         self._clock = clock
+        self._detokenize = detokenize
+        self._cache_factory = cache_factory
         self.scheduler = Scheduler(config)
-        self.arena = KVCacheArena(
-            n_layers=model.config.n_layers,
-            cache_factory=cache_factory,
-            slots=config.max_batch_size,
-            initial_capacity=config.initial_cache_capacity,
-        )
+        if config.paged:
+            validate_block_compat(cache_factory(), config.block_tokens)
+            num_blocks = config.num_blocks
+            if num_blocks is None:
+                # Worst case (arena-equivalent capacity); smaller pools
+                # turn on real admission control and preemption.
+                num_blocks = (
+                    math.ceil(model.config.max_seq / config.block_tokens)
+                    * config.max_batch_size
+                )
+            self.pool = BlockPool(
+                n_layers=model.config.n_layers,
+                block_tokens=config.block_tokens,
+                num_blocks=num_blocks,
+                enable_prefix_cache=config.enable_prefix_cache,
+            )
+            self.arena = None
+            self.scheduler.bind_block_gauge(
+                lambda: self.pool.blocks_available, config.block_tokens
+            )
+        else:
+            self.pool = None
+            self.arena = KVCacheArena(
+                n_layers=model.config.n_layers,
+                cache_factory=cache_factory,
+                slots=config.max_batch_size,
+                initial_capacity=config.initial_cache_capacity,
+            )
         self._results: dict[str, GenerationResult] = {}
         self._active_ids: set[str] = set()
         self._submitted = 0
         self._completed = 0
+        self._rejected = 0
+        self._preemptions = 0
         self._tokens_generated = 0
         self._decode_ticks = 0
         self._occupancy_sum = 0
@@ -130,18 +207,36 @@ class GenerationEngine:
     # Submission
     # ------------------------------------------------------------------
     def submit(self, request: GenerationRequest, on_token=None) -> str:
-        """Queue a request; returns its id.  ``on_token(event)`` streams."""
+        """Queue a request; returns its id.  ``on_token(event)`` streams.
+
+        Raises on capacity rejection — worst case over the model's
+        ``max_seq``, over the token budget, over the paged pool's total
+        size, or a full queue (:class:`QueueFullError`); rejections are
+        counted in :class:`EngineStats`.
+        """
         rid = request.request_id
         if rid in self._active_ids or rid in self._results:
             raise ValueError(f"duplicate request_id {rid!r}")
-        max_seq = self.model.config.max_seq
-        if request.token_footprint > max_seq:
-            raise ValueError(
-                f"request {rid!r} needs {request.token_footprint} positions, "
-                f"over the model's max_seq of {max_seq}"
-            )
-        seq = _Sequence(request, on_token, self._clock())
-        self.scheduler.submit(seq)   # may reject (e.g. over the token budget)
+        try:
+            max_seq = self.model.config.max_seq
+            if request.token_footprint > max_seq:
+                raise ValueError(
+                    f"request {rid!r} needs {request.token_footprint} positions, "
+                    f"over the model's max_seq of {max_seq}"
+                )
+            if self.pool is not None:
+                pages = -(-request.token_footprint // self.pool.block_tokens)
+                if pages > self.pool.num_blocks:
+                    raise ValueError(
+                        f"request {rid!r} can need {pages} pages, over the "
+                        f"pool's num_blocks of {self.pool.num_blocks} — it "
+                        "could never be scheduled"
+                    )
+            seq = _Sequence(request, on_token, self._clock())
+            self.scheduler.submit(seq)   # may reject (budget / queue full)
+        except (ValueError, QueueFullError):
+            self._rejected += 1
+            raise
         self._active_ids.add(rid)
         self._submitted += 1
         return rid
@@ -157,19 +252,36 @@ class GenerationEngine:
         events: list[TokenEvent] = []
 
         # 1. Admission: prefill newly admitted prompts one by one
-        # (prompts are ragged) and emit their first sampled token.
-        for seq in self.scheduler.admit():
-            seq.admit_time = now
-            seq.lease = self.arena.acquire()
+        # (prompts are ragged, and each paged prefill's page allocations
+        # must be visible to the next admission check) and emit their
+        # first sampled token.
+        while (seq := self.scheduler.admit_one()) is not None:
+            if math.isnan(seq.admit_time):
+                seq.admit_time = now     # queue latency: first admission only
+            ids = seq.prefill_ids()
+            if self.pool is not None:
+                seq.lease = self.pool.acquire(self._cache_factory)
+                seq.lease.match_prefix(ids)
+            else:
+                seq.lease = self.arena.acquire()
             logits = self.model.prefill(
-                seq.request.prompt, seq.lease.caches,
+                ids, seq.lease.caches,
                 weights=self.weights, act_quant=self.act_quant,
             )
-            seq.pos = int(seq.request.prompt.size)
-            self._emit(seq, seq.sampler.sample(logits), events)
+            seq.pos = int(ids.size)
+            if self.pool is not None:
+                seq.lease.register_prefix(ids)
+            if seq.resuming:
+                # Preempted sequence: the cache is rebuilt, the next
+                # token was already sampled and emitted before eviction.
+                seq.resuming = False
+            else:
+                self._emit(seq, seq.sampler.sample(logits), events)
 
         # 2. One fused decode tick across every live sequence.
         live = [s for s in self.scheduler.running if not s.finished]
+        if self.pool is not None and live:
+            live = self._reserve_decode_blocks(live)
         if live:
             logits = self.model.decode_step_batch(
                 [s.next_token for s in live],
@@ -184,13 +296,42 @@ class GenerationEngine:
                 seq.decode_steps += 1
                 self._emit(seq, seq.sampler.sample(logits[b]), events)
 
-        # 3. Retire finished sequences, recycling their cache slots.
+        # 3. Retire finished sequences, recycling their cache storage.
         for seq in [s for s in self.scheduler.running if s.finished]:
             self._retire(seq)
         # Busy time accumulates per tick so throughput reflects time
         # spent serving, not idle gaps between bursts.
         self._busy_s += self._clock() - now
         return events
+
+    def _reserve_decode_blocks(self, live: list) -> list:
+        """Guarantee every live sequence a page for this tick's token.
+
+        Allocation itself stays on demand (inside the cache append);
+        this only checks that the demands fit, preempting the youngest
+        sequences back to the queue head (recompute-on-resume) until
+        they do — the paged answer to pool exhaustion, instead of
+        reserving worst-case ``prompt + max_tokens`` up front.
+        """
+        while True:
+            need = sum(s.lease.new_pages_for(s.pos + 1) for s in live)
+            if need <= self.pool.blocks_available:
+                return live
+            if len(live) == 1:
+                # Cannot happen for pools that passed the submit-time
+                # size check unless shared pages are pinned elsewhere.
+                raise PoolExhausted(
+                    "BlockPool exhausted with a single running sequence: "
+                    f"{self.pool.blocks_available} blocks free, {need} needed"
+                )
+            self._preempt(live.pop())    # youngest admitted first
+
+    def _preempt(self, seq: _Sequence) -> None:
+        self.scheduler.requeue_front(seq)
+        lease, seq.lease = seq.lease, None
+        lease.release()
+        seq.resuming = True
+        self._preemptions += 1
 
     def _emit(self, seq: _Sequence, token: int, events: list[TokenEvent]) -> None:
         """Record one sampled token, deciding emission and finish state."""
@@ -205,8 +346,14 @@ class GenerationEngine:
             if len(seq.tokens) >= seq.request.max_tokens:
                 seq.finished = True
                 seq.finish_reason = FINISH_LENGTH
+            text = None
+            if self._detokenize is not None:
+                full = self._detokenize(list(seq.tokens))
+                text = full[seq.text_len:]
+                seq.text_len = len(full)
             event = TokenEvent(
-                rid, token, len(seq.tokens) - 1, seq.finished, seq.finish_reason
+                rid, token, len(seq.tokens) - 1, seq.finished, seq.finish_reason,
+                text,
             )
         self._tokens_generated += event.token is not None
         events.append(event)
@@ -216,7 +363,10 @@ class GenerationEngine:
     def _retire(self, seq: _Sequence) -> None:
         now = self._clock()
         self.scheduler.release(seq)
-        self.arena.release(seq.lease)
+        if self.pool is not None:
+            seq.lease.release()
+        else:
+            self.arena.release(seq.lease)
         rid = seq.request.request_id
         self._active_ids.discard(rid)
         latency = seq.admit_time - seq.submit_time
@@ -278,11 +428,18 @@ class GenerationEngine:
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
         elapsed = self._busy_s
+        if self.pool is not None:
+            slots, high_water = self.pool.num_blocks, self.pool.high_water
+            prefix_hits = self.pool.prefix_hit_tokens
+        else:
+            slots, high_water = self.arena.slots_total, self.arena.high_water
+            prefix_hits = 0
         return EngineStats(
             requests_submitted=self._submitted,
             requests_completed=self._completed,
             requests_queued=self.scheduler.queue_depth,
             requests_running=self.scheduler.n_running,
+            requests_rejected=self._rejected,
             tokens_generated=self._tokens_generated,
             decode_ticks=self._decode_ticks,
             mean_batch_occupancy=(
@@ -292,6 +449,8 @@ class GenerationEngine:
             tokens_per_s=self._tokens_generated / elapsed if elapsed > 0 else 0.0,
             mean_queue_latency_s=self._lat_sum / self._completed if self._completed else 0.0,
             max_queue_latency_s=self._lat_max,
-            cache_slots=self.arena.slots_total,
-            cache_slots_high_water=self.arena.high_water,
+            cache_slots=slots,
+            cache_slots_high_water=high_water,
+            preemptions=self._preemptions,
+            prefix_hit_tokens=prefix_hits,
         )

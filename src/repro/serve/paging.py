@@ -1,0 +1,718 @@
+"""Paged quantized KV-cache subsystem: block pool, prefix sharing, COW.
+
+PR 2's :class:`~repro.quant.kvcache.KVCacheArena` carves contiguous
+per-slot slabs, so one sequence's growth reallocates whole lanes and
+worst-case ``prompt + max_tokens`` admission strands memory.  This
+module replaces that with vLLM/mlc-llm-style paging:
+
+* **BlockPool** — fixed-size pages of ``block_tokens`` tokens backed by
+  one shared ``(heads, num_blocks, block_tokens, d_head)`` slab per
+  (layer, K/V-role).  A *block id* names the same row in every slab, so
+  one logical page table per sequence covers all layers.  Blocks are
+  ref-counted and recycled through a free list; blocks whose content is
+  a registered prompt prefix are retained ("cached-free") after their
+  last reference drops and are only evicted LRU when allocation needs
+  them — so a popular system prompt keeps paying off across request
+  waves.
+* **PageTable / PagedTokenBuffer** — per-sequence mapping of logical
+  page index to block id, plus a :class:`~repro.quant.kvcache.TokenBuffer`-
+  compatible facade over it.  The existing FP16/INT4/MANT4 cache
+  classes are reused *unchanged* via ``bind_buffer_factory``, which is
+  what makes the paged quantization math bit-identical to the flat
+  caches: M-ANT's group-wise scheme quantizes each page independently
+  as long as ``block_tokens`` is a multiple of the temporal group
+  (the V-cache window), so pages can be shared, recycled and gathered
+  without touching neighbours.
+* **Prefix sharing** — identical full prompt-prefix pages are
+  deduplicated across live requests with a *chained* SHA-256 over the
+  page's token ids (page ``i``'s hash commits to tokens ``[0, (i+1)·bt)``
+  — necessary because K/V content at position ``p`` depends on the whole
+  token prefix through the transformer).  A matching request attaches
+  the donor's blocks (ref-count++), suppresses its own writes over the
+  sealed region, and starts writing at the first divergent page.
+* **Copy-on-write** — any write (append or in-place V-window finalize)
+  to a block with more than one reference first clones the block across
+  every slab, so :meth:`PagedLease.fork` gives cheap sequence clones
+  (parallel sampling / beam style) whose mutations never perturb each
+  other.
+
+Correctness invariants (gated by ``tests/test_serve_paging.py``):
+
+* Paged greedy decode is token-for-token identical to the
+  contiguous-arena engine for FP16/INT4/MANT4 caches.  Prefix sharing
+  preserves this because a full prompt page's content is a pure
+  function of the token prefix: K rows are quantized per token, and
+  full V windows are quantized directly from window data (the per-
+  sequence INT8 staging scale only ever touches the partial tail page,
+  which is never shared).
+* ``block_tokens`` must be a multiple of the MANT V window so temporal
+  groups never straddle pages (:func:`validate_block_compat` enforces
+  this); the in-place window finalize then always lands inside one
+  page.
+* Releasing a lease returns every non-shared page to the pool with no
+  state leakage; shared pages survive as long as any borrower holds
+  them, then linger evictable in the prefix cache.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.quant.kvcache import (
+    KVCache,
+    MantKVCache,
+    _BufferedKVCache,
+    _promote_token_block,
+)
+
+__all__ = [
+    "PoolExhausted",
+    "BlockPool",
+    "PageTable",
+    "PagedTokenBuffer",
+    "PagedView",
+    "PagedKVCache",
+    "PagedLease",
+    "validate_block_compat",
+]
+
+_EMPTY = np.empty((0, 0, 0))
+
+
+class PoolExhausted(RuntimeError):
+    """No free (or evictable cached-free) blocks left in the pool."""
+
+
+def validate_block_compat(cache, block_tokens: int) -> None:
+    """Reject page sizes that would split a temporal quantization group.
+
+    K caches group along ``d_head`` (one token at a time) and are
+    compatible with any page size; the MANT V cache quantizes groups of
+    ``window`` consecutive *tokens*, so a page must hold a whole number
+    of windows for per-page quantization to be bit-identical to the
+    flat cache (and for the in-place window finalize to stay within one
+    page).
+    """
+    if isinstance(cache, MantKVCache) and block_tokens % cache.window:
+        raise ValueError(
+            f"block_tokens={block_tokens} must be a multiple of the MANT "
+            f"V-cache window ({cache.window}) so temporal quantization "
+            "groups never straddle page boundaries"
+        )
+
+
+class BlockPool:
+    """Fixed-size KV pages shared by every sequence of one engine.
+
+    One ``(heads, num_blocks, block_tokens, d_head)`` slab per
+    (layer, role) — created lazily at the first geometry sighting, like
+    the arena's slabs — with a single block-id space across all of
+    them: block ``b`` is row ``b`` of every slab, so a sequence's page
+    table is one list of ids covering all layers, and "blocks in use"
+    is a direct measure of KV memory.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        block_tokens: int,
+        num_blocks: int,
+        enable_prefix_cache: bool = True,
+    ):
+        if n_layers < 1:
+            raise ValueError("pool needs at least one layer")
+        if block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        self.n_layers = n_layers
+        self.block_tokens = block_tokens
+        self.num_blocks = num_blocks
+        self.enable_prefix_cache = enable_prefix_cache
+        self._free_set = set(range(num_blocks))
+        self._ref = [0] * num_blocks
+        self._slabs: dict[tuple[int, str], np.ndarray] = {}
+        self._flats: dict[tuple[int, str], np.ndarray] = {}
+        # Prefix cache: chained page hash <-> block id, plus the set of
+        # zero-ref blocks retained only for future prefix hits (LRU).
+        self._block_of_hash: dict[bytes, int] = {}
+        self._hash_of_block: dict[int, bytes] = {}
+        self._cached_free: OrderedDict[int, None] = OrderedDict()
+        # Stats (read by EngineStats and the paging benchmark).
+        self.allocations = 0
+        self.high_water = 0
+        self.total_leases = 0
+        self.cow_copies = 0
+        self.prefix_hit_tokens = 0
+        self.prefill_pages_total = 0
+        self.prefill_pages_hit = 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def blocks_available(self) -> int:
+        """Blocks an allocation could obtain: free + evictable cached."""
+        return len(self._free_set) + len(self._cached_free)
+
+    @property
+    def blocks_in_use(self) -> int:
+        return self.num_blocks - self.blocks_available
+
+    def refcount(self, block_id: int) -> int:
+        return self._ref[block_id]
+
+    # ------------------------------------------------------------------
+    # Block lifecycle
+    # ------------------------------------------------------------------
+    def _spread_block(self) -> int:
+        """Middle of the longest free run — binary-splitting placement.
+
+        First allocations land mid-run so each sequence's later pages
+        can extend at ``last + 1``; successive sequences split the
+        remaining runs.  Keeping per-sequence pages consecutive is what
+        keeps :meth:`PagedView.gather` on its zero-copy fast path, so
+        this locality heuristic is directly a decode-throughput lever.
+        """
+        ids = sorted(self._free_set)
+        best_start = start = ids[0]
+        best_len = run = 1
+        for prev, cur in zip(ids, ids[1:]):
+            if cur == prev + 1:
+                run += 1
+            else:
+                if run > best_len:
+                    best_start, best_len = start, run
+                start, run = cur, 1
+        if run > best_len:
+            best_start, best_len = start, run
+        return best_start + best_len // 2
+
+    def allocate(self, hint: int | None = None) -> int:
+        """Hand out one block (ref-count 1).
+
+        ``hint`` asks for a specific id (a growing sequence passes its
+        ``last block + 1``); granted when that block is free or
+        retained-evictable.  LRU cached-free prefix blocks are evicted
+        only when the plain free set is empty.
+        """
+        if self._free_set:
+            if hint is not None and hint in self._free_set:
+                bid = hint
+            else:
+                bid = self._spread_block()
+            self._free_set.remove(bid)
+        elif self._cached_free:
+            if hint is not None and hint in self._cached_free:
+                del self._cached_free[hint]
+                bid = hint
+            else:
+                bid, _ = self._cached_free.popitem(last=False)
+            self._unhash(bid)
+        else:
+            raise PoolExhausted(
+                f"BlockPool exhausted: all {self.num_blocks} blocks of "
+                f"{self.block_tokens} tokens are referenced"
+            )
+        self._ref[bid] = 1
+        self.allocations += 1
+        self.high_water = max(self.high_water, self.blocks_in_use)
+        return bid
+
+    def incref(self, block_id: int) -> None:
+        if self._ref[block_id] < 1:
+            raise RuntimeError(f"incref on unreferenced block {block_id}")
+        self._ref[block_id] += 1
+
+    def decref(self, block_id: int) -> None:
+        if self._ref[block_id] < 1:
+            raise RuntimeError(f"decref on unreferenced block {block_id}")
+        self._ref[block_id] -= 1
+        if self._ref[block_id] == 0:
+            if block_id in self._hash_of_block:
+                # Keep the content for future prefix hits; evictable.
+                self._cached_free[block_id] = None
+            else:
+                self._free_set.add(block_id)
+
+    def clone_block(self, src: int) -> int:
+        """Copy-on-write clone: duplicate ``src`` across every slab."""
+        dst = self.allocate()
+        for slab in self._slabs.values():
+            slab[:, dst] = slab[:, src]
+        self.cow_copies += 1
+        return dst
+
+    # ------------------------------------------------------------------
+    # Prefix cache
+    # ------------------------------------------------------------------
+    def _unhash(self, block_id: int) -> None:
+        h = self._hash_of_block.pop(block_id, None)
+        if h is not None:
+            del self._block_of_hash[h]
+
+    def lookup(self, page_hash: bytes) -> int | None:
+        """Resolve a chained page hash to a live block, taking a ref.
+
+        Resurrects cached-free blocks (the donor may long be gone).
+        """
+        bid = self._block_of_hash.get(page_hash)
+        if bid is None:
+            return None
+        if self._ref[bid] == 0:
+            del self._cached_free[bid]
+        self._ref[bid] += 1
+        self.high_water = max(self.high_water, self.blocks_in_use)
+        return bid
+
+    def register(self, page_hash: bytes, block_id: int) -> int:
+        """Publish a full page for sharing; returns 1 if newly registered.
+
+        First writer wins: a hash already mapped (or a block already
+        hashed) is left alone, so registered content is immutable for
+        the mapping's lifetime.
+        """
+        if not self.enable_prefix_cache:
+            return 0
+        if page_hash in self._block_of_hash or block_id in self._hash_of_block:
+            return 0
+        self._block_of_hash[page_hash] = block_id
+        self._hash_of_block[block_id] = page_hash
+        return 1
+
+    def page_hashes(self, ids: np.ndarray):
+        """Yield the chained SHA-256 digest of every *full* page of ``ids``.
+
+        Page ``i``'s digest commits to tokens ``[0, (i+1)·block_tokens)``
+        — K/V content at a position depends on the entire token prefix,
+        so equal page digests imply bit-equal page content (same model,
+        same cache config: both fixed per pool).
+        """
+        ids = np.ascontiguousarray(np.asarray(ids, dtype=np.int64))
+        bt = self.block_tokens
+        h = b""
+        for i in range(ids.size // bt):
+            h = hashlib.sha256(h + ids[i * bt : (i + 1) * bt].tobytes()).digest()
+            yield h
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def _get_slab(self, layer: int, role: str, heads: int, d_head: int) -> np.ndarray:
+        key = (layer, role)
+        slab = self._slabs.get(key)
+        if slab is None:
+            slab = np.empty((heads, self.num_blocks, self.block_tokens, d_head))
+            self._slabs[key] = slab
+            # Slabs are fixed-size (never reallocated), so one flat
+            # (heads, num_blocks·bt, d_head) alias per slab serves the
+            # consecutive-pages gather as a single zero-copy slice.
+            self._flats[key] = slab.reshape(heads, -1, d_head)
+        elif (slab.shape[0], slab.shape[3]) != (heads, d_head):
+            raise ValueError(
+                f"layer {layer} {role}-cache geometry ({heads}, {d_head}) does "
+                f"not match the pool's ({slab.shape[0]}, {slab.shape[3]})"
+            )
+        return slab
+
+    def _buffer_factory(self, lease: "PagedLease", layer: int):
+        def make(role: str, heads: int, d_head: int, capacity: int) -> PagedTokenBuffer:
+            # `capacity` is a contiguous-buffer concept; pages are
+            # allocated on demand at first write instead.
+            slab = self._get_slab(layer, role, heads, d_head)
+            return PagedTokenBuffer(
+                self, lease.table, slab, self._flats[(layer, role)],
+                sealed=lease.sealed_tokens,
+            )
+
+        return make
+
+    # ------------------------------------------------------------------
+    def acquire(self, cache_factory) -> "PagedLease":
+        """Lease a fresh paged sequence: per-layer caches over one table."""
+        lease = PagedLease(self, PageTable(self))
+        caches = []
+        for layer in range(self.n_layers):
+            inner = cache_factory()
+            if not isinstance(inner, _BufferedKVCache):
+                raise TypeError(
+                    f"cache_factory produced {type(inner).__name__}, which does "
+                    "not use the pooled buffer storage"
+                )
+            validate_block_compat(inner, self.block_tokens)
+            inner.bind_buffer_factory(self._buffer_factory(lease, layer))
+            caches.append(PagedKVCache(inner, lease.table))
+        lease.caches = caches
+        self.total_leases += 1
+        return lease
+
+
+class PageTable:
+    """One sequence's logical-page → block-id mapping (all layers).
+
+    ``contiguous`` is maintained incrementally (True while the ids form
+    one ascending run) so the gather's zero-copy fast path costs a flag
+    read instead of rebuilding a range per attention call.
+    """
+
+    __slots__ = ("_pool", "blocks", "contiguous")
+
+    def __init__(self, pool: BlockPool, blocks: list[int] | None = None):
+        self._pool = pool
+        self.blocks = blocks if blocks is not None else []
+        b0 = self.blocks[0] if self.blocks else 0
+        self.contiguous = self.blocks == list(range(b0, b0 + len(self.blocks)))
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.blocks)
+
+    def append_block(self, bid: int) -> None:
+        if self.blocks and bid != self.blocks[-1] + 1:
+            self.contiguous = False
+        self.blocks.append(bid)
+
+    def ensure_tokens(self, n_tokens: int) -> None:
+        """Allocate pages on demand so ``n_tokens`` positions are backed,
+        hinting for the block after the current last (locality)."""
+        need = -(-n_tokens // self._pool.block_tokens)
+        while len(self.blocks) < need:
+            hint = self.blocks[-1] + 1 if self.blocks else None
+            if hint is not None and hint >= self._pool.num_blocks:
+                hint = None
+            self.append_block(self._pool.allocate(hint))
+
+    def writable_block(self, page: int) -> int:
+        """Block id for writing: copy-on-write when the page is shared."""
+        bid = self.blocks[page]
+        if self._pool._ref[bid] > 1:
+            new = self._pool.clone_block(bid)
+            self._pool.decref(bid)
+            self.blocks[page] = new
+            self.contiguous = False
+            bid = new
+        return bid
+
+    def release(self) -> None:
+        for bid in self.blocks:
+            self._pool.decref(bid)
+        self.blocks.clear()
+        self.contiguous = True
+
+
+class PagedTokenBuffer:
+    """:class:`~repro.quant.kvcache.TokenBuffer`-compatible facade over
+    non-contiguous pool pages.
+
+    ``sealed`` positions (a prefix-cache hit) already hold bit-identical
+    content written by the donor, so appends over them advance the
+    length without writing — the caller's prefill math is unchanged,
+    only the redundant stores are dropped.
+    """
+
+    __slots__ = ("_pool", "_table", "_slab", "_flat", "_len", "_sealed")
+
+    def __init__(self, pool: BlockPool, table: PageTable, slab: np.ndarray,
+                 flat: np.ndarray, sealed: int = 0):
+        self._pool = pool
+        self._table = table
+        self._slab = slab
+        self._flat = flat
+        self._len = 0
+        self._sealed = sealed
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def heads(self) -> int:
+        return self._slab.shape[0]
+
+    @property
+    def d_head(self) -> int:
+        return self._slab.shape[3]
+
+    def append(self, block: np.ndarray) -> None:
+        block = _promote_token_block(block, self.heads, self.d_head)
+        t = block.shape[1]
+        bt = self._pool.block_tokens
+        if t == 1 and self._len >= self._sealed:
+            # Single-token fast path: the per-tick decode append.
+            page, off = divmod(self._len, bt)
+            if off == 0:
+                self._table.ensure_tokens(self._len + 1)
+            bid = self._table.writable_block(page)
+            self._slab[:, bid, off, :] = block[:, 0, :]
+            self._len += 1
+            return
+        if self._len < self._sealed:
+            skip = min(t, self._sealed - self._len)
+            self._len += skip
+            block = block[:, skip:]
+            t -= skip
+        i = 0
+        while i < t:
+            page, off = divmod(self._len, bt)
+            chunk = min(t - i, bt - off)
+            self._table.ensure_tokens(self._len + chunk)
+            bid = self._table.writable_block(page)
+            self._slab[:, bid, off : off + chunk, :] = block[:, i : i + chunk, :]
+            self._len += chunk
+            i += chunk
+
+    def view(self) -> "PagedView":
+        """Lazy read-only view over the live pages.
+
+        Materialization (and the contiguous zero-copy fast path) lives
+        in :meth:`PagedView.gather`, which the attention layer invokes;
+        like all cache views it is only valid until the next mutation
+        through any facade of the same table.
+        """
+        return PagedView(self._slab, self._flat, self._table, self._len)
+
+    def tail(self, n: int) -> np.ndarray:
+        """Writable view of the last ``n`` tokens (single page only).
+
+        The MANT V-cache finalizes ``window``-sized regions in place;
+        with ``block_tokens`` a multiple of the window that region
+        always lands inside one page, so a direct writable slab slice
+        (after copy-on-write) preserves the flat-cache semantics.
+        """
+        if n > self._len:
+            raise ValueError(f"tail({n}) exceeds buffer length {self._len}")
+        bt = self._pool.block_tokens
+        start = self._len - n
+        spage, soff = divmod(start, bt)
+        if n and (self._len - 1) // bt != spage:
+            raise ValueError(
+                f"tail({n}) spans a page boundary (block_tokens={bt}); "
+                "page size must be a multiple of the in-place window"
+            )
+        bid = self._table.writable_block(spage)
+        return self._slab[:, bid, soff : soff + n, :]
+
+    def clone_for(self, table: PageTable) -> "PagedTokenBuffer":
+        """Same-length facade over a forked sequence's page table."""
+        clone = PagedTokenBuffer(self._pool, table, self._slab, self._flat,
+                                 sealed=self._sealed)
+        clone._len = self._len
+        return clone
+
+
+class PagedView:
+    """Read-only token view over (possibly) non-contiguous pages.
+
+    Consumers that need a dense array call :meth:`gather`;
+    ``layers.cached_attention_fwd`` does this via duck typing, so the
+    attention math itself is unchanged and trivially bit-identical to
+    the contiguous view.  When the pages are consecutive block ids (the
+    common no-sharing case, tracked incrementally by the table) the
+    gather is one zero-copy slice of the slab's flat alias — the same
+    cost as the arena's contiguous view.
+    """
+
+    __slots__ = ("_slab", "_flat", "_table", "_len")
+
+    def __init__(self, slab: np.ndarray, flat: np.ndarray, table: PageTable,
+                 length: int):
+        self._slab = slab
+        self._flat = flat
+        self._table = table
+        self._len = length
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self._slab.shape[0], self._len, self._slab.shape[3])
+
+    def gather(self) -> np.ndarray:
+        """Materialize ``(heads, len, d_head)``; zero-copy if contiguous."""
+        length = self._len
+        if length == 0:
+            return _EMPTY
+        table = self._table
+        if table.contiguous:
+            start = table.blocks[0] * self._slab.shape[2]
+            out = self._flat[:, start : start + length]
+            out.flags.writeable = False    # aliases the slab
+            return out
+        # Non-contiguous: copy exactly the live tokens, page by page
+        # (cheaper than one advanced-index gather, which would also
+        # materialize the unused remainder of the last page).
+        slab = self._slab
+        heads, _, bt, d_head = slab.shape
+        blocks = table.blocks
+        out = np.empty((heads, length, d_head))
+        pos = page = 0
+        while pos < length:
+            c = min(bt, length - pos)
+            out[:, pos : pos + c] = slab[:, blocks[page], :c]
+            pos += c
+            page += 1
+        return out
+
+    def __array__(self, dtype=None, copy=None):
+        arr = self.gather()
+        return np.asarray(arr, dtype=dtype) if dtype is not None else arr
+
+
+class PagedKVCache(KVCache):
+    """The :class:`~repro.quant.kvcache.KVCache` interface over pages.
+
+    Wraps one buffered cache (FP16/INT4/MANT4) whose storage is paged;
+    the quantization math runs entirely in the wrapped class, so the
+    paged cache is bit-identical to the flat one per construction.
+    ``append_batch`` unwraps to the inner class so the fused batch
+    quantization fast path is preserved under paging.
+    """
+
+    def __init__(self, inner: _BufferedKVCache, table: PageTable):
+        self.inner = inner
+        self.table = table
+
+    def prefill(self, k, v):
+        self.inner.prefill(k, v)
+
+    def append(self, k_t, v_t):
+        self.inner.append(k_t, v_t)
+
+    def keys(self):
+        return self.inner.keys()
+
+    def values(self):
+        return self.inner.values()
+
+    @property
+    def seq_len(self) -> int:
+        return self.inner.seq_len
+
+    @property
+    def n_pages(self) -> int:
+        return self.table.n_pages
+
+    @classmethod
+    def append_batch(cls, caches, k_batch, v_batch):
+        if all(type(c) is cls for c in caches):
+            inners = [c.inner for c in caches]
+            type(inners[0]).append_batch(inners, k_batch, v_batch)
+        else:
+            KVCache.append_batch(caches, k_batch, v_batch)
+
+    def __getattr__(self, name):
+        # Delegate cache-specific extras (staging_fill, window, ...).
+        if name in ("inner", "table"):
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
+class PagedLease:
+    """One sequence's tenancy in a :class:`BlockPool`.
+
+    ``caches`` holds one :class:`PagedKVCache` per model layer, all
+    sharing one :class:`PageTable`.  The prefix-cache protocol is:
+    :meth:`match_prefix` *before* the model prefill (attaches shared
+    pages and seals them against redundant writes), then
+    :meth:`register_prefix` *after* it (publishes the freshly written
+    full pages).  :meth:`release` returns the slot when the request
+    finishes or is preempted.
+    """
+
+    __slots__ = ("pool", "table", "caches", "active", "sealed_tokens",
+                 "_matched_pages")
+
+    def __init__(self, pool: BlockPool, table: PageTable):
+        self.pool = pool
+        self.table = table
+        self.caches: list[PagedKVCache] = []
+        self.active = True
+        self.sealed_tokens = 0
+        self._matched_pages = 0
+
+    # ------------------------------------------------------------------
+    def match_prefix(self, ids: np.ndarray) -> int:
+        """Attach the longest cached run of full prompt pages.
+
+        Returns the number of *tokens* sealed (a multiple of
+        ``block_tokens``).  Stops at the first miss: content beyond a
+        divergent page depends on the divergent tokens, so later pages
+        can never legally match.
+        """
+        if self.table.blocks or self.sealed_tokens:
+            raise RuntimeError("match_prefix must run before any cache data")
+        ids = np.asarray(ids, dtype=np.int64)
+        self.pool.prefill_pages_total += -(-ids.size // self.pool.block_tokens)
+        if not self.pool.enable_prefix_cache:
+            return 0
+        matched = 0
+        for h in self.pool.page_hashes(ids):
+            bid = self.pool.lookup(h)
+            if bid is None:
+                break
+            self.table.append_block(bid)
+            matched += 1
+        self.sealed_tokens = matched * self.pool.block_tokens
+        self._matched_pages = matched
+        self.pool.prefill_pages_hit += matched
+        self.pool.prefix_hit_tokens += self.sealed_tokens
+        return self.sealed_tokens
+
+    def register_prefix(self, ids: np.ndarray) -> int:
+        """Publish this sequence's freshly written full prompt pages."""
+        if not self.pool.enable_prefix_cache:
+            return 0
+        registered = 0
+        for i, h in enumerate(self.pool.page_hashes(ids)):
+            if i < self._matched_pages:
+                continue               # already shared, donor registered it
+            if i >= self.table.n_pages:
+                break                  # prefill wrote less than ids (caller bug)
+            registered += self.pool.register(h, self.table.blocks[i])
+        return registered
+
+    # ------------------------------------------------------------------
+    def new_pages_for(self, n_tokens: int) -> int:
+        """Pages still missing to back ``n_tokens`` positions."""
+        return max(0, -(-n_tokens // self.pool.block_tokens) - self.table.n_pages)
+
+    def fork(self) -> "PagedLease":
+        """Clone this sequence, sharing every page copy-on-write.
+
+        The clone gets its own page table (same block ids, ref-count++)
+        and per-layer cache objects with copied scalar/accumulator state
+        over shared storage — the parallel-sampling/beam primitive.  The
+        first divergent write on either side triggers the pool's COW.
+        """
+        if not self.active:
+            raise RuntimeError("cannot fork a released lease")
+        table = PageTable(self.pool, blocks=list(self.table.blocks))
+        for bid in table.blocks:
+            self.pool.incref(bid)
+        clone = PagedLease(self.pool, table)
+        clone.sealed_tokens = self.sealed_tokens
+        clone._matched_pages = self._matched_pages
+        for layer, cache in enumerate(self.caches):
+            inner = copy.copy(cache.inner)
+            for role in ("_k", "_v"):
+                buf = getattr(inner, role)
+                if buf is not None:
+                    setattr(inner, role, buf.clone_for(table))
+            # Mutable quantizer state (MANT streaming window stats and
+            # staging scales) must not alias the parent's.
+            for attr in ("_acc_sum", "_acc_sqsum", "_acc_max", "_stage_scale"):
+                val = getattr(inner, attr, None)
+                if isinstance(val, np.ndarray):
+                    setattr(inner, attr, val.copy())
+            inner._buffer_factory = self.pool._buffer_factory(clone, layer)
+            clone.caches.append(PagedKVCache(inner, table))
+        self.pool.total_leases += 1
+        return clone
+
+    def release(self) -> None:
+        """Return every page reference; caches must not be used after."""
+        if not self.active:
+            raise RuntimeError("lease already released")
+        self.active = False
+        self.table.release()

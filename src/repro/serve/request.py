@@ -66,7 +66,11 @@ class TokenEvent:
     ``token`` is ``None`` only on a finish event that emitted nothing
     new (a sampled stop token); ``index`` is the token's position in
     the request's output.  ``finished``/``finish_reason`` are set on
-    the request's last event.
+    the request's last event.  ``text`` is the newly decoded text for
+    this token when the engine was built with a ``detokenize`` callback
+    (the *incremental* suffix — concatenating every event's text yields
+    the request's full detokenized output, which keeps multi-token
+    glyphs correct), ``None`` otherwise.
     """
 
     request_id: str
@@ -74,6 +78,7 @@ class TokenEvent:
     index: int
     finished: bool = False
     finish_reason: str | None = None
+    text: str | None = None
 
 
 @dataclass

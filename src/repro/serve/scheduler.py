@@ -1,4 +1,4 @@
-"""Continuous-batching admission control (FCFS + token budget).
+"""Continuous-batching admission control (FCFS + token/block budgets).
 
 The scheduler decides *which* requests share the decode batch; it owns
 no model or cache state.  Policy:
@@ -11,10 +11,19 @@ no model or cache state.  Policy:
 * **Token-budget admission.**  If ``max_tokens_in_flight`` is set, the
   sum of worst-case KV footprints (``prompt + max_tokens`` per running
   request) stays under it, modelling a bounded cache-memory pool.
+* **Block-aware admission** (paged engines).  When a block gauge is
+  bound, the head is admitted iff its *prefill* — not its worst case —
+  fits in the pool's actually-free pages; decode-time growth allocates
+  on demand and the engine preempts back into this queue (at the
+  front, preserving FCFS) on pool exhaustion.  This is what lets a
+  paged engine admit far more work than worst-case token budgets would.
+* **Bounded queue.**  ``max_queue_len`` caps the waiting line;
+  ``submit`` raises :class:`QueueFullError` instead of growing the
+  deque without bound (backpressure — callers retry or shed load).
 
 Admission happens between decode ticks: as requests finish mid-batch,
-their slots free up and the next tick's :meth:`Scheduler.admit` pulls
-queued requests in.
+their slots free up and the next tick's :meth:`Scheduler.admit_one`
+pulls queued requests in.
 """
 
 from __future__ import annotations
@@ -22,7 +31,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["ServeConfig", "Scheduler"]
+__all__ = ["ServeConfig", "Scheduler", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """Submission rejected: the scheduler's queue is at ``max_queue_len``."""
 
 
 @dataclass(frozen=True)
@@ -30,18 +43,47 @@ class ServeConfig:
     """Engine/scheduler knobs.
 
     ``max_tokens_in_flight = None`` disables the token budget (the
-    batch-size cap alone bounds concurrency).
+    batch-size cap alone bounds concurrency).  ``max_queue_len = None``
+    leaves the waiting queue unbounded.
+
+    Paging (``paged=True`` — see :mod:`repro.serve.paging`):
+
+    ``block_tokens``
+        Page size in tokens.  Must be a multiple of the cache's
+        temporal quantization group (the MANT V window) so per-page
+        quantization is bit-identical to the flat caches.
+    ``num_blocks``
+        Pool size.  ``None`` sizes it for the worst case
+        (``ceil(max_seq / block_tokens) × max_batch_size``); smaller
+        values enable real admission control, on-demand growth and
+        preemption under memory pressure.
+    ``enable_prefix_cache``
+        Deduplicate identical full prompt-prefix pages across requests
+        (hash-chained, copy-on-write protected).
     """
 
     max_batch_size: int = 8
     max_tokens_in_flight: int | None = None
     initial_cache_capacity: int = 64
+    max_queue_len: int | None = None
+    paged: bool = False
+    block_tokens: int = 32
+    num_blocks: int | None = None
+    enable_prefix_cache: bool = True
 
     def __post_init__(self):
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_tokens_in_flight is not None and self.max_tokens_in_flight < 1:
             raise ValueError("max_tokens_in_flight must be >= 1 (or None)")
+        if self.initial_cache_capacity < 1:
+            raise ValueError("initial_cache_capacity must be >= 1")
+        if self.max_queue_len is not None and self.max_queue_len < 1:
+            raise ValueError("max_queue_len must be >= 1 (or None)")
+        if self.block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        if self.num_blocks is not None and self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1 (or None)")
 
 
 class Scheduler:
@@ -51,6 +93,8 @@ class Scheduler:
         self.config = config
         self._queue: deque = deque()
         self._running: list = []
+        self._block_gauge = None      # () -> free blocks, bound by paged engines
+        self._block_tokens = 0
 
     # ------------------------------------------------------------------
     @property
@@ -74,6 +118,16 @@ class Scheduler:
         return bool(self._queue or self._running)
 
     # ------------------------------------------------------------------
+    def bind_block_gauge(self, gauge, block_tokens: int) -> None:
+        """Enable block-aware admission: ``gauge()`` reports free pages.
+
+        Admission then requires the head's prefill (its current token
+        count, not its worst case) to fit in actually-free pages.
+        """
+        self._block_gauge = gauge
+        self._block_tokens = block_tokens
+
+    # ------------------------------------------------------------------
     def submit(self, seq) -> None:
         # A request that can never fit the budget must be rejected at
         # submission: queued, it would reach the head and wedge the FCFS
@@ -85,6 +139,12 @@ class Scheduler:
                 f"{seq.request.token_footprint} tokens, over the "
                 f"max_tokens_in_flight budget of {budget}"
             )
+        limit = self.config.max_queue_len
+        if limit is not None and len(self._queue) >= limit:
+            raise QueueFullError(
+                f"request {seq.request.request_id!r} rejected: queue is at "
+                f"max_queue_len={limit} (backpressure — retry later)"
+            )
         self._queue.append(seq)
 
     def _fits(self, seq) -> bool:
@@ -94,16 +154,37 @@ class Scheduler:
         if budget is not None:
             if self.tokens_in_flight + seq.request.token_footprint > budget:
                 return False
+        if self._block_gauge is not None:
+            pages = -(-seq.prefill_len // self._block_tokens)
+            if pages > self._block_gauge():
+                return False
         return True
+
+    def admit_one(self):
+        """Admit the queue head if it fits, else ``None`` (FCFS).
+
+        Paged engines admit one request at a time so each admission's
+        page allocations are visible to the next fit check.
+        """
+        if self._queue and self._fits(self._queue[0]):
+            seq = self._queue.popleft()
+            self._running.append(seq)
+            return seq
+        return None
 
     def admit(self) -> list:
         """Move queued requests into the running set, FCFS, while they fit."""
         admitted = []
-        while self._queue and self._fits(self._queue[0]):
-            seq = self._queue.popleft()
-            self._running.append(seq)
+        while (seq := self.admit_one()) is not None:
             admitted.append(seq)
         return admitted
+
+    def requeue_front(self, seq) -> None:
+        """Preemption path: running → head of the queue (FCFS preserved —
+        engines preempt youngest-first, so successive calls restore the
+        original arrival order ahead of everything already queued)."""
+        self._running.remove(seq)
+        self._queue.appendleft(seq)
 
     def release(self, seq) -> None:
         self._running.remove(seq)

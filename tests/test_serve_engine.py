@@ -17,6 +17,7 @@ from repro.serve import (
     FINISH_STOP,
     GenerationEngine,
     GenerationRequest,
+    QueueFullError,
     SamplingParams,
     ServeConfig,
 )
@@ -348,6 +349,43 @@ class TestStreaming:
         for b in range(2):
             ref = model.decode_step(toks[b], single_caches[b], poss[b])
             assert np.array_equal(batched[b], ref)
+
+    def test_detokenize_streams_incremental_text(self, model):
+        """Events carry the new text suffix; concatenation == full detok."""
+        detok = lambda toks: "".join(chr(65 + t % 26) for t in toks)
+        p = prompts(1, seed=28)[0]
+        engine = GenerationEngine(model, FP16KVCache, detokenize=detok)
+        texts = []
+        for event in engine.run([GenerationRequest("r", p, max_tokens=6)]):
+            if event.token is not None:
+                assert event.text is not None
+                texts.append(event.text)
+        assert "".join(texts) == detok(engine.result("r").tokens)
+
+    def test_no_detokenize_leaves_text_none(self, model):
+        p = prompts(1, seed=29)[0]
+        engine = GenerationEngine(model, FP16KVCache)
+        events = list(engine.run([GenerationRequest("r", p, max_tokens=3)]))
+        assert all(e.text is None for e in events)
+
+    def test_queue_full_rejected_and_counted(self, model):
+        """max_queue_len backpressure: explicit rejection, id reusable."""
+        engine = GenerationEngine(
+            model, FP16KVCache,
+            ServeConfig(max_batch_size=1, max_queue_len=2),
+        )
+        ps = prompts(3, seed=30)
+        engine.submit(GenerationRequest("r0", ps[0], max_tokens=2))
+        engine.submit(GenerationRequest("r1", ps[1], max_tokens=2))
+        with pytest.raises(QueueFullError, match="max_queue_len"):
+            engine.submit(GenerationRequest("r2", ps[2], max_tokens=2))
+        st = engine.stats()
+        assert st.requests_rejected == 1
+        assert st.requests_submitted == 2
+        engine.generate()                      # queue drains ...
+        engine.submit(GenerationRequest("r2", ps[2], max_tokens=2))
+        engine.generate()                      # ... and the id was never taken
+        assert engine.result("r2").finish_reason == FINISH_LENGTH
 
     def test_stats_accounting(self, model):
         ps = prompts(4, seed=20)

@@ -1,10 +1,10 @@
-"""Tests for FCFS + token-budget admission (repro.serve.scheduler)."""
+"""Tests for FCFS + token/block-budget admission (repro.serve.scheduler)."""
 
 import numpy as np
 import pytest
 
 from repro.serve.request import GenerationRequest
-from repro.serve.scheduler import Scheduler, ServeConfig
+from repro.serve.scheduler import QueueFullError, Scheduler, ServeConfig
 
 
 class _Seq:
@@ -14,6 +14,10 @@ class _Seq:
         self.request = GenerationRequest(
             rid, np.arange(1, prompt_len + 1), max_tokens=max_tokens
         )
+
+    @property
+    def prefill_len(self):
+        return int(self.request.prompt.size)
 
 
 def ids(seqs):
@@ -87,6 +91,55 @@ class TestTokenBudget:
         assert ids(sch.admit()) == ["b"]
 
 
+class TestQueueBound:
+    def test_queue_full_rejects_at_submit(self):
+        sch = Scheduler(ServeConfig(max_batch_size=1, max_queue_len=2))
+        sch.submit(_Seq("r0"))
+        sch.submit(_Seq("r1"))
+        with pytest.raises(QueueFullError, match="max_queue_len"):
+            sch.submit(_Seq("r2"))
+        assert sch.queue_depth == 2
+
+    def test_admission_frees_queue_space(self):
+        sch = Scheduler(ServeConfig(max_batch_size=1, max_queue_len=1))
+        sch.submit(_Seq("r0"))
+        with pytest.raises(QueueFullError):
+            sch.submit(_Seq("r1"))
+        sch.admit()
+        sch.submit(_Seq("r1"))          # slot freed by admission
+        assert sch.queue_depth == 1
+
+
+class TestBlockAwareAdmission:
+    def test_admission_keyed_on_free_blocks(self):
+        """With a gauge bound, the head needs its prefill pages free —
+        not its worst-case prompt+max_tokens footprint."""
+        free = {"n": 1}
+        sch = Scheduler(ServeConfig(max_batch_size=8))
+        sch.bind_block_gauge(lambda: free["n"], block_tokens=8)
+        sch.submit(_Seq("a", prompt_len=8, max_tokens=100))   # 1 page prefill
+        sch.submit(_Seq("b", prompt_len=8, max_tokens=100))
+        assert sch.admit_one().request.request_id == "a"
+        free["n"] = 0                       # a's prefill took the page
+        assert sch.admit_one() is None      # b: no free page left
+        free["n"] = 1
+        assert sch.admit_one().request.request_id == "b"
+
+    def test_requeue_front_preserves_fcfs(self):
+        """Preempted sequences re-enter at the queue head, ahead of
+        later arrivals; youngest-first preemption restores order."""
+        sch = Scheduler(ServeConfig(max_batch_size=4))
+        for i in range(3):
+            sch.submit(_Seq(f"r{i}"))
+        admitted = sch.admit()
+        sch.submit(_Seq("late"))
+        # Engine preempts youngest-first: r2, then r1.
+        sch.requeue_front(admitted[2])
+        sch.requeue_front(admitted[1])
+        assert sch.n_running == 1
+        assert ids(sch.admit()) == ["r1", "r2", "late"]
+
+
 class TestConfigValidation:
     def test_zero_batch_rejected(self):
         with pytest.raises(ValueError):
@@ -95,3 +148,11 @@ class TestConfigValidation:
     def test_zero_budget_rejected(self):
         with pytest.raises(ValueError):
             ServeConfig(max_tokens_in_flight=0)
+
+    def test_zero_initial_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(initial_cache_capacity=0)
+
+    def test_zero_queue_len_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_queue_len=0)

@@ -37,6 +37,11 @@ from repro.core.selection import MseSearchSelector, VarianceSelector
 from repro.model.zoo import get_model
 from repro.quant.kvcache import FP16KVCache, MantKVCache
 
+from bench_chunked_prefill import (
+    chunked_config,
+    decode_p95_improvement,
+    throughput_ratio,
+)
 from bench_decode_scaling import decode_chunk_times
 from bench_paged_kv import paged_config, prefix_reuse, throughput_parity
 from bench_serve_throughput import CACHE_FACTORIES, make_requests, run_workload
@@ -60,6 +65,13 @@ MIN_SERVE_SPEEDUP = 2.0
 # shared-system-prompt workload (prefix cache actually deduplicating).
 MIN_PAGED_VS_ARENA = 0.9
 MIN_PREFIX_REUSE = 1.5
+
+# Chunked prefill: decode inter-token p95 on the long-prompt-interleave
+# workload must improve >= 1.5x over whole-prompt prefill, and the
+# mixed tick must keep >= 0.95x of the paged engine's aggregate batch-8
+# throughput (bounded ticks cannot cost real decode throughput).
+MIN_CHUNKED_P95_IMPROVEMENT = 1.5
+MIN_CHUNKED_VS_PAGED = 0.95
 
 
 def _time(fn, number=10, repeat=3) -> float:
@@ -96,6 +108,11 @@ def build_suite():
         return run_workload(serve_model, FP16KVCache, requests, max_batch=8,
                             config=paged_config())
 
+    def serve_chunked_workload():
+        requests = make_requests(serve_model.config.vocab_size, n_requests=8)
+        return run_workload(serve_model, FP16KVCache, requests, max_batch=8,
+                            config=chunked_config())
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -107,6 +124,7 @@ def build_suite():
         "kv_decode_256_tokens": decode_step_cost,
         "serve_fp16_batch8": serve_workload,
         "serve_paged_batch8": serve_paged_workload,
+        "serve_chunked_batch8": serve_chunked_workload,
     }
 
 
@@ -200,6 +218,35 @@ def check_speedups() -> list[str]:
         failures.append(
             f"prefix-cache block reuse {reuse:.2f}x < {MIN_PREFIX_REUSE}x"
         )
+
+    # Chunked prefill: the mixed tick must flatten decode latency under
+    # long-prompt interleave without costing batch-8 throughput.  Both
+    # gates run on FP16 (pure engine behaviour, no quantizer noise) and
+    # take the best of 3 so the floors reflect algorithmic cost, not
+    # scheduler jitter; the other cache types print informationally.
+    for name in CACHE_FACTORIES:
+        if name == "fp16":
+            imp = max(decode_p95_improvement(model, name)[2] for _ in range(3))
+            print(f"  chunked decode-p95 improvement ({name}):    {imp:5.2f}x "
+                  f"(floor {MIN_CHUNKED_P95_IMPROVEMENT}x)")
+            if imp < MIN_CHUNKED_P95_IMPROVEMENT:
+                failures.append(
+                    f"chunked decode-p95 improvement {imp:.2f}x < "
+                    f"{MIN_CHUNKED_P95_IMPROVEMENT}x"
+                )
+            ratio = max(throughput_ratio(model, name)[2] for _ in range(3))
+            print(f"  chunked vs paged tokens/s @ batch 8 ({name}): {ratio:4.2f}x "
+                  f"(floor {MIN_CHUNKED_VS_PAGED}x)")
+            if ratio < MIN_CHUNKED_VS_PAGED:
+                failures.append(
+                    f"chunked batch-8 throughput {ratio:.2f}x paged < "
+                    f"{MIN_CHUNKED_VS_PAGED}x"
+                )
+        else:
+            imp = decode_p95_improvement(model, name)[2]
+            ratio = throughput_ratio(model, name)[2]
+            print(f"  chunked decode-p95 improvement ({name}):   {imp:5.2f}x ")
+            print(f"  chunked vs paged tokens/s @ batch 8 ({name}): {ratio:4.2f}x ")
     return failures
 
 

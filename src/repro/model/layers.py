@@ -17,6 +17,7 @@ __all__ = [
     "rmsnorm_fwd", "rmsnorm_bwd",
     "layernorm_fwd", "layernorm_bwd",
     "rope_tables", "rope_fwd", "rope_bwd", "apply_rope", "apply_rope_at",
+    "apply_rope_ragged",
     "silu_fwd", "silu_bwd",
     "relu_fwd", "relu_bwd",
     "causal_attention_fwd", "causal_attention_bwd", "cached_attention_fwd",
@@ -133,6 +134,24 @@ def apply_rope_at(x: np.ndarray, cos: np.ndarray, sin: np.ndarray, positions: np
     positions = np.asarray(positions)
     c = cos[positions][:, None, None, :]        # (B, 1, 1, half)
     s = sin[positions][:, None, None, :]
+    half = x.shape[-1] // 2
+    x1, x2 = x[..., :half], x[..., half:]
+    return np.concatenate([x1 * c - x2 * s, x1 * s + x2 * c], axis=-1)
+
+
+def apply_rope_ragged(x: np.ndarray, cos: np.ndarray, sin: np.ndarray,
+                      positions: np.ndarray):
+    """Rotate ``x (..., T, d_head)`` where token ``j`` sits at ``positions[j]``.
+
+    The mixed prefill+decode tick packs segments of many sequences along
+    the T axis, so positions are arbitrary per token instead of one
+    contiguous ``offset`` run.  The rotation rows are gathered from the
+    tables and the elementwise ops match :func:`apply_rope` exactly, so
+    each packed token equals its single-sequence rotation bit for bit.
+    """
+    positions = np.asarray(positions)
+    c = cos[positions]                          # (T, half)
+    s = sin[positions]
     half = x.shape[-1] // 2
     x1, x2 = x[..., :half], x[..., half:]
     return np.concatenate([x1 * c - x2 * s, x1 * s + x2 * c], axis=-1)

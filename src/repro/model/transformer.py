@@ -37,7 +37,45 @@ import numpy as np
 
 from repro.model import layers as L
 
-__all__ = ["ModelConfig", "TransformerLM", "init_params", "param_count"]
+__all__ = ["ModelConfig", "MixedSegment", "TransformerLM", "init_params",
+           "param_count"]
+
+
+class MixedSegment:
+    """One sequence's slice of a mixed prefill+decode forward.
+
+    ``kind`` selects the KV-cache write path:
+
+    * ``DECODE`` — one already-sampled token appended at ``offset``
+      (the continuous-batching decode row; ``ids`` has length 1);
+    * ``CHUNK`` — a window-aligned slice of a prompt prefill written at
+      ``offset`` via :meth:`~repro.quant.kvcache.KVCache.prefill_chunk`;
+    * ``CHUNK_FINAL`` — the prompt's last chunk (may be ragged); its
+      last-position logits seed the sequence's first sampled token.
+    """
+
+    DECODE = "decode"
+    CHUNK = "chunk"
+    CHUNK_FINAL = "chunk_final"
+
+    __slots__ = ("ids", "caches", "offset", "kind")
+
+    def __init__(self, ids, caches: list, offset: int, kind: str):
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 1 or ids.size == 0:
+            raise ValueError(f"segment ids must be non-empty 1-D, got {ids.shape}")
+        if kind not in (self.DECODE, self.CHUNK, self.CHUNK_FINAL):
+            raise ValueError(f"unknown segment kind {kind!r}")
+        if kind == self.DECODE and ids.size != 1:
+            raise ValueError("decode segments carry exactly one token")
+        self.ids = ids
+        self.caches = caches
+        self.offset = int(offset)
+        self.kind = kind
+
+    @property
+    def wants_logits(self) -> bool:
+        return self.kind != self.CHUNK
 
 
 @dataclass(frozen=True)
@@ -334,6 +372,152 @@ class TransformerLM:
 
         xf, _ = self._norm_fwd(x, p, "norm_f")
         return (xf @ p["embed"].T)[:, -1]                     # (B, V)
+
+    def prefill_chunk(self, ids, caches, offset=0, final=False,
+                      weights=None, act_quant=None):
+        """Run one window-aligned prompt chunk at ``offset`` into ``caches``.
+
+        The single-sequence face of :meth:`forward_mixed`: chunk tokens
+        attend to everything already in the caches plus themselves
+        (causally), and the caches extend via
+        :meth:`~repro.quant.kvcache.KVCache.prefill_chunk`, so feeding a
+        prompt chunk by chunk (``final=True`` on the last call) leaves
+        the caches bit-identical to one :meth:`prefill`.  Returns the
+        chunk's last-position logits ``(V,)`` when ``final``, else
+        ``None``.
+        """
+        kind = MixedSegment.CHUNK_FINAL if final else MixedSegment.CHUNK
+        return self.forward_mixed(
+            [MixedSegment(ids, caches, offset, kind)],
+            weights=weights, act_quant=act_quant,
+        )[0]
+
+    def forward_mixed(self, segments, weights=None, act_quant=None):
+        """One fused forward over decode rows *and* prefill chunks.
+
+        ``segments`` is a list of :class:`MixedSegment`s — any mix of
+        single-token decode rows and multi-token prompt chunks, each
+        with its own per-layer caches and absolute ``offset``.  All
+        segments are packed along one time axis so every dense op (the
+        projections, the FFN, the norms — all position-independent per
+        token) runs once for the whole tick, while RoPE gathers each
+        token's own rotation row and attention walks each segment's own
+        cache at its ragged position through the
+        :func:`~repro.model.layers.cached_attention_fwd` seam.  Decode
+        rows fuse their cache appends through ``append_batch`` exactly
+        like :meth:`decode_step_batch`; chunk segments extend their
+        caches with ``prefill_chunk``.
+
+        Returns one entry per segment: last-position logits ``(V,)``
+        for decode rows and final chunks, ``None`` for non-final chunks
+        (their logits are never sampled, so the vocabulary projection
+        skips them entirely).
+
+        Numerics: per-token cache quantization is exactly the
+        single-sequence math (group-wise ops are row-independent), but
+        the packed GEMMs may differ from the per-sequence ones by float
+        rounding in the last ulp — BLAS kernels are not bitwise
+        invariant to row count — so mixed-tick output is guaranteed
+        token-identical (quantization grids absorb ulp noise), not
+        logits-bitwise-identical, to the unpacked paths.  ``act_quant``
+        is applied per segment, matching :meth:`decode_step_batch` for
+        decode rows; chunked prefill applies it per chunk, which is
+        exact for the per-token group-wise quantizers serving uses.
+        """
+        cfg = self.config
+        p = self.params if weights is None else weights
+        if not segments:
+            return []
+        spans = []                                   # packed [start, end) per segment
+        start = 0
+        for seg in segments:
+            spans.append((start, start + seg.ids.size))
+            start += seg.ids.size
+        ids_packed = np.concatenate([seg.ids for seg in segments])[None, :]
+        positions = np.concatenate(
+            [seg.offset + np.arange(seg.ids.size, dtype=np.int64) for seg in segments]
+        )
+        x, _ = L.embedding_fwd(ids_packed, p["embed"])        # (1, T, d)
+        if cfg.arch == "opt":
+            x = x + p["pos_embed"][positions][None, :, :]
+
+        decode_idx = [i for i, seg in enumerate(segments)
+                      if seg.kind == MixedSegment.DECODE]
+        decode_starts = np.asarray([spans[i][0] for i in decode_idx], dtype=np.int64)
+
+        def q(name, val):
+            # Per segment, like decode_step_batch's per-sequence rule:
+            # batch-wide scales would couple sequences.
+            if act_quant is None:
+                return val
+            return np.concatenate(
+                [act_quant(name, val[:, s:e]) for s, e in spans], axis=1
+            )
+
+        for i in range(cfg.n_layers):
+            pre = f"layers.{i}."
+            h, _ = self._norm_fwd(x, p, pre + "norm1")
+            h_in = q(pre + "attn.wq", h)
+            qp, _ = L.linear_fwd(h_in, p[pre + "attn.wq"])
+            kp, _ = L.linear_fwd(h_in, p[pre + "attn.wk"])
+            vp, _ = L.linear_fwd(h_in, p[pre + "attn.wv"])
+            qh = _split_heads(qp, cfg.n_heads)[0]             # (H, T, dh)
+            kh = _split_heads(kp, cfg.n_heads)[0]
+            vh = _split_heads(vp, cfg.n_heads)[0]
+            if cfg.arch == "llama":
+                qh = L.apply_rope_ragged(qh, self._cos, self._sin, positions)
+                kh = L.apply_rope_ragged(kh, self._cos, self._sin, positions)
+            # Cache writes: decode rows fuse one append_batch across the
+            # tick (same as decode_step_batch), chunks extend per segment.
+            if decode_idx:
+                layer_caches = [segments[j].caches[i] for j in decode_idx]
+                type(layer_caches[0]).append_batch(
+                    layer_caches,
+                    kh[:, decode_starts, :].transpose(1, 0, 2),
+                    vh[:, decode_starts, :].transpose(1, 0, 2),
+                )
+            for seg, (s, e) in zip(segments, spans):
+                if seg.kind != MixedSegment.DECODE:
+                    seg.caches[i].prefill_chunk(
+                        kh[:, s:e, :], vh[:, s:e, :],
+                        final=seg.kind == MixedSegment.CHUNK_FINAL,
+                    )
+            att_rows = []
+            for seg, (s, e) in zip(segments, spans):
+                cache = seg.caches[i]
+                att_rows.append(
+                    L.cached_attention_fwd(
+                        qh[:, s:e, :], cache.keys(), cache.values(),
+                        offset=seg.offset,
+                    )
+                )
+            att = _merge_heads(np.concatenate(att_rows, axis=1)[None])  # (1, T, d)
+            o, _ = L.linear_fwd(q(pre + "attn.wo", att), p[pre + "attn.wo"])
+            x = x + o
+
+            h2, _ = self._norm_fwd(x, p, pre + "norm2")
+            if cfg.arch == "llama":
+                h2q = q(pre + "ffn.wgate", h2)
+                g, _ = L.linear_fwd(h2q, p[pre + "ffn.wgate"])
+                u, _ = L.linear_fwd(h2q, p[pre + "ffn.wup"])
+                act, _ = L.silu_fwd(g)
+                ff, _ = L.linear_fwd(q(pre + "ffn.wdown", act * u), p[pre + "ffn.wdown"])
+            else:
+                h2q = q(pre + "ffn.w1", h2)
+                a1, _ = L.linear_fwd(h2q, p[pre + "ffn.w1"])
+                act, _ = L.relu_fwd(a1)
+                ff, _ = L.linear_fwd(q(pre + "ffn.w2", act), p[pre + "ffn.w2"])
+            x = x + ff
+
+        xf, _ = self._norm_fwd(x, p, "norm_f")
+        # Vocabulary projection only for rows something will sample.
+        need = [j for j, seg in enumerate(segments) if seg.wants_logits]
+        rows = xf[0, [spans[j][1] - 1 for j in need]]         # (n, d)
+        logits = rows @ p["embed"].T
+        out: list = [None] * len(segments)
+        for r, j in enumerate(need):
+            out[j] = logits[r]
+        return out
 
     def _run_tokens(self, ids, caches, offset, weights=None, act_quant=None):
         cfg = self.config

@@ -63,6 +63,7 @@ __all__ = [
     "IntKVCache",
     "MantKVCache",
     "make_kv_cache",
+    "validate_chunk_compat",
     "KVCacheArena",
     "CacheLease",
 ]
@@ -161,6 +162,21 @@ class KVCache:
     def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
         raise NotImplementedError
 
+    def prefill_chunk(self, k: np.ndarray, v: np.ndarray, final: bool = False) -> None:
+        """Extend a prompt prefill by one ``(n_heads, t, d_head)`` chunk.
+
+        Feeding a prompt through successive ``prefill_chunk`` calls
+        (``final=True`` on the last) must leave the cache *bit-identical*
+        to one :meth:`prefill` of the concatenation — the invariant the
+        chunked-prefill serving pipeline rests on.  Non-final chunks of
+        caches with temporal quantization state (the MANT V window) must
+        be a multiple of that window so no group straddles a chunk
+        boundary (:func:`validate_chunk_compat`); the final chunk may be
+        ragged, its remainder entering staging exactly as in
+        :meth:`prefill`.
+        """
+        raise NotImplementedError
+
     def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
         raise NotImplementedError
 
@@ -256,6 +272,15 @@ class FP16KVCache(_BufferedKVCache):
         self._k.append(k)
         self._v.append(v)
 
+    def prefill_chunk(self, k, v, final=False):
+        # Unquantized storage is trivially chunk-invariant: the first
+        # chunk is a plain prefill, later chunks extend.
+        if self._k is None:
+            self.prefill(k, v)
+            return
+        self._k.append(np.asarray(k, dtype=np.float64))
+        self._v.append(np.asarray(v, dtype=np.float64))
+
     def append(self, k_t, v_t):
         k_t = np.asarray(k_t, dtype=np.float64)
         v_t = np.asarray(v_t, dtype=np.float64)
@@ -302,6 +327,16 @@ class IntKVCache(_BufferedKVCache):
         self._reset_buffers(heads, d_head, seq)
         self._k.append(self._q(k))
         self._v.append(self._q(v))
+
+    def prefill_chunk(self, k, v, final=False):
+        # Group-wise INT quantization is per token (groups along
+        # d_head), so chunk composition cannot change any group: the
+        # first chunk is a plain prefill, later chunks extend.
+        if self._k is None:
+            self.prefill(k, v)
+            return
+        self._k.append(self._q(np.asarray(k, dtype=np.float64)))
+        self._v.append(self._q(np.asarray(v, dtype=np.float64)))
 
     def append(self, k_t, v_t):
         k_t = np.asarray(k_t, dtype=np.float64)
@@ -380,6 +415,9 @@ class MantKVCache(_BufferedKVCache):
         # Channel-wise INT8 staging scales, fixed at prefill (Fig. 8).
         self._stage_scale: np.ndarray | None = None  # (heads, d_head)
         self._int8 = IntType(staging_bits)
+        # Channel maxima accumulated across prefill chunks; non-None
+        # exactly while a chunked prefill is in flight.
+        self._chunk_ch_max: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Shared: variance-selected MANT fake-quant along the last axis
@@ -427,6 +465,26 @@ class MantKVCache(_BufferedKVCache):
         self._v_final += self.window
         self._reset_window(heads, d_head)
 
+    def _quantize_v_windows(self, body: np.ndarray) -> np.ndarray:
+        """Quantize ``(heads, n·window, d_head)`` straight to 4-bit MANT.
+
+        Both inner-dimension data are available for full windows, so
+        they skip INT8 staging entirely (phase 1+2 of Fig. 8 collapse).
+        Each window is quantized independently, which is what makes the
+        result invariant to how a prompt is split into window-aligned
+        prefill chunks.
+        """
+        heads, full, d_head = body.shape
+        windows = body.reshape(heads, full // self.window, self.window, d_head)
+        per_channel = np.moveaxis(windows, 2, -1)      # (heads, W, d_head, window)
+        flat = per_channel.reshape(-1, self.window)
+        a = self.selector.select_batch(flat)
+        codec = self._codec_for(self.window)
+        out = codec.qdq(flat, a[:, None])
+        return np.moveaxis(
+            out.reshape(heads, full // self.window, d_head, self.window), -1, 2
+        ).reshape(heads, full, d_head)
+
     # ------------------------------------------------------------------
     def prefill(self, k, v):
         k = np.asarray(k, dtype=np.float64)
@@ -446,22 +504,59 @@ class MantKVCache(_BufferedKVCache):
         self._v_final = 0
         self._reset_window(heads, d_head)
         if full:
-            body = v[:, :full, :]
-            windows = body.reshape(heads, full // self.window, self.window, d_head)
-            per_channel = np.moveaxis(windows, 2, -1)  # (heads, W, d_head, window)
-            flat = per_channel.reshape(-1, self.window)
-            a = self.selector.select_batch(flat)
-            codec = self._codec_for(self.window)
-            out = codec.qdq(flat, a[:, None])
-            body_q = np.moveaxis(
-                out.reshape(heads, full // self.window, d_head, self.window), -1, 2
-            ).reshape(heads, full, d_head)
-            self._v.append(body_q)
+            self._v.append(self._quantize_v_windows(v[:, :full, :]))
             self._v_final = full
         if full < seq:
             # Batched staging: the remainder is < window, so no window
             # can close mid-batch and the accumulators update in bulk.
             self._stage_block(v[:, full:, :])
+
+    def prefill_chunk(self, k, v, final=False):
+        """One window-aligned slice of a chunked prompt prefill.
+
+        Bit-identical to :meth:`prefill` of the concatenation: K rows
+        and full V windows are quantized per token / per window (chunk-
+        composition invariant by construction), while the INT8 staging
+        channel scales — which :meth:`prefill` derives from the *whole*
+        prompt — accumulate as running channel maxima across chunks and
+        are only fixed on the final chunk, immediately before the
+        sub-window remainder enters staging.  Non-final chunks must be a
+        multiple of ``window``; only the final chunk may be ragged.
+        """
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        heads, t, d_head = v.shape
+        if self._k is None:
+            self._reset_buffers(heads, d_head, t)
+            self._v_final = 0
+            self._reset_window(heads, d_head)
+            self._chunk_ch_max = np.zeros((heads, d_head))
+        elif self._chunk_ch_max is None:
+            raise RuntimeError(
+                "prefill_chunk on a cache whose prefill already completed"
+            )
+        full = (t // self.window) * self.window
+        if not final and full != t:
+            raise ValueError(
+                f"non-final prefill chunk of {t} tokens is not a multiple "
+                f"of the MANT V-cache window ({self.window}); temporal "
+                "quantization groups must never straddle a chunk boundary"
+            )
+        self._k.append(self._quantize_k(k))
+        np.maximum(
+            self._chunk_ch_max, np.max(np.abs(v), axis=1), out=self._chunk_ch_max
+        )
+        if full:
+            self._v.append(self._quantize_v_windows(v[:, :full, :]))
+            self._v_final += full
+        if final:
+            ch_max = np.where(self._chunk_ch_max <= 0, 1.0, self._chunk_ch_max)
+            self._stage_scale = (
+                (ch_max / self._int8.qmax).astype(np.float16).astype(np.float64)
+            )
+            self._chunk_ch_max = None
+            if full < t:
+                self._stage_block(v[:, full:, :])
 
     def _stage_block(self, block: np.ndarray) -> None:
         """INT8-stage ``(heads, t, d_head)`` tokens + update accumulators.
@@ -501,6 +596,11 @@ class MantKVCache(_BufferedKVCache):
         v_t = np.asarray(v_t, dtype=np.float64)
         self._validate_token("k_t", k_t)
         self._validate_token("v_t", v_t)
+        if self._chunk_ch_max is not None:
+            raise RuntimeError(
+                "append during an unfinished chunked prefill — feed the "
+                "last chunk with prefill_chunk(..., final=True) first"
+            )
         if self._stage_scale is None:
             # Decode without prefill: bootstrap scales from this vector,
             # fp16-rounded like the prefill path (Fig. 8 stores 16-bit
@@ -574,6 +674,24 @@ def make_kv_cache(config: KVCacheConfig, selector: VarianceSelector | None = Non
     if config.key.method == "int":
         return IntKVCache(bits=config.key.bits, group_size=config.key.group_size)
     raise ValueError(f"no KV cache implementation for method {config.key.method!r}")
+
+
+def validate_chunk_compat(cache: KVCache, chunk_tokens: int) -> None:
+    """Reject prefill chunk sizes that would split a temporal group.
+
+    The chunked-prefill counterpart of
+    :func:`repro.serve.paging.validate_block_compat`: K caches quantize
+    per token and tolerate any chunking, but the MANT V cache quantizes
+    ``window`` consecutive tokens together, so every non-final chunk
+    must hold a whole number of windows for chunked prefill to stay
+    bit-identical to the one-shot :meth:`KVCache.prefill`.
+    """
+    if isinstance(cache, MantKVCache) and chunk_tokens % cache.window:
+        raise ValueError(
+            f"prefill_chunk_tokens={chunk_tokens} must be a multiple of "
+            f"the MANT V-cache window ({cache.window}) so temporal "
+            "quantization groups never straddle a chunk boundary"
+        )
 
 
 # ======================================================================

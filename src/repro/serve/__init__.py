@@ -9,7 +9,11 @@ latency statistics.  Two storage backends: the contiguous
 :class:`~repro.quant.kvcache.KVCacheArena` (one slab slot per batch
 lane) and the paged :class:`~repro.serve.paging.BlockPool` (fixed-size
 ref-counted pages with hash-based prompt-prefix sharing, copy-on-write
-and block-aware admission — ``ServeConfig(paged=True)``).  See
+and prefix-aware block admission — ``ServeConfig(paged=True)``).  With
+``ServeConfig(prefill_chunk_tokens=...)`` prompts prefill in
+window-aligned chunks through mixed prefill+decode ticks under a
+Sarathi-style ``max_tokens_per_tick`` budget, keeping decode
+inter-token latency flat while long prompts stream in.  See
 :mod:`repro.serve.engine` for the determinism guarantees and
 :mod:`repro.serve.paging` for the paging design.
 """
@@ -20,6 +24,7 @@ from repro.serve.request import (
     FINISH_STOP,
     GenerationRequest,
     GenerationResult,
+    PrefillCursor,
     TokenEvent,
 )
 from repro.serve.scheduler import QueueFullError, Scheduler, ServeConfig
@@ -43,6 +48,7 @@ __all__ = [
     "FINISH_STOP",
     "GenerationRequest",
     "GenerationResult",
+    "PrefillCursor",
     "TokenEvent",
     "Scheduler",
     "ServeConfig",

@@ -8,13 +8,23 @@ generation into multi-tenant serving:
 * an FCFS :class:`~repro.serve.scheduler.Scheduler` admits them into a
   dynamic decode batch (new requests join as others finish) under a
   batch-size cap and either a KV token budget (arena mode) or actual
-  free pages (paged mode);
-* each :meth:`~GenerationEngine.step` runs *one* fused
-  ``decode_step_batch`` tick for every running sequence, each attending
-  through its own pooled FP16/INT/MANT cache at its own position;
+  free pages (paged mode, prefix-aware: pages a prefix-cache match
+  covers are not charged);
+* each :meth:`~GenerationEngine.step` runs *one* fused tick for every
+  running sequence, each attending through its own pooled
+  FP16/INT/MANT cache at its own position.  With
+  ``ServeConfig.prefill_chunk_tokens`` set, admitted prompts do not
+  prefill whole and alone: they are split into window-aligned chunks
+  and each tick packs the decode rows *plus* a token-budgeted set of
+  prefill chunks (``max_tokens_per_tick``, Sarathi-style) into one
+  :meth:`~repro.model.transformer.TransformerLM.forward_mixed` call —
+  prefill FLOPs batch across requests and with decode, and a long
+  prompt can no longer stall every in-flight decode for a whole tick;
 * tokens stream out per request through :class:`TokenEvent`s (iterator
   via :meth:`run`, or a per-request ``on_token`` callback), optionally
-  carrying incremental text from a pluggable ``detokenize`` callback.
+  carrying incremental text from a pluggable ``detokenize`` callback;
+  per-request TTFT and inter-token latencies aggregate into
+  :class:`EngineStats` percentiles.
 
 Two storage backends share this loop:
 
@@ -32,33 +42,47 @@ sequence to the single-stream loop and every request samples from its
 own seeded RNG, so a request's output never depends on which other
 requests shared its batch — greedy engine output == the plain
 ``prefill`` + ``decode_step`` loop, token for token, for every cache
-type and for both storage backends.  (Preemption is the one exception:
-a preempted request's suffix is *recomputed* through the prefill path,
+type and for both storage backends.  Chunked mode keeps this at token
+granularity: chunk boundaries land on quantization-window boundaries
+by construction, so the caches' quantized contents are chunk-invariant,
+while the packed GEMMs may wobble in the last float ulp (BLAS kernels
+are not bitwise row-count-invariant) — greedy output stays identical
+token for token, and decode-only ticks still route through
+``decode_step_batch`` unchanged.  (Preemption is the one exception: a
+preempted request's suffix is *recomputed* through the prefill path,
 which re-quantizes decode-staged MANT windows from scratch — the same
-trade every recompute-based paged server makes.)
+trade every recompute-based paged server makes.  A preempted
+half-prefilled prompt simply replays from token zero.)
 """
 
 from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.quant.kvcache import KVCacheArena
+from repro.model.transformer import MixedSegment
+from repro.quant.kvcache import KVCacheArena, validate_chunk_compat
 from repro.serve.paging import BlockPool, PoolExhausted, validate_block_compat
 from repro.serve.request import (
     FINISH_LENGTH,
     FINISH_STOP,
     GenerationRequest,
     GenerationResult,
+    PrefillCursor,
     TokenEvent,
 )
 from repro.sampling import Sampler
 from repro.serve.scheduler import QueueFullError, Scheduler, ServeConfig
 
 __all__ = ["GenerationEngine", "EngineStats"]
+
+# Samples retained per latency histogram (TTFT / inter-token); the
+# EngineStats percentiles describe the most recent window of traffic.
+LATENCY_WINDOW = 4096
 
 
 class _Sequence:
@@ -68,6 +92,8 @@ class _Sequence:
         "request", "sampler", "on_token", "lease", "pos", "next_token",
         "tokens", "finished", "finish_reason", "decode_steps",
         "submit_time", "admit_time", "resuming", "text_len",
+        "cursor", "pending_ids", "prefill_chunks",
+        "first_token_time", "last_token_time",
     )
 
     def __init__(self, request: GenerationRequest, on_token, submit_time: float):
@@ -85,6 +111,11 @@ class _Sequence:
         self.admit_time = float("nan")
         self.resuming = False        # preempted: rebuild cache, don't re-emit
         self.text_len = 0            # detokenized chars already streamed
+        self.cursor: PrefillCursor | None = None   # chunked prefill progress
+        self.pending_ids = None      # ids the in-flight chunked prefill covers
+        self.prefill_chunks = 0      # forward passes this request's prompt took
+        self.first_token_time = float("nan")       # TTFT endpoint
+        self.last_token_time = float("nan")        # inter-token latency anchor
 
     @property
     def prefill_len(self) -> int:
@@ -128,6 +159,11 @@ class EngineStats:
     cache_slots_high_water: int
     preemptions: int              # paged: sequences bumped back to the queue
     prefix_hit_tokens: int        # paged: prompt tokens served from shared pages
+    prefill_chunks: int           # chunked mode: prompt chunks run in mixed ticks
+    ttft_p50_s: float             # submit -> first token percentiles (NaN if none)
+    ttft_p95_s: float
+    inter_token_p50_s: float      # gap between consecutive tokens of one request
+    inter_token_p95_s: float
 
 
 class GenerationEngine:
@@ -162,6 +198,11 @@ class GenerationEngine:
         self._detokenize = detokenize
         self._cache_factory = cache_factory
         self.scheduler = Scheduler(config)
+        if config.prefill_chunk_tokens is not None:
+            # Paged mode implies window alignment transitively (chunk is
+            # a multiple of block_tokens, block_tokens of the window),
+            # but the explicit check gives arena engines the same error.
+            validate_chunk_compat(cache_factory(), config.prefill_chunk_tokens)
         if config.paged:
             validate_block_compat(cache_factory(), config.block_tokens)
             num_blocks = config.num_blocks
@@ -180,7 +221,10 @@ class GenerationEngine:
             )
             self.arena = None
             self.scheduler.bind_block_gauge(
-                lambda: self.pool.blocks_available, config.block_tokens
+                lambda: self.pool.blocks_available, config.block_tokens,
+                prefix_probe=(
+                    self.pool.probe_prefix if config.enable_prefix_cache else None
+                ),
             )
         else:
             self.pool = None
@@ -202,6 +246,12 @@ class GenerationEngine:
         self._lat_sum = 0.0
         self._lat_max = 0.0
         self._busy_s = 0.0
+        self._prefill_chunks = 0
+        # Rolling latency windows: long-lived servers emit unboundedly
+        # many tokens, so percentiles are over the most recent samples
+        # and stats() stays O(window), not O(tokens ever served).
+        self._ttfts: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._itls: deque[float] = deque(maxlen=LATENCY_WINDOW)
 
     # ------------------------------------------------------------------
     # Submission
@@ -245,16 +295,24 @@ class GenerationEngine:
     # The tick
     # ------------------------------------------------------------------
     def step(self) -> list[TokenEvent]:
-        """One engine tick: admit, one batched decode, retire finished."""
+        """One engine tick: admit, one fused forward, retire finished.
+
+        Unchunked (``prefill_chunk_tokens is None``): admitted prompts
+        prefill whole at admission, then every live sequence rides one
+        ``decode_step_batch``.  Chunked: admission only leases cache
+        storage and opens a :class:`~repro.serve.request.PrefillCursor`;
+        the tick then packs the decode rows plus a token-budgeted set
+        of prompt chunks into one ``forward_mixed`` call (pure-decode
+        ticks keep the bit-exact ``decode_step_batch`` path).
+        """
         if not self.scheduler.has_work():
             return []
         now = self._clock()
         events: list[TokenEvent] = []
+        chunked = self.config.prefill_chunk_tokens is not None
 
-        # 1. Admission: prefill newly admitted prompts one by one
-        # (prompts are ragged, and each paged prefill's page allocations
-        # must be visible to the next admission check) and emit their
-        # first sampled token.
+        # 1. Admission, one request at a time (each admission's page
+        # allocations must be visible to the next fit check).
         while (seq := self.scheduler.admit_one()) is not None:
             if math.isnan(seq.admit_time):
                 seq.admit_time = now     # queue latency: first admission only
@@ -264,37 +322,28 @@ class GenerationEngine:
                 seq.lease.match_prefix(ids)
             else:
                 seq.lease = self.arena.acquire()
-            logits = self.model.prefill(
-                ids, seq.lease.caches,
-                weights=self.weights, act_quant=self.act_quant,
-            )
-            seq.pos = int(ids.size)
-            if self.pool is not None:
-                seq.lease.register_prefix(ids)
-            if seq.resuming:
-                # Preempted sequence: the cache is rebuilt, the next
-                # token was already sampled and emitted before eviction.
-                seq.resuming = False
+            if chunked:
+                # No forward yet — the prompt enters the chunk queue.
+                seq.pending_ids = ids
+                seq.cursor = PrefillCursor(ids.size)
             else:
-                self._emit(seq, seq.sampler.sample(logits), events)
+                logits = self.model.prefill(
+                    ids, seq.lease.caches,
+                    weights=self.weights, act_quant=self.act_quant,
+                )
+                seq.pos = int(ids.size)
+                seq.prefill_chunks += 1
+                if self.pool is not None:
+                    seq.lease.register_prefix(ids)
+                self._finish_prefill(seq, logits, events)
 
-        # 2. One fused decode tick across every live sequence.
-        live = [s for s in self.scheduler.running if not s.finished]
-        if self.pool is not None and live:
-            live = self._reserve_decode_blocks(live)
-        if live:
-            logits = self.model.decode_step_batch(
-                [s.next_token for s in live],
-                [s.lease.caches for s in live],
-                [s.pos for s in live],
-                weights=self.weights, act_quant=self.act_quant,
-            )
-            self._decode_ticks += 1
-            self._occupancy_sum += len(live)
-            for b, seq in enumerate(live):
-                seq.pos += 1
-                seq.decode_steps += 1
-                self._emit(seq, seq.sampler.sample(logits[b]), events)
+        # 2. Plan this tick's work under the pool's block supply, then
+        # run it as one fused forward.
+        decode, chunks = self._plan_tick()
+        if chunks:
+            self._mixed_tick(decode, chunks, events)
+        elif decode:
+            self._decode_tick(decode, events)
 
         # 3. Retire finished sequences, recycling their cache storage.
         for seq in [s for s in self.scheduler.running if s.finished]:
@@ -304,33 +353,119 @@ class GenerationEngine:
         self._busy_s += self._clock() - now
         return events
 
-    def _reserve_decode_blocks(self, live: list) -> list:
-        """Guarantee every live sequence a page for this tick's token.
+    # ------------------------------------------------------------------
+    # Tick assembly
+    # ------------------------------------------------------------------
+    def _plan_tick(self):
+        """Pick this tick's decode rows and prefill chunks; reserve pages.
 
-        Allocation itself stays on demand (inside the cache append);
-        this only checks that the demands fit, preempting the youngest
-        sequences back to the queue head (recompute-on-resume) until
-        they do — the paged answer to pool exhaustion, instead of
-        reserving worst-case ``prompt + max_tokens`` up front.
+        The decode rows are every running, unfinished, fully prefilled
+        sequence; the chunk set comes from the scheduler's token-budget
+        policy (decode tokens are charged against
+        ``max_tokens_per_tick`` first).  Paged engines then check that
+        the tick's page demands fit the pool — page *allocation* stays
+        on demand inside the cache appends — preempting the youngest
+        unfinished sequence (decoding or half-prefilled alike) back to
+        the queue head until they do, instead of reserving worst-case
+        ``prompt + max_tokens`` up front.
         """
         while True:
-            need = sum(s.lease.new_pages_for(s.pos + 1) for s in live)
+            running = self.scheduler.running
+            decode = [s for s in running if not s.finished and s.cursor is None]
+            prefilling = [s for s in running if s.cursor is not None]
+            budget = math.inf
+            if self.config.max_tokens_per_tick is not None:
+                budget = max(0, self.config.max_tokens_per_tick - len(decode))
+            chunks = self.scheduler.plan_chunks(prefilling, budget) if prefilling else []
+            if self.pool is None:
+                return decode, chunks
+            need = sum(s.lease.new_pages_for(s.pos + 1) for s in decode)
+            need += sum(s.lease.new_pages_for(s.cursor.done + n) for s, n in chunks)
             if need <= self.pool.blocks_available:
-                return live
-            if len(live) == 1:
+                return decode, chunks
+            victims = [s for s in running if not s.finished]
+            if len(victims) <= 1:
                 # Cannot happen for pools that passed the submit-time
                 # size check unless shared pages are pinned elsewhere.
                 raise PoolExhausted(
                     "BlockPool exhausted with a single running sequence: "
                     f"{self.pool.blocks_available} blocks free, {need} needed"
                 )
-            self._preempt(live.pop())    # youngest admitted first
+            self._preempt(victims[-1])   # youngest admitted first
+
+    def _decode_tick(self, live: list, events: list) -> None:
+        """One fused ``decode_step_batch`` over every decode row —
+        unchanged from the pre-chunking engine, so decode-only ticks
+        stay bit-identical to the single-stream loop."""
+        logits = self.model.decode_step_batch(
+            [s.next_token for s in live],
+            [s.lease.caches for s in live],
+            [s.pos for s in live],
+            weights=self.weights, act_quant=self.act_quant,
+        )
+        self._decode_ticks += 1
+        self._occupancy_sum += len(live)
+        for b, seq in enumerate(live):
+            seq.pos += 1
+            seq.decode_steps += 1
+            self._emit(seq, seq.sampler.sample(logits[b]), events)
+
+    def _mixed_tick(self, decode: list, chunks: list, events: list) -> None:
+        """One packed ``forward_mixed`` over decode rows + prompt chunks."""
+        segments = [
+            MixedSegment([s.next_token], s.lease.caches, s.pos, MixedSegment.DECODE)
+            for s in decode
+        ]
+        for seq, n in chunks:
+            start = seq.cursor.done
+            final = start + n == seq.cursor.total
+            segments.append(MixedSegment(
+                seq.pending_ids[start : start + n], seq.lease.caches, start,
+                MixedSegment.CHUNK_FINAL if final else MixedSegment.CHUNK,
+            ))
+        outs = self.model.forward_mixed(
+            segments, weights=self.weights, act_quant=self.act_quant,
+        )
+        if decode:
+            self._decode_ticks += 1
+            self._occupancy_sum += len(decode)
+        for seq, logits in zip(decode, outs):
+            seq.pos += 1
+            seq.decode_steps += 1
+            self._emit(seq, seq.sampler.sample(logits), events)
+        for (seq, n), logits in zip(chunks, outs[len(decode):]):
+            seq.cursor.advance(n)
+            seq.prefill_chunks += 1
+            self._prefill_chunks += 1
+            if seq.cursor.complete:
+                seq.pos = seq.cursor.total
+                if self.pool is not None:
+                    seq.lease.register_prefix(seq.pending_ids)
+                seq.cursor = None
+                seq.pending_ids = None
+                self._finish_prefill(seq, logits, events)
+
+    def _finish_prefill(self, seq: _Sequence, logits, events: list) -> None:
+        """Prompt fully in cache: sample the first token (or resume)."""
+        if seq.resuming:
+            # Preempted sequence: the cache is rebuilt, the next token
+            # was already sampled and emitted before eviction.
+            seq.resuming = False
+        else:
+            self._emit(seq, seq.sampler.sample(logits), events)
 
     def _preempt(self, seq: _Sequence) -> None:
         self.scheduler.requeue_front(seq)
         lease, seq.lease = seq.lease, None
         lease.release()
-        seq.resuming = True
+        # Discard any chunked-prefill progress: the evicted pages are
+        # gone, so resume must rebuild a cursor over the whole (by then
+        # grown) prompt via prefill_len and replay it from token zero.
+        seq.cursor = None
+        seq.pending_ids = None
+        # Mid-prefill victims emitted nothing yet — their re-admission
+        # is a plain first prefill, not a resume.
+        seq.resuming = bool(seq.tokens)
         self._preemptions += 1
 
     def _emit(self, seq: _Sequence, token: int, events: list[TokenEvent]) -> None:
@@ -355,6 +490,16 @@ class GenerationEngine:
                 rid, token, len(seq.tokens) - 1, seq.finished, seq.finish_reason,
                 text,
             )
+        if event.token is not None:
+            # Latency histograms: TTFT on the first emitted token,
+            # inter-token gaps between consecutive ones.
+            t_emit = self._clock()
+            if math.isnan(seq.first_token_time):
+                seq.first_token_time = t_emit
+                self._ttfts.append(t_emit - seq.submit_time)
+            else:
+                self._itls.append(t_emit - seq.last_token_time)
+            seq.last_token_time = t_emit
         self._tokens_generated += event.token is not None
         events.append(event)
         if seq.on_token is not None:
@@ -380,6 +525,8 @@ class GenerationEngine:
             queue_latency_s=latency,
             service_time_s=now - seq.admit_time,
             decode_steps=seq.decode_steps,
+            ttft_s=seq.first_token_time - seq.submit_time,
+            prefill_chunks=seq.prefill_chunks,
         )
 
     # ------------------------------------------------------------------
@@ -426,6 +573,10 @@ class GenerationEngine:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
+    @staticmethod
+    def _pctl(values, q: float) -> float:
+        return float(np.percentile(list(values), q)) if values else float("nan")
+
     def stats(self) -> EngineStats:
         elapsed = self._busy_s
         if self.pool is not None:
@@ -453,4 +604,9 @@ class GenerationEngine:
             cache_slots_high_water=high_water,
             preemptions=self._preemptions,
             prefix_hit_tokens=prefix_hits,
+            prefill_chunks=self._prefill_chunks,
+            ttft_p50_s=self._pctl(self._ttfts, 50),
+            ttft_p95_s=self._pctl(self._ttfts, 95),
+            inter_token_p50_s=self._pctl(self._itls, 50),
+            inter_token_p95_s=self._pctl(self._itls, 95),
         )

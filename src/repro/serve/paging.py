@@ -269,6 +269,29 @@ class BlockPool:
         self.high_water = max(self.high_water, self.blocks_in_use)
         return bid
 
+    def probe_prefix(self, ids: np.ndarray) -> int:
+        """Pages of ``ids``'s prompt prefix backed by *live* shared blocks.
+
+        A read-only admission probe: unlike :meth:`lookup` it takes no
+        references and resurrects nothing.  Only blocks some sequence
+        still references count — attaching those is free, whereas
+        resurrecting a cached-free match consumes a block the
+        ``blocks_available`` gauge currently counts, so it must keep
+        being charged like a fresh page.  The walk stops at the first
+        page that is unmatched or not live (later live pages would be
+        attached by :meth:`PagedLease.match_prefix`, but charging them
+        too only errs conservative).
+        """
+        if not self.enable_prefix_cache:
+            return 0
+        matched = 0
+        for h in self.page_hashes(ids):
+            bid = self._block_of_hash.get(h)
+            if bid is None or self._ref[bid] < 1:
+                break
+            matched += 1
+        return matched
+
     def register(self, page_hash: bytes, block_id: int) -> int:
         """Publish a full page for sharing; returns 1 if newly registered.
 
@@ -576,6 +599,9 @@ class PagedKVCache(KVCache):
     def prefill(self, k, v):
         self.inner.prefill(k, v)
 
+    def prefill_chunk(self, k, v, final=False):
+        self.inner.prefill_chunk(k, v, final=final)
+
     def append(self, k_t, v_t):
         self.inner.append(k_t, v_t)
 
@@ -699,9 +725,11 @@ class PagedLease:
                 buf = getattr(inner, role)
                 if buf is not None:
                     setattr(inner, role, buf.clone_for(table))
-            # Mutable quantizer state (MANT streaming window stats and
-            # staging scales) must not alias the parent's.
-            for attr in ("_acc_sum", "_acc_sqsum", "_acc_max", "_stage_scale"):
+            # Mutable quantizer state (MANT streaming window stats,
+            # staging scales, mid-prefill chunk maxima) must not alias
+            # the parent's.
+            for attr in ("_acc_sum", "_acc_sqsum", "_acc_max", "_stage_scale",
+                         "_chunk_ch_max"):
                 val = getattr(inner, attr, None)
                 if isinstance(val, np.ndarray):
                     setattr(inner, attr, val.copy())

@@ -17,6 +17,7 @@ from repro.sampling import GREEDY, SamplingParams
 
 __all__ = [
     "GenerationRequest",
+    "PrefillCursor",
     "TokenEvent",
     "GenerationResult",
     "FINISH_LENGTH",
@@ -59,6 +60,44 @@ class GenerationRequest:
         return int(self.prompt.size) + self.max_tokens
 
 
+class PrefillCursor:
+    """Progress of one chunked prefill through a request's prompt.
+
+    ``done`` counts prompt tokens already run through the model (and
+    written to the KV caches); the engine advances it one scheduled
+    chunk at a time.  Preemption must *discard* the cursor — the
+    evicted pages make the prefilled prefix unreachable, so resume
+    rebuilds a fresh cursor over the full (possibly grown) prompt and
+    replays it from token zero.
+    """
+
+    __slots__ = ("total", "done")
+
+    def __init__(self, total: int):
+        if total < 1:
+            raise ValueError(f"prefill cursor needs >= 1 tokens, got {total}")
+        self.total = int(total)
+        self.done = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.total
+
+    def advance(self, n: int) -> None:
+        if n < 1 or self.done + n > self.total:
+            raise ValueError(
+                f"cannot advance cursor by {n} (done {self.done} of {self.total})"
+            )
+        self.done += n
+
+    def __repr__(self) -> str:
+        return f"PrefillCursor({self.done}/{self.total})"
+
+
 @dataclass(frozen=True)
 class TokenEvent:
     """One streamed output token (or a bare finish notification).
@@ -91,6 +130,8 @@ class GenerationResult:
     queue_latency_s: float      # submit -> admission into the batch
     service_time_s: float       # admission -> finish
     decode_steps: int           # batched decode ticks this request rode
+    ttft_s: float = float("nan")      # submit -> first emitted token
+    prefill_chunks: int = 0     # chunked mode: forward passes the prompt took
 
     @property
     def n_tokens(self) -> int:

@@ -17,6 +17,18 @@ no model or cache state.  Policy:
   on demand and the engine preempts back into this queue (at the
   front, preserving FCFS) on pool exhaustion.  This is what lets a
   paged engine admit far more work than worst-case token budgets would.
+* **Prefix-aware admission.**  A bound ``prefix_probe`` reports how
+  many of the head's leading prompt pages are already backed by live
+  shared blocks; only the pages a prefix-cache hit *won't* cover are
+  charged against the gauge, so a request repeating a popular system
+  prompt admits as soon as its unique tail fits.
+* **Chunked-prefill budget** (``prefill_chunk_tokens``).  Prompts run
+  through the mixed prefill+decode tick in window-aligned chunks;
+  :meth:`Scheduler.plan_chunks` hands the engine at most one chunk per
+  prefilling sequence per tick, FCFS, under the Sarathi-style
+  ``max_tokens_per_tick`` token budget (decode rows are charged first,
+  leftover budget feeds prefill), head-of-line so a starved long
+  prompt is never overtaken by later arrivals.
 * **Bounded queue.**  ``max_queue_len`` caps the waiting line;
   ``submit`` raises :class:`QueueFullError` instead of growing the
   deque without bound (backpressure — callers retry or shed load).
@@ -60,6 +72,28 @@ class ServeConfig:
     ``enable_prefix_cache``
         Deduplicate identical full prompt-prefix pages across requests
         (hash-chained, copy-on-write protected).
+
+    Chunked prefill (the mixed prefill+decode tick):
+
+    ``prefill_chunk_tokens``
+        Split each admitted prompt into chunks of this many tokens and
+        run them through the batched mixed tick alongside the decode
+        rows, instead of prefilling each prompt whole and alone at
+        admission.  Must be a multiple of the cache's temporal
+        quantization window (the MANT V window; checked at engine
+        construction) — and of ``block_tokens`` when paged — so chunk
+        boundaries always land on quantization-group boundaries and
+        chunked output stays token-identical to unchunked.  ``None``
+        (default) keeps the whole-prompt prefill path.
+    ``max_tokens_per_tick``
+        Sarathi-style per-tick token budget for the mixed tick: the
+        decode rows (one token each) are charged first, and prefill
+        chunks are only scheduled into what remains, keeping every
+        tick's forward-pass cost — and therefore decode inter-token
+        latency — bounded regardless of prompt length.  Requires
+        ``prefill_chunk_tokens`` and must be at least as large, so an
+        all-prefill tick always makes progress.  ``None`` leaves tick
+        size bounded only by one chunk per prefilling sequence.
     """
 
     max_batch_size: int = 8
@@ -70,6 +104,8 @@ class ServeConfig:
     block_tokens: int = 32
     num_blocks: int | None = None
     enable_prefix_cache: bool = True
+    prefill_chunk_tokens: int | None = None
+    max_tokens_per_tick: int | None = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -84,6 +120,28 @@ class ServeConfig:
             raise ValueError("block_tokens must be >= 1")
         if self.num_blocks is not None and self.num_blocks < 1:
             raise ValueError("num_blocks must be >= 1 (or None)")
+        if self.prefill_chunk_tokens is not None:
+            if self.prefill_chunk_tokens < 1:
+                raise ValueError("prefill_chunk_tokens must be >= 1 (or None)")
+            if self.paged and self.prefill_chunk_tokens % self.block_tokens:
+                raise ValueError(
+                    f"prefill_chunk_tokens={self.prefill_chunk_tokens} must be "
+                    f"a multiple of block_tokens ({self.block_tokens}) so every "
+                    "non-final chunk fills whole pages and never straddles a "
+                    "temporal quantization group"
+                )
+        if self.max_tokens_per_tick is not None:
+            if self.prefill_chunk_tokens is None:
+                raise ValueError(
+                    "max_tokens_per_tick requires prefill_chunk_tokens (the "
+                    "budget throttles the chunked-prefill mixed tick)"
+                )
+            if self.max_tokens_per_tick < self.prefill_chunk_tokens:
+                raise ValueError(
+                    f"max_tokens_per_tick ({self.max_tokens_per_tick}) must be "
+                    f">= prefill_chunk_tokens ({self.prefill_chunk_tokens}) so "
+                    "a tick with no decode rows still fits one chunk"
+                )
 
 
 class Scheduler:
@@ -95,6 +153,7 @@ class Scheduler:
         self._running: list = []
         self._block_gauge = None      # () -> free blocks, bound by paged engines
         self._block_tokens = 0
+        self._prefix_probe = None     # (ids) -> pages covered by live shared blocks
 
     # ------------------------------------------------------------------
     @property
@@ -118,14 +177,21 @@ class Scheduler:
         return bool(self._queue or self._running)
 
     # ------------------------------------------------------------------
-    def bind_block_gauge(self, gauge, block_tokens: int) -> None:
+    def bind_block_gauge(self, gauge, block_tokens: int, prefix_probe=None) -> None:
         """Enable block-aware admission: ``gauge()`` reports free pages.
 
         Admission then requires the head's prefill (its current token
         count, not its worst case) to fit in actually-free pages.
+        ``prefix_probe(ids)``, when given, reports how many leading
+        prompt pages a prefix-cache match already backs with *live*
+        blocks; those pages cost no free blocks to attach, so they are
+        subtracted from the head's demand — the prefix-aware admission
+        that lets shared-prompt requests in while a cold prompt of the
+        same length would still wait.
         """
         self._block_gauge = gauge
         self._block_tokens = block_tokens
+        self._prefix_probe = prefix_probe
 
     # ------------------------------------------------------------------
     def submit(self, seq) -> None:
@@ -156,6 +222,23 @@ class Scheduler:
                 return False
         if self._block_gauge is not None:
             pages = -(-seq.prefill_len // self._block_tokens)
+            if self._prefix_probe is not None:
+                # Pages already backed by live shared blocks attach for
+                # free (ref-count++, no allocation); cached-free matches
+                # are *not* subtracted — resurrecting one consumes a
+                # block the gauge currently counts as available.
+                pages -= self._prefix_probe(seq.prefill_ids())
+            # Chunked engines admit before any pages are written, so the
+            # gauge alone cannot see earlier admissions' demand (the
+            # unchunked path allocates at admission, making it visible).
+            # Charge the outstanding prefill pages of already-admitted,
+            # not-yet-prefilled sequences, or a burst of admissions
+            # over-commits the pool and churns through preemptions.
+            pages += sum(
+                s.lease.new_pages_for(s.cursor.total)
+                for s in self._running
+                if getattr(s, "cursor", None) is not None and s.lease is not None
+            )
             if pages > self._block_gauge():
                 return False
         return True
@@ -178,6 +261,30 @@ class Scheduler:
         while (seq := self.admit_one()) is not None:
             admitted.append(seq)
         return admitted
+
+    def plan_chunks(self, prefilling: list, budget: float) -> list:
+        """Token-budgeted prefill-chunk plan for one mixed tick.
+
+        ``prefilling`` are the running sequences whose prompts are not
+        fully prefilled, in admission order; ``budget`` is the tick's
+        remaining token budget after charging the decode rows (``inf``
+        when :attr:`ServeConfig.max_tokens_per_tick` is unset).  Each
+        sequence gets at most one chunk of up to
+        ``prefill_chunk_tokens`` per tick (the final chunk may be
+        shorter), FCFS and head-of-line: when the next chunk does not
+        fit the remaining budget, nothing behind it is considered, so a
+        long prompt can never be starved by later short ones.  Returns
+        ``[(seq, n_tokens)]``.
+        """
+        chunk = self.config.prefill_chunk_tokens
+        plan = []
+        for seq in prefilling:
+            n = min(chunk, seq.cursor.remaining)
+            if n > budget:
+                break
+            plan.append((seq, n))
+            budget -= n
+        return plan
 
     def requeue_front(self, seq) -> None:
         """Preemption path: running → head of the queue (FCFS preserved —

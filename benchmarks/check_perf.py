@@ -43,6 +43,11 @@ from bench_chunked_prefill import (
     throughput_ratio,
 )
 from bench_decode_scaling import decode_chunk_times
+from bench_policy_scheduling import (
+    fork_prefill_savings,
+    high_priority_ttft_gain,
+    policy_config,
+)
 from bench_paged_kv import paged_config, prefix_reuse, throughput_parity
 from bench_serve_throughput import CACHE_FACTORIES, make_requests, run_workload
 from legacy_impl import LegacyListKVCache, LegacyMantCodec, LegacyMseSearchSelector
@@ -72,6 +77,13 @@ MIN_PREFIX_REUSE = 1.5
 # throughput (bounded ticks cannot cost real decode throughput).
 MIN_CHUNKED_P95_IMPROVEMENT = 1.5
 MIN_CHUNKED_VS_PAGED = 0.95
+
+# Policy scheduling: on the saturated mixed-priority workload, urgent
+# requests' TTFT p95 under PriorityPolicy must be >= 2x better than
+# FCFS; fork-based n=4 parallel sampling must run >= 1.5x fewer prompt
+# tokens through the model than n resubmissions of the same prompt.
+MIN_PRIORITY_TTFT_GAIN = 2.0
+MIN_FORK_PREFILL_SAVINGS = 1.5
 
 
 def _time(fn, number=10, repeat=3) -> float:
@@ -113,6 +125,11 @@ def build_suite():
         return run_workload(serve_model, FP16KVCache, requests, max_batch=8,
                             config=chunked_config())
 
+    def serve_policy_workload():
+        requests = make_requests(serve_model.config.vocab_size, n_requests=8)
+        return run_workload(serve_model, FP16KVCache, requests, max_batch=8,
+                            config=policy_config())
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -125,6 +142,7 @@ def build_suite():
         "serve_fp16_batch8": serve_workload,
         "serve_paged_batch8": serve_paged_workload,
         "serve_chunked_batch8": serve_chunked_workload,
+        "serve_policy_batch8": serve_policy_workload,
     }
 
 
@@ -247,6 +265,24 @@ def check_speedups() -> list[str]:
             ratio = throughput_ratio(model, name)[2]
             print(f"  chunked decode-p95 improvement ({name}):   {imp:5.2f}x ")
             print(f"  chunked vs paged tokens/s @ batch 8 ({name}): {ratio:4.2f}x ")
+
+    # Policy scheduling: priority must actually cut urgent TTFT on the
+    # saturated backlog (best of 3 — the floor reflects scheduling, not
+    # jitter), and fork-based n=4 must share the prefill compute.
+    gain = max(high_priority_ttft_gain(model)[2] for _ in range(3))
+    print(f"  priority urgent-TTFT p95 gain vs fcfs:     {gain:5.2f}x "
+          f"(floor {MIN_PRIORITY_TTFT_GAIN}x)")
+    if gain < MIN_PRIORITY_TTFT_GAIN:
+        failures.append(
+            f"priority urgent-TTFT gain {gain:.2f}x < {MIN_PRIORITY_TTFT_GAIN}x"
+        )
+    savings = fork_prefill_savings(model)[2]
+    print(f"  fork n=4 prefill-token savings vs resubmit:{savings:5.2f}x "
+          f"(floor {MIN_FORK_PREFILL_SAVINGS}x)")
+    if savings < MIN_FORK_PREFILL_SAVINGS:
+        failures.append(
+            f"fork n=4 prefill savings {savings:.2f}x < {MIN_FORK_PREFILL_SAVINGS}x"
+        )
     return failures
 
 

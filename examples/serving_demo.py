@@ -11,6 +11,11 @@ The punchline is the determinism guarantee: every client's tokens are
 verified identical to what the single-stream decode loop produces —
 continuous batching changes latency and throughput, never the output.
 
+The final section exercises the v2 API: a priority request jumping a
+saturated queue, a deadline (EDF) engine, request cancellation through
+a `RequestHandle`, and n=4 parallel sampling served from one prefill
+via copy-on-write lease forks.
+
 Run:  python examples/serving_demo.py
 """
 
@@ -22,7 +27,12 @@ from repro.analysis.reporting import render_table
 from repro.model import calibrate_model, get_model
 from repro.model.tasks import RecallTask, _generate
 from repro.quant.kvcache import MantKVCache
-from repro.serve import GenerationEngine, GenerationRequest, ServeConfig
+from repro.serve import (
+    GenerationEngine,
+    GenerationRequest,
+    SamplingParams,
+    ServeConfig,
+)
 
 N_CLIENTS = 8
 MAX_BATCH = 4
@@ -100,7 +110,7 @@ system = np.random.default_rng(7).integers(0, model.config.vocab_size,
 shared_prompts = [np.concatenate([system, p]) for p in prompts]
 paged = GenerationEngine(
     model, cache_factory,
-    ServeConfig(max_batch_size=MAX_BATCH, paged=True, block_tokens=64),
+    ServeConfig.paged(max_batch_size=MAX_BATCH, block_tokens=64),
     detokenize=lambda toks: " ".join(str(t) for t in toks),
 )
 paged_results = paged.generate(
@@ -132,8 +142,7 @@ print(f"  paged outputs identical to single-stream decoding: "
 # ----------------------------------------------------------------------
 chunked = GenerationEngine(
     model, cache_factory,
-    ServeConfig(max_batch_size=MAX_BATCH, paged=True, block_tokens=64,
-                prefill_chunk_tokens=64, max_tokens_per_tick=128),
+    ServeConfig.chunked(max_batch_size=MAX_BATCH, block_tokens=64),
 )
 chunked_results = chunked.generate(
     GenerationRequest(f"client-{i}", p, max_tokens=MAX_TOKENS)
@@ -152,3 +161,84 @@ chunked_match = all(
 )
 print(f"  chunked outputs identical to single-stream decoding: "
       f"{'yes' if chunked_match else 'NO'}")
+
+# ----------------------------------------------------------------------
+# Serving API v2: a priority request jumps a saturated queue, a request
+# is cancelled through its handle, a deadline engine runs EDF, and one
+# prompt is sampled 4 ways from a single prefill (copy-on-write forks).
+# ----------------------------------------------------------------------
+print("\n--- serving API v2: policies, lifecycle, parallel sampling ---")
+
+prio = GenerationEngine(
+    model, cache_factory,
+    ServeConfig.paged(max_batch_size=2, block_tokens=64,
+                      scheduler_policy="priority"),
+)
+first_token_at: dict[str, int] = {}
+for i, p in enumerate(shared_prompts[:5]):
+    prio.submit(GenerationRequest(f"bg-{i}", p, max_tokens=MAX_TOKENS,
+                                  priority=0))
+urgent = prio.submit(GenerationRequest("urgent", shared_prompts[5],
+                                       max_tokens=MAX_TOKENS, priority=9))
+doomed = prio.submit(GenerationRequest("doomed", shared_prompts[6],
+                                       max_tokens=MAX_TOKENS))
+doomed.cancel()                          # cancelled while still queued
+tick = 0
+while prio.has_work():
+    tick += 1
+    for event in prio.step():
+        if event.token is not None:
+            first_token_at.setdefault(event.request_id, tick)
+order = sorted(first_token_at, key=first_token_at.get)
+pst2 = prio.stats()
+print(f"priority engine ({pst2.scheduler_policy}, 2 lanes, 5 background + "
+      f"1 urgent):")
+print(f"  first-token order: {' '.join(order)}  "
+      f"(urgent submitted last, served #{order.index('urgent') + 1})")
+print(f"  cancelled via handle: {doomed!r} -> "
+      f"{prio.result('doomed').finish_reason} "
+      f"({pst2.requests_cancelled} cancellation)")
+print(f"  urgent output still exact: "
+      f"{'yes' if urgent.result().tokens == _generate(model, shared_prompts[5], MAX_TOKENS, cache_factory) else 'NO'}")
+
+edf = GenerationEngine(
+    model, cache_factory,
+    ServeConfig.paged(max_batch_size=2, block_tokens=64,
+                      scheduler_policy="deadline"),
+)
+for i, p in enumerate(shared_prompts[:4]):
+    # Later submissions carry tighter deadlines — EDF serves them first.
+    edf.submit(GenerationRequest(f"slo-{i}", p, max_tokens=4,
+                                 deadline_s=2.0 - 0.4 * i))
+edf_first: dict[str, int] = {}
+tick = 0
+while edf.has_work():
+    tick += 1
+    for event in edf.step():
+        if event.token is not None:
+            edf_first.setdefault(event.request_id, tick)
+print(f"deadline engine (EDF): service order "
+      f"{' '.join(sorted(edf_first, key=edf_first.get))} "
+      f"(submission order slo-0..slo-3, deadlines 2.0s -> 0.8s)")
+
+fork = GenerationEngine(
+    model, cache_factory,
+    ServeConfig.paged(max_batch_size=4, block_tokens=64),
+)
+nres = fork.generate([GenerationRequest(
+    "creative", shared_prompts[7], max_tokens=MAX_TOKENS,
+    sampling=SamplingParams(temperature=0.8, seed=42), n=4,
+)])["creative"]
+fst = fork.stats()
+print(f"n=4 parallel sampling (one {shared_prompts[7].size}-token prefill, "
+      f"{fork.pool.forks} copy-on-write forks, "
+      f"{fst.prefill_tokens} prompt tokens computed):")
+for s in nres.samples:
+    print(f"  sample {s.index}: {' '.join(str(t) for t in s.tokens[:8])} ... "
+          f"({s.finish_reason})")
+distinct = len({tuple(s.tokens) for s in nres.samples})
+print(f"  distinct continuations: {distinct}/4; "
+      f"sample 0 is the classic seed-42 stream (aliased by result.tokens: "
+      f"{'yes' if nres.tokens is nres.samples[0].tokens else 'NO'})")
+print(f"\nengine stats summary (NaN-free): "
+      f"ttft_p95_s={fork.stats().summary()['ttft_p95_s']}")

@@ -57,11 +57,24 @@ GREEDY = SamplingParams()
 
 
 class Sampler:
-    """Stateful per-request sampler: params + a private RNG stream."""
+    """Stateful per-request sampler: params + a private RNG stream.
 
-    def __init__(self, params: SamplingParams = GREEDY):
+    ``sample_index`` selects an independent stream for one of a
+    request's parallel samples (``GenerationRequest.n > 1``): sample 0
+    keeps the classic ``default_rng(seed)`` stream bit-for-bit, while
+    sample ``i > 0`` seeds from the ``(seed, i)`` entropy pair — each
+    sample's tokens depend only on its own logits, seed and index,
+    never on batch composition or sibling count.
+    """
+
+    def __init__(self, params: SamplingParams = GREEDY, sample_index: int = 0):
         self.params = params
-        self._rng = None if params.is_greedy else np.random.default_rng(params.seed)
+        if params.is_greedy:
+            self._rng = None
+        elif sample_index:
+            self._rng = np.random.default_rng((params.seed, sample_index))
+        else:
+            self._rng = np.random.default_rng(params.seed)
 
     def sample(self, logits: np.ndarray) -> int:
         """Draw the next token id from one sequence's logits ``(V,)``."""

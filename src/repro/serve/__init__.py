@@ -5,7 +5,40 @@ that schedules many concurrent generation requests into one fused
 decode batch, with per-request streaming (token ids plus optional
 incremental detokenized text), pooled per-layer KV caches (FP16/INT/
 MANT) recycled across requests, and aggregate throughput / occupancy /
-latency statistics.  Two storage backends: the contiguous
+latency statistics.
+
+The v2 API is layered:
+
+* **Configuration** — :class:`~repro.serve.config.ServeConfig`, one
+  validated frozen dataclass with named presets
+  (``ServeConfig.arena()`` / ``.paged()`` / ``.chunked()``) selecting
+  the storage backend and prefill pipeline.
+* **Policy** — every ordering decision (admission order, chunk
+  recipients, preemption victim) goes through a pluggable
+  :class:`~repro.serve.policy.SchedulerPolicy`:
+  :class:`~repro.serve.policy.FCFSPolicy` (default, bit-for-bit the
+  pre-policy engine), :class:`~repro.serve.policy.PriorityPolicy`
+  (strict ``GenerationRequest.priority``, FCFS tiebreak) and
+  :class:`~repro.serve.policy.DeadlinePolicy` (EDF over
+  ``deadline_s`` with starvation-free aging), selected by
+  ``ServeConfig(scheduler_policy=...)``.
+* **Lifecycle** — :meth:`~repro.serve.engine.GenerationEngine.submit`
+  returns a :class:`~repro.serve.request.RequestHandle` (a ``str``
+  equal to the request id) with ``.stream()`` / ``.result()`` /
+  ``.cancel()``; :meth:`~repro.serve.engine.GenerationEngine.cancel`
+  works in every state — queued, mid-chunked-prefill, decoding —
+  releasing blocks/arena slots and finishing with
+  ``FINISH_CANCELLED``.
+* **Parallel sampling** — ``GenerationRequest(n=...)`` prefills the
+  prompt once and forks the paged lease copy-on-write per extra
+  sample (:meth:`~repro.serve.paging.PagedLease.fork`; arena engines
+  replay the prefill into a fresh slot), each sample drawing from an
+  RNG stream derived from ``(seed, sample_index)``;
+  :class:`~repro.serve.request.GenerationResult.samples` carries one
+  :class:`~repro.serve.request.SampleOutput` per sample and the
+  classic single-sample fields alias ``samples[0]``.
+
+Two storage backends: the contiguous
 :class:`~repro.quant.kvcache.KVCacheArena` (one slab slot per batch
 lane) and the paged :class:`~repro.serve.paging.BlockPool` (fixed-size
 ref-counted pages with hash-based prompt-prefix sharing, copy-on-write
@@ -20,14 +53,25 @@ inter-token latency flat while long prompts stream in.  See
 
 from repro.serve.sampling import GREEDY, Sampler, SamplingParams, greedy_sample
 from repro.serve.request import (
+    FINISH_CANCELLED,
     FINISH_LENGTH,
     FINISH_STOP,
     GenerationRequest,
     GenerationResult,
     PrefillCursor,
+    RequestHandle,
+    SampleOutput,
     TokenEvent,
 )
-from repro.serve.scheduler import QueueFullError, Scheduler, ServeConfig
+from repro.serve.config import ServeConfig
+from repro.serve.policy import (
+    DeadlinePolicy,
+    FCFSPolicy,
+    PriorityPolicy,
+    SchedulerPolicy,
+    get_policy,
+)
+from repro.serve.scheduler import QueueFullError, Scheduler
 from repro.serve.paging import (
     BlockPool,
     PagedKVCache,
@@ -44,15 +88,23 @@ __all__ = [
     "Sampler",
     "SamplingParams",
     "greedy_sample",
+    "FINISH_CANCELLED",
     "FINISH_LENGTH",
     "FINISH_STOP",
     "GenerationRequest",
     "GenerationResult",
     "PrefillCursor",
+    "RequestHandle",
+    "SampleOutput",
     "TokenEvent",
     "Scheduler",
     "ServeConfig",
     "QueueFullError",
+    "SchedulerPolicy",
+    "FCFSPolicy",
+    "PriorityPolicy",
+    "DeadlinePolicy",
+    "get_policy",
     "BlockPool",
     "PageTable",
     "PagedTokenBuffer",

@@ -1,0 +1,185 @@
+"""Serving configuration: one validated, frozen knob surface.
+
+:class:`ServeConfig` is the single source of truth for every engine and
+scheduler knob — storage backend (arena vs paged), admission budgets,
+chunked-prefill shape, and (new in the v2 API) the pluggable
+``scheduler_policy``.  All cross-field validation lives here, in
+``__post_init__``, so an invalid configuration fails at construction
+instead of mid-tick; the only checks left elsewhere are the ones that
+need a live cache instance (chunk/window and block/window alignment,
+performed by the engine via :func:`~repro.quant.kvcache.
+validate_chunk_compat` / :func:`~repro.serve.paging.validate_block_compat`).
+
+Named presets cover the three standard shapes::
+
+    ServeConfig.arena()      # contiguous per-slot slabs (the default)
+    ServeConfig.paged()      # vLLM-style block pool + prefix sharing
+    ServeConfig.chunked()    # paged + Sarathi-style mixed-tick prefill
+
+each accepting any field as a keyword override, e.g.
+``ServeConfig.chunked(max_batch_size=16, scheduler_policy="priority")``.
+
+``repro.serve.scheduler.ServeConfig`` remains importable as a
+deprecated alias of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.serve.policy import POLICIES
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine/scheduler knobs.
+
+    ``max_tokens_in_flight = None`` disables the token budget (the
+    batch-size cap alone bounds concurrency).  ``max_queue_len = None``
+    leaves the waiting queue unbounded.
+
+    ``scheduler_policy`` names the :class:`~repro.serve.policy.
+    SchedulerPolicy` ordering every queue/chunk/preemption decision:
+    ``"fcfs"`` (default — bit-for-bit the pre-policy engine),
+    ``"priority"`` (strict :attr:`~repro.serve.request.
+    GenerationRequest.priority` with FCFS tiebreak) or ``"deadline"``
+    (EDF over ``GenerationRequest.deadline_s`` with starvation-free
+    aging).
+
+    Paging (``paged=True`` — see :mod:`repro.serve.paging`):
+
+    ``block_tokens``
+        Page size in tokens.  Must be a multiple of the cache's
+        temporal quantization group (the MANT V window) so per-page
+        quantization is bit-identical to the flat caches.
+    ``num_blocks``
+        Pool size.  ``None`` sizes it for the worst case
+        (``ceil(max_seq / block_tokens) × max_batch_size``); smaller
+        values enable real admission control, on-demand growth and
+        preemption under memory pressure.
+    ``enable_prefix_cache``
+        Deduplicate identical full prompt-prefix pages across requests
+        (hash-chained, copy-on-write protected).
+
+    Chunked prefill (the mixed prefill+decode tick):
+
+    ``prefill_chunk_tokens``
+        Split each admitted prompt into chunks of this many tokens and
+        run them through the batched mixed tick alongside the decode
+        rows, instead of prefilling each prompt whole and alone at
+        admission.  Must be a multiple of the cache's temporal
+        quantization window (the MANT V window; checked at engine
+        construction) — and of ``block_tokens`` when paged — so chunk
+        boundaries always land on quantization-group boundaries and
+        chunked output stays token-identical to unchunked.  ``None``
+        (default) keeps the whole-prompt prefill path.
+    ``max_tokens_per_tick``
+        Sarathi-style per-tick token budget for the mixed tick: the
+        decode rows (one token each) are charged first, and prefill
+        chunks are only scheduled into what remains, keeping every
+        tick's forward-pass cost — and therefore decode inter-token
+        latency — bounded regardless of prompt length.  Requires
+        ``prefill_chunk_tokens`` and must be at least as large, so an
+        all-prefill tick always makes progress.  ``None`` leaves tick
+        size bounded only by one chunk per prefilling sequence.
+    """
+
+    max_batch_size: int = 8
+    max_tokens_in_flight: int | None = None
+    initial_cache_capacity: int = 64
+    max_queue_len: int | None = None
+    paged: bool = False
+    block_tokens: int = 32
+    num_blocks: int | None = None
+    enable_prefix_cache: bool = True
+    prefill_chunk_tokens: int | None = None
+    max_tokens_per_tick: int | None = None
+    scheduler_policy: str = "fcfs"
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_tokens_in_flight is not None and self.max_tokens_in_flight < 1:
+            raise ValueError("max_tokens_in_flight must be >= 1 (or None)")
+        if self.initial_cache_capacity < 1:
+            raise ValueError("initial_cache_capacity must be >= 1")
+        if self.max_queue_len is not None and self.max_queue_len < 1:
+            raise ValueError("max_queue_len must be >= 1 (or None)")
+        if self.block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        if self.num_blocks is not None and self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1 (or None)")
+        if self.prefill_chunk_tokens is not None:
+            if self.prefill_chunk_tokens < 1:
+                raise ValueError("prefill_chunk_tokens must be >= 1 (or None)")
+            if self.paged and self.prefill_chunk_tokens % self.block_tokens:
+                raise ValueError(
+                    f"prefill_chunk_tokens={self.prefill_chunk_tokens} must be "
+                    f"a multiple of block_tokens ({self.block_tokens}) so every "
+                    "non-final chunk fills whole pages and never straddles a "
+                    "temporal quantization group"
+                )
+        if self.max_tokens_per_tick is not None:
+            if self.prefill_chunk_tokens is None:
+                raise ValueError(
+                    "max_tokens_per_tick requires prefill_chunk_tokens (the "
+                    "budget throttles the chunked-prefill mixed tick)"
+                )
+            if self.max_tokens_per_tick < self.prefill_chunk_tokens:
+                raise ValueError(
+                    f"max_tokens_per_tick ({self.max_tokens_per_tick}) must be "
+                    f">= prefill_chunk_tokens ({self.prefill_chunk_tokens}) so "
+                    "a tick with no decode rows still fits one chunk"
+                )
+        if self.scheduler_policy not in POLICIES:
+            raise ValueError(
+                f"unknown scheduler_policy {self.scheduler_policy!r}; "
+                f"available: {sorted(POLICIES)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Presets.  ``paged`` the classmethod is attached after the class
+    # body (below) because the field of the same name would otherwise
+    # shadow it during dataclass processing.
+    # ------------------------------------------------------------------
+    @classmethod
+    def arena(cls, **overrides) -> "ServeConfig":
+        """Contiguous arena backend (the default engine shape)."""
+        overrides.setdefault("paged", False)
+        return cls(**overrides)
+
+    @classmethod
+    def chunked(cls, **overrides) -> "ServeConfig":
+        """Paged storage + chunked mixed-tick prefill.
+
+        Defaults ``block_tokens=32``, ``prefill_chunk_tokens=32`` and
+        ``max_tokens_per_tick=64`` — the shapes the chunked benchmarks
+        gate — all overridable.
+        """
+        overrides.setdefault("paged", True)
+        overrides.setdefault("block_tokens", 32)
+        overrides.setdefault("prefill_chunk_tokens", overrides["block_tokens"])
+        overrides.setdefault(
+            "max_tokens_per_tick", 2 * overrides["prefill_chunk_tokens"]
+        )
+        return cls(**overrides)
+
+    def with_policy(self, scheduler_policy: str) -> "ServeConfig":
+        """Same configuration under a different scheduling policy."""
+        return replace(self, scheduler_policy=scheduler_policy)
+
+
+def _paged_preset(cls, **overrides) -> ServeConfig:
+    """vLLM-style paged backend (block pool + prefix sharing)."""
+    overrides.setdefault("paged", True)
+    return cls(**overrides)
+
+
+# The dataclass field ``paged`` claims the name inside the class body,
+# so the preset is attached afterwards; instances still read the field
+# (instance attribute) while ``ServeConfig.paged(...)`` resolves to the
+# classmethod.
+_paged_preset.__name__ = "paged"
+ServeConfig.paged = classmethod(_paged_preset)

@@ -4,12 +4,18 @@ The engine turns the repo's single-stream ``prefill``/``decode_step``
 generation into multi-tenant serving:
 
 * clients :meth:`~GenerationEngine.submit` concurrent
-  :class:`GenerationRequest`s;
-* an FCFS :class:`~repro.serve.scheduler.Scheduler` admits them into a
+  :class:`GenerationRequest`s and get back a
+  :class:`~repro.serve.request.RequestHandle` (a ``str`` equal to the
+  request id, with ``.stream()``/``.result()``/``.cancel()`` attached);
+* a :class:`~repro.serve.scheduler.Scheduler` admits them into a
   dynamic decode batch (new requests join as others finish) under a
   batch-size cap and either a KV token budget (arena mode) or actual
   free pages (paged mode, prefix-aware: pages a prefix-cache match
-  covers are not charged);
+  covers are not charged).  Every *ordering* decision — who admits
+  first, who receives prefill chunks, who gets preempted — is
+  delegated to the config's :class:`~repro.serve.policy.
+  SchedulerPolicy` (FCFS by default, bit-for-bit the pre-policy
+  engine; strict-priority and EDF-deadline policies ship alongside);
 * each :meth:`~GenerationEngine.step` runs *one* fused tick for every
   running sequence, each attending through its own pooled
   FP16/INT/MANT cache at its own position.  With
@@ -17,14 +23,21 @@ generation into multi-tenant serving:
   prefill whole and alone: they are split into window-aligned chunks
   and each tick packs the decode rows *plus* a token-budgeted set of
   prefill chunks (``max_tokens_per_tick``, Sarathi-style) into one
-  :meth:`~repro.model.transformer.TransformerLM.forward_mixed` call —
-  prefill FLOPs batch across requests and with decode, and a long
-  prompt can no longer stall every in-flight decode for a whole tick;
+  :meth:`~repro.model.transformer.TransformerLM.forward_mixed` call;
+* a request with ``n > 1`` prefills its prompt **once**; when the
+  prefill completes, the engine forks the paged lease copy-on-write
+  per extra sample (:meth:`~repro.serve.paging.PagedLease.fork`; the
+  arena backend replays the prefill into a fresh slot instead), and
+  every sample decodes as its own batch lane with an RNG stream
+  derived from ``(seed, sample_index)``;
+* requests can be :meth:`cancelled <GenerationEngine.cancel>` in any
+  state — queued, mid-chunked-prefill, or decoding — releasing their
+  blocks/arena slots and finishing with ``FINISH_CANCELLED``;
 * tokens stream out per request through :class:`TokenEvent`s (iterator
-  via :meth:`run`, or a per-request ``on_token`` callback), optionally
-  carrying incremental text from a pluggable ``detokenize`` callback;
-  per-request TTFT and inter-token latencies aggregate into
-  :class:`EngineStats` percentiles.
+  via :meth:`run`, a per-request ``on_token`` callback, or
+  ``handle.stream()``), optionally carrying incremental text from a
+  pluggable ``detokenize`` callback; per-request TTFT and inter-token
+  latencies aggregate into :class:`EngineStats` percentiles.
 
 Two storage backends share this loop:
 
@@ -34,29 +47,31 @@ Two storage backends share this loop:
   :class:`~repro.serve.paging.BlockPool` — admission on actually-free
   blocks instead of worst-case token budgets, on-demand page allocation
   each tick, hash-based prefix sharing of identical full prompt pages,
-  and preemption-by-recompute (youngest first, back to the queue head)
+  and preemption-by-recompute (policy-chosen victim, back to the queue)
   when the pool runs dry mid-decode.
 
 Determinism guarantee: the batched decode path is bit-identical per
-sequence to the single-stream loop and every request samples from its
+sequence to the single-stream loop and every sample draws from its
 own seeded RNG, so a request's output never depends on which other
-requests shared its batch — greedy engine output == the plain
-``prefill`` + ``decode_step`` loop, token for token, for every cache
-type and for both storage backends.  Chunked mode keeps this at token
-granularity: chunk boundaries land on quantization-window boundaries
-by construction, so the caches' quantized contents are chunk-invariant,
-while the packed GEMMs may wobble in the last float ulp (BLAS kernels
-are not bitwise row-count-invariant) — greedy output stays identical
-token for token, and decode-only ticks still route through
-``decode_step_batch`` unchanged.  (Preemption is the one exception: a
-preempted request's suffix is *recomputed* through the prefill path,
-which re-quantizes decode-staged MANT windows from scratch — the same
-trade every recompute-based paged server makes.  A preempted
-half-prefilled prompt simply replays from token zero.)
+requests shared its batch — under the default FCFS policy, greedy
+engine output == the plain ``prefill`` + ``decode_step`` loop, token
+for token, for every cache type and for both storage backends.
+Chunked mode keeps this at token granularity: chunk boundaries land on
+quantization-window boundaries by construction, so the caches'
+quantized contents are chunk-invariant, while the packed GEMMs may
+wobble in the last float ulp (BLAS kernels are not bitwise
+row-count-invariant) — greedy output stays identical token for token,
+and decode-only ticks still route through ``decode_step_batch``
+unchanged.  (Preemption is the one exception: a preempted request's
+suffix is *recomputed* through the prefill path, which re-quantizes
+decode-staged MANT windows from scratch — the same trade every
+recompute-based paged server makes.  A preempted half-prefilled prompt
+simply replays from token zero.)
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from collections import deque
@@ -66,17 +81,21 @@ import numpy as np
 
 from repro.model.transformer import MixedSegment
 from repro.quant.kvcache import KVCacheArena, validate_chunk_compat
+from repro.serve.config import ServeConfig
 from repro.serve.paging import BlockPool, PoolExhausted, validate_block_compat
 from repro.serve.request import (
+    FINISH_CANCELLED,
     FINISH_LENGTH,
     FINISH_STOP,
     GenerationRequest,
     GenerationResult,
     PrefillCursor,
+    RequestHandle,
+    SampleOutput,
     TokenEvent,
 )
 from repro.sampling import Sampler
-from repro.serve.scheduler import QueueFullError, Scheduler, ServeConfig
+from repro.serve.scheduler import QueueFullError, Scheduler
 
 __all__ = ["GenerationEngine", "EngineStats"]
 
@@ -86,7 +105,14 @@ LATENCY_WINDOW = 4096
 
 
 class _Sequence:
-    """Engine-internal state of one in-flight request."""
+    """Engine-internal state of one in-flight sample lane.
+
+    A request with ``n == 1`` is exactly one sequence.  With ``n > 1``
+    the submitted sequence is *sample 0* and reserves ``n`` batch lanes
+    (``lanes``); its siblings are materialized by the engine when the
+    shared prefill completes, each holding its own lease and sampler
+    but the same ``family`` list and request.
+    """
 
     __slots__ = (
         "request", "sampler", "on_token", "lease", "pos", "next_token",
@@ -94,11 +120,13 @@ class _Sequence:
         "submit_time", "admit_time", "resuming", "text_len",
         "cursor", "pending_ids", "prefill_chunks",
         "first_token_time", "last_token_time",
+        "arrival_seq", "sample_index", "lanes", "family", "retired",
     )
 
-    def __init__(self, request: GenerationRequest, on_token, submit_time: float):
+    def __init__(self, request: GenerationRequest, on_token, submit_time: float,
+                 sample_index: int = 0):
         self.request = request
-        self.sampler = Sampler(request.sampling)
+        self.sampler = Sampler(request.sampling, sample_index=sample_index)
         self.on_token = on_token
         self.lease = None
         self.pos = 0
@@ -116,6 +144,12 @@ class _Sequence:
         self.prefill_chunks = 0      # forward passes this request's prompt took
         self.first_token_time = float("nan")       # TTFT endpoint
         self.last_token_time = float("nan")        # inter-token latency anchor
+        self.arrival_seq = 0         # engine-wide submission order stamp
+        self.sample_index = sample_index
+        # Sample 0 reserves every sibling's lane until the fork happens.
+        self.lanes = request.n if sample_index == 0 else 1
+        self.family: list[_Sequence] = [self]
+        self.retired = False         # storage released, awaiting siblings
 
     @property
     def prefill_len(self) -> int:
@@ -124,6 +158,12 @@ class _Sequence:
         if self.resuming:
             n += max(0, len(self.tokens) - 1)
         return n
+
+    @property
+    def token_footprint(self) -> int:
+        """Worst-case KV tokens this sequence still accounts for
+        (pre-fork sample 0 carries the whole family)."""
+        return self.lanes * self.request.token_footprint
 
     def prefill_ids(self) -> np.ndarray:
         """Prompt ids — plus already-generated tokens when resuming.
@@ -143,11 +183,13 @@ class _Sequence:
 class EngineStats:
     """Aggregate serving statistics since engine construction."""
 
+    scheduler_policy: str         # name of the active SchedulerPolicy
     requests_submitted: int
     requests_completed: int
-    requests_queued: int
+    requests_queued: int          # current queue depth
     requests_running: int
     requests_rejected: int        # submit-time backpressure/budget rejections
+    requests_cancelled: int       # client cancellations (any state)
     tokens_generated: int
     decode_ticks: int
     mean_batch_occupancy: float   # sequences per decode tick
@@ -160,10 +202,26 @@ class EngineStats:
     preemptions: int              # paged: sequences bumped back to the queue
     prefix_hit_tokens: int        # paged: prompt tokens served from shared pages
     prefill_chunks: int           # chunked mode: prompt chunks run in mixed ticks
+    prefill_tokens: int           # prompt tokens actually run through the model
     ttft_p50_s: float             # submit -> first token percentiles (NaN if none)
     ttft_p95_s: float
     inter_token_p50_s: float      # gap between consecutive tokens of one request
     inter_token_p95_s: float
+
+    def summary(self) -> dict:
+        """Field dict for reporting: NaN placeholders render as ``None``.
+
+        Before any token exists the TTFT/inter-token percentiles are
+        NaN internally; a dashboard serializing this summary gets
+        ``None`` (JSON ``null``) instead of a not-a-number literal.
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, float) and math.isnan(value):
+                value = None
+            out[f.name] = value
+        return out
 
 
 class GenerationEngine:
@@ -178,6 +236,8 @@ class GenerationEngine:
     hooks, applied identically to every request.  ``detokenize`` is an
     optional ``(token_ids) -> str`` callback; when given, every emitted
     :class:`TokenEvent` carries the incremental ``text`` suffix.
+    ``policy`` overrides the config's ``scheduler_policy`` with a
+    ready-made :class:`~repro.serve.policy.SchedulerPolicy` instance.
     """
 
     def __init__(
@@ -189,6 +249,7 @@ class GenerationEngine:
         act_quant=None,
         clock=time.perf_counter,
         detokenize=None,
+        policy=None,
     ):
         self.model = model
         self.config = config
@@ -197,7 +258,7 @@ class GenerationEngine:
         self._clock = clock
         self._detokenize = detokenize
         self._cache_factory = cache_factory
-        self.scheduler = Scheduler(config)
+        self.scheduler = Scheduler(config, policy=policy)
         if config.prefill_chunk_tokens is not None:
             # Paged mode implies window alignment transitively (chunk is
             # a multiple of block_tokens, block_tokens of the window),
@@ -237,8 +298,10 @@ class GenerationEngine:
         self._results: dict[str, GenerationResult] = {}
         self._active_ids: set[str] = set()
         self._submitted = 0
+        self._arrivals = 0
         self._completed = 0
         self._rejected = 0
+        self._cancelled = 0
         self._preemptions = 0
         self._tokens_generated = 0
         self._decode_ticks = 0
@@ -247,6 +310,8 @@ class GenerationEngine:
         self._lat_max = 0.0
         self._busy_s = 0.0
         self._prefill_chunks = 0
+        self._prefill_tokens = 0
+        self._stepping = False       # guards reentrant cancel from callbacks
         # Rolling latency windows: long-lived servers emit unboundedly
         # many tokens, so percentiles are over the most recent samples
         # and stats() stays O(window), not O(tokens ever served).
@@ -256,13 +321,17 @@ class GenerationEngine:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, request: GenerationRequest, on_token=None) -> str:
-        """Queue a request; returns its id.  ``on_token(event)`` streams.
+    def submit(self, request: GenerationRequest, on_token=None) -> RequestHandle:
+        """Queue a request; returns its :class:`RequestHandle`.
 
-        Raises on capacity rejection — worst case over the model's
-        ``max_seq``, over the token budget, over the paged pool's total
-        size, or a full queue (:class:`QueueFullError`); rejections are
-        counted in :class:`EngineStats`.
+        The handle *is* the request id (a ``str`` subclass), so callers
+        that stored the old raw-id return value are unchanged;
+        ``on_token(event)`` streams as before.  Raises on capacity
+        rejection — worst case over the model's ``max_seq``, more
+        parallel samples than batch lanes, over the token budget, over
+        the paged pool's total size, or a full queue
+        (:class:`QueueFullError`); rejections are counted in
+        :class:`EngineStats`.
         """
         rid = request.request_id
         if rid in self._active_ids or rid in self._results:
@@ -274,7 +343,18 @@ class GenerationEngine:
                     f"request {rid!r} needs {request.token_footprint} positions, "
                     f"over the model's max_seq of {max_seq}"
                 )
+            if request.n > self.config.max_batch_size:
+                raise ValueError(
+                    f"request {rid!r} asks for n={request.n} parallel samples, "
+                    f"over max_batch_size={self.config.max_batch_size} lanes — "
+                    "it could never be scheduled"
+                )
             if self.pool is not None:
+                # Feasibility is per sample: forked samples share prompt
+                # pages copy-on-write, and under pool pressure the
+                # engine preempts samples until one runs alone — so a
+                # request is only hopeless if a *single* sample's worst
+                # case cannot fit the pool.
                 pages = -(-request.token_footprint // self.pool.block_tokens)
                 if pages > self.pool.num_blocks:
                     raise ValueError(
@@ -283,13 +363,80 @@ class GenerationEngine:
                         "could never be scheduled"
                     )
             seq = _Sequence(request, on_token, self._clock())
+            seq.arrival_seq = self._arrivals
             self.scheduler.submit(seq)   # may reject (budget / queue full)
         except (ValueError, QueueFullError):
             self._rejected += 1
             raise
         self._active_ids.add(rid)
         self._submitted += 1
-        return rid
+        self._arrivals += 1
+        return RequestHandle(rid, self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def cancel(self, request_id: str) -> bool:
+        """Cancel a request in any state; True if it was still live.
+
+        Queued requests are dropped before ever touching the model;
+        running ones — mid-chunked-prefill or decoding, every parallel
+        sample — finish immediately with ``FINISH_CANCELLED``, their
+        blocks/arena slots released and a finish :class:`TokenEvent`
+        delivered to the request's ``on_token`` callback.  Safe to call
+        from inside an ``on_token`` callback: storage release then
+        defers to the end of the in-flight tick.  Returns False for
+        ids that already finished (or were never submitted).
+        """
+        rid = str(request_id)
+        if rid not in self._active_ids:
+            return False
+        family = None
+        live = False
+        for seq in self.scheduler.find_queued(rid):
+            self.scheduler.remove_queued(seq)
+            self._finish_cancel(seq)
+            self._release_storage(seq)
+            seq.retired = True
+            family = seq.family
+            live = True
+        for seq in self.scheduler.running:
+            if seq.request.request_id == rid:
+                family = seq.family
+                if not seq.finished:
+                    self._finish_cancel(seq)
+                    live = True
+        if not live:
+            # Nothing left to cancel (e.g. a repeated cancel inside the
+            # same tick, before the retire phase ran): idempotent no-op.
+            return False
+        self._cancelled += 1
+        if not self._stepping:
+            # Outside a tick it is safe to release storage right away;
+            # mid-tick (a reentrant cancel from an on_token callback)
+            # the step's own retire phase finishes the job.  The last
+            # _retire also records the family's result.
+            for seq in [s for s in self.scheduler.running
+                        if s.request.request_id == rid]:
+                self._retire(seq)
+        if (family is not None and rid in self._active_ids
+                and all(m.retired for m in family)):
+            # Queued-only cancellation: no _retire ran, record here.
+            self._record_result(family, self._clock())
+        return True
+
+    def has_result(self, request_id: str) -> bool:
+        return str(request_id) in self._results
+
+    def _finish_cancel(self, seq: _Sequence) -> None:
+        seq.finished = True
+        seq.finish_reason = FINISH_CANCELLED
+        event = TokenEvent(
+            seq.request.request_id, None, len(seq.tokens), True,
+            FINISH_CANCELLED, sample=seq.sample_index,
+        )
+        if seq.on_token is not None:
+            seq.on_token(event)
 
     # ------------------------------------------------------------------
     # The tick
@@ -310,44 +457,48 @@ class GenerationEngine:
         now = self._clock()
         events: list[TokenEvent] = []
         chunked = self.config.prefill_chunk_tokens is not None
-
-        # 1. Admission, one request at a time (each admission's page
-        # allocations must be visible to the next fit check).
-        while (seq := self.scheduler.admit_one()) is not None:
-            if math.isnan(seq.admit_time):
-                seq.admit_time = now     # queue latency: first admission only
-            ids = seq.prefill_ids()
-            if self.pool is not None:
-                seq.lease = self.pool.acquire(self._cache_factory)
-                seq.lease.match_prefix(ids)
-            else:
-                seq.lease = self.arena.acquire()
-            if chunked:
-                # No forward yet — the prompt enters the chunk queue.
-                seq.pending_ids = ids
-                seq.cursor = PrefillCursor(ids.size)
-            else:
-                logits = self.model.prefill(
-                    ids, seq.lease.caches,
-                    weights=self.weights, act_quant=self.act_quant,
-                )
-                seq.pos = int(ids.size)
-                seq.prefill_chunks += 1
+        self._stepping = True
+        try:
+            # 1. Admission, one request at a time (each admission's page
+            # allocations must be visible to the next fit check).
+            while (seq := self.scheduler.admit_one()) is not None:
+                if math.isnan(seq.admit_time):
+                    seq.admit_time = now     # queue latency: first admission only
+                ids = seq.prefill_ids()
                 if self.pool is not None:
-                    seq.lease.register_prefix(ids)
-                self._finish_prefill(seq, logits, events)
+                    seq.lease = self.pool.acquire(self._cache_factory)
+                    seq.lease.match_prefix(ids)
+                else:
+                    seq.lease = self.arena.acquire()
+                if chunked:
+                    # No forward yet — the prompt enters the chunk queue.
+                    seq.pending_ids = ids
+                    seq.cursor = PrefillCursor(ids.size)
+                else:
+                    logits = self.model.prefill(
+                        ids, seq.lease.caches,
+                        weights=self.weights, act_quant=self.act_quant,
+                    )
+                    seq.pos = int(ids.size)
+                    seq.prefill_chunks += 1
+                    self._prefill_tokens += int(ids.size)
+                    if self.pool is not None:
+                        seq.lease.register_prefix(ids)
+                    self._finish_prefill(seq, logits, events)
 
-        # 2. Plan this tick's work under the pool's block supply, then
-        # run it as one fused forward.
-        decode, chunks = self._plan_tick()
-        if chunks:
-            self._mixed_tick(decode, chunks, events)
-        elif decode:
-            self._decode_tick(decode, events)
+            # 2. Plan this tick's work under the pool's block supply, then
+            # run it as one fused forward.
+            decode, chunks = self._plan_tick()
+            if chunks:
+                self._mixed_tick(decode, chunks, events)
+            elif decode:
+                self._decode_tick(decode, events)
 
-        # 3. Retire finished sequences, recycling their cache storage.
-        for seq in [s for s in self.scheduler.running if s.finished]:
-            self._retire(seq)
+            # 3. Retire finished sequences, recycling their cache storage.
+            for seq in [s for s in self.scheduler.running if s.finished]:
+                self._retire(seq)
+        finally:
+            self._stepping = False
         # Busy time accumulates per tick so throughput reflects time
         # spent serving, not idle gaps between bursts.
         self._busy_s += self._clock() - now
@@ -364,15 +515,16 @@ class GenerationEngine:
         policy (decode tokens are charged against
         ``max_tokens_per_tick`` first).  Paged engines then check that
         the tick's page demands fit the pool — page *allocation* stays
-        on demand inside the cache appends — preempting the youngest
-        unfinished sequence (decoding or half-prefilled alike) back to
-        the queue head until they do, instead of reserving worst-case
+        on demand inside the cache appends — preempting the
+        policy-chosen victim (decoding or half-prefilled alike) back to
+        the queue until they do, instead of reserving worst-case
         ``prompt + max_tokens`` up front.
         """
         while True:
             running = self.scheduler.running
             decode = [s for s in running if not s.finished and s.cursor is None]
-            prefilling = [s for s in running if s.cursor is not None]
+            prefilling = [s for s in running
+                          if s.cursor is not None and not s.finished]
             budget = math.inf
             if self.config.max_tokens_per_tick is not None:
                 budget = max(0, self.config.max_tokens_per_tick - len(decode))
@@ -391,7 +543,7 @@ class GenerationEngine:
                     "BlockPool exhausted with a single running sequence: "
                     f"{self.pool.blocks_available} blocks free, {need} needed"
                 )
-            self._preempt(victims[-1])   # youngest admitted first
+            self._preempt(self.scheduler.policy.choose_preemption_victim(victims))
 
     def _decode_tick(self, live: list, events: list) -> None:
         """One fused ``decode_step_batch`` over every decode row —
@@ -408,6 +560,8 @@ class GenerationEngine:
         for b, seq in enumerate(live):
             seq.pos += 1
             seq.decode_steps += 1
+            if seq.finished:
+                continue   # cancelled mid-tick by a reentrant callback
             self._emit(seq, seq.sampler.sample(logits[b]), events)
 
     def _mixed_tick(self, decode: list, chunks: list, events: list) -> None:
@@ -432,27 +586,75 @@ class GenerationEngine:
         for seq, logits in zip(decode, outs):
             seq.pos += 1
             seq.decode_steps += 1
+            if seq.finished:
+                continue   # cancelled mid-tick by a reentrant callback
             self._emit(seq, seq.sampler.sample(logits), events)
         for (seq, n), logits in zip(chunks, outs[len(decode):]):
             seq.cursor.advance(n)
             seq.prefill_chunks += 1
             self._prefill_chunks += 1
+            self._prefill_tokens += n
             if seq.cursor.complete:
                 seq.pos = seq.cursor.total
                 if self.pool is not None:
                     seq.lease.register_prefix(seq.pending_ids)
                 seq.cursor = None
                 seq.pending_ids = None
-                self._finish_prefill(seq, logits, events)
+                if not seq.finished:
+                    self._finish_prefill(seq, logits, events)
 
     def _finish_prefill(self, seq: _Sequence, logits, events: list) -> None:
-        """Prompt fully in cache: sample the first token (or resume)."""
+        """Prompt fully in cache: sample first token(s), fork siblings."""
         if seq.resuming:
             # Preempted sequence: the cache is rebuilt, the next token
             # was already sampled and emitted before eviction.
             seq.resuming = False
-        else:
-            self._emit(seq, seq.sampler.sample(logits), events)
+            return
+        self._emit(seq, seq.sampler.sample(logits), events)
+        # A cancel from the first token's on_token callback must stop
+        # the whole request: never fork siblings for a cancelled parent
+        # (finishing normally — max_tokens=1, stop token — still forks;
+        # each sibling owes its own sample).
+        if (seq.request.n > 1 and seq.sample_index == 0
+                and len(seq.family) == 1
+                and seq.finish_reason != FINISH_CANCELLED):
+            self._spawn_samples(seq, logits, events)
+
+    def _spawn_samples(self, seq: _Sequence, logits, events: list) -> None:
+        """Materialize samples 1..n-1 off sample 0's completed prefill.
+
+        Paged: :meth:`~repro.serve.paging.PagedLease.fork` — every
+        prompt page is shared copy-on-write, no extra prefill compute.
+        Arena: contiguous slots cannot alias, so the fallback replays
+        the prompt into a fresh slot per sample (compute repeated,
+        output identical).  Either way each sibling samples its *first*
+        token from the parent's prefill logits — the distributions are
+        identical by construction, and reusing the parent's avoids a
+        spurious dependence on packed-GEMM ulp wobble — and then
+        decodes as an independent lane.  The parent's reserved lanes
+        shrink to 1; each sibling carries its own lane from here on.
+        """
+        prompt = seq.request.prompt
+        seq.lanes = 1
+        for i in range(1, seq.request.n):
+            sibling = _Sequence(seq.request, seq.on_token, seq.submit_time,
+                                sample_index=i)
+            sibling.arrival_seq = seq.arrival_seq
+            sibling.admit_time = seq.admit_time
+            sibling.family = seq.family
+            seq.family.append(sibling)
+            if self.pool is not None:
+                sibling.lease = seq.lease.fork()
+            else:
+                sibling.lease = self.arena.acquire()
+                self.model.prefill(
+                    prompt, sibling.lease.caches,
+                    weights=self.weights, act_quant=self.act_quant,
+                )
+                self._prefill_tokens += int(prompt.size)
+            sibling.pos = seq.pos
+            self.scheduler.add_running(sibling)
+            self._emit(sibling, sibling.sampler.sample(logits), events)
 
     def _preempt(self, seq: _Sequence) -> None:
         self.scheduler.requeue_front(seq)
@@ -474,7 +676,8 @@ class GenerationEngine:
         if token in seq.request.stop_tokens:
             seq.finished = True
             seq.finish_reason = FINISH_STOP
-            event = TokenEvent(rid, None, len(seq.tokens), True, FINISH_STOP)
+            event = TokenEvent(rid, None, len(seq.tokens), True, FINISH_STOP,
+                               sample=seq.sample_index)
         else:
             seq.tokens.append(token)
             seq.next_token = token
@@ -488,7 +691,7 @@ class GenerationEngine:
                 seq.text_len = len(full)
             event = TokenEvent(
                 rid, token, len(seq.tokens) - 1, seq.finished, seq.finish_reason,
-                text,
+                text, sample=seq.sample_index,
             )
         if event.token is not None:
             # Latency histograms: TTFT on the first emitted token,
@@ -505,28 +708,58 @@ class GenerationEngine:
         if seq.on_token is not None:
             seq.on_token(event)
 
-    def _retire(self, seq: _Sequence) -> None:
-        now = self._clock()
-        self.scheduler.release(seq)
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+    def _release_storage(self, seq: _Sequence) -> None:
+        if seq.lease is None:
+            return               # queued / preempted: nothing leased
         if self.pool is not None:
             seq.lease.release()
         else:
             self.arena.release(seq.lease)
-        rid = seq.request.request_id
+        seq.lease = None
+
+    def _retire(self, seq: _Sequence) -> None:
+        now = self._clock()
+        self.scheduler.release(seq)
+        self._release_storage(seq)
+        seq.retired = True
+        if all(m.retired for m in seq.family):
+            self._record_result(seq.family, now)
+
+    def _record_result(self, family: list, now: float) -> None:
+        """All samples done: build the request's :class:`GenerationResult`."""
+        parent = family[0]
+        rid = parent.request.request_id
         self._active_ids.discard(rid)
-        latency = seq.admit_time - seq.submit_time
-        self._completed += 1
-        self._lat_sum += latency
-        self._lat_max = max(self._lat_max, latency)
+        samples = [
+            SampleOutput(
+                m.sample_index, m.tokens, m.finish_reason,
+                text=(self._detokenize(list(m.tokens))
+                      if self._detokenize is not None else None),
+            )
+            for m in sorted(family, key=lambda m: m.sample_index)
+        ]
+        cancelled = parent.finish_reason == FINISH_CANCELLED
+        admitted = not math.isnan(parent.admit_time)
+        latency = (parent.admit_time - parent.submit_time) if admitted else float("nan")
+        if cancelled:
+            pass                       # counted in requests_cancelled instead
+        else:
+            self._completed += 1
+            self._lat_sum += latency
+            self._lat_max = max(self._lat_max, latency)
         self._results[rid] = GenerationResult(
             request_id=rid,
-            tokens=seq.tokens,
-            finish_reason=seq.finish_reason,
+            tokens=samples[0].tokens,
+            finish_reason=samples[0].finish_reason,
             queue_latency_s=latency,
-            service_time_s=now - seq.admit_time,
-            decode_steps=seq.decode_steps,
-            ttft_s=seq.first_token_time - seq.submit_time,
-            prefill_chunks=seq.prefill_chunks,
+            service_time_s=(now - parent.admit_time) if admitted else 0.0,
+            decode_steps=parent.decode_steps,
+            ttft_s=parent.first_token_time - parent.submit_time,
+            prefill_chunks=parent.prefill_chunks,
+            samples=samples,
         )
 
     # ------------------------------------------------------------------
@@ -558,7 +791,7 @@ class GenerationEngine:
         return {rid: self._results[rid] for rid in (ids or finished)}
 
     def result(self, request_id: str) -> GenerationResult:
-        return self._results[request_id]
+        return self._results[str(request_id)]
 
     def pop_result(self, request_id: str) -> GenerationResult:
         """Retrieve and evict one finished request's result.
@@ -568,7 +801,7 @@ class GenerationEngine:
         server that only ever reads with :meth:`result` grows without
         bound.  After eviction the id may be reused by a new request.
         """
-        return self._results.pop(request_id)
+        return self._results.pop(str(request_id))
 
     # ------------------------------------------------------------------
     # Stats
@@ -586,11 +819,13 @@ class GenerationEngine:
             slots, high_water = self.arena.slots_total, self.arena.high_water
             prefix_hits = 0
         return EngineStats(
+            scheduler_policy=self.scheduler.policy.name,
             requests_submitted=self._submitted,
             requests_completed=self._completed,
             requests_queued=self.scheduler.queue_depth,
             requests_running=self.scheduler.n_running,
             requests_rejected=self._rejected,
+            requests_cancelled=self._cancelled,
             tokens_generated=self._tokens_generated,
             decode_ticks=self._decode_ticks,
             mean_batch_occupancy=(
@@ -605,6 +840,7 @@ class GenerationEngine:
             preemptions=self._preemptions,
             prefix_hit_tokens=prefix_hits,
             prefill_chunks=self._prefill_chunks,
+            prefill_tokens=self._prefill_tokens,
             ttft_p50_s=self._pctl(self._ttfts, 50),
             ttft_p95_s=self._pctl(self._ttfts, 95),
             inter_token_p50_s=self._pctl(self._itls, 50),

@@ -146,6 +146,7 @@ class BlockPool:
         self.allocations = 0
         self.high_water = 0
         self.total_leases = 0
+        self.forks = 0           # PagedLease.fork clones (parallel sampling)
         self.cow_copies = 0
         self.prefix_hit_tokens = 0
         self.prefill_pages_total = 0
@@ -736,6 +737,7 @@ class PagedLease:
             inner._buffer_factory = self.pool._buffer_factory(clone, layer)
             clone.caches.append(PagedKVCache(inner, table))
         self.pool.total_leases += 1
+        self.pool.forks += 1
         return clone
 
     def release(self) -> None:

@@ -1,10 +1,25 @@
 """Request/response types of the serving engine.
 
 A :class:`GenerationRequest` is everything one client asks for: prompt,
-output budget, sampling policy, optional stop tokens.  The engine
-streams :class:`TokenEvent`s while the request runs and retires it into
-a :class:`GenerationResult` carrying the finish reason and the
-request's queue/service timings.
+output budget, sampling policy, optional stop tokens — plus, in the v2
+API, its *lifecycle* fields: a scheduling ``priority``, a soft
+``deadline_s`` SLO (both consumed by the pluggable
+:mod:`~repro.serve.policy` implementations) and ``n`` parallel samples
+per prompt (served from one shared prefill via
+:meth:`~repro.serve.paging.PagedLease.fork`).  The engine streams
+:class:`TokenEvent`s while the request runs and retires it into a
+:class:`GenerationResult` carrying one :class:`SampleOutput` per sample
+(the classic single-sample fields alias ``samples[0]``).
+
+:meth:`GenerationEngine.submit` returns a :class:`RequestHandle` — a
+``str`` subclass equal to the request id, so every pre-v2 call site
+keeps working — with ``.stream()`` / ``.result()`` / ``.cancel()``
+attached, so callers stop juggling raw ids.
+
+Every request-shape error (``max_tokens < 1``, negative or duplicate
+stop tokens, ``n < 1``, ``deadline_s <= 0``, non-1-D or empty prompts)
+raises a precise ``ValueError`` at construction — i.e. at submit time —
+never mid-tick.
 """
 
 from __future__ import annotations
@@ -18,14 +33,18 @@ from repro.sampling import GREEDY, SamplingParams
 __all__ = [
     "GenerationRequest",
     "PrefillCursor",
+    "RequestHandle",
+    "SampleOutput",
     "TokenEvent",
     "GenerationResult",
     "FINISH_LENGTH",
     "FINISH_STOP",
+    "FINISH_CANCELLED",
 ]
 
-FINISH_LENGTH = "length"   # produced max_tokens tokens
-FINISH_STOP = "stop"       # sampled a stop token (not emitted)
+FINISH_LENGTH = "length"       # produced max_tokens tokens
+FINISH_STOP = "stop"           # sampled a stop token (not emitted)
+FINISH_CANCELLED = "cancelled"  # client cancelled (queued or mid-flight)
 
 
 @dataclass(frozen=True, eq=False)
@@ -35,6 +54,16 @@ class GenerationRequest:
     ``stop_tokens`` end generation when *sampled*; the stop token
     itself is not emitted.  ``request_id`` must be unique among the
     requests an engine currently knows about.
+
+    ``priority`` orders admission/preemption under the ``"priority"``
+    scheduling policy (higher = more urgent; other policies ignore it).
+    ``deadline_s`` is a soft SLO in seconds from submission, consumed
+    by the ``"deadline"`` (EDF) policy; ``None`` means no deadline.
+    ``n`` asks for that many independent samples of the same prompt:
+    the prompt is prefilled once and the KV pages are forked
+    copy-on-write per extra sample (paged backend; the arena backend
+    replays the prefill into a fresh slot), each sample drawing from
+    its own RNG stream derived from ``sampling.seed``.
     """
 
     request_id: str
@@ -42,6 +71,9 @@ class GenerationRequest:
     max_tokens: int = 16
     sampling: SamplingParams = GREEDY
     stop_tokens: frozenset = frozenset()
+    priority: int = 0
+    deadline_s: float | None = None
+    n: int = 1
 
     def __post_init__(self):
         prompt = np.asarray(self.prompt, dtype=np.int64)
@@ -50,14 +82,36 @@ class GenerationRequest:
         if prompt.size == 0:
             raise ValueError("empty prompt rejected: nothing to prefill")
         object.__setattr__(self, "prompt", prompt)
-        object.__setattr__(self, "stop_tokens", frozenset(self.stop_tokens))
+        stops = list(self.stop_tokens)
+        if len(stops) != len(set(stops)):
+            raise ValueError(
+                f"duplicate stop tokens in {sorted(stops)} (each id once)"
+            )
+        if any(int(t) < 0 for t in stops):
+            raise ValueError(
+                f"negative stop tokens in {sorted(int(t) for t in stops)} "
+                "(token ids are non-negative)"
+            )
+        object.__setattr__(self, "stop_tokens", frozenset(int(t) for t in stops))
         if self.max_tokens < 1:
             raise ValueError(f"max_tokens must be >= 1, got {self.max_tokens}")
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1 sample, got {self.n}")
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError(
+                f"deadline_s must be > 0 seconds (or None), got {self.deadline_s}"
+            )
 
     @property
     def token_footprint(self) -> int:
-        """Worst-case KV-cache tokens this request can occupy."""
+        """Worst-case KV-cache tokens *one sample* of this request needs."""
         return int(self.prompt.size) + self.max_tokens
+
+    @property
+    def total_token_footprint(self) -> int:
+        """Worst-case KV tokens across all ``n`` samples (arena bound:
+        every extra sample replays the prompt into its own slot)."""
+        return self.n * self.token_footprint
 
 
 class PrefillCursor:
@@ -98,18 +152,66 @@ class PrefillCursor:
         return f"PrefillCursor({self.done}/{self.total})"
 
 
+class RequestHandle(str):
+    """A request id with its lifecycle attached.
+
+    Subclasses ``str`` (the handle *is* the request id), so existing
+    code that treats :meth:`GenerationEngine.submit`'s return value as
+    a plain id — dict keys, comparisons, formatting — is unchanged.
+    The convenience methods drive the owning engine:
+
+    * :meth:`cancel` — stop the request in whatever state it is in.
+    * :meth:`result` — step the engine until this request finishes.
+    * :meth:`stream` — iterate this request's :class:`TokenEvent`s,
+      stepping the engine as needed (other requests keep being served;
+      their events are still delivered to their own callbacks).
+    """
+
+    def __new__(cls, request_id: str, engine):
+        handle = super().__new__(cls, request_id)
+        handle._engine = engine
+        return handle
+
+    @property
+    def request_id(self) -> str:
+        return str(self)
+
+    @property
+    def done(self) -> bool:
+        """True once a :class:`GenerationResult` is available."""
+        return self._engine.has_result(self)
+
+    def cancel(self) -> bool:
+        """Cancel in any state; True if the request was still live."""
+        return self._engine.cancel(self)
+
+    def result(self):
+        """Drive the engine until this request's result exists."""
+        while not self._engine.has_result(self) and self._engine.has_work():
+            self._engine.step()
+        return self._engine.result(self)
+
+    def stream(self):
+        """Yield this request's events, stepping the engine to make them."""
+        while not self._engine.has_result(self) and self._engine.has_work():
+            for event in self._engine.step():
+                if event.request_id == self:
+                    yield event
+
+
 @dataclass(frozen=True)
 class TokenEvent:
     """One streamed output token (or a bare finish notification).
 
     ``token`` is ``None`` only on a finish event that emitted nothing
-    new (a sampled stop token); ``index`` is the token's position in
-    the request's output.  ``finished``/``finish_reason`` are set on
-    the request's last event.  ``text`` is the newly decoded text for
-    this token when the engine was built with a ``detokenize`` callback
-    (the *incremental* suffix — concatenating every event's text yields
-    the request's full detokenized output, which keeps multi-token
-    glyphs correct), ``None`` otherwise.
+    new (a sampled stop token, or a cancellation); ``index`` is the
+    token's position in the sample's output and ``sample`` which of the
+    request's ``n`` parallel samples produced it.  ``finished``/
+    ``finish_reason`` are set on each sample's last event.  ``text`` is
+    the newly decoded text for this token when the engine was built
+    with a ``detokenize`` callback (the *incremental* suffix —
+    concatenating a sample's event texts yields its full detokenized
+    output, which keeps multi-token glyphs correct), ``None`` otherwise.
     """
 
     request_id: str
@@ -118,11 +220,33 @@ class TokenEvent:
     finished: bool = False
     finish_reason: str | None = None
     text: str | None = None
+    sample: int = 0
+
+
+@dataclass
+class SampleOutput:
+    """One of a request's ``n`` parallel samples."""
+
+    index: int
+    tokens: list[int]
+    finish_reason: str
+    text: str | None = None     # full detokenized output (engines with
+                                # a detokenize callback), else None
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.tokens)
 
 
 @dataclass
 class GenerationResult:
-    """Final state of one served request."""
+    """Final state of one served request.
+
+    ``samples`` holds every parallel sample in index order; the classic
+    single-sample fields (``tokens``, ``finish_reason``) alias
+    ``samples[0]`` — same list object, not a copy — so pre-v2 callers
+    read sample 0 exactly as before.
+    """
 
     request_id: str
     tokens: list[int]
@@ -132,7 +256,18 @@ class GenerationResult:
     decode_steps: int           # batched decode ticks this request rode
     ttft_s: float = float("nan")      # submit -> first emitted token
     prefill_chunks: int = 0     # chunked mode: forward passes the prompt took
+    samples: list[SampleOutput] = field(default=None)
+
+    def __post_init__(self):
+        if self.samples is None:
+            # Pre-v2 construction sites pass only the single-sample
+            # fields; synthesize the aliasing samples list.
+            self.samples = [SampleOutput(0, self.tokens, self.finish_reason)]
 
     @property
     def n_tokens(self) -> int:
         return len(self.tokens)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)

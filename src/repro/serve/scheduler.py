@@ -1,22 +1,32 @@
-"""Continuous-batching admission control (FCFS + token/block budgets).
+"""Continuous-batching admission control under a pluggable policy.
 
 The scheduler decides *which* requests share the decode batch; it owns
-no model or cache state.  Policy:
+no model or cache state.  Mechanism (budgets, gauges, head-of-line
+admission) lives here; *ordering* is delegated to a
+:class:`~repro.serve.policy.SchedulerPolicy`:
 
-* **FCFS, head-of-line.**  Requests are admitted strictly in arrival
-  order; if the head of the queue does not fit, nothing behind it is
-  considered (no starvation of large requests by small ones).
-* **Batch-size cap.**  At most ``max_batch_size`` requests decode per
-  tick — which is also the cache arena's slot count.
+* **Policy-ordered, head-of-line.**  The waiting queue is viewed
+  through ``policy.order_queue`` and only the ordered head is
+  considered for admission; if it does not fit, nothing behind it is
+  admitted (no starvation of large requests by small ones).  The
+  default :class:`~repro.serve.policy.FCFSPolicy` keeps arrival order
+  — bit-for-bit the pre-policy scheduler.
+* **Batch-size cap.**  At most ``max_batch_size`` sample lanes decode
+  per tick — which is also the cache arena's slot count.  A request
+  asking for ``n`` parallel samples reserves ``n`` lanes at admission
+  (its forked samples join the running set once the shared prefill
+  completes).
 * **Token-budget admission.**  If ``max_tokens_in_flight`` is set, the
-  sum of worst-case KV footprints (``prompt + max_tokens`` per running
-  request) stays under it, modelling a bounded cache-memory pool.
+  sum of worst-case KV footprints (all samples' ``prompt + max_tokens``
+  per running request) stays under it, modelling a bounded
+  cache-memory pool.
 * **Block-aware admission** (paged engines).  When a block gauge is
   bound, the head is admitted iff its *prefill* — not its worst case —
   fits in the pool's actually-free pages; decode-time growth allocates
   on demand and the engine preempts back into this queue (at the
-  front, preserving FCFS) on pool exhaustion.  This is what lets a
-  paged engine admit far more work than worst-case token budgets would.
+  front, preserving arrival order) on pool exhaustion.  This is what
+  lets a paged engine admit far more work than worst-case token budgets
+  would.
 * **Prefix-aware admission.**  A bound ``prefix_probe`` reports how
   many of the head's leading prompt pages are already backed by live
   shared blocks; only the pages a prefix-cache hit *won't* cover are
@@ -24,11 +34,11 @@ no model or cache state.  Policy:
   prompt admits as soon as its unique tail fits.
 * **Chunked-prefill budget** (``prefill_chunk_tokens``).  Prompts run
   through the mixed prefill+decode tick in window-aligned chunks;
-  :meth:`Scheduler.plan_chunks` hands the engine at most one chunk per
-  prefilling sequence per tick, FCFS, under the Sarathi-style
-  ``max_tokens_per_tick`` token budget (decode rows are charged first,
-  leftover budget feeds prefill), head-of-line so a starved long
-  prompt is never overtaken by later arrivals.
+  :meth:`Scheduler.plan_chunks` delegates to
+  ``policy.pick_chunk_recipients``: at most one chunk per prefilling
+  sequence per tick, policy-ordered head-of-line, under the
+  Sarathi-style ``max_tokens_per_tick`` token budget (decode rows are
+  charged first, leftover budget feeds prefill).
 * **Bounded queue.**  ``max_queue_len`` caps the waiting line;
   ``submit`` raises :class:`QueueFullError` instead of growing the
   deque without bound (backpressure — callers retry or shed load).
@@ -36,119 +46,68 @@ no model or cache state.  Policy:
 Admission happens between decode ticks: as requests finish mid-batch,
 their slots free up and the next tick's :meth:`Scheduler.admit_one`
 pulls queued requests in.
+
+.. deprecated::
+    ``repro.serve.scheduler.ServeConfig`` moved to
+    :mod:`repro.serve.config`; the name importable here is a
+    deprecated alias.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from dataclasses import dataclass
+
+from repro.serve.config import ServeConfig as _ServeConfig
+from repro.serve.policy import FCFSPolicy, SchedulerPolicy, get_policy
 
 __all__ = ["ServeConfig", "Scheduler", "QueueFullError"]
+
+
+def __getattr__(name):
+    if name == "ServeConfig":
+        warnings.warn(
+            "repro.serve.scheduler.ServeConfig is deprecated; import it "
+            "from repro.serve (or repro.serve.config)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _ServeConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class QueueFullError(RuntimeError):
     """Submission rejected: the scheduler's queue is at ``max_queue_len``."""
 
 
-@dataclass(frozen=True)
-class ServeConfig:
-    """Engine/scheduler knobs.
+def _lanes(seq) -> int:
+    """Batch lanes the sequence will occupy once fully admitted."""
+    return getattr(seq, "lanes", 1)
 
-    ``max_tokens_in_flight = None`` disables the token budget (the
-    batch-size cap alone bounds concurrency).  ``max_queue_len = None``
-    leaves the waiting queue unbounded.
 
-    Paging (``paged=True`` — see :mod:`repro.serve.paging`):
-
-    ``block_tokens``
-        Page size in tokens.  Must be a multiple of the cache's
-        temporal quantization group (the MANT V window) so per-page
-        quantization is bit-identical to the flat caches.
-    ``num_blocks``
-        Pool size.  ``None`` sizes it for the worst case
-        (``ceil(max_seq / block_tokens) × max_batch_size``); smaller
-        values enable real admission control, on-demand growth and
-        preemption under memory pressure.
-    ``enable_prefix_cache``
-        Deduplicate identical full prompt-prefix pages across requests
-        (hash-chained, copy-on-write protected).
-
-    Chunked prefill (the mixed prefill+decode tick):
-
-    ``prefill_chunk_tokens``
-        Split each admitted prompt into chunks of this many tokens and
-        run them through the batched mixed tick alongside the decode
-        rows, instead of prefilling each prompt whole and alone at
-        admission.  Must be a multiple of the cache's temporal
-        quantization window (the MANT V window; checked at engine
-        construction) — and of ``block_tokens`` when paged — so chunk
-        boundaries always land on quantization-group boundaries and
-        chunked output stays token-identical to unchunked.  ``None``
-        (default) keeps the whole-prompt prefill path.
-    ``max_tokens_per_tick``
-        Sarathi-style per-tick token budget for the mixed tick: the
-        decode rows (one token each) are charged first, and prefill
-        chunks are only scheduled into what remains, keeping every
-        tick's forward-pass cost — and therefore decode inter-token
-        latency — bounded regardless of prompt length.  Requires
-        ``prefill_chunk_tokens`` and must be at least as large, so an
-        all-prefill tick always makes progress.  ``None`` leaves tick
-        size bounded only by one chunk per prefilling sequence.
-    """
-
-    max_batch_size: int = 8
-    max_tokens_in_flight: int | None = None
-    initial_cache_capacity: int = 64
-    max_queue_len: int | None = None
-    paged: bool = False
-    block_tokens: int = 32
-    num_blocks: int | None = None
-    enable_prefix_cache: bool = True
-    prefill_chunk_tokens: int | None = None
-    max_tokens_per_tick: int | None = None
-
-    def __post_init__(self):
-        if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be >= 1")
-        if self.max_tokens_in_flight is not None and self.max_tokens_in_flight < 1:
-            raise ValueError("max_tokens_in_flight must be >= 1 (or None)")
-        if self.initial_cache_capacity < 1:
-            raise ValueError("initial_cache_capacity must be >= 1")
-        if self.max_queue_len is not None and self.max_queue_len < 1:
-            raise ValueError("max_queue_len must be >= 1 (or None)")
-        if self.block_tokens < 1:
-            raise ValueError("block_tokens must be >= 1")
-        if self.num_blocks is not None and self.num_blocks < 1:
-            raise ValueError("num_blocks must be >= 1 (or None)")
-        if self.prefill_chunk_tokens is not None:
-            if self.prefill_chunk_tokens < 1:
-                raise ValueError("prefill_chunk_tokens must be >= 1 (or None)")
-            if self.paged and self.prefill_chunk_tokens % self.block_tokens:
-                raise ValueError(
-                    f"prefill_chunk_tokens={self.prefill_chunk_tokens} must be "
-                    f"a multiple of block_tokens ({self.block_tokens}) so every "
-                    "non-final chunk fills whole pages and never straddles a "
-                    "temporal quantization group"
-                )
-        if self.max_tokens_per_tick is not None:
-            if self.prefill_chunk_tokens is None:
-                raise ValueError(
-                    "max_tokens_per_tick requires prefill_chunk_tokens (the "
-                    "budget throttles the chunked-prefill mixed tick)"
-                )
-            if self.max_tokens_per_tick < self.prefill_chunk_tokens:
-                raise ValueError(
-                    f"max_tokens_per_tick ({self.max_tokens_per_tick}) must be "
-                    f">= prefill_chunk_tokens ({self.prefill_chunk_tokens}) so "
-                    "a tick with no decode rows still fits one chunk"
-                )
+def _footprint(seq) -> int:
+    """Worst-case KV tokens across the sequence's remaining samples."""
+    return getattr(seq, "token_footprint", None) or seq.request.token_footprint
 
 
 class Scheduler:
-    """FCFS queue + running set under the :class:`ServeConfig` policy."""
+    """Waiting queue + running set under the :class:`ServeConfig` policy.
 
-    def __init__(self, config: ServeConfig):
+    ``policy`` defaults to the config's ``scheduler_policy`` name; an
+    explicit :class:`~repro.serve.policy.SchedulerPolicy` instance
+    overrides it (e.g. a :class:`~repro.serve.policy.DeadlinePolicy`
+    with a custom aging cap).
+    """
+
+    def __init__(self, config: _ServeConfig, policy: SchedulerPolicy | None = None):
         self.config = config
+        self.policy = get_policy(
+            policy if policy is not None
+            else getattr(config, "scheduler_policy", "fcfs")
+        )
+        bind = getattr(self.policy, "bind", None)
+        if bind is not None:
+            bind(config.prefill_chunk_tokens)
         self._queue: deque = deque()
         self._running: list = []
         self._block_gauge = None      # () -> free blocks, bound by paged engines
@@ -169,9 +128,20 @@ class Scheduler:
         return list(self._running)
 
     @property
+    def waiting(self) -> list:
+        """The queued sequences in the policy's admission order."""
+        return self.policy.order_queue(list(self._queue))
+
+    @property
     def tokens_in_flight(self) -> int:
         """Worst-case KV tokens the running set may occupy."""
-        return sum(seq.request.token_footprint for seq in self._running)
+        return sum(_footprint(seq) for seq in self._running)
+
+    @property
+    def lanes_in_flight(self) -> int:
+        """Batch lanes held by the running set, counting lanes still
+        reserved for not-yet-forked parallel samples."""
+        return sum(_lanes(seq) for seq in self._running)
 
     def has_work(self) -> bool:
         return bool(self._queue or self._running)
@@ -196,13 +166,13 @@ class Scheduler:
     # ------------------------------------------------------------------
     def submit(self, seq) -> None:
         # A request that can never fit the budget must be rejected at
-        # submission: queued, it would reach the head and wedge the FCFS
-        # queue forever (head-of-line admission never skips it).
+        # submission: queued, it would reach the head and wedge the
+        # head-of-line queue forever (admission never skips the head).
         budget = self.config.max_tokens_in_flight
-        if budget is not None and seq.request.token_footprint > budget:
+        if budget is not None and _footprint(seq) > budget:
             raise ValueError(
                 f"request {seq.request.request_id!r} needs "
-                f"{seq.request.token_footprint} tokens, over the "
+                f"{_footprint(seq)} tokens, over the "
                 f"max_tokens_in_flight budget of {budget}"
             )
         limit = self.config.max_queue_len
@@ -214,11 +184,11 @@ class Scheduler:
         self._queue.append(seq)
 
     def _fits(self, seq) -> bool:
-        if len(self._running) >= self.config.max_batch_size:
+        if self.lanes_in_flight + _lanes(seq) > self.config.max_batch_size:
             return False
         budget = self.config.max_tokens_in_flight
         if budget is not None:
-            if self.tokens_in_flight + seq.request.token_footprint > budget:
+            if self.tokens_in_flight + _footprint(seq) > budget:
                 return False
         if self._block_gauge is not None:
             pages = -(-seq.prefill_len // self._block_tokens)
@@ -244,23 +214,49 @@ class Scheduler:
         return True
 
     def admit_one(self):
-        """Admit the queue head if it fits, else ``None`` (FCFS).
+        """Admit the policy-ordered head if it fits, else ``None``.
 
-        Paged engines admit one request at a time so each admission's
-        page allocations are visible to the next fit check.
+        Head-of-line over the *ordered* queue: only the request the
+        policy ranks first is considered.  Paged engines admit one
+        request at a time so each admission's page allocations are
+        visible to the next fit check.
         """
-        if self._queue and self._fits(self._queue[0]):
-            seq = self._queue.popleft()
-            self._running.append(seq)
-            return seq
+        if not self._queue:
+            return None
+        if isinstance(self.policy, FCFSPolicy):
+            head = self._queue[0]          # fast path: no ordering pass
+        else:
+            head = self.policy.order_queue(list(self._queue))[0]
+        if self._fits(head):
+            self._queue.remove(head)
+            self._running.append(head)
+            return head
         return None
 
     def admit(self) -> list:
-        """Move queued requests into the running set, FCFS, while they fit."""
+        """Move queued requests into the running set while they fit."""
         admitted = []
         while (seq := self.admit_one()) is not None:
             admitted.append(seq)
         return admitted
+
+    def add_running(self, seq) -> None:
+        """Place an engine-materialized sequence (a forked parallel
+        sample) directly into the running set, bypassing the queue —
+        its lanes were reserved when its parent was admitted."""
+        self._running.append(seq)
+
+    def remove_queued(self, seq) -> bool:
+        """Drop a still-queued sequence (cancellation); False if absent."""
+        try:
+            self._queue.remove(seq)
+            return True
+        except ValueError:
+            return False
+
+    def find_queued(self, request_id: str):
+        """The queued sequences belonging to ``request_id`` (0 or 1)."""
+        return [s for s in self._queue if s.request.request_id == request_id]
 
     def plan_chunks(self, prefilling: list, budget: float) -> list:
         """Token-budgeted prefill-chunk plan for one mixed tick.
@@ -268,28 +264,22 @@ class Scheduler:
         ``prefilling`` are the running sequences whose prompts are not
         fully prefilled, in admission order; ``budget`` is the tick's
         remaining token budget after charging the decode rows (``inf``
-        when :attr:`ServeConfig.max_tokens_per_tick` is unset).  Each
-        sequence gets at most one chunk of up to
-        ``prefill_chunk_tokens`` per tick (the final chunk may be
-        shorter), FCFS and head-of-line: when the next chunk does not
-        fit the remaining budget, nothing behind it is considered, so a
-        long prompt can never be starved by later short ones.  Returns
-        ``[(seq, n_tokens)]``.
+        when :attr:`ServeConfig.max_tokens_per_tick` is unset).  The
+        policy orders them and packs head-of-line: each sequence gets
+        at most one chunk of up to ``prefill_chunk_tokens`` per tick
+        (the final chunk may be shorter), and when the next chunk does
+        not fit the remaining budget nothing behind it is considered,
+        so a long prompt can never be starved by later short ones.
+        Returns ``[(seq, n_tokens)]``.
         """
-        chunk = self.config.prefill_chunk_tokens
-        plan = []
-        for seq in prefilling:
-            n = min(chunk, seq.cursor.remaining)
-            if n > budget:
-                break
-            plan.append((seq, n))
-            budget -= n
-        return plan
+        return self.policy.pick_chunk_recipients(prefilling, budget)
 
     def requeue_front(self, seq) -> None:
-        """Preemption path: running → head of the queue (FCFS preserved —
-        engines preempt youngest-first, so successive calls restore the
-        original arrival order ahead of everything already queued)."""
+        """Preemption path: running → head of the queue (arrival order
+        preserved — the FCFS engine preempts youngest-first, so
+        successive calls restore the original arrival order ahead of
+        everything already queued; sorting policies re-rank the queue
+        on every admission anyway)."""
         self._running.remove(seq)
         self._queue.appendleft(seq)
 

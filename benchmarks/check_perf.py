@@ -43,6 +43,7 @@ from bench_chunked_prefill import (
     throughput_ratio,
 )
 from bench_decode_scaling import decode_chunk_times
+from bench_fault_recovery import fault_config, fault_overhead, hooked_workload
 from bench_policy_scheduling import (
     fork_prefill_savings,
     high_priority_ttft_gain,
@@ -84,6 +85,12 @@ MIN_CHUNKED_VS_PAGED = 0.95
 # tokens through the model than n resubmissions of the same prompt.
 MIN_PRIORITY_TTFT_GAIN = 2.0
 MIN_FORK_PREFILL_SAVINGS = 1.5
+
+# Fault tolerance: with the fault machinery fully engaged but never
+# firing (injector attached, per-request timeout armed), the batch-8
+# workload must cost <= 1.05x the plain engine — the hooks are tick-
+# boundary-only by design and may not tax the steady state.
+MAX_FAULT_OVERHEAD = 1.05
 
 
 def _time(fn, number=10, repeat=3) -> float:
@@ -130,6 +137,11 @@ def build_suite():
         return run_workload(serve_model, FP16KVCache, requests, max_batch=8,
                             config=policy_config())
 
+    def serve_fault_workload():
+        requests = make_requests(serve_model.config.vocab_size, n_requests=8)
+        return hooked_workload(serve_model, FP16KVCache, requests,
+                               config=fault_config())
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -143,6 +155,7 @@ def build_suite():
         "serve_paged_batch8": serve_paged_workload,
         "serve_chunked_batch8": serve_chunked_workload,
         "serve_policy_batch8": serve_policy_workload,
+        "serve_fault_batch8": serve_fault_workload,
     }
 
 
@@ -283,6 +296,23 @@ def check_speedups() -> list[str]:
         failures.append(
             f"fork n=4 prefill savings {savings:.2f}x < {MIN_FORK_PREFILL_SAVINGS}x"
         )
+
+    # Fault tolerance: the hooks (fault sites + timeout sweep) must be
+    # free in the steady state.  Gated on FP16 (pure engine cost), best
+    # of 3 so the ceiling reflects the hooks, not scheduler jitter; the
+    # other cache types print informationally.
+    for name in CACHE_FACTORIES:
+        if name == "fp16":
+            overhead = min(fault_overhead(model, name)[2] for _ in range(3))
+            print(f"  fault-hook steady-state overhead ({name}):  {overhead:5.3f}x "
+                  f"(ceiling {MAX_FAULT_OVERHEAD}x)")
+            if overhead > MAX_FAULT_OVERHEAD:
+                failures.append(
+                    f"fault-hook overhead {overhead:.3f}x > {MAX_FAULT_OVERHEAD}x"
+                )
+        else:
+            overhead = fault_overhead(model, name)[2]
+            print(f"  fault-hook steady-state overhead ({name}): {overhead:5.3f}x ")
     return failures
 
 

@@ -76,6 +76,23 @@ class Sampler:
         else:
             self._rng = np.random.default_rng(params.seed)
 
+    def get_state(self) -> dict | None:
+        """Serializable RNG state (``None`` for greedy samplers).
+
+        Together with :meth:`set_state` this lets a serving engine
+        snapshot a mid-stream request and restore it so its remaining
+        draws continue bit-for-bit where they left off.
+        """
+        return None if self._rng is None else self._rng.bit_generator.state
+
+    def set_state(self, state: dict | None) -> None:
+        """Restore a stream captured by :meth:`get_state`."""
+        if state is None:
+            return
+        if self._rng is None:
+            raise ValueError("cannot restore RNG state into a greedy sampler")
+        self._rng.bit_generator.state = state
+
     def sample(self, logits: np.ndarray) -> int:
         """Draw the next token id from one sequence's logits ``(V,)``."""
         p = self.params

@@ -37,6 +37,19 @@ The v2 API is layered:
   :class:`~repro.serve.request.GenerationResult.samples` carries one
   :class:`~repro.serve.request.SampleOutput` per sample and the
   classic single-sample fields alias ``samples[0]``.
+* **Fault tolerance** — hard per-request timeouts
+  (``GenerationRequest.timeout_s`` / ``ServeConfig.request_timeout_s``
+  → ``FINISH_TIMEOUT``), per-request fault isolation (a raising
+  ``on_token`` callback or a forward/allocation failure quarantines
+  only its own request as ``FINISH_ERROR``, after a bounded
+  retry-with-recompute for transient faults; bystanders stay
+  token-identical), a deterministic seeded chaos harness
+  (:class:`~repro.serve.faults.FaultInjector` with named injection
+  sites), and graceful drain + snapshot/restore
+  (:meth:`~repro.serve.engine.GenerationEngine.drain` /
+  :meth:`~repro.serve.engine.GenerationEngine.snapshot` /
+  :meth:`~repro.serve.engine.GenerationEngine.restore`) that replays
+  in-flight requests through the recompute path, RNG state included.
 
 Two storage backends: the contiguous
 :class:`~repro.quant.kvcache.KVCacheArena` (one slab slot per batch
@@ -54,8 +67,10 @@ inter-token latency flat while long prompts stream in.  See
 from repro.serve.sampling import GREEDY, Sampler, SamplingParams, greedy_sample
 from repro.serve.request import (
     FINISH_CANCELLED,
+    FINISH_ERROR,
     FINISH_LENGTH,
     FINISH_STOP,
+    FINISH_TIMEOUT,
     GenerationRequest,
     GenerationResult,
     PrefillCursor,
@@ -70,6 +85,15 @@ from repro.serve.policy import (
     PriorityPolicy,
     SchedulerPolicy,
     get_policy,
+)
+from repro.serve.faults import (
+    ALLOC,
+    CALLBACK,
+    CLOCK,
+    FORWARD,
+    SITES,
+    FaultInjector,
+    InjectedFault,
 )
 from repro.serve.scheduler import QueueFullError, Scheduler
 from repro.serve.paging import (
@@ -89,8 +113,10 @@ __all__ = [
     "SamplingParams",
     "greedy_sample",
     "FINISH_CANCELLED",
+    "FINISH_ERROR",
     "FINISH_LENGTH",
     "FINISH_STOP",
+    "FINISH_TIMEOUT",
     "GenerationRequest",
     "GenerationResult",
     "PrefillCursor",
@@ -112,6 +138,13 @@ __all__ = [
     "PagedKVCache",
     "PagedLease",
     "PoolExhausted",
+    "FaultInjector",
+    "InjectedFault",
+    "FORWARD",
+    "ALLOC",
+    "CALLBACK",
+    "CLOCK",
+    "SITES",
     "EngineStats",
     "GenerationEngine",
 ]

@@ -84,6 +84,28 @@ class ServeConfig:
         ``prefill_chunk_tokens`` and must be at least as large, so an
         all-prefill tick always makes progress.  ``None`` leaves tick
         size bounded only by one chunk per prefilling sequence.
+
+    Fault tolerance (see :mod:`repro.serve.faults`):
+
+    ``request_timeout_s``
+        Default hard per-request wall-clock budget from submission,
+        enforced at tick boundaries: an expired request finishes with
+        ``FINISH_TIMEOUT`` and its storage is released immediately.
+        ``GenerationRequest.timeout_s`` overrides it per request;
+        ``None`` (default) disables the engine-wide timeout.
+    ``max_retries``
+        Bounded retry budget for *transient* faults (injected
+        transient forward/allocation faults, real forward exceptions):
+        each retry replays the victim through the preemption recompute
+        path; past the budget the sequence finishes with
+        ``FINISH_ERROR``.
+    ``check_invariants``
+        Run :meth:`~repro.serve.engine.GenerationEngine.
+        check_invariants` (pool refcounts, arena slot accounting, lane
+        bookkeeping) at the end of every tick.  The test suite forces
+        this on via the ``REPRO_SERVE_STRICT`` environment variable;
+        production engines leave it off (the check is O(blocks) per
+        tick).
     """
 
     max_batch_size: int = 8
@@ -97,6 +119,9 @@ class ServeConfig:
     prefill_chunk_tokens: int | None = None
     max_tokens_per_tick: int | None = None
     scheduler_policy: str = "fcfs"
+    request_timeout_s: float | None = None
+    max_retries: int = 1
+    check_invariants: bool = False
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -133,6 +158,13 @@ class ServeConfig:
                     f">= prefill_chunk_tokens ({self.prefill_chunk_tokens}) so "
                     "a tick with no decode rows still fits one chunk"
                 )
+        if self.request_timeout_s is not None and not self.request_timeout_s > 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0 seconds (or None), got "
+                f"{self.request_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.scheduler_policy not in POLICIES:
             raise ValueError(
                 f"unknown scheduler_policy {self.scheduler_policy!r}; "

@@ -73,6 +73,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -82,11 +83,14 @@ import numpy as np
 from repro.model.transformer import MixedSegment
 from repro.quant.kvcache import KVCacheArena, validate_chunk_compat
 from repro.serve.config import ServeConfig
+from repro.serve.faults import ALLOC, CALLBACK, FORWARD, InjectedFault
 from repro.serve.paging import BlockPool, PoolExhausted, validate_block_compat
 from repro.serve.request import (
     FINISH_CANCELLED,
+    FINISH_ERROR,
     FINISH_LENGTH,
     FINISH_STOP,
+    FINISH_TIMEOUT,
     GenerationRequest,
     GenerationResult,
     PrefillCursor,
@@ -94,10 +98,14 @@ from repro.serve.request import (
     SampleOutput,
     TokenEvent,
 )
-from repro.sampling import Sampler
+from repro.sampling import Sampler, SamplingParams
 from repro.serve.scheduler import QueueFullError, Scheduler
 
 __all__ = ["GenerationEngine", "EngineStats"]
+
+# Finish reasons that mean "the request did not complete normally" —
+# excluded from the requests_completed / queue-latency statistics.
+_ABNORMAL_FINISH = (FINISH_CANCELLED, FINISH_TIMEOUT, FINISH_ERROR)
 
 # Samples retained per latency histogram (TTFT / inter-token); the
 # EngineStats percentiles describe the most recent window of traffic.
@@ -121,6 +129,7 @@ class _Sequence:
         "cursor", "pending_ids", "prefill_chunks",
         "first_token_time", "last_token_time",
         "arrival_seq", "sample_index", "lanes", "family", "retired",
+        "retries", "error", "timeout_s",
     )
 
     def __init__(self, request: GenerationRequest, on_token, submit_time: float,
@@ -150,6 +159,9 @@ class _Sequence:
         self.lanes = request.n if sample_index == 0 else 1
         self.family: list[_Sequence] = [self]
         self.retired = False         # storage released, awaiting siblings
+        self.retries = 0             # transient-fault recomputes charged so far
+        self.error = None            # first fault/exception message, if any
+        self.timeout_s = None        # effective hard budget, stamped at submit
 
     @property
     def prefill_len(self) -> int:
@@ -190,6 +202,10 @@ class EngineStats:
     requests_running: int
     requests_rejected: int        # submit-time backpressure/budget rejections
     requests_cancelled: int       # client cancellations (any state)
+    requests_timed_out: int       # hard per-request timeout expirations
+    requests_failed: int          # finished FINISH_ERROR (fault / bad callback)
+    retries: int                  # transient-fault recompute replays
+    snapshot_restores: int        # requests re-queued by GenerationEngine.restore
     tokens_generated: int
     decode_ticks: int
     mean_batch_occupancy: float   # sequences per decode tick
@@ -238,6 +254,10 @@ class GenerationEngine:
     :class:`TokenEvent` carries the incremental ``text`` suffix.
     ``policy`` overrides the config's ``scheduler_policy`` with a
     ready-made :class:`~repro.serve.policy.SchedulerPolicy` instance.
+    ``faults`` takes a :class:`~repro.serve.faults.FaultInjector`; its
+    armed rules fire at the engine's named injection sites (``forward``,
+    ``alloc``, ``callback``, ``clock``) and exercise exactly the
+    recovery paths real faults take.
     """
 
     def __init__(
@@ -250,11 +270,15 @@ class GenerationEngine:
         clock=time.perf_counter,
         detokenize=None,
         policy=None,
+        faults=None,
     ):
         self.model = model
         self.config = config
         self.weights = weights
         self.act_quant = act_quant
+        self._faults = faults
+        if faults is not None:
+            clock = faults.wrap_clock(clock)
         self._clock = clock
         self._detokenize = detokenize
         self._cache_factory = cache_factory
@@ -279,6 +303,7 @@ class GenerationEngine:
                 block_tokens=config.block_tokens,
                 num_blocks=num_blocks,
                 enable_prefix_cache=config.enable_prefix_cache,
+                faults=faults,
             )
             self.arena = None
             self.scheduler.bind_block_gauge(
@@ -302,6 +327,10 @@ class GenerationEngine:
         self._completed = 0
         self._rejected = 0
         self._cancelled = 0
+        self._timed_out = 0
+        self._failed = 0
+        self._retries = 0
+        self._restored = 0
         self._preemptions = 0
         self._tokens_generated = 0
         self._decode_ticks = 0
@@ -312,6 +341,17 @@ class GenerationEngine:
         self._prefill_chunks = 0
         self._prefill_tokens = 0
         self._stepping = False       # guards reentrant cancel from callbacks
+        self._draining = False       # drain(): admission stopped
+        # Timeout sweeps cost a pass over queue + running set per tick;
+        # skip them entirely until some request actually has a budget.
+        self._timeouts_armed = config.request_timeout_s is not None
+        # Strict mode: check_invariants() after every tick.  The test
+        # suite forces it via the environment so every serving test runs
+        # checked; production engines opt in through the config.
+        self._strict = (
+            config.check_invariants
+            or os.environ.get("REPRO_SERVE_STRICT", "") == "1"
+        )
         # Rolling latency windows: long-lived servers emit unboundedly
         # many tokens, so percentiles are over the most recent samples
         # and stats() stays O(window), not O(tokens ever served).
@@ -336,7 +376,13 @@ class GenerationEngine:
         rid = request.request_id
         if rid in self._active_ids or rid in self._results:
             raise ValueError(f"duplicate request_id {rid!r}")
+        seq = None
         try:
+            if self._draining:
+                raise RuntimeError(
+                    "engine is draining: admission is stopped "
+                    "(resume_admission() re-opens it)"
+                )
             max_seq = self.model.config.max_seq
             if request.token_footprint > max_seq:
                 raise ValueError(
@@ -364,10 +410,20 @@ class GenerationEngine:
                     )
             seq = _Sequence(request, on_token, self._clock())
             seq.arrival_seq = self._arrivals
+            seq.timeout_s = (
+                request.timeout_s if request.timeout_s is not None
+                else self.config.request_timeout_s
+            )
             self.scheduler.submit(seq)   # may reject (budget / queue full)
-        except (ValueError, QueueFullError):
+        except Exception:
+            # A rejected request must leave no trace behind: not queued,
+            # not registered — the same id can be resubmitted right away.
+            if seq is not None:
+                self.scheduler.remove_queued(seq)
             self._rejected += 1
             raise
+        if seq.timeout_s is not None:
+            self._timeouts_armed = True
         self._active_ids.add(rid)
         self._submitted += 1
         self._arrivals += 1
@@ -435,8 +491,7 @@ class GenerationEngine:
             seq.request.request_id, None, len(seq.tokens), True,
             FINISH_CANCELLED, sample=seq.sample_index,
         )
-        if seq.on_token is not None:
-            seq.on_token(event)
+        self._deliver(seq, event)
 
     # ------------------------------------------------------------------
     # The tick
@@ -457,42 +512,68 @@ class GenerationEngine:
         now = self._clock()
         events: list[TokenEvent] = []
         chunked = self.config.prefill_chunk_tokens is not None
+        # 0. Timeout sweep, at the tick boundary (before admission, so an
+        # expired queued request never wastes a prefill): expired
+        # sequences finish FINISH_TIMEOUT and free their storage *now*.
+        self._sweep_timeouts(now, events)
         self._stepping = True
         try:
             # 1. Admission, one request at a time (each admission's page
             # allocations must be visible to the next fit check).
-            while (seq := self.scheduler.admit_one()) is not None:
+            # Draining engines skip it: in-flight work runs dry while
+            # queued work waits for the snapshot.
+            while (not self._draining
+                   and (seq := self.scheduler.admit_one()) is not None):
                 if math.isnan(seq.admit_time):
                     seq.admit_time = now     # queue latency: first admission only
                 ids = seq.prefill_ids()
-                if self.pool is not None:
-                    seq.lease = self.pool.acquire(self._cache_factory)
-                    seq.lease.match_prefix(ids)
-                else:
-                    seq.lease = self.arena.acquire()
-                if chunked:
-                    # No forward yet — the prompt enters the chunk queue.
-                    seq.pending_ids = ids
-                    seq.cursor = PrefillCursor(ids.size)
-                else:
+                try:
+                    # Admission is where arena slots / pool leases are
+                    # taken — the alloc fault site for this sequence.
+                    self._fire(ALLOC, seq)
+                    if self.pool is not None:
+                        seq.lease = self.pool.acquire(self._cache_factory)
+                        seq.lease.match_prefix(ids)
+                    else:
+                        seq.lease = self.arena.acquire()
+                    if chunked:
+                        # No forward yet — the prompt enters the chunk queue.
+                        seq.pending_ids = ids
+                        seq.cursor = PrefillCursor(ids.size)
+                        continue
+                    self._fire(FORWARD, seq)
                     logits = self.model.prefill(
                         ids, seq.lease.caches,
                         weights=self.weights, act_quant=self.act_quant,
                     )
-                    seq.pos = int(ids.size)
-                    seq.prefill_chunks += 1
-                    self._prefill_tokens += int(ids.size)
-                    if self.pool is not None:
-                        seq.lease.register_prefix(ids)
-                    self._finish_prefill(seq, logits, events)
+                except Exception as exc:
+                    # Whole-prompt prefill runs one sequence alone, so a
+                    # real exception here is attributable — quarantine
+                    # (or retry) just this sequence, bystanders untouched.
+                    self._on_fault(seq, exc, events)
+                    continue
+                seq.pos = int(ids.size)
+                seq.prefill_chunks += 1
+                self._prefill_tokens += int(ids.size)
+                if self.pool is not None:
+                    seq.lease.register_prefix(ids)
+                self._finish_prefill(seq, logits, events)
 
             # 2. Plan this tick's work under the pool's block supply, then
-            # run it as one fused forward.
-            decode, chunks = self._plan_tick()
-            if chunks:
-                self._mixed_tick(decode, chunks, events)
-            elif decode:
-                self._decode_tick(decode, events)
+            # run it as one fused forward.  A fault mid-batch poisons
+            # every participant's cache-position bookkeeping, so recovery
+            # is collective: evict them all back through the recompute
+            # path and charge the retry budget of the attributable ones.
+            decode, chunks = self._plan_tick(events)
+            try:
+                if chunks:
+                    self._mixed_tick(decode, chunks, events)
+                elif decode:
+                    self._decode_tick(decode, events)
+            except PoolExhausted:
+                raise                # genuine capacity error, not a fault
+            except Exception as exc:
+                self._tick_failure(decode, chunks, exc, events)
 
             # 3. Retire finished sequences, recycling their cache storage.
             for seq in [s for s in self.scheduler.running if s.finished]:
@@ -502,12 +583,14 @@ class GenerationEngine:
         # Busy time accumulates per tick so throughput reflects time
         # spent serving, not idle gaps between bursts.
         self._busy_s += self._clock() - now
+        if self._strict:
+            self.check_invariants()
         return events
 
     # ------------------------------------------------------------------
     # Tick assembly
     # ------------------------------------------------------------------
-    def _plan_tick(self):
+    def _plan_tick(self, events: list):
         """Pick this tick's decode rows and prefill chunks; reserve pages.
 
         The decode rows are every running, unfinished, fully prefilled
@@ -519,6 +602,12 @@ class GenerationEngine:
         policy-chosen victim (decoding or half-prefilled alike) back to
         the queue until they do, instead of reserving worst-case
         ``prompt + max_tokens`` up front.
+
+        This is also where per-sequence injected faults fire: the plan
+        phase runs *before* any model call or cache write of the tick,
+        so a victim is pulled out (retried or failed) while every
+        bystander's cache is untouched — their outputs stay
+        token-for-token identical to a fault-free run.
         """
         while True:
             running = self.scheduler.running
@@ -529,6 +618,19 @@ class GenerationEngine:
             if self.config.max_tokens_per_tick is not None:
                 budget = max(0, self.config.max_tokens_per_tick - len(decode))
             chunks = self.scheduler.plan_chunks(prefilling, budget) if prefilling else []
+            if self._faults is not None:
+                decode = [s for s in decode if self._gate(FORWARD, s, events)]
+                chunks = [(s, n) for s, n in chunks
+                          if self._gate(FORWARD, s, events)]
+                if self.pool is not None:
+                    # Alloc faults target sequences that need new pages
+                    # this tick (mid-decode block-boundary growth).
+                    decode = [s for s in decode
+                              if s.lease.new_pages_for(s.pos + 1) == 0
+                              or self._gate(ALLOC, s, events)]
+                    chunks = [(s, n) for s, n in chunks
+                              if s.lease.new_pages_for(s.cursor.done + n) == 0
+                              or self._gate(ALLOC, s, events)]
             if self.pool is None:
                 return decode, chunks
             need = sum(s.lease.new_pages_for(s.pos + 1) for s in decode)
@@ -544,6 +646,121 @@ class GenerationEngine:
                     f"{self.pool.blocks_available} blocks free, {need} needed"
                 )
             self._preempt(self.scheduler.policy.choose_preemption_victim(victims))
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _fire(self, site: str, seq: _Sequence) -> None:
+        """Raise :class:`InjectedFault` if an armed rule matches ``seq``."""
+        if self._faults is not None:
+            self._faults.fire(site, seq.request.request_id)
+
+    def _gate(self, site: str, seq: _Sequence, events: list) -> bool:
+        """Plan-phase fault gate: False drops ``seq`` from this tick."""
+        try:
+            self._fire(site, seq)
+            return True
+        except InjectedFault as fault:
+            self._on_fault(seq, fault, events)
+            return False
+
+    def _sweep_timeouts(self, now: float, events: list) -> None:
+        if not self._timeouts_armed:
+            return
+        for seq in self.scheduler.pop_expired(now):
+            self._fail(seq, FINISH_TIMEOUT, events)
+            self._retire(seq)
+        for seq in self.scheduler.running:
+            if (not seq.finished and seq.timeout_s is not None
+                    and now - seq.submit_time >= seq.timeout_s):
+                self._fail(seq, FINISH_TIMEOUT, events)
+                self._retire(seq)    # storage released immediately
+
+    def _tick_failure(self, decode, chunks, exc, events: list) -> None:
+        """A fused forward raised mid-batch: collective recovery.
+
+        The model may have mutated any participant's cache before
+        raising, so every participant is evicted back through the
+        recompute path.  Attributable participants (an
+        :class:`InjectedFault` carrying their request id, or everyone
+        when unattributed) are charged against their retry budget;
+        provably-innocent bystanders get a free recompute, counted as a
+        preemption.
+        """
+        rid = getattr(exc, "request_id", None)
+        for seq in [*decode, *(s for s, _ in chunks)]:
+            if seq.finished:
+                continue
+            if rid is None or seq.request.request_id == rid:
+                self._on_fault(seq, exc, events)
+            else:
+                self._evict(seq)
+
+    def _on_fault(self, seq: _Sequence, exc, events: list) -> None:
+        """One sequence hit a fault: bounded retry, then quarantine.
+
+        Injected faults declare their transience; real exceptions are
+        assumed transient (a poison request exhausts its retry budget
+        replaying and then fails — bounded either way).
+        """
+        transient = exc.transient if isinstance(exc, InjectedFault) else True
+        if seq.error is None:
+            seq.error = f"{type(exc).__name__}: {exc}"
+        if transient and seq.retries < self.config.max_retries:
+            seq.retries += 1
+            self._retries += 1
+            self._evict(seq, count_preemption=False)
+        else:
+            self._fail(seq, FINISH_ERROR, events)
+
+    def _fail(self, seq: _Sequence, reason: str, events: list) -> None:
+        """Finish ``seq`` abnormally and deliver the finish event."""
+        seq.finished = True
+        seq.finish_reason = reason
+        # Per-request counters: only the family's first member to finish
+        # with this reason bumps them (n>1 siblings expire together).
+        if not any(m is not seq and m.finish_reason == reason
+                   for m in seq.family):
+            if reason == FINISH_TIMEOUT:
+                self._timed_out += 1
+            elif reason == FINISH_ERROR:
+                self._failed += 1
+        event = TokenEvent(
+            seq.request.request_id, None, len(seq.tokens), True, reason,
+            sample=seq.sample_index,
+        )
+        events.append(event)
+        self._deliver(seq, event)
+
+    def _deliver(self, seq: _Sequence, event: TokenEvent,
+                 events: list | None = None) -> None:
+        """Invoke ``seq.on_token`` under the callback quarantine.
+
+        A raising callback (real, or the ``callback`` injection site)
+        poisons only its own request: the callback is dropped, the
+        sequence finishes ``FINISH_ERROR`` (if still live) and every
+        other request keeps streaming — a misbehaving client cannot
+        take the batch down.
+        """
+        if seq.on_token is None:
+            return
+        try:
+            self._fire(CALLBACK, seq)
+            seq.on_token(event)
+        except Exception as exc:
+            seq.on_token = None      # quarantined: never called again
+            seq.error = f"on_token callback failed: {type(exc).__name__}: {exc}"
+            if not seq.finished:
+                seq.finished = True
+                seq.finish_reason = FINISH_ERROR
+                if not any(m is not seq and m.finish_reason == FINISH_ERROR
+                           for m in seq.family):
+                    self._failed += 1
+                if events is not None:
+                    events.append(TokenEvent(
+                        seq.request.request_id, None, len(seq.tokens), True,
+                        FINISH_ERROR, sample=seq.sample_index,
+                    ))
 
     def _decode_tick(self, live: list, events: list) -> None:
         """One fused ``decode_step_batch`` over every decode row —
@@ -657,9 +874,19 @@ class GenerationEngine:
             self._emit(sibling, sibling.sampler.sample(logits), events)
 
     def _preempt(self, seq: _Sequence) -> None:
+        self._evict(seq)
+
+    def _evict(self, seq: _Sequence, count_preemption: bool = True) -> None:
+        """Running → head of the queue, storage released, replay later.
+
+        The shared recompute path under preemption (pool pressure),
+        transient-fault retries and batch-failure recovery: on
+        re-admission :meth:`_Sequence.prefill_ids` replays prompt +
+        emitted tokens and ``resuming`` suppresses re-emission, so the
+        sequence continues exactly where it left off.
+        """
         self.scheduler.requeue_front(seq)
-        lease, seq.lease = seq.lease, None
-        lease.release()
+        self._release_storage(seq)
         # Discard any chunked-prefill progress: the evicted pages are
         # gone, so resume must rebuild a cursor over the whole (by then
         # grown) prompt via prefill_len and replay it from token zero.
@@ -668,7 +895,8 @@ class GenerationEngine:
         # Mid-prefill victims emitted nothing yet — their re-admission
         # is a plain first prefill, not a resume.
         seq.resuming = bool(seq.tokens)
-        self._preemptions += 1
+        if count_preemption:
+            self._preemptions += 1
 
     def _emit(self, seq: _Sequence, token: int, events: list[TokenEvent]) -> None:
         """Record one sampled token, deciding emission and finish state."""
@@ -705,8 +933,7 @@ class GenerationEngine:
             seq.last_token_time = t_emit
         self._tokens_generated += event.token is not None
         events.append(event)
-        if seq.on_token is not None:
-            seq.on_token(event)
+        self._deliver(seq, event, events)
 
     # ------------------------------------------------------------------
     # Retirement
@@ -721,6 +948,8 @@ class GenerationEngine:
         seq.lease = None
 
     def _retire(self, seq: _Sequence) -> None:
+        if seq.retired:
+            return               # fault/timeout/cancel paths may race
         now = self._clock()
         self.scheduler.release(seq)
         self._release_storage(seq)
@@ -738,14 +967,14 @@ class GenerationEngine:
                 m.sample_index, m.tokens, m.finish_reason,
                 text=(self._detokenize(list(m.tokens))
                       if self._detokenize is not None else None),
+                error=m.error,
             )
             for m in sorted(family, key=lambda m: m.sample_index)
         ]
-        cancelled = parent.finish_reason == FINISH_CANCELLED
         admitted = not math.isnan(parent.admit_time)
         latency = (parent.admit_time - parent.submit_time) if admitted else float("nan")
-        if cancelled:
-            pass                       # counted in requests_cancelled instead
+        if parent.finish_reason in _ABNORMAL_FINISH:
+            pass    # counted in requests_cancelled/timed_out/failed instead
         else:
             self._completed += 1
             self._lat_sum += latency
@@ -760,6 +989,7 @@ class GenerationEngine:
             ttft_s=parent.first_token_time - parent.submit_time,
             prefill_chunks=parent.prefill_chunks,
             samples=samples,
+            error=next((s.error for s in samples if s.error is not None), None),
         )
 
     # ------------------------------------------------------------------
@@ -804,6 +1034,244 @@ class GenerationEngine:
         return self._results.pop(str(request_id))
 
     # ------------------------------------------------------------------
+    # Drain / snapshot / restore
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stop_admission(self) -> None:
+        """Stop admitting queued work; in-flight sequences keep running.
+
+        New :meth:`submit` calls are rejected while draining.
+        """
+        self._draining = True
+
+    def resume_admission(self) -> None:
+        self._draining = False
+
+    def drain(self) -> list[TokenEvent]:
+        """Run the *admitted* work to completion, admitting nothing new.
+
+        The graceful-shutdown half of snapshot/restore: after ``drain``
+        the running set is empty and every still-queued request is
+        untouched, ready for :meth:`snapshot`.  Admission stays stopped
+        until :meth:`resume_admission`.  Returns the events emitted
+        while draining.
+        """
+        self.stop_admission()
+        events: list[TokenEvent] = []
+        while self.scheduler.n_running:
+            events.extend(self.step())
+        return events
+
+    def snapshot(self) -> dict:
+        """Serialize every live (queued or running) request.
+
+        The snapshot is pure JSON-compatible data: the config, each
+        request's full submission parameters and, per sample, the
+        emitted tokens and the sampler's RNG state.  KV-cache contents
+        are deliberately *not* captured — :meth:`restore` replays each
+        in-flight sequence through the preemption recompute path, which
+        rebuilds the cache and (with the restored RNG state) continues
+        token-for-token where the snapshot stopped.  Finished samples
+        of partially-done families are carried verbatim.
+        """
+        if self._stepping:
+            raise RuntimeError("snapshot() must run at a tick boundary, "
+                               "not from inside an on_token callback")
+        families: dict[str, list] = {}
+        order: dict[str, int] = {}
+        for seq in [*self.scheduler.queued, *self.scheduler.running]:
+            rid = seq.request.request_id
+            families.setdefault(rid, seq.family)
+            order.setdefault(rid, seq.arrival_seq)
+        records = []
+        for rid, family in families.items():
+            req = family[0].request
+            records.append({
+                "request": {
+                    "request_id": req.request_id,
+                    "prompt": [int(t) for t in req.prompt],
+                    "max_tokens": req.max_tokens,
+                    "sampling": dataclasses.asdict(req.sampling),
+                    "stop_tokens": sorted(int(t) for t in req.stop_tokens),
+                    "priority": req.priority,
+                    "deadline_s": req.deadline_s,
+                    "n": req.n,
+                    "timeout_s": req.timeout_s,
+                },
+                "arrival_seq": order[rid],
+                "samples": [
+                    {
+                        "index": m.sample_index,
+                        "tokens": [int(t) for t in m.tokens],
+                        "finished": m.finished,
+                        "finish_reason": m.finish_reason,
+                        "error": m.error,
+                        "rng_state": m.sampler.get_state(),
+                    }
+                    for m in sorted(family, key=lambda m: m.sample_index)
+                ],
+            })
+        records.sort(key=lambda r: r["arrival_seq"])
+        return {
+            "version": 1,
+            "config": dataclasses.asdict(self.config),
+            "requests": records,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, model, cache_factory, *,
+                config: ServeConfig | None = None, on_token=None,
+                **engine_kwargs) -> "GenerationEngine":
+        """Build a fresh engine resuming a :meth:`snapshot`.
+
+        ``config`` overrides the snapshotted one (same model required
+        either way).  ``on_token`` re-attaches streaming callbacks —
+        callbacks are process-local and cannot be serialized — either
+        one callable for every request or a ``{request_id: callable}``
+        mapping.  Each restored sequence replays prompt + emitted
+        tokens through the recompute path and continues from its
+        restored RNG state; for deterministic cache types (fp16/int4)
+        the continuation is token-for-token what the original engine
+        would have produced (MANT recompute re-quantizes the replayed
+        window — the standing recompute trade).
+        """
+        if snapshot.get("version") != 1:
+            raise ValueError(
+                f"unsupported snapshot version {snapshot.get('version')!r}"
+            )
+        cfg = config if config is not None else ServeConfig(**snapshot["config"])
+        engine = cls(model, cache_factory, cfg, **engine_kwargs)
+        for record in sorted(snapshot["requests"], key=lambda r: r["arrival_seq"]):
+            engine._restore_request(record, on_token)
+        return engine
+
+    def _restore_request(self, record: dict, on_token=None) -> None:
+        r = record["request"]
+        request = GenerationRequest(
+            request_id=r["request_id"],
+            prompt=np.asarray(r["prompt"], dtype=np.int64),
+            max_tokens=r["max_tokens"],
+            sampling=SamplingParams(**r["sampling"]),
+            stop_tokens=frozenset(r["stop_tokens"]),
+            priority=r.get("priority", 0),
+            deadline_s=r.get("deadline_s"),
+            n=r.get("n", 1),
+            timeout_s=r.get("timeout_s"),
+        )
+        rid = request.request_id
+        if rid in self._active_ids or rid in self._results:
+            raise ValueError(f"duplicate request_id {rid!r} in snapshot")
+        cb = (on_token if on_token is None or callable(on_token)
+              else on_token.get(rid))
+        now = self._clock()
+        family: list[_Sequence] = []
+        live: list[_Sequence] = []
+        for s in sorted(record["samples"], key=lambda s: s["index"]):
+            seq = _Sequence(request, cb, now, sample_index=s["index"])
+            seq.arrival_seq = self._arrivals
+            seq.timeout_s = (
+                request.timeout_s if request.timeout_s is not None
+                else self.config.request_timeout_s
+            )
+            seq.tokens = [int(t) for t in s["tokens"]]
+            seq.next_token = seq.tokens[-1] if seq.tokens else None
+            seq.error = s.get("error")
+            seq.family = family
+            family.append(seq)
+            if s["finished"]:
+                seq.finished = True
+                seq.finish_reason = s["finish_reason"]
+                seq.retired = True
+            else:
+                seq.resuming = bool(seq.tokens)
+                seq.sampler.set_state(s.get("rng_state"))
+                live.append(seq)
+        if not live:
+            return               # fully-finished family: nothing to resume
+        # Lane accounting: a pre-fork n>1 parent (single tokenless
+        # sample) still reserves the whole family's lanes; a post-fork
+        # family restores each live sample as its own single lane.
+        if not (request.n > 1 and len(family) == 1 and not family[0].tokens):
+            for m in live:
+                m.lanes = 1
+        for m in live:
+            # ``force``: formerly-*running* sequences legitimately
+            # exceed max_queue_len; the token budget still applies.
+            self.scheduler.submit(m, force=True)
+        if any(m.timeout_s is not None for m in live):
+            self._timeouts_armed = True
+        self._active_ids.add(rid)
+        self._submitted += 1
+        self._arrivals += 1
+        self._restored += 1
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify engine-wide resource accounting; raises on violation.
+
+        Checked: pool block refcounts against the running leases' page
+        tables (paged), arena slot accounting (arena), scheduler lane
+        bookkeeping against ``max_batch_size``, and request-id
+        registration.  Runs after every tick in strict mode
+        (``ServeConfig.check_invariants`` or ``REPRO_SERVE_STRICT=1`` —
+        the test suite's default); call it at tick boundaries.
+        """
+        sched = self.scheduler
+        running = sched.running
+        queued = sched.queued
+        lanes = sched.lanes_in_flight
+        if lanes > self.config.max_batch_size:
+            raise RuntimeError(
+                f"lane bookkeeping violated: {lanes} lanes in flight, "
+                f"max_batch_size={self.config.max_batch_size}"
+            )
+        for seq in running:
+            if seq.retired:
+                raise RuntimeError(
+                    f"retired sequence {seq.request.request_id!r} still in "
+                    "the running set"
+                )
+        for seq in queued:
+            if seq.lease is not None:
+                raise RuntimeError(
+                    f"queued sequence {seq.request.request_id!r} holds "
+                    "cache storage"
+                )
+        live_ids = {s.request.request_id for s in [*running, *queued]}
+        unregistered = live_ids - self._active_ids
+        if unregistered:
+            raise RuntimeError(
+                f"live sequences not registered as active: {unregistered}"
+            )
+        stale = live_ids & set(self._results)
+        if stale:
+            raise RuntimeError(
+                f"requests both live and holding a recorded result: {stale}"
+            )
+        if self.pool is not None:
+            expected: dict[int, int] = {}
+            for seq in running:
+                if seq.lease is not None:
+                    for bid in seq.lease.table.blocks:
+                        expected[bid] = expected.get(bid, 0) + 1
+            self.pool.check_integrity(expected)
+        else:
+            slots = [seq.lease.slot for seq in running if seq.lease is not None]
+            if len(slots) != len(set(slots)):
+                raise RuntimeError(f"arena slot double-leased: {sorted(slots)}")
+            if self.arena.slots_in_use != len(slots):
+                raise RuntimeError(
+                    f"arena slot accounting violated: {self.arena.slots_in_use} "
+                    f"slots in use, {len(slots)} leases held by running "
+                    "sequences"
+                )
+
+    # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
     @staticmethod
@@ -826,6 +1294,10 @@ class GenerationEngine:
             requests_running=self.scheduler.n_running,
             requests_rejected=self._rejected,
             requests_cancelled=self._cancelled,
+            requests_timed_out=self._timed_out,
+            requests_failed=self._failed,
+            retries=self._retries,
+            snapshot_restores=self._restored,
             tokens_generated=self._tokens_generated,
             decode_ticks=self._decode_ticks,
             mean_batch_occupancy=(

@@ -122,6 +122,7 @@ class BlockPool:
         block_tokens: int,
         num_blocks: int,
         enable_prefix_cache: bool = True,
+        faults=None,
     ):
         if n_layers < 1:
             raise ValueError("pool needs at least one layer")
@@ -133,6 +134,10 @@ class BlockPool:
         self.block_tokens = block_tokens
         self.num_blocks = num_blocks
         self.enable_prefix_cache = enable_prefix_cache
+        # Optional chaos harness (repro.serve.faults.FaultInjector):
+        # allocate() consults its "alloc" site, covering allocations the
+        # engine's tick planner cannot anticipate (COW clones).
+        self.faults = faults
         self._free_set = set(range(num_blocks))
         self._ref = [0] * num_blocks
         self._slabs: dict[tuple[int, str], np.ndarray] = {}
@@ -201,6 +206,8 @@ class BlockPool:
         retained-evictable.  LRU cached-free prefix blocks are evicted
         only when the plain free set is empty.
         """
+        if self.faults is not None:
+            self.faults.fire("alloc")
         if self._free_set:
             if hint is not None and hint in self._free_set:
                 bid = hint
@@ -239,6 +246,53 @@ class BlockPool:
                 self._cached_free[block_id] = None
             else:
                 self._free_set.add(block_id)
+
+    def check_integrity(self, expected_refs: dict[int, int] | None = None) -> None:
+        """Verify pool bookkeeping; raise ``RuntimeError`` on corruption.
+
+        Structural checks always run: the free set, the cached-free set
+        and the referenced blocks must partition ``num_blocks``; free
+        blocks must have refcount 0; cached-free blocks must be
+        zero-ref *and* hashed; the hash maps must be a bijection.  With
+        ``expected_refs`` (block id → references the caller can account
+        for, e.g. from every live lease's page table) each referenced
+        block's refcount must match exactly — the check that catches
+        leaked or double-freed pages the free counts alone would miss.
+        """
+        free = self._free_set
+        cached = set(self._cached_free)
+        if free & cached:
+            raise RuntimeError(f"pool blocks both free and cached-free: "
+                               f"{sorted(free & cached)}")
+        referenced = {b for b in range(self.num_blocks) if self._ref[b] > 0}
+        if referenced & (free | cached):
+            raise RuntimeError(
+                "pool blocks referenced while on a free list: "
+                f"{sorted(referenced & (free | cached))}"
+            )
+        if len(free) + len(cached) + len(referenced) != self.num_blocks:
+            raise RuntimeError(
+                f"pool accounting leak: {len(free)} free + {len(cached)} "
+                f"cached-free + {len(referenced)} referenced != "
+                f"{self.num_blocks} blocks"
+            )
+        for bid in cached:
+            if bid not in self._hash_of_block:
+                raise RuntimeError(f"cached-free block {bid} has no prefix hash")
+        if len(self._block_of_hash) != len(self._hash_of_block):
+            raise RuntimeError("prefix-cache hash maps out of sync")
+        for h, bid in self._block_of_hash.items():
+            if self._hash_of_block.get(bid) != h:
+                raise RuntimeError(f"prefix-cache mapping for block {bid} "
+                                   "is not a bijection")
+        if expected_refs is not None:
+            for bid in referenced:
+                if self._ref[bid] != expected_refs.get(bid, 0):
+                    raise RuntimeError(
+                        f"block {bid} refcount {self._ref[bid]} != "
+                        f"{expected_refs.get(bid, 0)} references held by "
+                        "live leases"
+                    )
 
     def clone_block(self, src: int) -> int:
         """Copy-on-write clone: duplicate ``src`` across every slab."""

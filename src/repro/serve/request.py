@@ -40,11 +40,15 @@ __all__ = [
     "FINISH_LENGTH",
     "FINISH_STOP",
     "FINISH_CANCELLED",
+    "FINISH_TIMEOUT",
+    "FINISH_ERROR",
 ]
 
 FINISH_LENGTH = "length"       # produced max_tokens tokens
 FINISH_STOP = "stop"           # sampled a stop token (not emitted)
 FINISH_CANCELLED = "cancelled"  # client cancelled (queued or mid-flight)
+FINISH_TIMEOUT = "timeout"     # per-request deadline expired at a tick boundary
+FINISH_ERROR = "error"         # quarantined by a fault (forward/alloc/callback)
 
 
 @dataclass(frozen=True, eq=False)
@@ -64,6 +68,13 @@ class GenerationRequest:
     copy-on-write per extra sample (paged backend; the arena backend
     replays the prefill into a fresh slot), each sample drawing from
     its own RNG stream derived from ``sampling.seed``.
+
+    ``timeout_s`` is a *hard* per-request wall-clock budget from
+    submission: the engine finishes the request with
+    ``FINISH_TIMEOUT`` (releasing its storage immediately) at the
+    first tick boundary past the deadline — unlike the soft
+    ``deadline_s`` SLO, which only influences scheduling order.
+    ``None`` falls back to ``ServeConfig.request_timeout_s``.
     """
 
     request_id: str
@@ -74,6 +85,7 @@ class GenerationRequest:
     priority: int = 0
     deadline_s: float | None = None
     n: int = 1
+    timeout_s: float | None = None
 
     def __post_init__(self):
         prompt = np.asarray(self.prompt, dtype=np.int64)
@@ -100,6 +112,10 @@ class GenerationRequest:
         if self.deadline_s is not None and not self.deadline_s > 0:
             raise ValueError(
                 f"deadline_s must be > 0 seconds (or None), got {self.deadline_s}"
+            )
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ValueError(
+                f"timeout_s must be > 0 seconds (or None), got {self.timeout_s}"
             )
 
     @property
@@ -232,6 +248,8 @@ class SampleOutput:
     finish_reason: str
     text: str | None = None     # full detokenized output (engines with
                                 # a detokenize callback), else None
+    error: str | None = None    # fault description when finish_reason
+                                # is FINISH_ERROR (else None)
 
     @property
     def n_tokens(self) -> int:
@@ -246,6 +264,11 @@ class GenerationResult:
     single-sample fields (``tokens``, ``finish_reason``) alias
     ``samples[0]`` — same list object, not a copy — so pre-v2 callers
     read sample 0 exactly as before.
+
+    ``error`` carries the first fault description among the samples
+    when any lane finished with ``FINISH_ERROR`` (a raised ``on_token``
+    callback, an injected or real forward/allocation failure after the
+    retry budget), ``None`` for clean finishes.
     """
 
     request_id: str
@@ -257,6 +280,7 @@ class GenerationResult:
     ttft_s: float = float("nan")      # submit -> first emitted token
     prefill_chunks: int = 0     # chunked mode: forward passes the prompt took
     samples: list[SampleOutput] = field(default=None)
+    error: str | None = None    # first fault among the samples, else None
 
     def __post_init__(self):
         if self.samples is None:

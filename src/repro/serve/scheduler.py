@@ -128,6 +128,11 @@ class Scheduler:
         return list(self._running)
 
     @property
+    def queued(self) -> list:
+        """The queued sequences in raw (arrival/requeue) order."""
+        return list(self._queue)
+
+    @property
     def waiting(self) -> list:
         """The queued sequences in the policy's admission order."""
         return self.policy.order_queue(list(self._queue))
@@ -164,7 +169,7 @@ class Scheduler:
         self._prefix_probe = prefix_probe
 
     # ------------------------------------------------------------------
-    def submit(self, seq) -> None:
+    def submit(self, seq, force: bool = False) -> None:
         # A request that can never fit the budget must be rejected at
         # submission: queued, it would reach the head and wedge the
         # head-of-line queue forever (admission never skips the head).
@@ -175,13 +180,35 @@ class Scheduler:
                 f"{_footprint(seq)} tokens, over the "
                 f"max_tokens_in_flight budget of {budget}"
             )
+        # ``force`` bypasses the backpressure cap (never the budget):
+        # snapshot restore re-queues formerly *running* sequences, which
+        # legitimately exceed max_queue_len — they were not queue
+        # occupants when the snapshot was taken.
         limit = self.config.max_queue_len
-        if limit is not None and len(self._queue) >= limit:
+        if not force and limit is not None and len(self._queue) >= limit:
             raise QueueFullError(
                 f"request {seq.request.request_id!r} rejected: queue is at "
                 f"max_queue_len={limit} (backpressure — retry later)"
             )
         self._queue.append(seq)
+
+    def pop_expired(self, now: float) -> list:
+        """Remove and return queued sequences past their hard timeout.
+
+        The engine's tick-boundary timeout sweep: a queued sequence
+        whose ``timeout_s`` budget (stamped at submission) has elapsed
+        is dropped here before it can waste an admission slot; the
+        engine finishes it with ``FINISH_TIMEOUT``.  Sequences without
+        a timeout are never touched.
+        """
+        expired = [
+            s for s in self._queue
+            if getattr(s, "timeout_s", None) is not None
+            and now - s.submit_time >= s.timeout_s
+        ]
+        for seq in expired:
+            self._queue.remove(seq)
+        return expired
 
     def _fits(self, seq) -> bool:
         if self.lanes_in_flight + _lanes(seq) > self.config.max_batch_size:
@@ -284,4 +311,14 @@ class Scheduler:
         self._queue.appendleft(seq)
 
     def release(self, seq) -> None:
-        self._running.remove(seq)
+        """Drop a sequence from the running set; idempotent.
+
+        Fault, timeout and cancellation paths can race to retire the
+        same sequence within one tick (e.g. a timeout sweep finishing a
+        sequence a reentrant callback already cancelled), so releasing
+        an already-released sequence is a no-op, not an error.
+        """
+        try:
+            self._running.remove(seq)
+        except ValueError:
+            pass

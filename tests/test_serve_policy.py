@@ -23,6 +23,8 @@ import itertools
 import numpy as np
 import pytest
 
+from serve_testlib import assert_storage_baseline
+
 from repro.model.transformer import ModelConfig, TransformerLM
 from repro.quant.kvcache import FP16KVCache, IntKVCache, MantKVCache
 from repro.serve import (
@@ -316,12 +318,6 @@ BACKEND_CONFIGS = {
 }
 
 
-def storage_baseline(engine):
-    if engine.pool is not None:
-        return engine.pool.blocks_available
-    return engine.arena.slots_free
-
-
 class TestCancellation:
     @pytest.mark.parametrize("backend", list(BACKEND_CONFIGS))
     def test_cancel_while_queued(self, model, backend):
@@ -347,9 +343,7 @@ class TestCancellation:
         for i in (0, 1):
             assert eng.result(f"r{i}").tokens == single_stream(
                 model, FP16KVCache, ps[i], 4)
-        assert storage_baseline(eng) == (
-            eng.pool.num_blocks if eng.pool is not None
-            else eng.arena.slots_total)
+        assert_storage_baseline(eng)
         assert eng.stats().requests_cancelled == 1
 
     @pytest.mark.parametrize("backend", list(BACKEND_CONFIGS))
@@ -398,9 +392,7 @@ class TestCancellation:
         eng.generate()
         assert eng.result("short").tokens == single_stream(
             model, FP16KVCache, short, 6)
-        assert storage_baseline(eng) == (
-            eng.pool.num_blocks if eng.pool is not None
-            else eng.arena.slots_total)
+        assert_storage_baseline(eng)
 
     def test_cancel_unknown_or_finished_returns_false(self, model):
         eng = GenerationEngine(model, FP16KVCache, ServeConfig())

@@ -44,6 +44,7 @@ from bench_chunked_prefill import (
 )
 from bench_decode_scaling import decode_chunk_times
 from bench_fault_recovery import fault_config, fault_overhead, hooked_workload
+from bench_observability import obs_config, obs_overhead, observed_workload
 from bench_policy_scheduling import (
     fork_prefill_savings,
     high_priority_ttft_gain,
@@ -91,6 +92,13 @@ MIN_FORK_PREFILL_SAVINGS = 1.5
 # workload must cost <= 1.05x the plain engine — the hooks are tick-
 # boundary-only by design and may not tax the steady state.
 MAX_FAULT_OVERHEAD = 1.05
+
+# Observability: with spans, request timelines and registry-backed
+# stats all on (the default), the batch-8 workload must cost <= 1.05x
+# an observe=False engine — a span is two clock reads and a tuple
+# append, and the registry swaps `+= 1` for `.inc()`; neither may tax
+# the steady state.
+MAX_OBS_OVERHEAD = 1.05
 
 
 def _time(fn, number=10, repeat=3) -> float:
@@ -142,6 +150,11 @@ def build_suite():
         return hooked_workload(serve_model, FP16KVCache, requests,
                                config=fault_config())
 
+    def serve_obs_workload():
+        requests = make_requests(serve_model.config.vocab_size, n_requests=8)
+        return observed_workload(serve_model, FP16KVCache, requests,
+                                 config=obs_config())
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -156,6 +169,7 @@ def build_suite():
         "serve_chunked_batch8": serve_chunked_workload,
         "serve_policy_batch8": serve_policy_workload,
         "serve_fault_batch8": serve_fault_workload,
+        "serve_obs_batch8": serve_obs_workload,
     }
 
 
@@ -313,6 +327,23 @@ def check_speedups() -> list[str]:
         else:
             overhead = fault_overhead(model, name)[2]
             print(f"  fault-hook steady-state overhead ({name}): {overhead:5.3f}x ")
+
+    # Observability: spans + timelines + registry stats, all on by
+    # default, must be free in the steady state.  Gated on FP16 (pure
+    # engine cost), best of 3 against scheduler jitter; the other cache
+    # types print informationally.
+    for name in CACHE_FACTORIES:
+        if name == "fp16":
+            overhead = min(obs_overhead(model, name)[2] for _ in range(3))
+            print(f"  observability steady-state overhead ({name}): {overhead:5.3f}x "
+                  f"(ceiling {MAX_OBS_OVERHEAD}x)")
+            if overhead > MAX_OBS_OVERHEAD:
+                failures.append(
+                    f"observability overhead {overhead:.3f}x > {MAX_OBS_OVERHEAD}x"
+                )
+        else:
+            overhead = obs_overhead(model, name)[2]
+            print(f"  observability steady-state overhead ({name}): {overhead:5.3f}x ")
     return failures
 
 

@@ -1,0 +1,162 @@
+"""Text dashboard over an exported serving trace.
+
+Renders the Chrome-trace JSON that ``engine.trace.save(path)`` writes
+— phase spans, the embedded metrics snapshot and the per-request
+timelines — as a terminal report: where tick time goes (phase-time
+table), the shape of the latency/size distributions (histogram
+sparklines), and what happened to the slowest requests (lifecycle
+timelines, fired faults flagged).
+
+Produce a trace first, e.g.::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py
+    PYTHONPATH=src python examples/obs_report.py \\
+        artifacts/results/observability_trace.json
+
+The same file loads graphically at https://ui.perfetto.dev or
+``chrome://tracing`` — this report is the no-browser view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+SPARKS = "▁▂▃▄▅▆▇█"
+
+# Render order for the phase table: the tick's phases in execution
+# order, nested model spans indented under their parent.
+PHASE_ORDER = ["tick", "sweep", "admit", "plan", "pack_prefill",
+               "forward", "append", "sample", "deliver", "finish"]
+NESTED = {"append": "forward", "deliver": "sample"}
+
+
+def sparkline(counts) -> str:
+    peak = max(counts) if counts and max(counts) > 0 else 1
+    return "".join(SPARKS[min(len(SPARKS) - 1,
+                              (len(SPARKS) * c) // (peak + 1))]
+                   for c in counts)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} µs"
+
+
+def phase_table(trace: dict) -> list[str]:
+    """Total/mean time per span name, as share of total tick time."""
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        name = ev["name"]
+        totals[name] = totals.get(name, 0.0) + ev.get("dur", 0.0)
+        counts[name] = counts.get(name, 0) + 1
+    if not totals:
+        return ["  (no spans in trace — engine ran with observe=False?)"]
+    tick_total = totals.get("tick", sum(
+        t for n, t in totals.items() if n not in NESTED)) or 1.0
+    lines = [f"  {'phase':>14} | {'count':>6} | {'total':>11} | "
+             f"{'mean':>11} | % of tick"]
+    lines.append("  " + "-" * 64)
+    names = [n for n in PHASE_ORDER if n in totals]
+    names += sorted(n for n in totals if n not in PHASE_ORDER)
+    for name in names:
+        total_us, n = totals[name], counts[name]
+        pct = 100.0 * total_us / tick_total
+        label = ("  " + name) if name in NESTED else name
+        bar = "#" * int(pct / 5)
+        lines.append(
+            f"  {label:>14} | {n:6d} | {_fmt_s(total_us / 1e6)} | "
+            f"{_fmt_s(total_us / n / 1e6)} | {pct:5.1f}% {bar}")
+    return lines
+
+
+def metric_sparklines(trace: dict) -> list[str]:
+    metrics = trace.get("metrics", {}).get("metrics", {})
+    lines = []
+    for name, m in metrics.items():
+        if m.get("type") != "histogram" or not m.get("count"):
+            continue
+        counts = m["counts"]
+        lines.append(f"  {name:>22} {sparkline(counts)} "
+                     f"n={m['count']} mean={m['sum'] / m['count']:.4g}s "
+                     f"max={m['max']:.4g}s")
+    if not lines:
+        return ["  (no non-empty histograms in the metrics snapshot)"]
+    # Context line: the counters a dashboard reads first.
+    for key in ("tokens_generated", "requests_completed", "retries",
+                "preemptions"):
+        m = metrics.get(key)
+        if m is not None:
+            lines.append(f"  {key:>22} = {m['value']}")
+    return lines
+
+
+def timeline_lines(rid: str, events: list[dict]) -> list[str]:
+    t0 = events[0]["t"] if events else 0.0
+    dur = (events[-1]["t"] - t0) if len(events) > 1 else 0.0
+    lines = [f"  {rid}  ({dur * 1e3:.2f} ms, {len(events)} events)"]
+    for ev in events:
+        detail = {k: v for k, v in ev.items() if k not in ("event", "t")}
+        extra = ("  " + " ".join(f"{k}={v}" for k, v in detail.items())
+                 if detail else "")
+        flag = "  <-- fault" if ev["event"] == "fault" else ""
+        lines.append(f"    +{(ev['t'] - t0) * 1e3:9.3f} ms  "
+                     f"{ev['event']:<14}{extra}{flag}")
+    return lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON from engine.trace.save()")
+    parser.add_argument("--top", type=int, default=3,
+                        help="slowest request timelines to show (default 3)")
+    args = parser.parse_args()
+
+    with open(args.trace) as fh:
+        trace = json.load(fh)
+
+    spans = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    instants = [e for e in trace.get("traceEvents", []) if e.get("ph") == "i"]
+    print(f"trace: {args.trace}")
+    print(f"  {len(spans)} spans, {len(instants)} instant events, "
+          f"{len(trace.get('requestTimelines', {}))} request timelines")
+
+    print("\n== where tick time goes ==")
+    for line in phase_table(trace):
+        print(line)
+
+    print("\n== metric distributions ==")
+    for line in metric_sparklines(trace):
+        print(line)
+
+    faults = [e for e in instants if e["name"] == "fault"]
+    if faults:
+        print("\n== fired faults ==")
+        for ev in faults:
+            args_d = ev.get("args", {})
+            print("  " + " ".join(f"{k}={v}" for k, v in args_d.items()))
+
+    timelines = trace.get("requestTimelines", {})
+    if timelines:
+        ranked = sorted(
+            timelines.items(),
+            key=lambda kv: (kv[1][-1]["t"] - kv[1][0]["t"]) if len(kv[1]) > 1
+            else 0.0,
+            reverse=True,
+        )
+        print(f"\n== slowest {min(args.top, len(ranked))} request "
+              "timelines ==")
+        for rid, events in ranked[:args.top]:
+            for line in timeline_lines(rid, events):
+                print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -338,3 +338,35 @@ print(f"  restored engine finished all "
       f"{resumed.stats().requests_completed}/4; queued-at-snapshot outputs "
       f"exact: {'yes' if queued_exact else 'NO'} "
       f"(mid-decode MANT4 replays under the recompute trade)")
+
+# ---------------------------------------------------------------------------
+# 8. Observability: traced requests, phase spans, Prometheus export
+# ---------------------------------------------------------------------------
+# With ServeConfig.observe (the default) every statistic is a registry
+# instrument, every tick records phase spans, and every request keeps a
+# lifecycle timeline — retrievable live via handle.trace(), serialized
+# into GenerationResult.trace, and exportable as Perfetto JSON via
+# engine.trace.save(path) (render it with examples/obs_report.py).
+traced = GenerationEngine(
+    model, cache_factory,
+    ServeConfig.chunked(max_batch_size=4, block_tokens=64,
+                        prefill_chunk_tokens=64, max_tokens_per_tick=128),
+)
+handles = [traced.submit(GenerationRequest(f"obs-{i}", shared_prompts[i],
+                                           max_tokens=MAX_TOKENS))
+           for i in range(4)]
+traced.generate()
+timeline = handles[0].trace()
+forward_spans = traced.trace.spans("forward")
+forward_ms = sum((t1 - t0) for _, t0, t1, _, _ in forward_spans) * 1e3
+print(f"observability (4 chunked requests, observe=True by default):")
+print(f"  obs-0 timeline: {' -> '.join(timeline.names())}")
+print(f"  {len(traced.trace.spans('tick'))} ticks traced; "
+      f"{len(forward_spans)} forward spans totalling {forward_ms:.1f} ms; "
+      f"result.trace carries {len(traced.result('obs-0').trace)} events")
+prom = traced.metrics.to_prometheus()
+print(f"  metrics registry: {len(traced.metrics)} instruments, "
+      f"{len(prom.splitlines())} Prometheus exposition lines, e.g.")
+for line in prom.splitlines():
+    if line.startswith("repro_serve_tokens_generated"):
+        print(f"    {line}")

@@ -31,11 +31,17 @@ backends.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.model import layers as L
+
+# Shared no-op context for untraced cache writes: generation methods
+# accept an optional ``trace`` span factory (the serving engine's tick
+# tracer) and must cost nothing when it is absent.
+_NULL_CTX = nullcontext()
 
 __all__ = ["ModelConfig", "MixedSegment", "TransformerLM", "init_params",
            "param_count"]
@@ -285,13 +291,17 @@ class TransformerLM:
         positions,
         weights=None,
         act_quant=None,
+        trace=None,
     ) -> np.ndarray:
         """One fused decode step for ``B`` independent sequences.
 
         ``tokens``: length-``B`` ints (the token each sequence feeds in);
         ``caches_per_seq``: per-sequence lists of per-layer KV caches;
         ``positions``: length-``B`` absolute positions of those tokens.
-        Returns logits ``(B, V)``.
+        Returns logits ``(B, V)``.  ``trace``, when given, is a span
+        factory (``trace("append")`` returns a context manager) and the
+        per-layer cache writes are timed under ``append`` spans — the
+        serving engine's tick tracer plugs in here.
 
         The dense projections and FFN run batched ``(B, 1, d)`` — one
         pass through the layer stack instead of ``B`` — while attention
@@ -342,9 +352,10 @@ class TransformerLM:
             # Fused when the caches' configs allow, one quantization call
             # for the whole batch — bit-identical to per-cache appends;
             # append_batch itself falls back to the loop on mixed setups.
-            type(layer_caches[0]).append_batch(
-                layer_caches, kh[:, :, 0, :], vh[:, :, 0, :]
-            )
+            with _NULL_CTX if trace is None else trace("append"):
+                type(layer_caches[0]).append_batch(
+                    layer_caches, kh[:, :, 0, :], vh[:, :, 0, :]
+                )
             att_rows = []
             for b, cache in enumerate(layer_caches):
                 att_rows.append(
@@ -392,7 +403,8 @@ class TransformerLM:
             weights=weights, act_quant=act_quant,
         )[0]
 
-    def forward_mixed(self, segments, weights=None, act_quant=None):
+    def forward_mixed(self, segments, weights=None, act_quant=None,
+                      trace=None):
         """One fused forward over decode rows *and* prefill chunks.
 
         ``segments`` is a list of :class:`MixedSegment`s — any mix of
@@ -469,19 +481,20 @@ class TransformerLM:
                 kh = L.apply_rope_ragged(kh, self._cos, self._sin, positions)
             # Cache writes: decode rows fuse one append_batch across the
             # tick (same as decode_step_batch), chunks extend per segment.
-            if decode_idx:
-                layer_caches = [segments[j].caches[i] for j in decode_idx]
-                type(layer_caches[0]).append_batch(
-                    layer_caches,
-                    kh[:, decode_starts, :].transpose(1, 0, 2),
-                    vh[:, decode_starts, :].transpose(1, 0, 2),
-                )
-            for seg, (s, e) in zip(segments, spans):
-                if seg.kind != MixedSegment.DECODE:
-                    seg.caches[i].prefill_chunk(
-                        kh[:, s:e, :], vh[:, s:e, :],
-                        final=seg.kind == MixedSegment.CHUNK_FINAL,
+            with _NULL_CTX if trace is None else trace("append"):
+                if decode_idx:
+                    layer_caches = [segments[j].caches[i] for j in decode_idx]
+                    type(layer_caches[0]).append_batch(
+                        layer_caches,
+                        kh[:, decode_starts, :].transpose(1, 0, 2),
+                        vh[:, decode_starts, :].transpose(1, 0, 2),
                     )
+                for seg, (s, e) in zip(segments, spans):
+                    if seg.kind != MixedSegment.DECODE:
+                        seg.caches[i].prefill_chunk(
+                            kh[:, s:e, :], vh[:, s:e, :],
+                            final=seg.kind == MixedSegment.CHUNK_FINAL,
+                        )
             att_rows = []
             for seg, (s, e) in zip(segments, spans):
                 cache = seg.caches[i]

@@ -50,6 +50,16 @@ The v2 API is layered:
   :meth:`~repro.serve.engine.GenerationEngine.snapshot` /
   :meth:`~repro.serve.engine.GenerationEngine.restore`) that replays
   in-flight requests through the recompute path, RNG state included.
+* **Observability** — every engine statistic is an instrument in a
+  :class:`~repro.serve.observe.MetricsRegistry` (``engine.metrics``,
+  Prometheus text exposition via ``to_prometheus()``, fleet
+  aggregation via :meth:`~repro.serve.observe.MetricsRegistry.merge`);
+  with ``ServeConfig.observe`` (default on) each tick's phases record
+  nested spans into a :class:`~repro.serve.observe.TickTracer`
+  (Chrome-trace/Perfetto export: ``engine.trace.save(path)``) and each
+  request keeps a :class:`~repro.serve.observe.RequestTrace` lifecycle
+  timeline (``handle.trace()`` / ``GenerationResult.trace``), with
+  fired faults joined in from the injector's log.
 
 Two storage backends: the contiguous
 :class:`~repro.quant.kvcache.KVCacheArena` (one slab slot per batch
@@ -94,6 +104,14 @@ from repro.serve.faults import (
     SITES,
     FaultInjector,
     InjectedFault,
+)
+from repro.serve.observe import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RequestTrace,
+    TickTracer,
 )
 from repro.serve.scheduler import QueueFullError, Scheduler
 from repro.serve.paging import (
@@ -145,6 +163,12 @@ __all__ = [
     "CALLBACK",
     "CLOCK",
     "SITES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestTrace",
+    "TickTracer",
     "EngineStats",
     "GenerationEngine",
 ]

@@ -106,6 +106,19 @@ class ServeConfig:
         this on via the ``REPRO_SERVE_STRICT`` environment variable;
         production engines leave it off (the check is O(blocks) per
         tick).
+
+    Observability (see :mod:`repro.serve.observe`):
+
+    ``observe``
+        Enable the tick-phase tracer and per-request lifecycle
+        timelines (default on — a span costs two clock reads, gated
+        to <= 1.05x steady-state overhead by ``bench_observability``).
+        ``False`` makes the tracing layer a no-op; the metrics
+        registry behind :meth:`~repro.serve.engine.GenerationEngine.
+        stats` stays live either way (it *is* the engine's counters).
+        Tracer clock reads never touch the engine's injectable clock,
+        so scheduling — and therefore token output — is bit-identical
+        with observability on or off.
     """
 
     max_batch_size: int = 8
@@ -122,6 +135,7 @@ class ServeConfig:
     request_timeout_s: float | None = None
     max_retries: int = 1
     check_invariants: bool = False
+    observe: bool = True
 
     def __post_init__(self):
         if self.max_batch_size < 1:

@@ -37,7 +37,17 @@ generation into multi-tenant serving:
   via :meth:`run`, a per-request ``on_token`` callback, or
   ``handle.stream()``), optionally carrying incremental text from a
   pluggable ``detokenize`` callback; per-request TTFT and inter-token
-  latencies aggregate into :class:`EngineStats` percentiles.
+  latencies aggregate into :class:`EngineStats` percentiles;
+* every statistic lives in a :class:`~repro.serve.observe.
+  MetricsRegistry` (``engine.metrics`` — Prometheus-exportable,
+  fleet-mergeable); with ``ServeConfig.observe`` (default on) each
+  tick's phases are traced into named nested spans (``engine.trace``,
+  Chrome-trace/Perfetto export via ``engine.trace.save(path)``) and
+  every request records a lifecycle timeline
+  (:class:`~repro.serve.observe.RequestTrace`: submit → admit →
+  prefill chunks → preemptions/retries/faults → first token → finish)
+  retrievable via ``handle.trace()`` and serialized into
+  :attr:`~repro.serve.request.GenerationResult.trace`.
 
 Two storage backends share this loop:
 
@@ -75,7 +85,6 @@ import dataclasses
 import math
 import os
 import time
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,6 +93,7 @@ from repro.model.transformer import MixedSegment
 from repro.quant.kvcache import KVCacheArena, validate_chunk_compat
 from repro.serve.config import ServeConfig
 from repro.serve.faults import ALLOC, CALLBACK, FORWARD, InjectedFault
+from repro.serve.observe import MetricsRegistry, RequestTrace, TickTracer
 from repro.serve.paging import BlockPool, PoolExhausted, validate_block_compat
 from repro.serve.request import (
     FINISH_CANCELLED,
@@ -109,6 +119,8 @@ _ABNORMAL_FINISH = (FINISH_CANCELLED, FINISH_TIMEOUT, FINISH_ERROR)
 
 # Samples retained per latency histogram (TTFT / inter-token); the
 # EngineStats percentiles describe the most recent window of traffic.
+# (Also the Histogram reservoir size, so registry-backed percentiles
+# are computed over exactly the same window as before the registry.)
 LATENCY_WINDOW = 4096
 
 
@@ -193,7 +205,30 @@ class _Sequence:
 
 @dataclass(frozen=True)
 class EngineStats:
-    """Aggregate serving statistics since engine construction."""
+    """Aggregate serving statistics since engine construction.
+
+    Every field is a read of the engine's
+    :class:`~repro.serve.observe.MetricsRegistry` (``engine.metrics``)
+    — the registry is the single source of truth, this dataclass just a
+    stable snapshot of it (``STATS_METRICS`` maps the integer fields to
+    their registered metric names; the float fields derive from the
+    registry's histograms and gauges).
+
+    Two elapsed-time views, both driven by the engine's *injectable*
+    clock (the one faults can skew — the ``observe`` tracer keeps its
+    own):
+
+    * ``elapsed_s`` — time spent *inside* :meth:`GenerationEngine.step`,
+      idle gaps between ticks excluded; the denominator of
+      ``tokens_per_s``.
+    * ``wall_elapsed_s`` — first engine clock read to the latest one
+      (submit or tick, whichever came first/last), idle gaps included.
+      ``0.0`` before the clock is ever read.
+
+    The queue-latency fields (``mean_queue_latency_s`` /
+    ``max_queue_latency_s``) measure submit → first admission on that
+    same injectable clock, over *normally completed* requests only.
+    """
 
     scheduler_policy: str         # name of the active SchedulerPolicy
     requests_submitted: int
@@ -209,7 +244,9 @@ class EngineStats:
     tokens_generated: int
     decode_ticks: int
     mean_batch_occupancy: float   # sequences per decode tick
+    batch_lanes: int              # configured max_batch_size (occupancy ceiling)
     elapsed_s: float              # time spent inside step(), idle gaps excluded
+    wall_elapsed_s: float         # first -> last engine clock read, idle included
     tokens_per_s: float           # aggregate serving throughput over elapsed_s
     mean_queue_latency_s: float
     max_queue_latency_s: float
@@ -224,12 +261,50 @@ class EngineStats:
     inter_token_p50_s: float      # gap between consecutive tokens of one request
     inter_token_p95_s: float
 
+    # Stats-field -> registry-metric-name contract.  Every field listed
+    # here is, by construction, a verbatim read of that metric's current
+    # value; the test suite enforces the mapping (and that every integer
+    # field is covered) so no counter can silently drift off the
+    # registry.  Unlisted fields are derived (ratios, percentiles) or
+    # non-numeric (scheduler_policy).
+    STATS_METRICS = {
+        "requests_submitted": "requests_submitted",
+        "requests_completed": "requests_completed",
+        "requests_queued": "requests_queued",
+        "requests_running": "requests_running",
+        "requests_rejected": "requests_rejected",
+        "requests_cancelled": "requests_cancelled",
+        "requests_timed_out": "requests_timed_out",
+        "requests_failed": "requests_failed",
+        "retries": "retries",
+        "snapshot_restores": "snapshot_restores",
+        "tokens_generated": "tokens_generated",
+        "decode_ticks": "decode_ticks",
+        "batch_lanes": "batch_lanes",
+        "cache_slots": "cache_slots",
+        "cache_slots_high_water": "cache_slots_high_water",
+        "preemptions": "preemptions",
+        "prefix_hit_tokens": "prefix_hit_tokens",
+        "prefill_chunks": "prefill_chunks",
+        "prefill_tokens": "prefill_tokens",
+        "elapsed_s": "engine_busy_seconds",
+        "wall_elapsed_s": "wall_seconds",
+    }
+
     def summary(self) -> dict:
         """Field dict for reporting: NaN placeholders render as ``None``.
 
         Before any token exists the TTFT/inter-token percentiles are
         NaN internally; a dashboard serializing this summary gets
         ``None`` (JSON ``null``) instead of a not-a-number literal.
+
+        The extra ``"derived"`` section carries the ratios a fleet
+        dashboard wants precomputed: ``tokens_per_s``,
+        ``occupancy_pct`` (mean decode occupancy over ``batch_lanes``),
+        ``prefix_hit_ratio`` (prompt tokens whose pages came from the
+        prefix cache, over all prompt tokens prefilled) and
+        ``retry_rate`` (transient-fault replays per submitted request).
+        Zero denominators yield ``0.0``, never a division error.
         """
         out = {}
         for f in dataclasses.fields(self):
@@ -237,6 +312,21 @@ class EngineStats:
             if isinstance(value, float) and math.isnan(value):
                 value = None
             out[f.name] = value
+        out["derived"] = {
+            "tokens_per_s": self.tokens_per_s,
+            "occupancy_pct": (
+                100.0 * self.mean_batch_occupancy / self.batch_lanes
+                if self.batch_lanes else 0.0
+            ),
+            "prefix_hit_ratio": (
+                self.prefix_hit_tokens / self.prefill_tokens
+                if self.prefill_tokens else 0.0
+            ),
+            "retry_rate": (
+                self.retries / self.requests_submitted
+                if self.requests_submitted else 0.0
+            ),
+        }
         return out
 
 
@@ -258,6 +348,15 @@ class GenerationEngine:
     armed rules fire at the engine's named injection sites (``forward``,
     ``alloc``, ``callback``, ``clock``) and exercise exactly the
     recovery paths real faults take.
+
+    ``metrics`` supplies the :class:`~repro.serve.observe.
+    MetricsRegistry` the engine registers every statistic in (a fresh
+    one by default; pass labeled registries to tell replicas apart in a
+    fleet export).  ``trace_clock`` overrides the tick tracer's clock —
+    deliberately a *separate* clock from the engine's injectable
+    ``clock`` so tracing never changes the engine-clock read count the
+    fault injector's ``clock_skew`` rules key off, i.e. observability
+    on/off cannot perturb scheduling or determinism.
     """
 
     def __init__(
@@ -271,6 +370,8 @@ class GenerationEngine:
         detokenize=None,
         policy=None,
         faults=None,
+        metrics: MetricsRegistry | None = None,
+        trace_clock=None,
     ):
         self.model = model
         self.config = config
@@ -280,8 +381,21 @@ class GenerationEngine:
         if faults is not None:
             clock = faults.wrap_clock(clock)
         self._clock = clock
+        self._t_first = None         # first/latest engine-clock reads:
+        self._t_last = None          # the wall_elapsed_s anchors
         self._detokenize = detokenize
         self._cache_factory = cache_factory
+        self._observe = bool(config.observe)
+        self._tracer = TickTracer(clock=trace_clock, enabled=self._observe)
+        self._tracer.extra_provider = self._trace_extra
+        # Span factory handed down into the model so cache appends get
+        # honest "append" spans inside "forward"; None disables the
+        # nested spans without the model importing anything from serve.
+        self._model_trace = self._tracer.span if self._observe else None
+        self._req_traces: dict[str, RequestTrace] = {}
+        if faults is not None and self._observe:
+            # Join fired faults into the victim's timeline + tick trace.
+            faults.on_fire(self._fault_fired)
         self.scheduler = Scheduler(config, policy=policy)
         if config.prefill_chunk_tokens is not None:
             # Paged mode implies window alignment transitively (chunk is
@@ -322,24 +436,84 @@ class GenerationEngine:
             )
         self._results: dict[str, GenerationResult] = {}
         self._active_ids: set[str] = set()
-        self._submitted = 0
-        self._arrivals = 0
-        self._completed = 0
-        self._rejected = 0
-        self._cancelled = 0
-        self._timed_out = 0
-        self._failed = 0
-        self._retries = 0
-        self._restored = 0
-        self._preemptions = 0
-        self._tokens_generated = 0
-        self._decode_ticks = 0
-        self._occupancy_sum = 0
-        self._lat_sum = 0.0
-        self._lat_max = 0.0
-        self._busy_s = 0.0
-        self._prefill_chunks = 0
-        self._prefill_tokens = 0
+        self._arrivals = 0           # submission-order stamp, not a metric
+        # Every statistic is a registry instrument from birth — stats()
+        # is a *read* of the registry, never a separate tally.  The
+        # private attributes keep their historical names so every
+        # counting site below just swaps `+= n` for `.inc(n)`.
+        m = self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._submitted = m.counter(
+            "requests_submitted", "Requests accepted by submit()")
+        self._completed = m.counter(
+            "requests_completed", "Requests finished normally (length/stop)")
+        self._rejected = m.counter(
+            "requests_rejected", "Submit-time backpressure/budget rejections")
+        self._cancelled = m.counter(
+            "requests_cancelled", "Client cancellations, any state")
+        self._timed_out = m.counter(
+            "requests_timed_out", "Hard per-request timeout expirations")
+        self._failed = m.counter(
+            "requests_failed", "Requests finished FINISH_ERROR")
+        self._retries = m.counter(
+            "retries", "Transient-fault recompute replays")
+        self._restored = m.counter(
+            "snapshot_restores", "Requests re-queued by restore()")
+        self._preemptions = m.counter(
+            "preemptions", "Sequences bumped back to the queue")
+        self._tokens_generated = m.counter(
+            "tokens_generated", "Output tokens emitted")
+        self._decode_ticks = m.counter(
+            "decode_ticks", "Ticks that ran at least one decode row")
+        self._occupancy_sum = m.counter(
+            "decode_lane_ticks", "Sum of decode rows over decode ticks "
+            "(mean occupancy numerator)")
+        self._busy_s = m.counter(
+            "engine_busy_seconds", "Injectable-clock seconds spent inside step()")
+        self._prefill_chunks = m.counter(
+            "prefill_chunks", "Prompt chunks run in mixed ticks")
+        self._prefill_tokens = m.counter(
+            "prefill_tokens", "Prompt tokens actually run through the model")
+        # Latency histograms: log-scale buckets for the exposition plus a
+        # bounded exact reservoir (LATENCY_WINDOW samples) so the
+        # EngineStats percentiles stay bit-identical to the pre-registry
+        # rolling-deque implementation.
+        self._ttfts = m.histogram(
+            "ttft_seconds", "Submit -> first emitted token",
+            reservoir=LATENCY_WINDOW)
+        self._itls = m.histogram(
+            "inter_token_seconds", "Gap between consecutive tokens of one request",
+            reservoir=LATENCY_WINDOW)
+        self._queue_lat = m.histogram(
+            "queue_latency_seconds",
+            "Submit -> first admission (normally completed requests)",
+            reservoir=LATENCY_WINDOW)
+        # Live gauges over the scheduler, the storage backend and the
+        # engine itself — sampled at read time, zero steady-state cost.
+        self.scheduler.bind_metrics(m)
+        if self.pool is not None:
+            self.pool.bind_metrics(m)
+            self._g_cache_slots = m.gauge(
+                "cache_slots", "Pool blocks total", fn=lambda: self.pool.num_blocks)
+            self._g_cache_high = m.gauge(
+                "cache_slots_high_water", "Peak pool blocks in use",
+                fn=lambda: self.pool.high_water)
+            self._g_prefix_hits = m.gauge(
+                "prefix_hit_tokens", "Prompt tokens served from shared pages",
+                fn=lambda: self.pool.prefix_hit_tokens)
+        else:
+            self._g_cache_slots = m.gauge(
+                "cache_slots", "Arena slots total",
+                fn=lambda: self.arena.slots_total)
+            self._g_cache_high = m.gauge(
+                "cache_slots_high_water", "Peak arena slots in use",
+                fn=lambda: self.arena.high_water)
+            self._g_prefix_hits = m.gauge(
+                "prefix_hit_tokens", "Prompt tokens served from shared pages "
+                "(always 0: arena slots cannot alias)", fn=lambda: 0)
+        m.gauge("batch_lanes", "Configured max_batch_size",
+                fn=lambda: self.config.max_batch_size)
+        m.gauge("wall_seconds", "First -> latest engine clock read",
+                fn=self._wall_elapsed)
         self._stepping = False       # guards reentrant cancel from callbacks
         self._draining = False       # drain(): admission stopped
         # Timeout sweeps cost a pass over queue + running set per tick;
@@ -352,11 +526,77 @@ class GenerationEngine:
             config.check_invariants
             or os.environ.get("REPRO_SERVE_STRICT", "") == "1"
         )
-        # Rolling latency windows: long-lived servers emit unboundedly
-        # many tokens, so percentiles are over the most recent samples
-        # and stats() stays O(window), not O(tokens ever served).
-        self._ttfts: deque[float] = deque(maxlen=LATENCY_WINDOW)
-        self._itls: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Clock & observability plumbing
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        """The engine's single seam over the injectable clock.
+
+        Every read routes through here so the wall-clock anchors behind
+        ``EngineStats.wall_elapsed_s`` are stamped without adding clock
+        reads — the fault injector's ``clock_skew(after=N)`` rules count
+        reads, so the read schedule must be identical with or without
+        observability.
+        """
+        t = self._clock()
+        if self._t_first is None:
+            self._t_first = t
+        self._t_last = t
+        return t
+
+    def _wall_elapsed(self) -> float:
+        if self._t_first is None:
+            return 0.0
+        return self._t_last - self._t_first
+
+    @property
+    def trace(self) -> TickTracer:
+        """The engine's tick tracer.  ``engine.trace.save(path)``
+        exports Chrome-trace/Perfetto JSON — phase spans, fault
+        instants, a metrics snapshot and every live request timeline."""
+        return self._tracer
+
+    def request_trace(self, request_id: str) -> RequestTrace | None:
+        """One request's live lifecycle timeline, or ``None`` when
+        observability is off, the id is unknown, or the result was
+        already popped (``GenerationResult.trace`` keeps a copy)."""
+        return self._req_traces.get(str(request_id))
+
+    def _trace_extra(self) -> dict:
+        """Extra top-level sections for the exported trace JSON."""
+        return {
+            "metrics": self.metrics.to_dict(),
+            "requestTimelines": {
+                rid: t.to_events() for rid, t in self._req_traces.items()
+            },
+        }
+
+    def _tl(self, seq: _Sequence, event: str, **detail) -> None:
+        """Append one lifecycle event to the request's timeline (no-op
+        with observability off).  Sibling samples share one timeline;
+        non-zero lanes tag their events with ``sample``."""
+        if not self._observe:
+            return
+        trace = self._req_traces.get(seq.request.request_id)
+        if trace is not None:
+            if seq.sample_index:
+                detail.setdefault("sample", seq.sample_index)
+            trace.add(event, self._tracer.now(), **detail)
+
+    def _fault_fired(self, index: int, site: str, request_id) -> None:
+        """:meth:`FaultInjector.on_fire` observer: join the fired fault
+        into the victim's timeline and drop an instant marker into the
+        tick trace.  ``index`` is the fault's position in the
+        injector's ``log``, so trace events correlate 1:1 with it."""
+        detail = {"site": site, "log_index": index}
+        if request_id is not None:
+            detail["request_id"] = request_id
+            trace = self._req_traces.get(request_id)
+            if trace is not None:
+                trace.add("fault", self._tracer.now(), site=site,
+                          log_index=index)
+        self._tracer.instant("fault", detail)
 
     # ------------------------------------------------------------------
     # Submission
@@ -408,7 +648,7 @@ class GenerationEngine:
                         f"pool's num_blocks of {self.pool.num_blocks} — it "
                         "could never be scheduled"
                     )
-            seq = _Sequence(request, on_token, self._clock())
+            seq = _Sequence(request, on_token, self._now())
             seq.arrival_seq = self._arrivals
             seq.timeout_s = (
                 request.timeout_s if request.timeout_s is not None
@@ -420,13 +660,18 @@ class GenerationEngine:
             # not registered — the same id can be resubmitted right away.
             if seq is not None:
                 self.scheduler.remove_queued(seq)
-            self._rejected += 1
+            self._rejected.inc()
             raise
         if seq.timeout_s is not None:
             self._timeouts_armed = True
         self._active_ids.add(rid)
-        self._submitted += 1
+        self._submitted.inc()
         self._arrivals += 1
+        if self._observe:
+            trace = self._req_traces[rid] = RequestTrace(rid)
+            trace.add("submit", self._tracer.now(),
+                      prompt_tokens=int(request.prompt.size),
+                      max_tokens=request.max_tokens, n=request.n)
         return RequestHandle(rid, self)
 
     # ------------------------------------------------------------------
@@ -466,7 +711,7 @@ class GenerationEngine:
             # Nothing left to cancel (e.g. a repeated cancel inside the
             # same tick, before the retire phase ran): idempotent no-op.
             return False
-        self._cancelled += 1
+        self._cancelled.inc()
         if not self._stepping:
             # Outside a tick it is safe to release storage right away;
             # mid-tick (a reentrant cancel from an on_token callback)
@@ -478,7 +723,7 @@ class GenerationEngine:
         if (family is not None and rid in self._active_ids
                 and all(m.retired for m in family)):
             # Queued-only cancellation: no _retire ran, record here.
-            self._record_result(family, self._clock())
+            self._record_result(family, self._now())
         return True
 
     def has_result(self, request_id: str) -> bool:
@@ -487,6 +732,8 @@ class GenerationEngine:
     def _finish_cancel(self, seq: _Sequence) -> None:
         seq.finished = True
         seq.finish_reason = FINISH_CANCELLED
+        self._tl(seq, "finish", reason=FINISH_CANCELLED,
+                 tokens=len(seq.tokens))
         event = TokenEvent(
             seq.request.request_id, None, len(seq.tokens), True,
             FINISH_CANCELLED, sample=seq.sample_index,
@@ -509,83 +756,100 @@ class GenerationEngine:
         """
         if not self.scheduler.has_work():
             return []
-        now = self._clock()
+        tracer = self._tracer
+        now = self._now()
         events: list[TokenEvent] = []
         chunked = self.config.prefill_chunk_tokens is not None
-        # 0. Timeout sweep, at the tick boundary (before admission, so an
-        # expired queued request never wastes a prefill): expired
-        # sequences finish FINISH_TIMEOUT and free their storage *now*.
-        self._sweep_timeouts(now, events)
-        self._stepping = True
-        try:
-            # 1. Admission, one request at a time (each admission's page
-            # allocations must be visible to the next fit check).
-            # Draining engines skip it: in-flight work runs dry while
-            # queued work waits for the snapshot.
-            while (not self._draining
-                   and (seq := self.scheduler.admit_one()) is not None):
-                if math.isnan(seq.admit_time):
-                    seq.admit_time = now     # queue latency: first admission only
-                ids = seq.prefill_ids()
+        with tracer.span("tick"):
+            # 0. Timeout sweep, at the tick boundary (before admission,
+            # so an expired queued request never wastes a prefill):
+            # expired sequences finish FINISH_TIMEOUT and free their
+            # storage *now*.
+            with tracer.span("sweep"):
+                self._sweep_timeouts(now, events)
+            self._stepping = True
+            try:
+                # 1. Admission, one request at a time (each admission's
+                # page allocations must be visible to the next fit
+                # check).  Draining engines skip it: in-flight work runs
+                # dry while queued work waits for the snapshot.
+                with tracer.span("admit"):
+                    self._admit(now, chunked, events)
+
+                # 2. Plan this tick's work under the pool's block
+                # supply, then run it as one fused forward.  A fault
+                # mid-batch poisons every participant's cache-position
+                # bookkeeping, so recovery is collective: evict them all
+                # back through the recompute path and charge the retry
+                # budget of the attributable ones.
+                with tracer.span("plan"):
+                    decode, chunks = self._plan_tick(events)
                 try:
-                    # Admission is where arena slots / pool leases are
-                    # taken — the alloc fault site for this sequence.
-                    self._fire(ALLOC, seq)
-                    if self.pool is not None:
-                        seq.lease = self.pool.acquire(self._cache_factory)
-                        seq.lease.match_prefix(ids)
-                    else:
-                        seq.lease = self.arena.acquire()
-                    if chunked:
-                        # No forward yet — the prompt enters the chunk queue.
-                        seq.pending_ids = ids
-                        seq.cursor = PrefillCursor(ids.size)
-                        continue
-                    self._fire(FORWARD, seq)
+                    if chunks:
+                        self._mixed_tick(decode, chunks, events)
+                    elif decode:
+                        self._decode_tick(decode, events)
+                except PoolExhausted:
+                    raise            # genuine capacity error, not a fault
+                except Exception as exc:
+                    self._tick_failure(decode, chunks, exc, events)
+
+                # 3. Retire finished sequences, recycling their storage.
+                with tracer.span("finish"):
+                    for seq in [s for s in self.scheduler.running
+                                if s.finished]:
+                        self._retire(seq)
+            finally:
+                self._stepping = False
+        # Busy time accumulates per tick so throughput reflects time
+        # spent serving, not idle gaps between bursts.
+        self._busy_s.inc(self._now() - now)
+        if self._strict:
+            self.check_invariants()
+        return events
+
+    def _admit(self, now: float, chunked: bool, events: list) -> None:
+        """The tick's admission loop (factored out of :meth:`step` so
+        the whole phase sits under one ``admit`` span)."""
+        while (not self._draining
+               and (seq := self.scheduler.admit_one()) is not None):
+            if math.isnan(seq.admit_time):
+                seq.admit_time = now     # queue latency: first admission only
+            self._tl(seq, "admit", resumed=seq.resuming)
+            ids = seq.prefill_ids()
+            try:
+                # Admission is where arena slots / pool leases are
+                # taken — the alloc fault site for this sequence.
+                self._fire(ALLOC, seq)
+                if self.pool is not None:
+                    seq.lease = self.pool.acquire(self._cache_factory)
+                    seq.lease.match_prefix(ids)
+                else:
+                    seq.lease = self.arena.acquire()
+                if chunked:
+                    # No forward yet — the prompt enters the chunk queue.
+                    seq.pending_ids = ids
+                    seq.cursor = PrefillCursor(ids.size)
+                    continue
+                self._fire(FORWARD, seq)
+                with self._tracer.span("forward"):
                     logits = self.model.prefill(
                         ids, seq.lease.caches,
                         weights=self.weights, act_quant=self.act_quant,
                     )
-                except Exception as exc:
-                    # Whole-prompt prefill runs one sequence alone, so a
-                    # real exception here is attributable — quarantine
-                    # (or retry) just this sequence, bystanders untouched.
-                    self._on_fault(seq, exc, events)
-                    continue
-                seq.pos = int(ids.size)
-                seq.prefill_chunks += 1
-                self._prefill_tokens += int(ids.size)
-                if self.pool is not None:
-                    seq.lease.register_prefix(ids)
-                self._finish_prefill(seq, logits, events)
-
-            # 2. Plan this tick's work under the pool's block supply, then
-            # run it as one fused forward.  A fault mid-batch poisons
-            # every participant's cache-position bookkeeping, so recovery
-            # is collective: evict them all back through the recompute
-            # path and charge the retry budget of the attributable ones.
-            decode, chunks = self._plan_tick(events)
-            try:
-                if chunks:
-                    self._mixed_tick(decode, chunks, events)
-                elif decode:
-                    self._decode_tick(decode, events)
-            except PoolExhausted:
-                raise                # genuine capacity error, not a fault
             except Exception as exc:
-                self._tick_failure(decode, chunks, exc, events)
-
-            # 3. Retire finished sequences, recycling their cache storage.
-            for seq in [s for s in self.scheduler.running if s.finished]:
-                self._retire(seq)
-        finally:
-            self._stepping = False
-        # Busy time accumulates per tick so throughput reflects time
-        # spent serving, not idle gaps between bursts.
-        self._busy_s += self._clock() - now
-        if self._strict:
-            self.check_invariants()
-        return events
+                # Whole-prompt prefill runs one sequence alone, so a
+                # real exception here is attributable — quarantine
+                # (or retry) just this sequence, bystanders untouched.
+                self._on_fault(seq, exc, events)
+                continue
+            seq.pos = int(ids.size)
+            seq.prefill_chunks += 1
+            self._prefill_tokens.inc(int(ids.size))
+            self._tl(seq, "prefill", tokens=int(ids.size))
+            if self.pool is not None:
+                seq.lease.register_prefix(ids)
+            self._finish_prefill(seq, logits, events)
 
     # ------------------------------------------------------------------
     # Tick assembly
@@ -706,9 +970,14 @@ class GenerationEngine:
         transient = exc.transient if isinstance(exc, InjectedFault) else True
         if seq.error is None:
             seq.error = f"{type(exc).__name__}: {exc}"
+        if not isinstance(exc, InjectedFault):
+            # Injected faults reach the timeline via the injector's
+            # on_fire observer; real exceptions are recorded here.
+            self._tl(seq, "fault", error=f"{type(exc).__name__}: {exc}")
         if transient and seq.retries < self.config.max_retries:
             seq.retries += 1
-            self._retries += 1
+            self._retries.inc()
+            self._tl(seq, "retry", retries=seq.retries)
             self._evict(seq, count_preemption=False)
         else:
             self._fail(seq, FINISH_ERROR, events)
@@ -717,14 +986,15 @@ class GenerationEngine:
         """Finish ``seq`` abnormally and deliver the finish event."""
         seq.finished = True
         seq.finish_reason = reason
+        self._tl(seq, "finish", reason=reason, tokens=len(seq.tokens))
         # Per-request counters: only the family's first member to finish
         # with this reason bumps them (n>1 siblings expire together).
         if not any(m is not seq and m.finish_reason == reason
                    for m in seq.family):
             if reason == FINISH_TIMEOUT:
-                self._timed_out += 1
+                self._timed_out.inc()
             elif reason == FINISH_ERROR:
-                self._failed += 1
+                self._failed.inc()
         event = TokenEvent(
             seq.request.request_id, None, len(seq.tokens), True, reason,
             sample=seq.sample_index,
@@ -745,17 +1015,21 @@ class GenerationEngine:
         if seq.on_token is None:
             return
         try:
-            self._fire(CALLBACK, seq)
-            seq.on_token(event)
+            with self._tracer.span("deliver"):
+                self._fire(CALLBACK, seq)
+                seq.on_token(event)
         except Exception as exc:
             seq.on_token = None      # quarantined: never called again
             seq.error = f"on_token callback failed: {type(exc).__name__}: {exc}"
+            self._tl(seq, "callback_error", error=seq.error)
             if not seq.finished:
                 seq.finished = True
                 seq.finish_reason = FINISH_ERROR
+                self._tl(seq, "finish", reason=FINISH_ERROR,
+                         tokens=len(seq.tokens))
                 if not any(m is not seq and m.finish_reason == FINISH_ERROR
                            for m in seq.family):
-                    self._failed += 1
+                    self._failed.inc()
                 if events is not None:
                     events.append(TokenEvent(
                         seq.request.request_id, None, len(seq.tokens), True,
@@ -766,59 +1040,70 @@ class GenerationEngine:
         """One fused ``decode_step_batch`` over every decode row —
         unchanged from the pre-chunking engine, so decode-only ticks
         stay bit-identical to the single-stream loop."""
-        logits = self.model.decode_step_batch(
-            [s.next_token for s in live],
-            [s.lease.caches for s in live],
-            [s.pos for s in live],
-            weights=self.weights, act_quant=self.act_quant,
-        )
-        self._decode_ticks += 1
-        self._occupancy_sum += len(live)
-        for b, seq in enumerate(live):
-            seq.pos += 1
-            seq.decode_steps += 1
-            if seq.finished:
-                continue   # cancelled mid-tick by a reentrant callback
-            self._emit(seq, seq.sampler.sample(logits[b]), events)
+        with self._tracer.span("forward"):
+            logits = self.model.decode_step_batch(
+                [s.next_token for s in live],
+                [s.lease.caches for s in live],
+                [s.pos for s in live],
+                weights=self.weights, act_quant=self.act_quant,
+                trace=self._model_trace,
+            )
+        self._decode_ticks.inc()
+        self._occupancy_sum.inc(len(live))
+        with self._tracer.span("sample"):
+            for b, seq in enumerate(live):
+                seq.pos += 1
+                seq.decode_steps += 1
+                if seq.finished:
+                    continue   # cancelled mid-tick by a reentrant callback
+                self._emit(seq, seq.sampler.sample(logits[b]), events)
 
     def _mixed_tick(self, decode: list, chunks: list, events: list) -> None:
         """One packed ``forward_mixed`` over decode rows + prompt chunks."""
-        segments = [
-            MixedSegment([s.next_token], s.lease.caches, s.pos, MixedSegment.DECODE)
-            for s in decode
-        ]
-        for seq, n in chunks:
-            start = seq.cursor.done
-            final = start + n == seq.cursor.total
-            segments.append(MixedSegment(
-                seq.pending_ids[start : start + n], seq.lease.caches, start,
-                MixedSegment.CHUNK_FINAL if final else MixedSegment.CHUNK,
-            ))
-        outs = self.model.forward_mixed(
-            segments, weights=self.weights, act_quant=self.act_quant,
-        )
+        tracer = self._tracer
+        with tracer.span("pack_prefill"):
+            segments = [
+                MixedSegment([s.next_token], s.lease.caches, s.pos,
+                             MixedSegment.DECODE)
+                for s in decode
+            ]
+            for seq, n in chunks:
+                start = seq.cursor.done
+                final = start + n == seq.cursor.total
+                segments.append(MixedSegment(
+                    seq.pending_ids[start : start + n], seq.lease.caches, start,
+                    MixedSegment.CHUNK_FINAL if final else MixedSegment.CHUNK,
+                ))
+        with tracer.span("forward"):
+            outs = self.model.forward_mixed(
+                segments, weights=self.weights, act_quant=self.act_quant,
+                trace=self._model_trace,
+            )
         if decode:
-            self._decode_ticks += 1
-            self._occupancy_sum += len(decode)
-        for seq, logits in zip(decode, outs):
-            seq.pos += 1
-            seq.decode_steps += 1
-            if seq.finished:
-                continue   # cancelled mid-tick by a reentrant callback
-            self._emit(seq, seq.sampler.sample(logits), events)
-        for (seq, n), logits in zip(chunks, outs[len(decode):]):
-            seq.cursor.advance(n)
-            seq.prefill_chunks += 1
-            self._prefill_chunks += 1
-            self._prefill_tokens += n
-            if seq.cursor.complete:
-                seq.pos = seq.cursor.total
-                if self.pool is not None:
-                    seq.lease.register_prefix(seq.pending_ids)
-                seq.cursor = None
-                seq.pending_ids = None
-                if not seq.finished:
-                    self._finish_prefill(seq, logits, events)
+            self._decode_ticks.inc()
+            self._occupancy_sum.inc(len(decode))
+        with tracer.span("sample"):
+            for seq, logits in zip(decode, outs):
+                seq.pos += 1
+                seq.decode_steps += 1
+                if seq.finished:
+                    continue   # cancelled mid-tick by a reentrant callback
+                self._emit(seq, seq.sampler.sample(logits), events)
+            for (seq, n), logits in zip(chunks, outs[len(decode):]):
+                seq.cursor.advance(n)
+                seq.prefill_chunks += 1
+                self._prefill_chunks.inc()
+                self._prefill_tokens.inc(n)
+                self._tl(seq, "prefill_chunk", tokens=n,
+                         done=seq.cursor.done, total=seq.cursor.total)
+                if seq.cursor.complete:
+                    seq.pos = seq.cursor.total
+                    if self.pool is not None:
+                        seq.lease.register_prefix(seq.pending_ids)
+                    seq.cursor = None
+                    seq.pending_ids = None
+                    if not seq.finished:
+                        self._finish_prefill(seq, logits, events)
 
     def _finish_prefill(self, seq: _Sequence, logits, events: list) -> None:
         """Prompt fully in cache: sample first token(s), fork siblings."""
@@ -853,6 +1138,7 @@ class GenerationEngine:
         """
         prompt = seq.request.prompt
         seq.lanes = 1
+        self._tl(seq, "fork", n=seq.request.n)
         for i in range(1, seq.request.n):
             sibling = _Sequence(seq.request, seq.on_token, seq.submit_time,
                                 sample_index=i)
@@ -868,7 +1154,7 @@ class GenerationEngine:
                     prompt, sibling.lease.caches,
                     weights=self.weights, act_quant=self.act_quant,
                 )
-                self._prefill_tokens += int(prompt.size)
+                self._prefill_tokens.inc(int(prompt.size))
             sibling.pos = seq.pos
             self.scheduler.add_running(sibling)
             self._emit(sibling, sibling.sampler.sample(logits), events)
@@ -896,7 +1182,8 @@ class GenerationEngine:
         # is a plain first prefill, not a resume.
         seq.resuming = bool(seq.tokens)
         if count_preemption:
-            self._preemptions += 1
+            self._preemptions.inc()
+            self._tl(seq, "preempt")
 
     def _emit(self, seq: _Sequence, token: int, events: list[TokenEvent]) -> None:
         """Record one sampled token, deciding emission and finish state."""
@@ -924,14 +1211,18 @@ class GenerationEngine:
         if event.token is not None:
             # Latency histograms: TTFT on the first emitted token,
             # inter-token gaps between consecutive ones.
-            t_emit = self._clock()
+            t_emit = self._now()
             if math.isnan(seq.first_token_time):
                 seq.first_token_time = t_emit
-                self._ttfts.append(t_emit - seq.submit_time)
+                self._ttfts.observe(t_emit - seq.submit_time)
+                self._tl(seq, "first_token")
             else:
-                self._itls.append(t_emit - seq.last_token_time)
+                self._itls.observe(t_emit - seq.last_token_time)
             seq.last_token_time = t_emit
-        self._tokens_generated += event.token is not None
+        self._tokens_generated.inc(event.token is not None)
+        if seq.finished:
+            self._tl(seq, "finish", reason=seq.finish_reason,
+                     tokens=len(seq.tokens))
         events.append(event)
         self._deliver(seq, event, events)
 
@@ -950,7 +1241,7 @@ class GenerationEngine:
     def _retire(self, seq: _Sequence) -> None:
         if seq.retired:
             return               # fault/timeout/cancel paths may race
-        now = self._clock()
+        now = self._now()
         self.scheduler.release(seq)
         self._release_storage(seq)
         seq.retired = True
@@ -976,9 +1267,9 @@ class GenerationEngine:
         if parent.finish_reason in _ABNORMAL_FINISH:
             pass    # counted in requests_cancelled/timed_out/failed instead
         else:
-            self._completed += 1
-            self._lat_sum += latency
-            self._lat_max = max(self._lat_max, latency)
+            self._completed.inc()
+            self._queue_lat.observe(latency)
+        trace = self._req_traces.get(rid)
         self._results[rid] = GenerationResult(
             request_id=rid,
             tokens=samples[0].tokens,
@@ -990,6 +1281,7 @@ class GenerationEngine:
             prefill_chunks=parent.prefill_chunks,
             samples=samples,
             error=next((s.error for s in samples if s.error is not None), None),
+            trace=trace.to_events() if trace is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -1030,7 +1322,10 @@ class GenerationEngine:
         results hold their token lists and reserve the request id, so a
         server that only ever reads with :meth:`result` grows without
         bound.  After eviction the id may be reused by a new request.
+        (The request's live timeline is evicted with it; the popped
+        result's ``trace`` field keeps the serialized copy.)
         """
+        self._req_traces.pop(str(request_id), None)
         return self._results.pop(str(request_id))
 
     # ------------------------------------------------------------------
@@ -1166,7 +1461,7 @@ class GenerationEngine:
             raise ValueError(f"duplicate request_id {rid!r} in snapshot")
         cb = (on_token if on_token is None or callable(on_token)
               else on_token.get(rid))
-        now = self._clock()
+        now = self._now()
         family: list[_Sequence] = []
         live: list[_Sequence] = []
         for s in sorted(record["samples"], key=lambda s: s["index"]):
@@ -1204,9 +1499,14 @@ class GenerationEngine:
         if any(m.timeout_s is not None for m in live):
             self._timeouts_armed = True
         self._active_ids.add(rid)
-        self._submitted += 1
+        self._submitted.inc()
         self._arrivals += 1
-        self._restored += 1
+        self._restored.inc()
+        if self._observe:
+            trace = self._req_traces[rid] = RequestTrace(rid)
+            trace.add("restore", self._tracer.now(),
+                      samples=len(record["samples"]),
+                      tokens=sum(len(m.tokens) for m in live))
 
     # ------------------------------------------------------------------
     # Invariants
@@ -1274,47 +1574,52 @@ class GenerationEngine:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
-    @staticmethod
-    def _pctl(values, q: float) -> float:
-        return float(np.percentile(list(values), q)) if values else float("nan")
-
     def stats(self) -> EngineStats:
-        elapsed = self._busy_s
-        if self.pool is not None:
-            slots, high_water = self.pool.num_blocks, self.pool.high_water
-            prefix_hits = self.pool.prefix_hit_tokens
-        else:
-            slots, high_water = self.arena.slots_total, self.arena.high_water
-            prefix_hits = 0
+        """Snapshot the metrics registry as an :class:`EngineStats`.
+
+        Pure read — every field comes from a registry instrument (see
+        ``EngineStats.STATS_METRICS``) or is a ratio/percentile derived
+        from one, so ``stats()``, ``metrics.to_prometheus()`` and a
+        fleet ``MetricsRegistry.merge`` all describe the same numbers.
+        """
+        m = self.metrics
+        elapsed = self._busy_s.value
+        completed = self._completed.value
+        tokens = self._tokens_generated.value
+        decode_ticks = self._decode_ticks.value
         return EngineStats(
             scheduler_policy=self.scheduler.policy.name,
-            requests_submitted=self._submitted,
-            requests_completed=self._completed,
-            requests_queued=self.scheduler.queue_depth,
-            requests_running=self.scheduler.n_running,
-            requests_rejected=self._rejected,
-            requests_cancelled=self._cancelled,
-            requests_timed_out=self._timed_out,
-            requests_failed=self._failed,
-            retries=self._retries,
-            snapshot_restores=self._restored,
-            tokens_generated=self._tokens_generated,
-            decode_ticks=self._decode_ticks,
+            requests_submitted=self._submitted.value,
+            requests_completed=completed,
+            requests_queued=m.get("requests_queued").value,
+            requests_running=m.get("requests_running").value,
+            requests_rejected=self._rejected.value,
+            requests_cancelled=self._cancelled.value,
+            requests_timed_out=self._timed_out.value,
+            requests_failed=self._failed.value,
+            retries=self._retries.value,
+            snapshot_restores=self._restored.value,
+            tokens_generated=tokens,
+            decode_ticks=decode_ticks,
             mean_batch_occupancy=(
-                self._occupancy_sum / self._decode_ticks if self._decode_ticks else 0.0
+                self._occupancy_sum.value / decode_ticks if decode_ticks else 0.0
             ),
+            batch_lanes=self.config.max_batch_size,
             elapsed_s=elapsed,
-            tokens_per_s=self._tokens_generated / elapsed if elapsed > 0 else 0.0,
-            mean_queue_latency_s=self._lat_sum / self._completed if self._completed else 0.0,
-            max_queue_latency_s=self._lat_max,
-            cache_slots=slots,
-            cache_slots_high_water=high_water,
-            preemptions=self._preemptions,
-            prefix_hit_tokens=prefix_hits,
-            prefill_chunks=self._prefill_chunks,
-            prefill_tokens=self._prefill_tokens,
-            ttft_p50_s=self._pctl(self._ttfts, 50),
-            ttft_p95_s=self._pctl(self._ttfts, 95),
-            inter_token_p50_s=self._pctl(self._itls, 50),
-            inter_token_p95_s=self._pctl(self._itls, 95),
+            wall_elapsed_s=self._wall_elapsed(),
+            tokens_per_s=tokens / elapsed if elapsed > 0 else 0.0,
+            mean_queue_latency_s=(
+                self._queue_lat.sum / completed if completed else 0.0
+            ),
+            max_queue_latency_s=self._queue_lat.max_value,
+            cache_slots=self._g_cache_slots.value,
+            cache_slots_high_water=self._g_cache_high.value,
+            preemptions=self._preemptions.value,
+            prefix_hit_tokens=self._g_prefix_hits.value,
+            prefill_chunks=self._prefill_chunks.value,
+            prefill_tokens=self._prefill_tokens.value,
+            ttft_p50_s=self._ttfts.percentile(50),
+            ttft_p95_s=self._ttfts.percentile(95),
+            inter_token_p50_s=self._itls.percentile(50),
+            inter_token_p95_s=self._itls.percentile(95),
         )

@@ -118,6 +118,24 @@ class FaultInjector:
         self._rules: list[_Rule] = []
         self._skew = 0.0              # accumulated CLOCK skew
         self.log: list[tuple[str, str | None]] = []
+        self._observers: list = []    # (log_index, site, request_id) callbacks
+
+    def on_fire(self, callback) -> "FaultInjector":
+        """Register ``callback(log_index, site, request_id)``, invoked
+        synchronously whenever a fault fires (before the exception
+        propagates).  ``log_index`` indexes :attr:`log`, so observers —
+        the engine's observability layer joins fired faults into the
+        victim request's timeline this way — can correlate without
+        changing the log's replayable ``(site, request_id)`` shape.
+        Observers must not raise; they run inside the firing path.
+        """
+        self._observers.append(callback)
+        return self
+
+    def _notify(self, site: str, request_id: str | None) -> None:
+        index = len(self.log) - 1
+        for callback in self._observers:
+            callback(index, site, request_id)
 
     # ------------------------------------------------------------------
     # Arming
@@ -200,6 +218,7 @@ class FaultInjector:
                 if rule.times == 0:
                     self._rules.remove(rule)
             self.log.append((site, request_id))
+            self._notify(site, request_id)
             raise InjectedFault(site, request_id, rule.transient)
 
     def wrap_clock(self, clock):
@@ -216,6 +235,7 @@ class FaultInjector:
                 self._skew += rule.skew_s
                 self._rules.remove(rule)
                 self.log.append((CLOCK, None))
+                self._notify(CLOCK, None)
             return t + self._skew
 
         return skewed_clock

@@ -1,0 +1,518 @@
+"""Serving observability: metrics registry, tick tracer, request timelines.
+
+Three cooperating pieces turn the engine's ad-hoc counters into a
+first-class observability layer:
+
+* :class:`MetricsRegistry` — a labeled namespace of
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments that
+  is the *single source of truth* behind
+  :class:`~repro.serve.engine.EngineStats`: every engine counter is a
+  registry object, ``engine.stats()`` is a read of the registry, and
+  :meth:`MetricsRegistry.to_prometheus` renders the standard text
+  exposition so N engine replicas (each with its own ``labels``) can
+  export side by side.  :meth:`MetricsRegistry.merge` folds replica
+  registries into one fleet aggregate — the shape the multi-replica
+  router (ROADMAP direction 1) scrapes.
+* :class:`TickTracer` — named, nested spans over the phases of one
+  engine tick (``sweep``/``admit``/``plan``/``pack_prefill``/
+  ``forward``/``append``/``sample``/``deliver``/``finish`` under a
+  ``tick`` root), recorded into a bounded in-memory ring buffer and
+  exported as Chrome-trace/Perfetto JSON via :meth:`TickTracer.save`
+  (load the file at ``chrome://tracing`` or https://ui.perfetto.dev).
+  A span costs two clock reads and one tuple append; a *disabled*
+  tracer hands out a shared no-op span, so ``ServeConfig(observe=
+  False)`` engines pay one attribute check per phase.
+* :class:`RequestTrace` — the lifecycle timeline of one request
+  (submit, admit, prefill chunks, preemption, retry, fired faults
+  joined against :attr:`~repro.serve.faults.FaultInjector.log`, first
+  token, finish), retrievable live via
+  :meth:`~repro.serve.request.RequestHandle.trace` and serialized into
+  :attr:`~repro.serve.request.GenerationResult.trace`.
+
+The tracer's clock is deliberately *separate* from the engine's
+injectable clock: engine clock reads are counted by the fault
+injector's ``clock_skew(after=N)`` rules and must never depend on
+whether observability is enabled — determinism of scheduling under
+``observe=True`` vs ``observe=False`` rests on this separation.
+
+Histograms pair fixed log-scale buckets (for mergeable, Prometheus-
+style exposition) with a bounded reservoir of raw samples (for *exact*
+small-n percentiles — the engine's TTFT/inter-token p50/p95 are
+computed from the reservoir with ``np.percentile``, bit-for-bit the
+pre-registry deques).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TickTracer",
+    "RequestTrace",
+    "DEFAULT_BUCKETS",
+]
+
+# Log-scale histogram bounds: two per decade from 1 µs to 1000 s —
+# wide enough for TTFT and queue latencies on anything from the
+# unit-test model to a saturated fleet, and fixed so replica histograms
+# merge bucket-for-bucket.
+DEFAULT_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-12, 7))
+
+# Raw samples retained per histogram for exact percentiles; matches the
+# engine's pre-registry LATENCY_WINDOW so percentile values are
+# unchanged bit for bit.
+DEFAULT_RESERVOIR = 4096
+
+
+class Counter:
+    """A monotonically increasing value (int or float)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or read through a
+    bound callable (the registry pattern for pool/scheduler depths —
+    the gauge always reflects live state, no update calls on the hot
+    path)."""
+
+    __slots__ = ("name", "help", "fn", "_value")
+
+    def __init__(self, name: str, help: str = "", fn=None):
+        self.name = name
+        self.help = help
+        self.fn = fn
+        self._value = 0
+
+    def set(self, value) -> None:
+        self.fn = None
+        self._value = value
+
+    @property
+    def value(self):
+        return self.fn() if self.fn is not None else self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Log-scale bucket counts plus a bounded reservoir of raw samples.
+
+    The buckets give a mergeable, Prometheus-compatible shape; the
+    reservoir (a ``deque(maxlen=...)`` of the most recent samples)
+    gives *exact* percentiles for the windows the engine reports —
+    identical to ``np.percentile`` over the raw deque the engine used
+    before the registry existed.  ``max_value`` starts at ``0.0`` (not
+    ``-inf``) to preserve the engine's historical "max latency is 0
+    before any completion" reading.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count",
+                 "max_value", "reservoir")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets=DEFAULT_BUCKETS, reservoir: int = DEFAULT_RESERVOIR):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)   # +1 = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+        self.max_value = 0.0
+        self.reservoir: deque = deque(maxlen=reservoir)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        self.max_value = max(self.max_value, value)
+        self.reservoir.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the reservoir window (NaN when empty)."""
+        if not self.reservoir:
+            return float("nan")
+        return float(np.percentile(list(self.reservoir), q))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, sum={self.sum:.6g})"
+
+
+class MetricsRegistry:
+    """A labeled namespace of named instruments.
+
+    One registry per engine: instrument names are unique within it and
+    ``labels`` (e.g. ``{"replica": "r3"}``) distinguish replicas in the
+    merged/exported views.  Registration returns the live instrument —
+    the engine holds direct references, so the hot path pays one
+    attribute access, never a dict lookup.
+    """
+
+    def __init__(self, namespace: str = "repro_serve",
+                 labels: dict | None = None):
+        self.namespace = namespace
+        self.labels = dict(labels or {})
+        self._metrics: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _register(self, metric):
+        if metric.name in self._metrics:
+            raise ValueError(
+                f"metric {metric.name!r} already registered in namespace "
+                f"{self.namespace!r}"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "", fn=None) -> Gauge:
+        return self._register(Gauge(name, help, fn=fn))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets=DEFAULT_BUCKETS,
+                  reservoir: int = DEFAULT_RESERVOIR) -> Histogram:
+        return self._register(Histogram(name, help, buckets, reservoir))
+
+    # ------------------------------------------------------------------
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot (embedded in saved traces)."""
+        out: dict = {"namespace": self.namespace, "labels": dict(self.labels),
+                     "metrics": {}}
+        for m in self:
+            if isinstance(m, Counter):
+                out["metrics"][m.name] = {"type": "counter", "value": m.value}
+            elif isinstance(m, Gauge):
+                out["metrics"][m.name] = {"type": "gauge", "value": m.value}
+            else:
+                out["metrics"][m.name] = {
+                    "type": "histogram",
+                    "count": m.count,
+                    "sum": m.sum,
+                    "max": m.max_value,
+                    "buckets": list(m.buckets),
+                    "counts": list(m.counts),
+                }
+        return out
+
+    def to_prometheus(self) -> str:
+        """Standard Prometheus text exposition of every instrument."""
+        label_str = ""
+        if self.labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(self.labels.items()))
+            label_str = "{" + inner + "}"
+        lines: list[str] = []
+        for m in self:
+            full = f"{self.namespace}_{m.name}"
+            if m.help:
+                lines.append(f"# HELP {full} {m.help}")
+            if isinstance(m, Counter):
+                lines.append(f"# TYPE {full} counter")
+                lines.append(f"{full}{label_str} {m.value}")
+            elif isinstance(m, Gauge):
+                lines.append(f"# TYPE {full} gauge")
+                lines.append(f"{full}{label_str} {m.value}")
+            else:
+                lines.append(f"# TYPE {full} histogram")
+                cumulative = 0
+                for bound, count in zip(m.buckets, m.counts):
+                    cumulative += count
+                    le = self._merge_label(label_str, f'le="{bound:g}"')
+                    lines.append(f"{full}_bucket{le} {cumulative}")
+                le = self._merge_label(label_str, 'le="+Inf"')
+                lines.append(f"{full}_bucket{le} {m.count}")
+                lines.append(f"{full}_sum{label_str} {m.sum}")
+                lines.append(f"{full}_count{label_str} {m.count}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _merge_label(label_str: str, extra: str) -> str:
+        if not label_str:
+            return "{" + extra + "}"
+        return label_str[:-1] + "," + extra + "}"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, registries, namespace: str | None = None,
+              labels: dict | None = None) -> "MetricsRegistry":
+        """Fleet aggregation: fold replica registries into one.
+
+        Counters and histogram buckets/sums sum; gauges sum as snapshot
+        values (queue depths and live blocks add across replicas);
+        histogram reservoirs concatenate (bounded by the reservoir
+        size, so merged percentiles are window-approximate while
+        bucket counts stay exact).  Instruments sharing a name must
+        share a type — and, for histograms, bucket bounds.
+        """
+        registries = list(registries)
+        if not registries:
+            raise ValueError("merge() needs at least one registry")
+        merged = cls(
+            namespace=namespace if namespace is not None
+            else registries[0].namespace,
+            labels=labels,
+        )
+        for reg in registries:
+            for m in reg:
+                have = merged._metrics.get(m.name)
+                if have is None:
+                    if isinstance(m, Counter):
+                        have = merged.counter(m.name, m.help)
+                    elif isinstance(m, Gauge):
+                        have = merged.gauge(m.name, m.help)
+                    else:
+                        have = merged.histogram(m.name, m.help, m.buckets,
+                                                m.reservoir.maxlen)
+                if isinstance(m, Counter):
+                    if not isinstance(have, Counter):
+                        raise TypeError(f"metric {m.name!r} type mismatch")
+                    have.value += m.value
+                elif isinstance(m, Gauge):
+                    if not isinstance(have, Gauge):
+                        raise TypeError(f"metric {m.name!r} type mismatch")
+                    have.set(have.value + m.value)
+                else:
+                    if not isinstance(have, Histogram):
+                        raise TypeError(f"metric {m.name!r} type mismatch")
+                    if have.buckets != m.buckets:
+                        raise ValueError(
+                            f"histogram {m.name!r} bucket bounds differ"
+                        )
+                    for i, c in enumerate(m.counts):
+                        have.counts[i] += c
+                    have.sum += m.sum
+                    have.count += m.count
+                    have.max_value = max(have.max_value, m.max_value)
+                    have.reservoir.extend(m.reservoir)
+        return merged
+
+
+class _Span:
+    """One live span; records ``(name, t0, t1, depth)`` on exit."""
+
+    __slots__ = ("_tracer", "_name", "_t0", "_depth")
+
+    def __init__(self, tracer: "TickTracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self):
+        tracer = self._tracer
+        self._depth = tracer._depth
+        tracer._depth += 1
+        self._t0 = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tracer = self._tracer
+        tracer._depth -= 1
+        tracer._records.append(
+            (self._name, self._t0, tracer._clock(), self._depth, None)
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TickTracer:
+    """Nested named spans over engine ticks, in a bounded ring buffer.
+
+    Spans are recorded *at exit* as ``(name, t0, t1, depth, args)``
+    tuples (``args`` is ``None`` for spans, a detail dict for
+    :meth:`instant` events, whose ``t1`` is ``None``); nesting is
+    recoverable from time containment, exactly how Chrome-trace viewers
+    render it.  The ring (``capacity`` completed records) bounds memory
+    on long-lived servers — when it wraps, the oldest records drop
+    first, which can orphan a child whose parent span closed later;
+    viewers tolerate this, and :meth:`save` exports whatever the ring
+    holds.
+
+    The clock defaults to ``time.perf_counter`` and is injectable for
+    tests; it is intentionally **not** the engine's (possibly
+    fault-wrapped) clock — see the module docstring.
+    """
+
+    def __init__(self, capacity: int = 65536, clock=None,
+                 enabled: bool = True):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._records: deque = deque(maxlen=capacity)
+        self._depth = 0
+        self.enabled = enabled
+        # Optional callable returning extra top-level JSON sections for
+        # save() — the engine wires metrics + request timelines here.
+        self.extra_provider = None
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self._clock()
+
+    def span(self, name: str):
+        """Context manager timing one phase; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def instant(self, name: str, args: dict | None = None) -> None:
+        """Record a point event (rendered as an arrow/instant marker)."""
+        if not self.enabled:
+            return
+        self._records.append((name, self._clock(), None, self._depth, args))
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[tuple]:
+        """The raw ring contents: ``(name, t0, t1, depth, args)``."""
+        return list(self._records)
+
+    def spans(self, name: str | None = None) -> list[tuple]:
+        """Completed spans (optionally filtered by name), oldest first."""
+        return [r for r in self._records
+                if r[2] is not None and (name is None or r[0] == name)]
+
+    def instants(self, name: str | None = None) -> list[tuple]:
+        return [r for r in self._records
+                if r[2] is None and (name is None or r[0] == name)]
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """Chrome-trace/Perfetto JSON object for the ring contents.
+
+        Spans become complete events (``ph: "X"`` with ``ts``/``dur``
+        in microseconds); instants become ``ph: "i"``.  Extra top-level
+        sections from ``extra_provider`` (metrics snapshot, request
+        timelines) ride along — trace viewers ignore unknown keys.
+        """
+        trace_events = []
+        for name, t0, t1, depth, args in self._records:
+            if t1 is None:
+                event = {"name": name, "ph": "i", "ts": t0 * 1e6,
+                         "pid": 0, "tid": 0, "s": "t"}
+                if args:
+                    event["args"] = args
+            else:
+                event = {"name": name, "ph": "X", "ts": t0 * 1e6,
+                         "dur": (t1 - t0) * 1e6, "pid": 0, "tid": 0}
+            trace_events.append(event)
+        out = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        if self.extra_provider is not None:
+            out.update(self.extra_provider())
+        return out
+
+    def save(self, path: str) -> str:
+        """Write the Chrome-trace JSON to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+        return path
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"TickTracer({state}, records={len(self._records)})"
+
+
+class RequestTrace:
+    """The lifecycle timeline of one request.
+
+    ``events`` is a list of dicts ``{"event", "t", "sample", ...}`` in
+    occurrence order; ``t`` is a tracer-clock timestamp (seconds —
+    subtract the first event's to get relative offsets).  Bounded by
+    ``max_events`` so a pathological request (thousands of chunks or
+    retries) cannot grow one timeline without limit; when full, further
+    events are dropped and :attr:`dropped` counts them.
+    """
+
+    __slots__ = ("request_id", "events", "max_events", "dropped")
+
+    def __init__(self, request_id: str, max_events: int = 512):
+        self.request_id = request_id
+        self.events: list[dict] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def add(self, event: str, t: float, **detail) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        record = {"event": event, "t": t}
+        record.update(detail)
+        self.events.append(record)
+
+    def names(self) -> list[str]:
+        """The event names in occurrence order."""
+        return [e["event"] for e in self.events]
+
+    @property
+    def duration_s(self) -> float:
+        """First-to-last event span (0.0 with fewer than two events)."""
+        if len(self.events) < 2:
+            return 0.0
+        return self.events[-1]["t"] - self.events[0]["t"]
+
+    def to_events(self) -> list[dict]:
+        """A JSON-compatible copy of the event list."""
+        return [dict(e) for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (f"RequestTrace({self.request_id!r}, "
+                f"{len(self.events)} events: {' '.join(self.names())})")

@@ -172,6 +172,31 @@ class BlockPool:
     def refcount(self, block_id: int) -> int:
         return self._ref[block_id]
 
+    def bind_metrics(self, registry) -> None:
+        """Register live pool gauges on the engine's
+        :class:`~repro.serve.observe.MetricsRegistry`: free / cached /
+        live / hashed block counts plus the allocation, lease, fork and
+        copy-on-write counters — bound callables, so the gauges track
+        pool state with zero cost on the allocation path."""
+        registry.gauge("pool_blocks_free", "Blocks on the free list",
+                       fn=lambda: len(self._free_set))
+        registry.gauge("pool_blocks_cached",
+                       "Zero-ref blocks retained for prefix-cache hits",
+                       fn=lambda: len(self._cached_free))
+        registry.gauge("pool_blocks_live", "Blocks referenced by live leases",
+                       fn=lambda: self.blocks_in_use)
+        registry.gauge("pool_blocks_hashed",
+                       "Blocks registered in the prefix hash chain",
+                       fn=lambda: len(self._hash_of_block))
+        registry.gauge("pool_allocations", "Total block allocations",
+                       fn=lambda: self.allocations)
+        registry.gauge("pool_leases", "Total leases ever acquired",
+                       fn=lambda: self.total_leases)
+        registry.gauge("pool_forks", "Copy-on-write lease forks",
+                       fn=lambda: self.forks)
+        registry.gauge("pool_cow_copies", "Copy-on-write block copies",
+                       fn=lambda: self.cow_copies)
+
     # ------------------------------------------------------------------
     # Block lifecycle
     # ------------------------------------------------------------------

@@ -181,6 +181,9 @@ class RequestHandle(str):
     * :meth:`stream` — iterate this request's :class:`TokenEvent`s,
       stepping the engine as needed (other requests keep being served;
       their events are still delivered to their own callbacks).
+    * :meth:`trace` — the live lifecycle timeline
+      (:class:`~repro.serve.observe.RequestTrace`) recorded so far,
+      ``None`` on engines built with ``ServeConfig(observe=False)``.
     """
 
     def __new__(cls, request_id: str, engine):
@@ -200,6 +203,12 @@ class RequestHandle(str):
     def cancel(self) -> bool:
         """Cancel in any state; True if the request was still live."""
         return self._engine.cancel(self)
+
+    def trace(self):
+        """This request's :class:`~repro.serve.observe.RequestTrace`
+        (lifecycle timeline), or ``None`` when observability is off or
+        the result was already popped."""
+        return self._engine.request_trace(self)
 
     def result(self):
         """Drive the engine until this request's result exists."""
@@ -269,6 +278,12 @@ class GenerationResult:
     when any lane finished with ``FINISH_ERROR`` (a raised ``on_token``
     callback, an injected or real forward/allocation failure after the
     retry budget), ``None`` for clean finishes.
+
+    ``trace`` is the request's serialized lifecycle timeline — the
+    :meth:`~repro.serve.observe.RequestTrace.to_events` event-dict list
+    (submit, admit, prefill chunks, preemptions, retries, faults, first
+    token, finish) — when the engine ran with ``ServeConfig.observe``
+    on, else ``None``.
     """
 
     request_id: str
@@ -281,6 +296,7 @@ class GenerationResult:
     prefill_chunks: int = 0     # chunked mode: forward passes the prompt took
     samples: list[SampleOutput] = field(default=None)
     error: str | None = None    # first fault among the samples, else None
+    trace: list | None = None   # lifecycle event dicts (observe=True), else None
 
     def __post_init__(self):
         if self.samples is None:

@@ -168,6 +168,20 @@ class Scheduler:
         self._block_tokens = block_tokens
         self._prefix_probe = prefix_probe
 
+    def bind_metrics(self, registry) -> None:
+        """Register live queue/running gauges on the engine's
+        :class:`~repro.serve.observe.MetricsRegistry` — bound callables,
+        so the gauges always read current depths with no update calls
+        on the admission path."""
+        registry.gauge("requests_queued", "Current waiting-queue depth",
+                       fn=lambda: self.queue_depth)
+        registry.gauge("requests_running", "Sequences in the running set",
+                       fn=lambda: self.n_running)
+        registry.gauge("lanes_in_flight",
+                       "Batch lanes held by the running set (reserved "
+                       "parallel-sample lanes included)",
+                       fn=lambda: self.lanes_in_flight)
+
     # ------------------------------------------------------------------
     def submit(self, seq, force: bool = False) -> None:
         # A request that can never fit the budget must be rejected at

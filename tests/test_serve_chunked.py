@@ -286,9 +286,9 @@ class TestChunkedEngineEquivalence:
         while eng.has_work():
             before = eng.scheduler.running
             decoding = sum(1 for s in before if s.cursor is None and not s.finished)
-            chunks_before = eng._prefill_chunks
+            chunks_before = eng.stats().prefill_chunks
             eng.step()
-            chunk_tokens_possible = (eng._prefill_chunks - chunks_before) * 16
+            chunk_tokens_possible = (eng.stats().prefill_chunks - chunks_before) * 16
             assert decoding + chunk_tokens_possible <= 32 + 16  # final chunk slack
         assert eng.stats().requests_completed == 4
 

@@ -1,0 +1,317 @@
+"""Trace-driven load benchmark: SLO scorecards + saturation knees.
+
+Four questions about the serving stack under a realistic multi-tenant
+workload (three traffic classes: a latency-sensitive ``urgent`` class
+with a shared system prompt, priority and a deadline; a ``standard``
+interactive class; a throughput-oriented ``bulk`` class), all on the
+unit-test model:
+
+1. **SLO scorecards.**  At a moderate offered rate, per-class TTFT
+   p50/p99, inter-token p99, deadline hit-rate, attainment and goodput
+   (tokens/s from SLO-compliant requests only) for each cache type —
+   the fp16/int4/mant4 comparison under one reproducible request mix.
+
+2. **Saturation knees.**  :func:`repro.serve.slo.find_knee` binary-
+   searches the highest arrival rate at which the workload still
+   passes its :class:`~repro.serve.slo.SLOSpec`, per cache type — the
+   knee of the saturation curve, with the full probe curve saved.
+
+3. **Policy wins under saturation.**  At ~3x the knee, the urgent
+   class's attainment under :class:`~repro.serve.policy.PriorityPolicy`
+   (and its deadline hit-rate under EDF
+   :class:`~repro.serve.policy.DeadlinePolicy`) versus FCFS.
+   ``check_perf.py --check-speedups`` enforces both gaps as floors.
+
+4. **Reproducibility.**  The workload trace regenerated from the same
+   seed must be bit-for-bit identical JSON, and a virtual-clock replay
+   must produce identical harness records — asserted on every run.
+
+Run:  PYTHONPATH=src python benchmarks/bench_loadgen.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.model.zoo import get_model
+from repro.serve import (
+    ArrivalProcess,
+    ClassSLO,
+    LengthDist,
+    LoadHarness,
+    ServeConfig,
+    SLOSpec,
+    TrafficClass,
+    WorkloadSpec,
+    WorkloadTrace,
+    evaluate,
+    find_knee,
+    generate_trace,
+)
+
+from bench_serve_throughput import CACHE_FACTORIES
+
+BATCH = 8
+VOCAB = 256                # unit-test model vocabulary
+SEED = 0
+
+# Saturated-policy scenario: offered rate ~3x the fp16 knee, enough
+# requests for stable urgent-class percentiles without minutes of wall
+# clock per probe.
+SATURATED_RATE = 700.0
+SATURATED_REQUESTS = 240
+
+# Scorecard scenario: comfortably below the knee.
+SCORECARD_RATE = 120.0
+SCORECARD_REQUESTS = 96
+
+# Saturation sweep bracket and probe sizing.
+SWEEP_LO = 50.0
+SWEEP_HI = 1200.0
+SWEEP_ITERS = 4
+SWEEP_SPAN_S = 0.35        # arrival span per probe (requests = rate * span)
+
+# Smoke scenario (check_perf --quick and the timed suite entry):
+# virtual clock, deterministic end to end.
+SMOKE_RATE = 400.0
+SMOKE_REQUESTS = 16
+
+
+def workload_classes() -> tuple:
+    """The three-tenant mix every scenario here uses."""
+    return (
+        TrafficClass(
+            "urgent", weight=1.0,
+            prompt_len=LengthDist.fixed(12),
+            output_len=LengthDist.fixed(8),
+            priority=8, deadline_s=0.12,
+            prefix_tokens=16, prefix_pool=2,   # shared system prompt
+        ),
+        TrafficClass(
+            "standard", weight=2.0,
+            prompt_len=LengthDist.uniform(16, 48),
+            output_len=LengthDist.uniform(8, 16),
+        ),
+        TrafficClass(
+            "bulk", weight=1.0,
+            prompt_len=LengthDist.lognormal(32, 0.6, lo=8, hi=128),
+            output_len=LengthDist.fixed(24),
+        ),
+    )
+
+
+def slo_spec() -> SLOSpec:
+    """Per-class objectives: tight for urgent, generous for bulk."""
+    return SLOSpec(classes={
+        "urgent": ClassSLO(ttft_p99_s=0.1, deadline_hit_rate=0.8,
+                           attainment_target=0.9),
+        "standard": ClassSLO(ttft_p99_s=1.5, attainment_target=0.8),
+        "bulk": ClassSLO(ttft_p99_s=5.0, attainment_target=0.7),
+    })
+
+
+def make_spec(rate: float, n_requests: int, seed: int = SEED,
+              bursty: bool = False) -> WorkloadSpec:
+    arrivals = (ArrivalProcess.bursty(rate * 0.4, rate * 2.5, 0.08, 0.04)
+                if bursty else ArrivalProcess.poisson(rate))
+    return WorkloadSpec(classes=workload_classes(), arrivals=arrivals,
+                        n_requests=n_requests, vocab_size=VOCAB, seed=seed)
+
+
+def run_rate(model, cache_name: str, rate: float, *,
+             n_requests: int, policy: str = "fcfs", seed: int = SEED,
+             clock: str = "wall"):
+    """One harness run at ``rate``; returns (HarnessResult, SLOReport)."""
+    trace = generate_trace(make_spec(rate, n_requests, seed))
+    harness = LoadHarness(
+        model, CACHE_FACTORIES[cache_name],
+        ServeConfig(max_batch_size=BATCH, scheduler_policy=policy),
+        clock=clock,
+    )
+    result = harness.run(trace)
+    return result, evaluate(result, slo_spec())
+
+
+# ----------------------------------------------------------------------
+# check_perf hooks
+# ----------------------------------------------------------------------
+def urgent_attainment_gain(model, cache_name: str = "fp16"):
+    """(fcfs_report, priority_report, urgent-attainment gap).
+
+    At ~3x the knee the urgent class's SLO attainment collapses under
+    FCFS (its requests queue behind the bulk backlog and blow the TTFT
+    ceiling) while PriorityPolicy keeps admitting it first; the gap
+    (priority minus fcfs attainment, in absolute fraction) is the
+    enforced floor.
+    """
+    _, fcfs = run_rate(model, cache_name, SATURATED_RATE,
+                       n_requests=SATURATED_REQUESTS, policy="fcfs")
+    _, prio = run_rate(model, cache_name, SATURATED_RATE,
+                       n_requests=SATURATED_REQUESTS, policy="priority")
+    gap = (prio.classes["urgent"].attainment
+           - fcfs.classes["urgent"].attainment)
+    return fcfs, prio, gap
+
+
+def deadline_hit_gain(model, cache_name: str = "fp16"):
+    """(fcfs_report, edf_report, urgent deadline-hit-rate gap).
+
+    Same saturated workload; EDF orders by effective deadline, so the
+    urgent class (the only one carrying ``deadline_s``) hits its
+    deadline far more often than under FCFS.
+    """
+
+    def hit_rate(report) -> float:
+        for o in report.classes["urgent"].objectives:
+            if o["objective"] == "deadline_hit_rate":
+                return o["measured"]
+        return 0.0
+
+    _, fcfs = run_rate(model, cache_name, SATURATED_RATE,
+                       n_requests=SATURATED_REQUESTS, policy="fcfs")
+    _, edf = run_rate(model, cache_name, SATURATED_RATE,
+                      n_requests=SATURATED_REQUESTS, policy="deadline")
+    return fcfs, edf, hit_rate(edf) - hit_rate(fcfs)
+
+
+def smoke_workload(model, cache_name: str = "fp16"):
+    """The timed ``serve_loadgen_smoke`` entry: one deterministic
+    virtual-clock harness run over the small smoke trace."""
+    trace = generate_trace(make_spec(SMOKE_RATE, SMOKE_REQUESTS))
+    harness = LoadHarness(
+        model, CACHE_FACTORIES[cache_name],
+        ServeConfig(max_batch_size=BATCH), clock="virtual",
+    )
+    return harness.run(trace)
+
+
+def loadgen_smoke(model, cache_name: str = "fp16") -> dict:
+    """Seconds-scale validation for ``check_perf.py --quick``.
+
+    Runs the smoke trace on a virtual clock and checks the whole
+    contract: bit-for-bit trace reproducibility, JSON round-trip,
+    replay-identical harness records, and a structurally sound SLO
+    report (every class present, attainment in [0, 1], positive
+    goodput).  Returns the findings; raises AssertionError on any
+    violation.
+    """
+    spec = make_spec(SMOKE_RATE, SMOKE_REQUESTS)
+    trace = generate_trace(spec)
+    again = generate_trace(spec)
+    assert trace.to_json() == again.to_json(), \
+        "same-seed trace not bit-for-bit reproducible"
+    roundtrip = WorkloadTrace.from_json(trace.to_json())
+    assert roundtrip.to_json() == trace.to_json(), \
+        "workload trace JSON round-trip drifted"
+
+    def run(t):
+        harness = LoadHarness(
+            model, CACHE_FACTORIES[cache_name],
+            ServeConfig(max_batch_size=BATCH), clock="virtual",
+        )
+        return harness.run(t)
+
+    result = run(trace)
+    replay = run(roundtrip)
+    assert ([r.to_dict() for r in result.records]
+            == [r.to_dict() for r in replay.records]), \
+        "virtual-clock replay diverged from the original run"
+
+    report = evaluate(result, slo_spec())
+    seen = set(report.classes)
+    expected = {c.name for c in spec.classes} & {
+        r.traffic_class for r in result.records}
+    assert seen == expected, f"classes {expected} expected, got {seen}"
+    for name, cr in report.classes.items():
+        assert 0.0 <= cr.attainment <= 1.0, f"{name} attainment {cr.attainment}"
+    assert report.goodput_tokens_per_s > 0, "smoke run produced no goodput"
+    return {
+        "cache": cache_name,
+        "requests": len(result.records),
+        "duration_s": result.duration_s,
+        "attainment": report.attainment,
+        "goodput_tokens_per_s": report.goodput_tokens_per_s,
+        "trace_reproducible": True,
+        "replay_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Saturation sweep
+# ----------------------------------------------------------------------
+def saturation_sweep(model, cache_name: str) -> dict:
+    """Binary-search the max sustainable rate for one cache type."""
+
+    def run_at(rate: float):
+        n = max(24, int(rate * SWEEP_SPAN_S))
+        _, report = run_rate(model, cache_name, rate, n_requests=n)
+        return report
+
+    return find_knee(run_at, SWEEP_LO, SWEEP_HI, iters=SWEEP_ITERS)
+
+
+def main():
+    print("loading unit-test model ...")
+    model, _ = get_model("unit-test")
+    spec = slo_spec()
+    report: dict = {
+        "workload": make_spec(SCORECARD_RATE, SCORECARD_REQUESTS).to_dict(),
+        "slo_spec": spec.to_dict(),
+        "smoke": loadgen_smoke(model),
+        "scorecards": {},
+        "knees": {},
+        "policy_gains": {},
+    }
+    print(f"smoke (virtual clock): {report['smoke']['requests']} requests, "
+          f"trace bit-for-bit reproducible, replay identical")
+
+    print(f"\nscorecards at {SCORECARD_RATE:.0f} req/s "
+          f"({SCORECARD_REQUESTS} requests, {BATCH} lanes, wall clock)")
+    for name in CACHE_FACTORIES:
+        _, card = run_rate(model, name, SCORECARD_RATE,
+                           n_requests=SCORECARD_REQUESTS)
+        report["scorecards"][name] = card.to_dict()
+        print(f"\n-- {name} --")
+        print(card.render())
+
+    print(f"\nsaturation knees (bracket [{SWEEP_LO:.0f}, {SWEEP_HI:.0f}] "
+          f"req/s, {SWEEP_ITERS} bisection steps)")
+    for name in CACHE_FACTORIES:
+        knee = saturation_sweep(model, name)
+        report["knees"][name] = knee
+        curve = " ".join(
+            f"{p['rate']:.0f}:{'ok' if p['ok'] else 'X'}"
+            for p in knee["probes"])
+        print(f"  {name:>6} | knee {knee['knee_rate']:7.1f} req/s | {curve}")
+
+    print(f"\npolicy wins at {SATURATED_RATE:.0f} req/s "
+          f"({SATURATED_REQUESTS} requests, urgent class)")
+    fcfs, prio, att_gap = urgent_attainment_gain(model)
+    _, edf, hit_gap = deadline_hit_gain(model)
+    report["policy_gains"] = {
+        "urgent_attainment": {
+            "fcfs": fcfs.classes["urgent"].attainment,
+            "priority": prio.classes["urgent"].attainment,
+            "gap": att_gap,
+        },
+        "urgent_deadline_hit": {"gap": hit_gap},
+    }
+    print(f"  attainment   | fcfs {fcfs.classes['urgent'].attainment:6.1%} | "
+          f"priority {prio.classes['urgent'].attainment:6.1%} | "
+          f"gap {att_gap:+.1%}")
+    print(f"  deadline-hit | gap {hit_gap:+.1%} (edf vs fcfs)")
+
+    out = os.path.join(os.path.dirname(__file__), "..", "artifacts", "results")
+    os.makedirs(out, exist_ok=True)
+    path = os.path.join(out, "loadgen_slo.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"\nsaved {os.path.normpath(path)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/check_perf.py            # gate
     PYTHONPATH=src python benchmarks/check_perf.py --update   # rebaseline
     PYTHONPATH=src python benchmarks/check_perf.py --check-speedups
+    PYTHONPATH=src python benchmarks/check_perf.py --quick    # loadgen smoke
 
 The gate compares wall-clock on the current machine against a baseline
 recorded on a (possibly different) machine, hence the generous 2x
@@ -44,6 +45,12 @@ from bench_chunked_prefill import (
 )
 from bench_decode_scaling import decode_chunk_times
 from bench_fault_recovery import fault_config, fault_overhead, hooked_workload
+from bench_loadgen import (
+    deadline_hit_gain,
+    loadgen_smoke,
+    smoke_workload,
+    urgent_attainment_gain,
+)
 from bench_observability import obs_config, obs_overhead, observed_workload
 from bench_policy_scheduling import (
     fork_prefill_savings,
@@ -100,6 +107,14 @@ MAX_FAULT_OVERHEAD = 1.05
 # the steady state.
 MAX_OBS_OVERHEAD = 1.05
 
+# Loadgen/SLO: on the saturated three-class trace (~3x the knee), the
+# urgent class's SLO attainment under PriorityPolicy — and its
+# deadline hit-rate under EDF — must beat FCFS by >= 0.3 in absolute
+# fraction (measured gaps sit around 0.85; the floor is the "policies
+# actually work under load" guarantee, not a tight bound).
+MIN_URGENT_ATTAINMENT_GAIN = 0.3
+MIN_DEADLINE_HIT_GAIN = 0.3
+
 
 def _time(fn, number=10, repeat=3) -> float:
     fn()  # warm caches (grid tables, numpy buffers)
@@ -155,6 +170,9 @@ def build_suite():
         return observed_workload(serve_model, FP16KVCache, requests,
                                  config=obs_config())
 
+    def serve_loadgen_workload():
+        return smoke_workload(serve_model)
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -170,6 +188,7 @@ def build_suite():
         "serve_policy_batch8": serve_policy_workload,
         "serve_fault_batch8": serve_fault_workload,
         "serve_obs_batch8": serve_obs_workload,
+        "serve_loadgen_smoke": serve_loadgen_workload,
     }
 
 
@@ -344,7 +363,50 @@ def check_speedups() -> list[str]:
         else:
             overhead = obs_overhead(model, name)[2]
             print(f"  observability steady-state overhead ({name}): {overhead:5.3f}x ")
+
+    # Loadgen/SLO: under the saturated three-class trace the scheduling
+    # policies must deliver their urgent-class wins — SLO attainment
+    # (priority vs fcfs) and deadline hit-rate (EDF vs fcfs), both as
+    # absolute-fraction gaps, best of 3 against wall-clock jitter.
+    att_gap = max(urgent_attainment_gain(model)[2] for _ in range(3))
+    print(f"  urgent SLO-attainment gap (prio - fcfs):   {att_gap:5.2f} "
+          f"(floor {MIN_URGENT_ATTAINMENT_GAIN})")
+    if att_gap < MIN_URGENT_ATTAINMENT_GAIN:
+        failures.append(
+            f"urgent attainment gap {att_gap:.2f} < {MIN_URGENT_ATTAINMENT_GAIN}"
+        )
+    hit_gap = max(deadline_hit_gain(model)[2] for _ in range(3))
+    print(f"  urgent deadline-hit gap (edf - fcfs):      {hit_gap:5.2f} "
+          f"(floor {MIN_DEADLINE_HIT_GAIN})")
+    if hit_gap < MIN_DEADLINE_HIT_GAIN:
+        failures.append(
+            f"urgent deadline-hit gap {hit_gap:.2f} < {MIN_DEADLINE_HIT_GAIN}"
+        )
     return failures
+
+
+def quick_smoke() -> int:
+    """``--quick``: a seconds-scale loadgen/SLO self-check, no sweep.
+
+    Validates the full loadgen contract on the virtual clock (bit-for-
+    bit trace reproducibility, replay-identical records, sound SLO
+    report) for the arena fp16 engine and the mant4 cache — cheap
+    enough for tier-1-adjacent CI runs.
+    """
+    model, _ = get_model("unit-test")
+    for cache_name in ("fp16", "mant4"):
+        try:
+            result = loadgen_smoke(model, cache_name)
+        except AssertionError as exc:
+            print(f"LOADGEN SMOKE FAILED ({cache_name}): {exc}")
+            return 1
+        print(f"  {cache_name:>6} | {result['requests']} requests in "
+              f"{result['duration_s'] * 1e3:6.1f} ms virtual | "
+              f"attainment {result['attainment']:6.1%} | goodput "
+              f"{result['goodput_tokens_per_s']:7.1f} tok/s | "
+              "trace reproducible, replay identical")
+    print("loadgen smoke passed")
+    return 0
 
 
 def main() -> int:
@@ -353,7 +415,14 @@ def main() -> int:
                         help="rewrite the committed baseline")
     parser.add_argument("--check-speedups", action="store_true",
                         help="also verify fast-path speedups vs the seed impls")
+    parser.add_argument("--quick", action="store_true",
+                        help="seconds-scale loadgen/SLO smoke only (no "
+                             "timings, no sweep)")
     args = parser.parse_args()
+
+    if args.quick:
+        print("running loadgen smoke (virtual clock) ...")
+        return quick_smoke()
 
     print("measuring hot-loop timings ...")
     current = measure()

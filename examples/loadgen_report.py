@@ -1,0 +1,150 @@
+"""Trace-driven load demo: a seeded workload judged against its SLOs.
+
+A three-tenant traffic mix (an ``urgent`` class with priority, a
+deadline and a shared system prompt; an interactive ``standard``
+class; a throughput-oriented ``bulk`` class) is generated as a
+replayable trace, driven through the engine on a deterministic
+virtual clock, and scored against a declarative
+:class:`~repro.serve.slo.SLOSpec` — per-class TTFT/inter-token/
+deadline objectives, attainment and goodput.  Then the saturation
+knee: a short binary search for the highest arrival rate the workload
+still survives, and the scorecard again just past the knee where FCFS
+starts failing the urgent class and :class:`PriorityPolicy` rescues
+it.
+
+Everything runs on the tiny unit-test model with a virtual clock
+(tick cost charged from a :class:`~repro.serve.loadgen.TickCostModel`)
+so the whole report is seconds-scale and bit-for-bit reproducible.
+
+Run:  PYTHONPATH=src python examples/loadgen_report.py
+"""
+
+import functools
+
+from repro.model.zoo import get_model
+from repro.quant.kvcache import MantKVCache
+from repro.serve import (
+    ArrivalProcess,
+    ClassSLO,
+    LengthDist,
+    LoadHarness,
+    ServeConfig,
+    SLOMonitor,
+    SLOSpec,
+    TrafficClass,
+    WorkloadSpec,
+    WorkloadTrace,
+    evaluate,
+    find_knee,
+    generate_trace,
+)
+
+BATCH = 8
+SEED = 7
+
+print("loading unit-test model ...")
+model, _ = get_model("unit-test")
+cache_factory = functools.partial(MantKVCache, group_size=32, window=32)
+
+# ----------------------------------------------------------------------
+# 1. Declare the workload: three tenants, bursty arrivals.
+# ----------------------------------------------------------------------
+classes = (
+    TrafficClass("urgent", weight=1.0,
+                 prompt_len=LengthDist.fixed(12),
+                 output_len=LengthDist.fixed(8),
+                 priority=8, deadline_s=0.12,
+                 prefix_tokens=16, prefix_pool=2),
+    TrafficClass("standard", weight=2.0,
+                 prompt_len=LengthDist.uniform(16, 48),
+                 output_len=LengthDist.uniform(8, 16)),
+    TrafficClass("bulk", weight=1.0,
+                 prompt_len=LengthDist.lognormal(32, 0.6, lo=8, hi=128),
+                 output_len=LengthDist.fixed(24)),
+)
+spec = WorkloadSpec(
+    classes=classes,
+    arrivals=ArrivalProcess.bursty(rate_low=60.0, rate_high=300.0,
+                                   dwell_low_s=0.4, dwell_high_s=0.15),
+    n_requests=96, vocab_size=model.config.vocab_size, seed=SEED,
+)
+trace = generate_trace(spec)
+assert generate_trace(spec).to_json() == trace.to_json()  # seeded => bit-for-bit
+assert WorkloadTrace.from_json(trace.to_json()).to_json() == trace.to_json()
+print(f"\ntrace: {len(trace)} requests over {trace.duration_s:.2f}s "
+      f"({trace.offered_rate:.0f} req/s offered, bursty), "
+      f"mix {trace.class_counts()}")
+print("  same seed regenerates this trace bit-for-bit; "
+      "save()/load() round-trips it")
+
+# ----------------------------------------------------------------------
+# 2. Declare the objectives and run below saturation.
+# ----------------------------------------------------------------------
+slo = SLOSpec(classes={
+    "urgent": ClassSLO(ttft_p99_s=0.1, deadline_hit_rate=0.8,
+                       attainment_target=0.9),
+    "standard": ClassSLO(ttft_p99_s=1.5, attainment_target=0.8),
+    "bulk": ClassSLO(ttft_p99_s=5.0, attainment_target=0.7),
+})
+
+
+def run(t, policy=None):
+    harness = LoadHarness(model, cache_factory,
+                          ServeConfig(max_batch_size=BATCH),
+                          clock="virtual", policy=policy)
+    harness.attach_monitor(SLOMonitor(slo))
+    return harness.run(t)
+
+
+result = run(trace)
+report = evaluate(result, slo)
+print("\n== scorecard below the knee (virtual clock, mant4 cache) ==")
+print(report.render())
+
+mon = result.monitor
+print("== live monitor (per-class labeled registries, merged) ==")
+for name in sorted(c.name for c in classes):
+    print(f"  live {name} attainment during the run: "
+          f"{mon.live_attainment(name):.1%}")
+for line in mon.to_prometheus().splitlines():
+    if line.startswith("repro_slo_requests_"):
+        print("  " + line)
+
+# ----------------------------------------------------------------------
+# 3. Find the saturation knee for this mix.
+# ----------------------------------------------------------------------
+print("\n== saturation knee (binary search over offered rate) ==")
+
+
+def run_at(rate: float):
+    s = WorkloadSpec(classes=classes, arrivals=ArrivalProcess.poisson(rate),
+                     n_requests=max(24, int(rate * 0.3)),
+                     vocab_size=model.config.vocab_size, seed=SEED)
+    return evaluate(run(generate_trace(s)), slo)
+
+
+knee = find_knee(run_at, 50.0, 1200.0, iters=4)
+probes = " ".join(f"{p['rate']:.0f}:{'ok' if p['ok'] else 'X'}"
+                  for p in knee["probes"])
+print(f"  knee ~{knee['knee_rate']:.0f} req/s   probes: {probes}")
+
+# ----------------------------------------------------------------------
+# 4. Past the knee, scheduling policy decides who keeps their SLO.
+# ----------------------------------------------------------------------
+hot_rate = max(2.0 * knee["knee_rate"], 100.0)
+hot_spec = WorkloadSpec(classes=classes,
+                        arrivals=ArrivalProcess.poisson(hot_rate),
+                        n_requests=160,
+                        vocab_size=model.config.vocab_size, seed=SEED)
+hot = generate_trace(hot_spec)
+print(f"\n== past the knee ({hot_rate:.0f} req/s): fcfs vs priority ==")
+for policy in ("fcfs", "priority"):
+    r = evaluate(run(hot, policy=policy), slo)
+    urgent = r.classes["urgent"]
+    print(f"  {policy:>8} | urgent attainment {urgent.attainment:6.1%} "
+          f"(target {urgent.attainment_target:.0%}) | "
+          f"goodput {r.goodput_tokens_per_s:7.1f} tok/s | "
+          f"overall {'PASS' if r.ok else 'FAIL'}")
+print("  the urgent tenant's SLO survives saturation only because the "
+      "scheduler\n  knows about it — same engine, same trace, different "
+      "policy.")

@@ -46,8 +46,8 @@ def _fmt_s(seconds: float) -> str:
     return f"{seconds * 1e6:8.1f} µs"
 
 
-def phase_table(trace: dict) -> list[str]:
-    """Total/mean time per span name, as share of total tick time."""
+def phase_stats(trace: dict) -> list[dict]:
+    """Per-span-name timing rows (times in seconds, execution order)."""
     totals: dict[str, float] = {}
     counts: dict[str, int] = {}
     for ev in trace.get("traceEvents", []):
@@ -57,22 +57,35 @@ def phase_table(trace: dict) -> list[str]:
         totals[name] = totals.get(name, 0.0) + ev.get("dur", 0.0)
         counts[name] = counts.get(name, 0) + 1
     if not totals:
-        return ["  (no spans in trace — engine ran with observe=False?)"]
+        return []
     tick_total = totals.get("tick", sum(
         t for n, t in totals.items() if n not in NESTED)) or 1.0
+    names = [n for n in PHASE_ORDER if n in totals]
+    names += sorted(n for n in totals if n not in PHASE_ORDER)
+    return [{
+        "phase": name,
+        "count": counts[name],
+        "total_s": totals[name] / 1e6,
+        "mean_s": totals[name] / counts[name] / 1e6,
+        "pct_of_tick": 100.0 * totals[name] / tick_total,
+    } for name in names]
+
+
+def phase_table(trace: dict) -> list[str]:
+    """Total/mean time per span name, as share of total tick time."""
+    rows = phase_stats(trace)
+    if not rows:
+        return ["  (no spans in trace — engine ran with observe=False?)"]
     lines = [f"  {'phase':>14} | {'count':>6} | {'total':>11} | "
              f"{'mean':>11} | % of tick"]
     lines.append("  " + "-" * 64)
-    names = [n for n in PHASE_ORDER if n in totals]
-    names += sorted(n for n in totals if n not in PHASE_ORDER)
-    for name in names:
-        total_us, n = totals[name], counts[name]
-        pct = 100.0 * total_us / tick_total
+    for row in rows:
+        name, pct = row["phase"], row["pct_of_tick"]
         label = ("  " + name) if name in NESTED else name
         bar = "#" * int(pct / 5)
         lines.append(
-            f"  {label:>14} | {n:6d} | {_fmt_s(total_us / 1e6)} | "
-            f"{_fmt_s(total_us / n / 1e6)} | {pct:5.1f}% {bar}")
+            f"  {label:>14} | {row['count']:6d} | {_fmt_s(row['total_s'])} | "
+            f"{_fmt_s(row['mean_s'])} | {pct:5.1f}% {bar}")
     return lines
 
 
@@ -111,15 +124,61 @@ def timeline_lines(rid: str, events: list[dict]) -> list[str]:
     return lines
 
 
+def build_report(trace: dict, top: int) -> dict:
+    """The whole report as one JSON-serializable dict (``--json``)."""
+    spans = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    instants = [e for e in trace.get("traceEvents", []) if e.get("ph") == "i"]
+    metrics = trace.get("metrics", {}).get("metrics", {})
+    timelines = trace.get("requestTimelines", {})
+    ranked = sorted(
+        timelines.items(),
+        key=lambda kv: (kv[1][-1]["t"] - kv[1][0]["t"]) if len(kv[1]) > 1
+        else 0.0,
+        reverse=True,
+    )
+    return {
+        "spans": len(spans),
+        "instant_events": len(instants),
+        "request_timelines": len(timelines),
+        "phases": phase_stats(trace),
+        "histograms": {
+            name: {"count": m["count"], "sum": m["sum"], "max": m["max"],
+                   "buckets": m["buckets"], "counts": m["counts"]}
+            for name, m in metrics.items()
+            if m.get("type") == "histogram" and m.get("count")
+        },
+        "counters": {
+            name: m["value"] for name, m in metrics.items()
+            if m.get("type") in ("counter", "gauge")
+        },
+        "faults": [e.get("args", {}) for e in instants
+                   if e["name"] == "fault"],
+        "slowest_requests": [{
+            "request_id": rid,
+            "duration_s": ((events[-1]["t"] - events[0]["t"])
+                           if len(events) > 1 else 0.0),
+            "events": events,
+        } for rid, events in ranked[:top]],
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="trace JSON from engine.trace.save()")
     parser.add_argument("--top", type=int, default=3,
                         help="slowest request timelines to show (default 3)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as machine-readable JSON "
+                             "instead of the terminal dashboard")
     args = parser.parse_args()
 
     with open(args.trace) as fh:
         trace = json.load(fh)
+
+    if args.json:
+        print(json.dumps(build_report(trace, args.top), indent=2,
+                         sort_keys=True))
+        return 0
 
     spans = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
     instants = [e for e in trace.get("traceEvents", []) if e.get("ph") == "i"]

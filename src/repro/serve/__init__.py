@@ -60,6 +60,17 @@ The v2 API is layered:
   request keeps a :class:`~repro.serve.observe.RequestTrace` lifecycle
   timeline (``handle.trace()`` / ``GenerationResult.trace``), with
   fired faults joined in from the injector's log.
+* **Load & SLOs** — :mod:`repro.serve.loadgen` generates seeded,
+  replayable multi-tenant workloads (Poisson/bursty arrivals, length
+  mixtures, shared-prefix cohorts, per-class priority/deadline/n
+  knobs) and drives them open-loop through a
+  :class:`~repro.serve.loadgen.LoadHarness` (wall or deterministic
+  virtual clock); :mod:`repro.serve.slo` declares per-class objectives
+  (:class:`~repro.serve.slo.SLOSpec`), judges runs into scorecards
+  (:func:`~repro.serve.slo.evaluate` — attainment, goodput), watches
+  them live (:class:`~repro.serve.slo.SLOMonitor`, per-class labeled
+  registries) and binary-searches the saturation knee
+  (:func:`~repro.serve.slo.find_knee`).
 
 Two storage backends: the contiguous
 :class:`~repro.quant.kvcache.KVCacheArena` (one slab slot per batch
@@ -124,6 +135,30 @@ from repro.serve.paging import (
     PoolExhausted,
 )
 from repro.serve.engine import EngineStats, GenerationEngine
+from repro.serve.loadgen import (
+    ArrivalProcess,
+    HarnessResult,
+    LengthDist,
+    LoadHarness,
+    RequestRecord,
+    TickCostModel,
+    TraceEntry,
+    TrafficClass,
+    VirtualClock,
+    WorkloadSpec,
+    WorkloadTrace,
+    generate_trace,
+)
+from repro.serve.slo import (
+    ClassReport,
+    ClassSLO,
+    SLOMonitor,
+    SLOReport,
+    SLOSpec,
+    evaluate,
+    find_knee,
+    request_compliant,
+)
 
 __all__ = [
     "GREEDY",
@@ -171,4 +206,24 @@ __all__ = [
     "TickTracer",
     "EngineStats",
     "GenerationEngine",
+    "ArrivalProcess",
+    "HarnessResult",
+    "LengthDist",
+    "LoadHarness",
+    "RequestRecord",
+    "TickCostModel",
+    "TraceEntry",
+    "TrafficClass",
+    "VirtualClock",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "generate_trace",
+    "ClassReport",
+    "ClassSLO",
+    "SLOMonitor",
+    "SLOReport",
+    "SLOSpec",
+    "evaluate",
+    "find_knee",
+    "request_compliant",
 ]

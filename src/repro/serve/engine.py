@@ -669,9 +669,11 @@ class GenerationEngine:
         self._arrivals += 1
         if self._observe:
             trace = self._req_traces[rid] = RequestTrace(rid)
-            trace.add("submit", self._tracer.now(),
-                      prompt_tokens=int(request.prompt.size),
-                      max_tokens=request.max_tokens, n=request.n)
+            detail = dict(prompt_tokens=int(request.prompt.size),
+                          max_tokens=request.max_tokens, n=request.n)
+            if request.traffic_class is not None:
+                detail["traffic_class"] = request.traffic_class
+            trace.add("submit", self._tracer.now(), **detail)
         return RequestHandle(rid, self)
 
     # ------------------------------------------------------------------
@@ -1282,6 +1284,7 @@ class GenerationEngine:
             samples=samples,
             error=next((s.error for s in samples if s.error is not None), None),
             trace=trace.to_events() if trace is not None else None,
+            traffic_class=parent.request.traffic_class,
         )
 
     # ------------------------------------------------------------------
@@ -1395,6 +1398,7 @@ class GenerationEngine:
                     "deadline_s": req.deadline_s,
                     "n": req.n,
                     "timeout_s": req.timeout_s,
+                    "traffic_class": req.traffic_class,
                 },
                 "arrival_seq": order[rid],
                 "samples": [
@@ -1455,6 +1459,7 @@ class GenerationEngine:
             deadline_s=r.get("deadline_s"),
             n=r.get("n", 1),
             timeout_s=r.get("timeout_s"),
+            traffic_class=r.get("traffic_class"),
         )
         rid = request.request_id
         if rid in self._active_ids or rid in self._results:

@@ -1,0 +1,895 @@
+"""Trace-driven load generation for the serving engine.
+
+The per-feature benches drive the engine with tiny hand-rolled request
+lists; this module is the *workload* layer that backs the repo's
+"heavy traffic" claims with reproducible evidence:
+
+* :class:`TrafficClass` — one tenant population: a share of the
+  arrival stream (``weight``), prompt/output **length mixtures**
+  (:class:`LengthDist`: fixed / uniform / clipped-lognormal / choice),
+  the PR 5 lifecycle knobs (``priority`` / ``deadline_s`` /
+  ``timeout_s`` / ``n`` parallel samples / sampling ``temperature``),
+  and an optional **shared-prefix cohort** (``prefix_tokens`` drawn
+  once per trace from a pool of ``prefix_pool`` distinct prefixes —
+  the shared-system-prompt shape that exercises the paged prefix
+  cache).
+* :class:`ArrivalProcess` — a seeded open-loop arrival schedule:
+  ``poisson(rate)`` (memoryless, the classic serving assumption) or
+  ``bursty(...)`` (a two-state Markov-modulated Poisson process with
+  exponential dwell times — traffic that alternates calm and burst
+  phases, the adversarial case for admission control).
+* :class:`WorkloadSpec` → :func:`generate_trace` →
+  :class:`WorkloadTrace` — generation is **deterministic**: one
+  ``numpy`` Generator seeded from ``spec.seed`` with a documented draw
+  order (arrival gaps, then per-class prefix pools, then per-request
+  class / lengths / prefix choice / tail tokens), so the same spec
+  always yields the same trace *bit for bit*, including its JSON
+  serialization (:meth:`WorkloadTrace.to_json` sorts keys).  Traces
+  **record/replay**: :meth:`WorkloadTrace.save` /
+  :meth:`WorkloadTrace.load` round-trip through JSON, so a workload
+  captured once can be replayed against any engine configuration (or
+  attached to a bug report).
+* :class:`LoadHarness` — drives a trace through a
+  :class:`~repro.serve.engine.GenerationEngine` **open-loop**:
+  requests are submitted when their trace arrival time passes,
+  regardless of whether the engine has kept up (the saturation-honest
+  protocol — closed-loop harnesses hide overload by self-throttling).
+  Two clock modes:
+
+  - ``clock="wall"`` (default): real ``time.perf_counter`` drives both
+    arrivals and the engine's injectable clock — honest latencies,
+    machine-dependent.
+  - ``clock="virtual"``: the harness owns a :class:`VirtualClock`
+    (also injected as the engine clock) that jumps to the next arrival
+    when idle and advances by a :class:`TickCostModel` estimate after
+    each tick.  Every timestamp — arrivals, TTFT, inter-token gaps —
+    is then a pure function of the trace and the cost model, so a
+    replayed trace produces **identical harness results**, which is
+    what makes the determinism suite (and seconds-scale CI smokes)
+    possible.
+
+The harness tags every request with its class
+(:attr:`~repro.serve.request.GenerationRequest.traffic_class`) and
+collects one :class:`RequestRecord` per request — class, arrival /
+submit / finish times, TTFT, per-token gaps, token counts, finish
+reason, plus preemption/retry/fault counts joined from the PR 7
+request timeline — the exact input shape the :mod:`repro.serve.slo`
+layer evaluates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sampling import GREEDY, SamplingParams
+from repro.serve.config import ServeConfig
+from repro.serve.engine import GenerationEngine
+from repro.serve.request import GenerationRequest
+from repro.serve.scheduler import QueueFullError
+
+__all__ = [
+    "LengthDist",
+    "TrafficClass",
+    "ArrivalProcess",
+    "WorkloadSpec",
+    "TraceEntry",
+    "WorkloadTrace",
+    "generate_trace",
+    "VirtualClock",
+    "TickCostModel",
+    "RequestRecord",
+    "HarnessResult",
+    "LoadHarness",
+]
+
+TRACE_VERSION = 1
+
+# Finish reasons that count as a normal completion for the harness
+# (everything else — cancelled/timeout/error/rejected — is a failure
+# from the client's point of view).
+_NORMAL_FINISH = ("length", "stop")
+
+
+# ----------------------------------------------------------------------
+# Length mixtures
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LengthDist:
+    """A token-length distribution, one of four shapes.
+
+    * ``fixed(value)`` — every draw is ``value``.
+    * ``uniform(lo, hi)`` — integer uniform on ``[lo, hi]`` inclusive.
+    * ``lognormal(median, sigma, lo, hi)`` — ``median * exp(sigma·z)``
+      rounded and clipped to ``[lo, hi]``; the heavy-tailed shape real
+      prompt/output length data shows (most requests short, a long
+      tail of huge ones).
+    * ``choice(values, weights)`` — an explicit empirical mixture.
+
+    Frozen and JSON-serializable (:meth:`to_dict` / :meth:`from_dict`)
+    so a :class:`WorkloadSpec` round-trips losslessly with its trace.
+    """
+
+    kind: str
+    value: int = 0
+    lo: int = 1
+    hi: int = 1
+    median: float = 0.0
+    sigma: float = 0.0
+    values: tuple = ()
+    weights: tuple = ()
+
+    _KINDS = ("fixed", "uniform", "lognormal", "choice")
+
+    def __post_init__(self):
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown LengthDist kind {self.kind!r}; one of {self._KINDS}"
+            )
+        if self.kind == "fixed" and self.value < 1:
+            raise ValueError(f"fixed length must be >= 1, got {self.value}")
+        if self.kind in ("uniform", "lognormal"):
+            if not 1 <= self.lo <= self.hi:
+                raise ValueError(
+                    f"need 1 <= lo <= hi, got lo={self.lo} hi={self.hi}"
+                )
+        if self.kind == "lognormal":
+            if self.median <= 0 or self.sigma < 0:
+                raise ValueError(
+                    f"lognormal needs median > 0 and sigma >= 0, got "
+                    f"median={self.median} sigma={self.sigma}"
+                )
+        if self.kind == "choice":
+            if not self.values:
+                raise ValueError("choice needs at least one value")
+            if any(int(v) < 1 for v in self.values):
+                raise ValueError(f"choice values must be >= 1, got {self.values}")
+            if self.weights and len(self.weights) != len(self.values):
+                raise ValueError(
+                    f"{len(self.weights)} weights for {len(self.values)} values"
+                )
+            object.__setattr__(self, "values",
+                               tuple(int(v) for v in self.values))
+            object.__setattr__(self, "weights",
+                               tuple(float(w) for w in self.weights))
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def fixed(cls, value: int) -> "LengthDist":
+        return cls("fixed", value=value)
+
+    @classmethod
+    def uniform(cls, lo: int, hi: int) -> "LengthDist":
+        return cls("uniform", lo=lo, hi=hi)
+
+    @classmethod
+    def lognormal(cls, median: float, sigma: float,
+                  lo: int = 1, hi: int = 4096) -> "LengthDist":
+        return cls("lognormal", median=median, sigma=sigma, lo=lo, hi=hi)
+
+    @classmethod
+    def choice(cls, values, weights=()) -> "LengthDist":
+        return cls("choice", values=tuple(values), weights=tuple(weights))
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one length.  Every kind consumes **exactly one** rng
+        draw, so the trace-wide draw order (and therefore bit-for-bit
+        reproducibility) is independent of the distribution shapes."""
+        if self.kind == "fixed":
+            rng.random()             # burn one draw: keep stream alignment
+            return self.value
+        if self.kind == "uniform":
+            return int(rng.integers(self.lo, self.hi + 1))
+        if self.kind == "lognormal":
+            raw = self.median * np.exp(self.sigma * rng.standard_normal())
+            return int(np.clip(round(raw), self.lo, self.hi))
+        # choice
+        w = np.asarray(self.weights if self.weights
+                       else [1.0] * len(self.values))
+        idx = rng.choice(len(self.values), p=w / w.sum())
+        return int(self.values[idx])
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        d = {"kind": self.kind}
+        if self.kind == "fixed":
+            d["value"] = self.value
+        elif self.kind == "uniform":
+            d.update(lo=self.lo, hi=self.hi)
+        elif self.kind == "lognormal":
+            d.update(median=self.median, sigma=self.sigma, lo=self.lo, hi=self.hi)
+        else:
+            d.update(values=list(self.values), weights=list(self.weights))
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LengthDist":
+        d = dict(d)
+        if "values" in d:
+            d["values"] = tuple(d["values"])
+        if "weights" in d:
+            d["weights"] = tuple(d["weights"])
+        return cls(**d)
+
+
+# ----------------------------------------------------------------------
+# Traffic classes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficClass:
+    """One tenant population inside a workload.
+
+    ``weight`` is the class's share of the (single, merged) arrival
+    stream.  ``prompt_len`` draws the *unique* prompt tokens per
+    request; with ``prefix_tokens > 0`` every request additionally
+    carries one of ``prefix_pool`` class-wide shared prefixes drawn
+    once per trace (total prompt = shared prefix + unique tail), the
+    shape that makes the paged prefix cache pay.  The remaining fields
+    are forwarded verbatim onto each :class:`~repro.serve.request.
+    GenerationRequest`: ``priority`` (PriorityPolicy), ``deadline_s``
+    (DeadlinePolicy EDF, and the SLO layer's deadline-hit objective),
+    ``timeout_s`` (hard engine timeout), ``n`` parallel samples and
+    sampling ``temperature`` (0 = greedy; seeded per request when > 0).
+    """
+
+    name: str
+    prompt_len: LengthDist
+    output_len: LengthDist
+    weight: float = 1.0
+    priority: int = 0
+    deadline_s: float | None = None
+    timeout_s: float | None = None
+    n: int = 1
+    temperature: float = 0.0
+    prefix_tokens: int = 0
+    prefix_pool: int = 1
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("traffic class needs a non-empty name")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        if self.prefix_tokens < 0:
+            raise ValueError(f"prefix_tokens must be >= 0, got {self.prefix_tokens}")
+        if self.prefix_pool < 1:
+            raise ValueError(f"prefix_pool must be >= 1, got {self.prefix_pool}")
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["prompt_len"] = self.prompt_len.to_dict()
+        d["output_len"] = self.output_len.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TrafficClass":
+        d = dict(d)
+        d["prompt_len"] = LengthDist.from_dict(d["prompt_len"])
+        d["output_len"] = LengthDist.from_dict(d["output_len"])
+        return cls(**d)
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Open-loop arrival schedule: Poisson or two-state bursty MMPP.
+
+    * ``poisson(rate)`` — exponential inter-arrival gaps at ``rate``
+      requests/s.
+    * ``bursty(rate_low, rate_high, dwell_low_s, dwell_high_s)`` — a
+      Markov-modulated Poisson process alternating a calm state
+      (``rate_low``) and a burst state (``rate_high``), each held for
+      an exponential dwell time.  Starts calm.  The mean offered rate
+      is the dwell-weighted average of the two rates.
+    """
+
+    kind: str = "poisson"
+    rate: float = 1.0
+    rate_low: float = 0.0
+    rate_high: float = 0.0
+    dwell_low_s: float = 0.0
+    dwell_high_s: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in ("poisson", "bursty"):
+            raise ValueError(f"unknown arrival kind {self.kind!r}")
+        if self.kind == "poisson" and self.rate <= 0:
+            raise ValueError(f"poisson rate must be > 0, got {self.rate}")
+        if self.kind == "bursty":
+            if min(self.rate_low, self.rate_high) <= 0:
+                raise ValueError("bursty rates must both be > 0")
+            if min(self.dwell_low_s, self.dwell_high_s) <= 0:
+                raise ValueError("bursty dwell times must both be > 0")
+
+    @classmethod
+    def poisson(cls, rate: float) -> "ArrivalProcess":
+        return cls("poisson", rate=rate)
+
+    @classmethod
+    def bursty(cls, rate_low: float, rate_high: float,
+               dwell_low_s: float, dwell_high_s: float) -> "ArrivalProcess":
+        return cls("bursty", rate_low=rate_low, rate_high=rate_high,
+                   dwell_low_s=dwell_low_s, dwell_high_s=dwell_high_s)
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run offered rate in requests/s."""
+        if self.kind == "poisson":
+            return self.rate
+        total = self.dwell_low_s + self.dwell_high_s
+        return (self.rate_low * self.dwell_low_s
+                + self.rate_high * self.dwell_high_s) / total
+
+    def sample_times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` arrival timestamps (seconds from trace start), sorted."""
+        if self.kind == "poisson":
+            return np.cumsum(rng.exponential(1.0 / self.rate, size=n))
+        times = np.empty(n)
+        t = 0.0
+        state_high = False
+        switch = t + rng.exponential(self.dwell_low_s)
+        i = 0
+        while i < n:
+            rate = self.rate_high if state_high else self.rate_low
+            gap = rng.exponential(1.0 / rate)
+            if t + gap >= switch:
+                # State flips before the candidate arrival; jump to the
+                # switch point and redraw (memorylessness makes the
+                # discarded partial gap statistically free).
+                t = switch
+                state_high = not state_high
+                dwell = self.dwell_high_s if state_high else self.dwell_low_s
+                switch = t + rng.exponential(dwell)
+                continue
+            t += gap
+            times[i] = t
+            i += 1
+        return times
+
+    def to_dict(self) -> dict:
+        if self.kind == "poisson":
+            return {"kind": "poisson", "rate": self.rate}
+        return {"kind": "bursty", "rate_low": self.rate_low,
+                "rate_high": self.rate_high, "dwell_low_s": self.dwell_low_s,
+                "dwell_high_s": self.dwell_high_s}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ArrivalProcess":
+        return cls(**d)
+
+
+# ----------------------------------------------------------------------
+# Workload spec → trace
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything :func:`generate_trace` needs, in one seeded value.
+
+    ``max_seq`` bounds each request's worst-case KV footprint
+    (``prompt + max_tokens``): drawn lengths that would exceed it have
+    their prompt tail trimmed (deterministically), so every generated
+    request is admissible on a model with that ``max_seq``.
+    """
+
+    classes: tuple
+    arrivals: ArrivalProcess
+    n_requests: int
+    vocab_size: int
+    seed: int = 0
+    max_seq: int = 512
+
+    def __post_init__(self):
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if not self.classes:
+            raise ValueError("workload needs at least one traffic class")
+        names = [c.name for c in self.classes]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate traffic class names in {names}")
+        if self.n_requests < 1:
+            raise ValueError(f"n_requests must be >= 1, got {self.n_requests}")
+        if self.vocab_size < 1:
+            raise ValueError(f"vocab_size must be >= 1, got {self.vocab_size}")
+        if self.max_seq < 2:
+            raise ValueError(f"max_seq must be >= 2, got {self.max_seq}")
+
+    def to_dict(self) -> dict:
+        return {
+            "classes": [c.to_dict() for c in self.classes],
+            "arrivals": self.arrivals.to_dict(),
+            "n_requests": self.n_requests,
+            "vocab_size": self.vocab_size,
+            "seed": self.seed,
+            "max_seq": self.max_seq,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSpec":
+        d = dict(d)
+        d["classes"] = tuple(TrafficClass.from_dict(c) for c in d["classes"])
+        d["arrivals"] = ArrivalProcess.from_dict(d["arrivals"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One scheduled request of a workload trace."""
+
+    arrival_s: float
+    request_id: str
+    traffic_class: str
+    prompt: tuple          # token ids (plain ints: JSON-stable)
+    max_tokens: int
+    priority: int = 0
+    deadline_s: float | None = None
+    timeout_s: float | None = None
+    n: int = 1
+    temperature: float = 0.0
+    seed: int = 0
+
+    def to_request(self) -> GenerationRequest:
+        sampling = (GREEDY if self.temperature == 0.0
+                    else SamplingParams(temperature=self.temperature,
+                                        seed=self.seed))
+        return GenerationRequest(
+            request_id=self.request_id,
+            prompt=np.asarray(self.prompt, dtype=np.int64),
+            max_tokens=self.max_tokens,
+            sampling=sampling,
+            priority=self.priority,
+            deadline_s=self.deadline_s,
+            timeout_s=self.timeout_s,
+            n=self.n,
+            traffic_class=self.traffic_class,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "arrival_s": self.arrival_s,
+            "request_id": self.request_id,
+            "traffic_class": self.traffic_class,
+            "prompt": list(self.prompt),
+            "max_tokens": self.max_tokens,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "timeout_s": self.timeout_s,
+            "n": self.n,
+            "temperature": self.temperature,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEntry":
+        d = dict(d)
+        d["prompt"] = tuple(int(t) for t in d["prompt"])
+        return cls(**d)
+
+
+class WorkloadTrace:
+    """An ordered list of :class:`TraceEntry` plus its provenance.
+
+    The trace *is* the workload: replaying it (on any engine
+    configuration) reproduces the exact arrival schedule, prompts and
+    per-request knobs.  :meth:`to_json` is byte-stable (sorted keys,
+    fixed separators) so same-seed generation reproduces the trace
+    **bit for bit** — the reproducibility contract the determinism
+    suite and ``check_perf.py --quick`` both verify.
+    """
+
+    def __init__(self, entries, spec: WorkloadSpec | None = None):
+        self.entries = list(entries)
+        self.spec = spec
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def duration_s(self) -> float:
+        """Span of the arrival schedule (first arrival is relative 0)."""
+        return self.entries[-1].arrival_s if self.entries else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        """Mean offered request rate over the arrival span."""
+        if len(self.entries) < 2 or self.duration_s <= 0:
+            return 0.0
+        return len(self.entries) / self.duration_s
+
+    def class_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for e in self.entries:
+            counts[e.traffic_class] = counts.get(e.traffic_class, 0) + 1
+        return counts
+
+    # -- record/replay -------------------------------------------------
+    def to_json(self) -> str:
+        obj = {
+            "version": TRACE_VERSION,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        obj = json.loads(text)
+        if obj.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"unsupported workload trace version {obj.get('version')!r}"
+            )
+        spec = (WorkloadSpec.from_dict(obj["spec"])
+                if obj.get("spec") is not None else None)
+        return cls([TraceEntry.from_dict(e) for e in obj["entries"]], spec)
+
+    def save(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadTrace":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def __repr__(self) -> str:
+        return (f"WorkloadTrace({len(self.entries)} requests, "
+                f"{self.duration_s:.3f}s span, classes={self.class_counts()})")
+
+
+def generate_trace(spec: WorkloadSpec) -> WorkloadTrace:
+    """Deterministically expand a :class:`WorkloadSpec` into a trace.
+
+    Draw order (one ``default_rng(spec.seed)`` stream): all arrival
+    gaps first, then each class's shared-prefix pool (classes in spec
+    order), then per request — class assignment, prompt length, output
+    length, prefix choice, unique tail tokens.  The order is part of
+    the format: it is what makes same-seed traces bit-identical.
+    """
+    rng = np.random.default_rng(spec.seed)
+    arrivals = spec.arrivals.sample_times(rng, spec.n_requests)
+    weights = np.asarray([c.weight for c in spec.classes])
+    weights = weights / weights.sum()
+    prefixes = {
+        c.name: [rng.integers(0, spec.vocab_size, size=c.prefix_tokens)
+                 for _ in range(c.prefix_pool)] if c.prefix_tokens else []
+        for c in spec.classes
+    }
+    entries = []
+    for i in range(spec.n_requests):
+        cls = spec.classes[int(rng.choice(len(spec.classes), p=weights))]
+        tail_len = cls.prompt_len.sample(rng)
+        max_tokens = cls.output_len.sample(rng)
+        parts = []
+        if cls.prefix_tokens:
+            parts.append(prefixes[cls.name][int(rng.integers(cls.prefix_pool))])
+        parts.append(rng.integers(0, spec.vocab_size, size=tail_len))
+        prompt = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        # Worst-case footprint must fit the model: trim the unique tail
+        # first, then the output budget (keeping at least one of each).
+        over = prompt.size + max_tokens - spec.max_seq
+        if over > 0:
+            trim = min(over, prompt.size - 1)
+            prompt = prompt[: prompt.size - trim]
+            max_tokens = max(1, spec.max_seq - int(prompt.size))
+        entries.append(TraceEntry(
+            arrival_s=float(arrivals[i]),
+            request_id=f"{cls.name}-{i}",
+            traffic_class=cls.name,
+            prompt=tuple(int(t) for t in prompt),
+            max_tokens=int(max_tokens),
+            priority=cls.priority,
+            deadline_s=cls.deadline_s,
+            timeout_s=cls.timeout_s,
+            n=cls.n,
+            temperature=cls.temperature,
+            seed=(spec.seed * 1_000_003 + i) & 0x7FFFFFFF,
+        ))
+    return WorkloadTrace(entries, spec)
+
+
+# ----------------------------------------------------------------------
+# The open-loop harness
+# ----------------------------------------------------------------------
+class VirtualClock:
+    """A callable clock the harness advances by hand (virtual mode)."""
+
+    __slots__ = ("t",)
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock by {dt}")
+        self.t += dt
+
+
+@dataclass(frozen=True)
+class TickCostModel:
+    """Virtual-time cost of one engine tick.
+
+    ``base_s`` charges fixed tick overhead (scheduling, Python), the
+    per-token coefficients charge the fused forward: decode rows are
+    single-token, prefill chunks amortize the dense ops over many
+    tokens, hence the cheaper per-token rate.  The defaults roughly
+    match the unit-test model on the perf-baseline machine; pass a
+    :meth:`calibrated <calibrate>` model for honest virtual rates.
+    Virtual-clock results are a pure function of (trace, cost model) —
+    change the model and virtual timings change, deterministically.
+    """
+
+    base_s: float = 2e-4
+    per_decode_token_s: float = 1.2e-4
+    per_prefill_token_s: float = 1.5e-5
+
+    def cost(self, decode_rows: int, prefill_tokens: int) -> float:
+        return (self.base_s
+                + self.per_decode_token_s * decode_rows
+                + self.per_prefill_token_s * prefill_tokens)
+
+
+@dataclass
+class RequestRecord:
+    """Everything the SLO layer needs to know about one served request.
+
+    Times are harness-clock seconds relative to the harness start
+    (which is also arrival time 0).  ``itl_s`` holds every inter-token
+    gap of the request (all samples pooled), so class-level p99s are
+    computed over real gaps, not per-request maxima.  ``preemptions`` /
+    ``retries`` / ``faults`` are joined from the request's PR 7
+    lifecycle timeline when observability is on.
+    """
+
+    request_id: str
+    traffic_class: str
+    arrival_s: float
+    submit_s: float
+    finish_s: float = float("nan")
+    ttft_s: float = float("nan")
+    latency_s: float = float("nan")     # submit -> finish
+    tokens: int = 0                     # across all samples
+    finish_reason: str = "pending"
+    error: str | None = None
+    deadline_s: float | None = None
+    deadline_hit: bool | None = None    # None when no deadline was set
+    itl_s: list = field(default_factory=list)
+    preemptions: int = 0
+    retries: int = 0
+    faults: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_reason in _NORMAL_FINISH
+
+    @property
+    def max_itl_s(self) -> float:
+        return max(self.itl_s) if self.itl_s else 0.0
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["itl_s"] = list(self.itl_s)
+        return d
+
+
+@dataclass
+class HarnessResult:
+    """One harness run: per-request records plus engine-level context."""
+
+    records: list
+    duration_s: float          # harness start -> last finish (or last arrival)
+    offered_rate: float        # requests/s over the arrival span
+    clock_mode: str
+    stats: object              # EngineStats snapshot at the end of the run
+    monitor: object = None     # the live SLOMonitor, when one was attached
+
+    def by_class(self) -> dict:
+        out: dict[str, list] = {}
+        for r in self.records:
+            out.setdefault(r.traffic_class, []).append(r)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "offered_rate": self.offered_rate,
+            "clock_mode": self.clock_mode,
+            "records": [r.to_dict() for r in self.records],
+            "stats": self.stats.summary() if self.stats is not None else None,
+        }
+
+
+class LoadHarness:
+    """Open-loop driver: a :class:`WorkloadTrace` through one engine.
+
+    Builds a fresh :class:`~repro.serve.engine.GenerationEngine` per
+    :meth:`run` (loads must not share warm caches or metrics), injects
+    the harness clock as the engine clock so TTFT/deadline timings are
+    measured on the same axis as the arrival schedule, and submits
+    each trace entry the moment its arrival time passes — whether or
+    not the engine has kept up.  Backpressure rejections
+    (:class:`~repro.serve.scheduler.QueueFullError` under
+    ``max_queue_len``) and submit-time validation errors become
+    ``finish_reason="rejected"`` records: shed load is an SLO miss,
+    not an excuse.
+
+    ``monitor`` (any object with ``record(RequestRecord)`` and
+    ``sample(t)``) is fed each finished request as it completes and
+    polled every ``poll_interval_s`` of harness time — the live half
+    of the SLO layer (:class:`repro.serve.slo.SLOMonitor`).
+    """
+
+    def __init__(self, model, cache_factory,
+                 config: ServeConfig = ServeConfig(), *,
+                 clock: str = "wall", cost_model: TickCostModel | None = None,
+                 policy=None, faults=None, metrics=None,
+                 poll_interval_s: float = 0.05):
+        if clock not in ("wall", "virtual"):
+            raise ValueError(f"clock must be 'wall' or 'virtual', got {clock!r}")
+        self.model = model
+        self.cache_factory = cache_factory
+        self.config = config
+        self.clock_mode = clock
+        self.cost_model = cost_model if cost_model is not None else TickCostModel()
+        self.policy = policy
+        self.faults = faults
+        self.metrics = metrics
+        self.poll_interval_s = poll_interval_s
+        self.monitor = None          # attach_monitor(): live SLO feed
+        self.engine = None           # the engine of the latest run()
+
+    # -- internals -----------------------------------------------------
+    def _build_engine(self):
+        if self.clock_mode == "virtual":
+            vclock = VirtualClock()
+        else:
+            vclock = None
+        engine = GenerationEngine(
+            self.model, self.cache_factory, self.config,
+            clock=(vclock if vclock is not None else time.perf_counter),
+            policy=self.policy, faults=self.faults, metrics=self.metrics,
+        )
+        return engine, vclock
+
+    @staticmethod
+    def _timeline_counts(result) -> tuple:
+        events = result.trace or []
+        names = [e.get("event") for e in events]
+        return (names.count("preempt"), names.count("retry"),
+                names.count("fault"))
+
+    # -- the run loop --------------------------------------------------
+    def run(self, trace: WorkloadTrace) -> HarnessResult:
+        entries = sorted(trace.entries, key=lambda e: e.arrival_s)
+        engine, vclock = self._build_engine()
+        self.engine = engine
+        t0 = 0.0 if vclock is not None else time.perf_counter()
+
+        def now() -> float:
+            return (vclock() if vclock is not None else time.perf_counter()) - t0
+
+        records: dict[str, RequestRecord] = {}
+        last_token_t: dict[tuple, float] = {}
+        monitor = self.monitor
+        next_poll = self.poll_interval_s
+        # Virtual busy time mirrors wall elapsed_s: read the registry
+        # counters the engine already keeps to cost each tick.
+        m_prefill = engine.metrics.get("prefill_tokens")
+        m_lanes = engine.metrics.get("decode_lane_ticks")
+
+        i = 0
+        while i < len(entries) or engine.has_work():
+            t = now()
+            while i < len(entries) and entries[i].arrival_s <= t:
+                entry = entries[i]
+                i += 1
+                rec = RequestRecord(
+                    request_id=entry.request_id,
+                    traffic_class=entry.traffic_class,
+                    arrival_s=entry.arrival_s,
+                    submit_s=t,
+                    deadline_s=entry.deadline_s,
+                )
+                records[entry.request_id] = rec
+                try:
+                    engine.submit(entry.to_request())
+                except (QueueFullError, ValueError) as exc:
+                    rec.finish_reason = "rejected"
+                    rec.finish_s = t
+                    rec.latency_s = 0.0
+                    rec.error = f"{type(exc).__name__}: {exc}"
+                    self._finalize(rec, monitor)
+            if engine.has_work():
+                pre_prefill = m_prefill.value
+                pre_lanes = m_lanes.value
+                events = engine.step()
+                if vclock is not None:
+                    vclock.advance(self.cost_model.cost(
+                        m_lanes.value - pre_lanes,
+                        m_prefill.value - pre_prefill,
+                    ))
+                # Token timestamps are assigned *after* the tick's cost
+                # is charged (virtual mode: the token exists once its
+                # forward pass has been paid for), so TTFT and the
+                # inter-token gaps honestly include compute time.
+                t = now()
+                for event in events:
+                    rec = records.get(event.request_id)
+                    if rec is None:
+                        continue
+                    if event.token is not None:
+                        key = (event.request_id, event.sample)
+                        if np.isnan(rec.ttft_s):
+                            rec.ttft_s = t - rec.submit_s
+                        if key in last_token_t:
+                            rec.itl_s.append(t - last_token_t[key])
+                        last_token_t[key] = t
+                    if (event.finished and rec.finish_reason == "pending"
+                            and engine.has_result(event.request_id)):
+                        self._collect(engine, rec, t, monitor)
+            elif i < len(entries):
+                gap = entries[i].arrival_s - now()
+                if gap > 0:
+                    if vclock is not None:
+                        vclock.advance(gap)
+                    else:
+                        time.sleep(min(gap, 5e-4))
+            if monitor is not None and now() >= next_poll:
+                monitor.sample(now())
+                next_poll = now() + self.poll_interval_s
+
+        end = now()
+        # Straggler sweep: a family whose last finish event raced the
+        # loop exit still has its result recorded at the tick boundary.
+        for rec in records.values():
+            if rec.finish_reason == "pending" and engine.has_result(rec.request_id):
+                self._collect(engine, rec, end, monitor)
+        if monitor is not None:
+            monitor.sample(end)
+        ordered = [records[e.request_id] for e in entries]
+        offered = trace.offered_rate
+        return HarnessResult(
+            records=ordered,
+            duration_s=end,
+            offered_rate=offered,
+            clock_mode=self.clock_mode,
+            stats=engine.stats(),
+            monitor=monitor,
+        )
+
+    def _collect(self, engine, rec: RequestRecord, t: float, monitor) -> None:
+        """Fill a record from its finished :class:`GenerationResult`."""
+        result = engine.pop_result(rec.request_id)
+        rec.finish_s = t
+        rec.latency_s = t - rec.submit_s
+        rec.tokens = sum(len(s.tokens) for s in result.samples)
+        rec.finish_reason = result.finish_reason
+        rec.error = result.error
+        if rec.deadline_s is not None:
+            rec.deadline_hit = rec.latency_s <= rec.deadline_s
+        rec.preemptions, rec.retries, rec.faults = self._timeline_counts(result)
+        self._finalize(rec, monitor)
+
+    @staticmethod
+    def _finalize(rec: RequestRecord, monitor) -> None:
+        if monitor is not None:
+            monitor.record(rec)
+
+    def attach_monitor(self, monitor) -> None:
+        """Feed finished requests + periodic polls to ``monitor`` during
+        :meth:`run` (see :class:`repro.serve.slo.SLOMonitor`)."""
+        self.monitor = monitor

@@ -155,6 +155,22 @@ class Histogram:
             return float("nan")
         return float(np.percentile(list(self.reservoir), q))
 
+    def fraction_below(self, value: float) -> float:
+        """Fraction of observations ``<= value``, at bucket resolution.
+
+        Counts every bucket whose upper bound is ``<= value`` — a
+        *conservative* (never over-counting) estimate, since samples in
+        the straddling bucket are excluded.  Mergeable across replicas
+        (pure bucket arithmetic, no reservoir), which is what the live
+        SLO monitor wants; ``1.0`` on an empty histogram (no
+        observation has violated anything yet).
+        """
+        if not self.count:
+            return 1.0
+        covered = sum(c for bound, c in zip(self.buckets, self.counts)
+                      if bound <= value)
+        return covered / self.count
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -239,17 +255,33 @@ class MetricsRegistry:
                 }
         return out
 
+    @staticmethod
+    def _escape_label_value(value) -> str:
+        """Escape one label value per the Prometheus text exposition
+        spec: backslash, double-quote and newline (in that order — the
+        backslash pass must not re-escape the others' escapes)."""
+        return (str(value)
+                .replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n"))
+
     def to_prometheus(self) -> str:
         """Standard Prometheus text exposition of every instrument."""
         label_str = ""
         if self.labels:
-            inner = ",".join(f'{k}="{v}"' for k, v in sorted(self.labels.items()))
+            inner = ",".join(
+                f'{k}="{self._escape_label_value(v)}"'
+                for k, v in sorted(self.labels.items())
+            )
             label_str = "{" + inner + "}"
         lines: list[str] = []
         for m in self:
             full = f"{self.namespace}_{m.name}"
             if m.help:
-                lines.append(f"# HELP {full} {m.help}")
+                # HELP text has its own (smaller) escape set: backslash
+                # and newline, but *not* double-quote.
+                help_text = m.help.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {full} {help_text}")
             if isinstance(m, Counter):
                 lines.append(f"# TYPE {full} counter")
                 lines.append(f"{full}{label_str} {m.value}")

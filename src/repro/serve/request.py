@@ -75,6 +75,14 @@ class GenerationRequest:
     first tick boundary past the deadline — unlike the soft
     ``deadline_s`` SLO, which only influences scheduling order.
     ``None`` falls back to ``ServeConfig.request_timeout_s``.
+
+    ``traffic_class`` is a free-form tenant/workload tag the engine
+    carries through untouched — onto the submit timeline event, the
+    :class:`GenerationResult`, and snapshots — so load harnesses and
+    SLO evaluation (:mod:`repro.serve.loadgen` /
+    :mod:`repro.serve.slo`) can group per-class without a side table.
+    It never influences scheduling; use ``priority``/``deadline_s``
+    for that.
     """
 
     request_id: str
@@ -86,6 +94,7 @@ class GenerationRequest:
     deadline_s: float | None = None
     n: int = 1
     timeout_s: float | None = None
+    traffic_class: str | None = None
 
     def __post_init__(self):
         prompt = np.asarray(self.prompt, dtype=np.int64)
@@ -297,6 +306,7 @@ class GenerationResult:
     samples: list[SampleOutput] = field(default=None)
     error: str | None = None    # first fault among the samples, else None
     trace: list | None = None   # lifecycle event dicts (observe=True), else None
+    traffic_class: str | None = None  # tenant tag, copied from the request
 
     def __post_init__(self):
         if self.samples is None:

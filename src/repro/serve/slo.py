@@ -1,0 +1,493 @@
+"""Declarative SLOs over load-harness runs: specs, scorecards, knees.
+
+The :mod:`repro.serve.loadgen` harness produces one
+:class:`~repro.serve.loadgen.RequestRecord` per request; this module
+is the *judgment* layer over those records:
+
+* :class:`ClassSLO` / :class:`SLOSpec` — a declarative objective set
+  per traffic class: TTFT p50/p99 ceilings, inter-token p99 ceiling,
+  deadline hit-rate floor, an error budget (the tolerated fraction of
+  abnormal finishes — rejections, timeouts, faults), and the
+  ``attainment_target`` (the fraction of requests that must be
+  individually SLO-compliant for the class to pass).  JSON
+  round-trippable, so specs live next to workload traces.
+* :func:`request_compliant` — the per-request rule: a request is
+  compliant iff it finished normally, met its TTFT and inter-token
+  ceilings, and hit its deadline (when one was set).  **Goodput** is
+  tokens from compliant requests only, per second of harness run — the
+  honest throughput number (a saturated engine can post huge raw
+  tokens/s while every request blows its TTFT).
+* :func:`evaluate` — records + spec → :class:`SLOReport`: per-class
+  measured-vs-target objective rows, attainment, goodput, error rate,
+  and an overall verdict; renders as a terminal scorecard
+  (:meth:`SLOReport.render`) and serializes (:meth:`SLOReport.to_dict`)
+  for CI artifacts.
+* :class:`SLOMonitor` — the *live* half, fed by the harness while the
+  run is in flight: per-class labeled
+  :class:`~repro.serve.observe.MetricsRegistry` instruments (TTFT /
+  inter-token histograms, compliant/total counters) that export
+  per-class Prometheus series, merge into a fleet view
+  (:meth:`SLOMonitor.merged` — :meth:`MetricsRegistry.merge` with the
+  ``class`` label telling streams apart), and a sampled attainment
+  time series for burn-rate-style inspection.
+* :func:`find_knee` — the saturation probe: binary-search the highest
+  arrival rate at which a workload still passes its spec.  Takes a
+  ``run_at_rate(rate) -> SLOReport`` callable (the benchmark wires a
+  harness run in), brackets at ``[rate_lo, rate_hi]``, and returns the
+  knee plus the whole probe curve — the per-cache-type saturation
+  evidence the M-ANT serving claims rest on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.observe import MetricsRegistry
+
+__all__ = [
+    "ClassSLO",
+    "SLOSpec",
+    "SLOReport",
+    "ClassReport",
+    "SLOMonitor",
+    "request_compliant",
+    "evaluate",
+    "find_knee",
+]
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClassSLO:
+    """Objectives for one traffic class; ``None`` disables a check.
+
+    Distribution objectives (``ttft_p50_s`` / ``ttft_p99_s`` /
+    ``inter_token_p99_s``) are ceilings on the class's *measured*
+    percentiles.  ``deadline_hit_rate`` is a floor on the fraction of
+    deadline-carrying requests that finished inside their deadline.
+    ``error_budget`` is a ceiling on the abnormal-finish fraction
+    (rejected / timeout / error / cancelled).  ``attainment_target``
+    is the floor on the fraction of requests that are *individually*
+    compliant (see :func:`request_compliant`).
+    """
+
+    ttft_p50_s: float | None = None
+    ttft_p99_s: float | None = None
+    inter_token_p99_s: float | None = None
+    deadline_hit_rate: float | None = None
+    error_budget: float = 0.0
+    attainment_target: float = 0.95
+
+    def __post_init__(self):
+        for name in ("ttft_p50_s", "ttft_p99_s", "inter_token_p99_s"):
+            v = getattr(self, name)
+            if v is not None and not v > 0:
+                raise ValueError(f"{name} must be > 0 (or None), got {v}")
+        if self.deadline_hit_rate is not None and not (
+                0.0 <= self.deadline_hit_rate <= 1.0):
+            raise ValueError(
+                f"deadline_hit_rate must be in [0, 1], got {self.deadline_hit_rate}"
+            )
+        if not 0.0 <= self.error_budget <= 1.0:
+            raise ValueError(
+                f"error_budget must be in [0, 1], got {self.error_budget}"
+            )
+        if not 0.0 < self.attainment_target <= 1.0:
+            raise ValueError(
+                f"attainment_target must be in (0, 1], got {self.attainment_target}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClassSLO":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Per-class objectives plus an optional default for unnamed classes."""
+
+    classes: dict = field(default_factory=dict)   # name -> ClassSLO
+    default: ClassSLO | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "classes", dict(self.classes))
+        for name, slo in self.classes.items():
+            if not isinstance(slo, ClassSLO):
+                raise TypeError(
+                    f"class {name!r}: expected ClassSLO, got {type(slo).__name__}"
+                )
+
+    def for_class(self, name: str) -> ClassSLO | None:
+        """The objectives governing ``name`` (``None`` = ungoverned)."""
+        return self.classes.get(name, self.default)
+
+    def to_dict(self) -> dict:
+        return {
+            "classes": {n: s.to_dict() for n, s in sorted(self.classes.items())},
+            "default": self.default.to_dict() if self.default else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SLOSpec":
+        return cls(
+            classes={n: ClassSLO.from_dict(s)
+                     for n, s in d.get("classes", {}).items()},
+            default=(ClassSLO.from_dict(d["default"])
+                     if d.get("default") else None),
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-request compliance
+# ----------------------------------------------------------------------
+def request_compliant(rec, slo: ClassSLO | None) -> bool:
+    """One request's verdict against its class objectives.
+
+    Abnormal finishes are never compliant.  The per-request TTFT check
+    uses the class's ``ttft_p99_s`` ceiling (the p50 objective is a
+    distribution property, meaningless per request), the inter-token
+    check the request's *worst* gap.  A missed deadline disqualifies
+    regardless of the class's aggregate ``deadline_hit_rate`` floor.
+    With ``slo=None`` (ungoverned class) any normal finish complies.
+    """
+    if not rec.completed:
+        return False
+    if slo is None:
+        return True
+    if slo.ttft_p99_s is not None:
+        if math.isnan(rec.ttft_s) or rec.ttft_s > slo.ttft_p99_s:
+            return False
+    if slo.inter_token_p99_s is not None and rec.max_itl_s > slo.inter_token_p99_s:
+        return False
+    if rec.deadline_hit is False:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class ClassReport:
+    """One class's scorecard: objective rows + attainment + goodput."""
+
+    name: str
+    n_requests: int
+    n_completed: int
+    n_compliant: int
+    attainment: float          # compliant / total
+    attainment_target: float
+    goodput_tokens_per_s: float
+    error_rate: float
+    objectives: list           # rows: {"objective", "target", "measured", "ok"}
+    ok: bool
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["objectives"] = [dict(o) for o in self.objectives]
+        return d
+
+
+@dataclass
+class SLOReport:
+    """Scorecard of one harness run against one :class:`SLOSpec`."""
+
+    classes: dict              # name -> ClassReport
+    duration_s: float
+    offered_rate: float
+    attainment: float          # all classes pooled
+    goodput_tokens_per_s: float
+    ok: bool                   # every governed class passed
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "offered_rate": self.offered_rate,
+            "attainment": self.attainment,
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "ok": self.ok,
+            "classes": {n: c.to_dict() for n, c in sorted(self.classes.items())},
+        }
+
+    def render(self) -> str:
+        """Terminal scorecard, one block per class."""
+        lines = [
+            f"SLO scorecard — {self.duration_s:.2f}s run at "
+            f"{self.offered_rate:.1f} req/s offered: "
+            f"{'PASS' if self.ok else 'FAIL'}",
+            f"  overall attainment {self.attainment:6.1%}   "
+            f"goodput {self.goodput_tokens_per_s:8.1f} tok/s",
+        ]
+        for name, cr in sorted(self.classes.items()):
+            mark = "PASS" if cr.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] {name}: {cr.n_compliant}/{cr.n_requests} compliant "
+                f"({cr.attainment:.1%}, target {cr.attainment_target:.0%}), "
+                f"goodput {cr.goodput_tokens_per_s:.1f} tok/s, "
+                f"errors {cr.error_rate:.1%}"
+            )
+            for o in cr.objectives:
+                omark = "ok " if o["ok"] else "MISS"
+                measured = o["measured"]
+                m_str = ("n/a" if measured is None or
+                         (isinstance(measured, float) and math.isnan(measured))
+                         else f"{measured:.4g}")
+                lines.append(
+                    f"         {omark} {o['objective']:<20} "
+                    f"measured {m_str:>10} vs target {o['target']:.4g}"
+                )
+        return "\n".join(lines)
+
+
+def _percentile(values, q: float) -> float:
+    return float(np.percentile(values, q)) if values else float("nan")
+
+
+def evaluate(result, spec: SLOSpec) -> SLOReport:
+    """Judge a :class:`~repro.serve.loadgen.HarnessResult` against ``spec``.
+
+    ``result`` only needs ``records`` (each a
+    :class:`~repro.serve.loadgen.RequestRecord`-shaped object),
+    ``duration_s`` and ``offered_rate`` — the evaluation is a pure
+    function of those, so replaying a virtual-clock trace yields a
+    bit-identical report.
+    """
+    by_class: dict[str, list] = {}
+    for rec in result.records:
+        by_class.setdefault(rec.traffic_class, []).append(rec)
+    duration = max(result.duration_s, 1e-12)
+
+    reports: dict[str, ClassReport] = {}
+    total_compliant = 0
+    total_requests = 0
+    total_goodput_tokens = 0
+    all_ok = True
+    for name, recs in by_class.items():
+        slo = spec.for_class(name)
+        completed = [r for r in recs if r.completed]
+        ttfts = [r.ttft_s for r in completed if not math.isnan(r.ttft_s)]
+        gaps = [g for r in completed for g in r.itl_s]
+        deadlined = [r for r in recs if r.deadline_hit is not None]
+        compliant = [r for r in recs if request_compliant(r, slo)]
+        goodput_tokens = sum(r.tokens for r in compliant)
+        error_rate = 1.0 - (len(completed) / len(recs)) if recs else 0.0
+        attainment = len(compliant) / len(recs) if recs else 1.0
+
+        objectives = []
+
+        def check(obj: str, target, measured, ok: bool) -> None:
+            objectives.append({"objective": obj, "target": target,
+                               "measured": measured, "ok": bool(ok)})
+
+        if slo is not None:
+            if slo.ttft_p50_s is not None:
+                m = _percentile(ttfts, 50)
+                check("ttft_p50_s", slo.ttft_p50_s, m,
+                      not math.isnan(m) and m <= slo.ttft_p50_s)
+            if slo.ttft_p99_s is not None:
+                m = _percentile(ttfts, 99)
+                check("ttft_p99_s", slo.ttft_p99_s, m,
+                      not math.isnan(m) and m <= slo.ttft_p99_s)
+            if slo.inter_token_p99_s is not None:
+                m = _percentile(gaps, 99)
+                # Single-token outputs have no gaps: vacuously met.
+                check("inter_token_p99_s", slo.inter_token_p99_s, m,
+                      math.isnan(m) or m <= slo.inter_token_p99_s)
+            if slo.deadline_hit_rate is not None:
+                m = (sum(1 for r in deadlined if r.deadline_hit)
+                     / len(deadlined)) if deadlined else 1.0
+                check("deadline_hit_rate", slo.deadline_hit_rate, m,
+                      m >= slo.deadline_hit_rate)
+            check("error_budget", slo.error_budget, error_rate,
+                  error_rate <= slo.error_budget)
+
+        target = slo.attainment_target if slo is not None else 0.0
+        ok = all(o["ok"] for o in objectives) and attainment >= target
+        if slo is not None and not ok:
+            all_ok = False
+        reports[name] = ClassReport(
+            name=name,
+            n_requests=len(recs),
+            n_completed=len(completed),
+            n_compliant=len(compliant),
+            attainment=attainment,
+            attainment_target=target,
+            goodput_tokens_per_s=goodput_tokens / duration,
+            error_rate=error_rate,
+            objectives=objectives,
+            ok=ok,
+        )
+        total_compliant += len(compliant)
+        total_requests += len(recs)
+        total_goodput_tokens += goodput_tokens
+
+    return SLOReport(
+        classes=reports,
+        duration_s=result.duration_s,
+        offered_rate=result.offered_rate,
+        attainment=(total_compliant / total_requests) if total_requests else 1.0,
+        goodput_tokens_per_s=total_goodput_tokens / duration,
+        ok=all_ok,
+    )
+
+
+# ----------------------------------------------------------------------
+# Live monitoring
+# ----------------------------------------------------------------------
+class SLOMonitor:
+    """Live per-class SLO instruments, fed by the harness as it runs.
+
+    One labeled :class:`~repro.serve.observe.MetricsRegistry` per
+    traffic class (``labels={"class": name}`` — exactly the replica
+    pattern the fleet merge was built for): counters for
+    total/compliant/abnormal requests and compliant tokens, histograms
+    for TTFT and worst-gap-per-request.  :meth:`record` is called per
+    finished request, :meth:`sample` on the harness's poll cadence —
+    the resulting ``samples`` series is attainment-over-time, the
+    burn-rate view.  :meth:`merged` folds every class into one
+    registry; :meth:`to_prometheus` concatenates the per-class
+    expositions (distinct ``class`` label values keep series apart).
+    """
+
+    def __init__(self, spec: SLOSpec, namespace: str = "repro_slo"):
+        self.spec = spec
+        self.namespace = namespace
+        self._regs: dict[str, MetricsRegistry] = {}
+        self._inst: dict[str, dict] = {}
+        self.samples: list[dict] = []
+
+    def _instruments(self, name: str) -> dict:
+        inst = self._inst.get(name)
+        if inst is None:
+            reg = MetricsRegistry(namespace=self.namespace,
+                                  labels={"class": name})
+            inst = {
+                "registry": reg,
+                "total": reg.counter(
+                    "requests_total", "Requests of this class, any outcome"),
+                "compliant": reg.counter(
+                    "requests_compliant", "Individually SLO-compliant requests"),
+                "abnormal": reg.counter(
+                    "requests_abnormal",
+                    "Rejected / timed-out / faulted / cancelled requests"),
+                "tokens": reg.counter(
+                    "tokens_compliant", "Tokens from compliant requests "
+                    "(goodput numerator)"),
+                "ttft": reg.histogram(
+                    "slo_ttft_seconds", "Submit -> first token, per request"),
+                "itl_max": reg.histogram(
+                    "slo_max_inter_token_seconds",
+                    "Worst inter-token gap, per request"),
+            }
+            self._regs[name] = reg
+            self._inst[name] = inst
+        return inst
+
+    # -- feed ----------------------------------------------------------
+    def record(self, rec) -> None:
+        """Fold one finished :class:`~repro.serve.loadgen.RequestRecord`."""
+        inst = self._instruments(rec.traffic_class)
+        inst["total"].inc()
+        if not rec.completed:
+            inst["abnormal"].inc()
+        if not math.isnan(rec.ttft_s):
+            inst["ttft"].observe(rec.ttft_s)
+        if rec.itl_s:
+            inst["itl_max"].observe(rec.max_itl_s)
+        if request_compliant(rec, self.spec.for_class(rec.traffic_class)):
+            inst["compliant"].inc()
+            inst["tokens"].inc(rec.tokens)
+
+    def sample(self, t: float) -> dict:
+        """Snapshot per-class attainment at harness time ``t``."""
+        point = {"t": t, "classes": {}}
+        for name, inst in self._inst.items():
+            total = inst["total"].value
+            point["classes"][name] = {
+                "total": total,
+                "compliant": inst["compliant"].value,
+                "attainment": inst["compliant"].value / total if total else 1.0,
+            }
+        self.samples.append(point)
+        return point
+
+    # -- read ----------------------------------------------------------
+    def live_attainment(self, name: str) -> float:
+        inst = self._inst.get(name)
+        if inst is None or not inst["total"].value:
+            return 1.0
+        return inst["compliant"].value / inst["total"].value
+
+    def registry(self, name: str) -> MetricsRegistry | None:
+        return self._regs.get(name)
+
+    def merged(self) -> MetricsRegistry:
+        """All classes folded into one fleet-style registry."""
+        return MetricsRegistry.merge(
+            list(self._regs.values()), namespace=self.namespace,
+            labels={"aggregate": "all_classes"},
+        )
+
+    def to_prometheus(self) -> str:
+        """Per-class expositions concatenated (``class`` label varies)."""
+        return "".join(reg.to_prometheus()
+                       for _, reg in sorted(self._regs.items()))
+
+
+# ----------------------------------------------------------------------
+# Saturation sweep
+# ----------------------------------------------------------------------
+def find_knee(run_at_rate, rate_lo: float, rate_hi: float, *,
+              iters: int = 6, predicate=None) -> dict:
+    """Binary-search the max arrival rate that still meets the spec.
+
+    ``run_at_rate(rate)`` runs the workload at that offered rate and
+    returns an :class:`SLOReport` (or anything ``predicate`` accepts;
+    the default predicate is ``report.ok``).  The bracket endpoints are
+    probed first: if even ``rate_lo`` fails the knee is reported below
+    the bracket (``knee = 0.0``), if ``rate_hi`` passes the knee is at
+    least ``rate_hi`` (``saturated = False`` — widen the bracket for a
+    tighter answer).  Returns ``{"knee_rate", "saturated", "probes"}``
+    where ``probes`` is the full ``(rate, ok, attainment, goodput)``
+    curve, cheapest-first evidence for the saturation plot.
+    """
+    if not 0 < rate_lo < rate_hi:
+        raise ValueError(
+            f"need 0 < rate_lo < rate_hi, got [{rate_lo}, {rate_hi}]"
+        )
+    if predicate is None:
+        predicate = lambda report: report.ok
+
+    probes = []
+
+    def probe(rate: float) -> bool:
+        report = run_at_rate(rate)
+        ok = bool(predicate(report))
+        entry = {"rate": rate, "ok": ok}
+        if isinstance(report, SLOReport):
+            entry["attainment"] = report.attainment
+            entry["goodput_tokens_per_s"] = report.goodput_tokens_per_s
+        probes.append(entry)
+        return ok
+
+    if not probe(rate_lo):
+        return {"knee_rate": 0.0, "saturated": True, "probes": probes}
+    if probe(rate_hi):
+        return {"knee_rate": rate_hi, "saturated": False, "probes": probes}
+    lo, hi = rate_lo, rate_hi       # invariant: lo passes, hi fails
+    for _ in range(iters):
+        mid = 0.5 * (lo + hi)
+        if probe(mid):
+            lo = mid
+        else:
+            hi = mid
+    return {"knee_rate": lo, "saturated": True, "probes": probes}

@@ -1,0 +1,593 @@
+"""Load-harness + SLO tests: seeded workloads, replay, scorecards.
+
+Gates, per the PR acceptance criteria:
+
+* **Seeded determinism** — the same :class:`WorkloadSpec` always
+  expands to the same trace *bit for bit* (identical JSON), every
+  :class:`LengthDist` kind consumes exactly one rng draw (so the
+  trace-wide draw order is independent of distribution shapes), and a
+  saved trace round-trips through JSON/disk losslessly;
+* **Replay determinism** — a virtual-clock harness run over a replayed
+  trace produces records identical to the original run, field for
+  field, and virtual TTFTs include the tick's compute cost (they are
+  never zero);
+* **Traffic-class threading** — the tenant tag set by the workload
+  layer survives the whole lifecycle: request → timeline submit event
+  → :class:`GenerationResult` → engine snapshot/restore;
+* **SLO judgment** — :func:`request_compliant` applies each objective
+  (normal finish, TTFT ceiling, worst inter-token gap, deadline),
+  :func:`evaluate` computes attainment/goodput/error-rate per class,
+  :func:`find_knee` bisects a monotone pass/fail boundary, and the
+  live :class:`SLOMonitor` exports per-class labeled Prometheus series
+  that merge into a fleet view.
+"""
+
+import dataclasses
+import functools
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.transformer import ModelConfig, TransformerLM
+from repro.quant.kvcache import FP16KVCache, MantKVCache
+from repro.serve import (
+    ArrivalProcess,
+    ClassSLO,
+    GenerationEngine,
+    GenerationRequest,
+    LengthDist,
+    LoadHarness,
+    ServeConfig,
+    SLOMonitor,
+    SLOSpec,
+    TickCostModel,
+    TrafficClass,
+    VirtualClock,
+    WorkloadSpec,
+    WorkloadTrace,
+    evaluate,
+    find_knee,
+    generate_trace,
+    request_compliant,
+)
+from repro.serve.loadgen import RequestRecord
+from repro.serve.slo import SLOReport
+
+VOCAB = 64
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = ModelConfig(vocab_size=VOCAB, d_model=32, n_heads=2, n_layers=2,
+                      d_ff=64, max_seq=160, seed=5)
+    return TransformerLM(cfg)
+
+
+def two_class_spec(n_requests=24, rate=200.0, seed=0, **urgent_kw):
+    urgent_kw.setdefault("priority", 5)
+    urgent_kw.setdefault("deadline_s", 0.5)
+    classes = (
+        TrafficClass("urgent", weight=1.0,
+                     prompt_len=LengthDist.fixed(6),
+                     output_len=LengthDist.fixed(4), **urgent_kw),
+        TrafficClass("bulk", weight=2.0,
+                     prompt_len=LengthDist.uniform(4, 12),
+                     output_len=LengthDist.uniform(3, 6)),
+    )
+    return WorkloadSpec(classes=classes,
+                        arrivals=ArrivalProcess.poisson(rate),
+                        n_requests=n_requests, vocab_size=VOCAB, seed=seed,
+                        max_seq=160)
+
+
+def run_virtual(model, trace, **kw):
+    harness = LoadHarness(model, FP16KVCache,
+                          ServeConfig(max_batch_size=4), clock="virtual", **kw)
+    return harness.run(trace)
+
+
+# ---------------------------------------------------------------------------
+# Length mixtures
+# ---------------------------------------------------------------------------
+class TestLengthDist:
+    def test_shapes_sample_in_bounds(self):
+        rng = np.random.default_rng(0)
+        assert LengthDist.fixed(7).sample(rng) == 7
+        for _ in range(50):
+            assert 3 <= LengthDist.uniform(3, 9).sample(rng) <= 9
+            assert 2 <= LengthDist.lognormal(8, 0.5, lo=2, hi=32).sample(rng) <= 32
+            assert LengthDist.choice([4, 8], (1.0, 0.0)).sample(rng) == 4
+
+    def test_sampling_is_deterministic_per_kind(self):
+        # Identically seeded generators draw identical sequences from
+        # every kind — the property trace determinism is built on.
+        for d in (LengthDist.fixed(5), LengthDist.uniform(1, 9),
+                  LengthDist.lognormal(4, 0.3), LengthDist.choice([2, 3])):
+            a, b = np.random.default_rng(123), np.random.default_rng(123)
+            assert [d.sample(a) for _ in range(20)] \
+                == [d.sample(b) for _ in range(20)]
+
+    def test_fixed_burns_a_draw(self):
+        # ``fixed`` consumes one draw like every other kind, so the
+        # per-request draw *count* is shape-independent.
+        rng = np.random.default_rng(123)
+        LengthDist.fixed(5).sample(rng)
+        burned = np.random.default_rng(123)
+        burned.random()
+        assert rng.integers(0, 1 << 30) == burned.integers(0, 1 << 30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            LengthDist("exponential")
+        with pytest.raises(ValueError, match=">= 1"):
+            LengthDist.fixed(0)
+        with pytest.raises(ValueError, match="lo <= hi"):
+            LengthDist.uniform(9, 3)
+        with pytest.raises(ValueError, match="median"):
+            LengthDist.lognormal(0, 0.5)
+        with pytest.raises(ValueError, match="at least one"):
+            LengthDist.choice([])
+        with pytest.raises(ValueError, match="weights"):
+            LengthDist.choice([1, 2], (1.0,))
+
+    def test_dict_round_trip(self):
+        for d in (LengthDist.fixed(5), LengthDist.uniform(2, 9),
+                  LengthDist.lognormal(8, 0.4, lo=2, hi=64),
+                  LengthDist.choice([3, 5], (0.2, 0.8))):
+            assert LengthDist.from_dict(d.to_dict()) == d
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+class TestArrivalProcess:
+    def test_poisson_schedule(self):
+        rng = np.random.default_rng(0)
+        times = ArrivalProcess.poisson(100.0).sample_times(rng, 500)
+        assert len(times) == 500
+        assert np.all(np.diff(times) > 0)
+        # Mean gap ~ 1/rate (loose statistical bound at n=500).
+        assert np.mean(np.diff(times)) == pytest.approx(0.01, rel=0.25)
+
+    def test_bursty_schedule_and_mean_rate(self):
+        ap = ArrivalProcess.bursty(rate_low=10.0, rate_high=90.0,
+                                   dwell_low_s=3.0, dwell_high_s=1.0)
+        assert ap.mean_rate == pytest.approx(30.0)
+        rng = np.random.default_rng(1)
+        times = ap.sample_times(rng, 400)
+        assert len(times) == 400 and np.all(np.diff(times) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ArrivalProcess("uniform")
+        with pytest.raises(ValueError, match="rate"):
+            ArrivalProcess.poisson(0.0)
+        with pytest.raises(ValueError, match="rates"):
+            ArrivalProcess.bursty(0.0, 5.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="dwell"):
+            ArrivalProcess.bursty(1.0, 5.0, 0.0, 1.0)
+
+    def test_dict_round_trip(self):
+        for ap in (ArrivalProcess.poisson(42.0),
+                   ArrivalProcess.bursty(5.0, 50.0, 2.0, 0.5)):
+            assert ArrivalProcess.from_dict(ap.to_dict()) == ap
+
+
+# ---------------------------------------------------------------------------
+# Trace generation
+# ---------------------------------------------------------------------------
+class TestTraceGeneration:
+    def test_same_seed_bit_for_bit(self):
+        spec = two_class_spec(seed=3)
+        assert generate_trace(spec).to_json() == generate_trace(spec).to_json()
+
+    def test_different_seed_differs(self):
+        a = generate_trace(two_class_spec(seed=0)).to_json()
+        b = generate_trace(two_class_spec(seed=1)).to_json()
+        assert a != b
+
+    def test_json_and_disk_round_trip(self, tmp_path):
+        trace = generate_trace(two_class_spec())
+        text = trace.to_json()
+        assert WorkloadTrace.from_json(text).to_json() == text
+        path = trace.save(str(tmp_path / "trace.json"))
+        loaded = WorkloadTrace.load(path)
+        assert loaded.to_json() == text
+        assert loaded.spec == trace.spec           # provenance rides along
+
+    def test_version_check(self):
+        trace = generate_trace(two_class_spec(n_requests=2))
+        text = trace.to_json().replace('"version":1', '"version":99')
+        with pytest.raises(ValueError, match="version"):
+            WorkloadTrace.from_json(text)
+
+    def test_entries_sorted_unique_and_classed(self):
+        trace = generate_trace(two_class_spec(n_requests=60))
+        ids = [e.request_id for e in trace]
+        assert len(set(ids)) == 60
+        arrivals = [e.arrival_s for e in trace]
+        assert arrivals == sorted(arrivals)
+        counts = trace.class_counts()
+        assert set(counts) == {"urgent", "bulk"}
+        assert counts["bulk"] > counts["urgent"]   # weight 2 vs 1
+
+    def test_shared_prefix_cohort(self):
+        spec = two_class_spec(n_requests=40, prefix_tokens=8, prefix_pool=2)
+        trace = generate_trace(spec)
+        urgent = [e for e in trace if e.traffic_class == "urgent"]
+        prefixes = {e.prompt[:8] for e in urgent}
+        assert 1 <= len(prefixes) <= 2             # drawn from the pool
+        assert all(len(e.prompt) == 8 + 6 for e in urgent)
+        # The un-prefixed class is untouched.
+        bulk = [e for e in trace if e.traffic_class == "bulk"]
+        assert all(4 <= len(e.prompt) <= 12 for e in bulk)
+
+    def test_max_seq_trims_worst_case(self):
+        classes = (TrafficClass("big", prompt_len=LengthDist.fixed(100),
+                                output_len=LengthDist.fixed(100)),)
+        spec = WorkloadSpec(classes=classes,
+                            arrivals=ArrivalProcess.poisson(10.0),
+                            n_requests=5, vocab_size=VOCAB, max_seq=64)
+        for e in generate_trace(spec):
+            assert len(e.prompt) + e.max_tokens <= 64
+            assert len(e.prompt) >= 1 and e.max_tokens >= 1
+
+    def test_to_request_threads_class_knobs(self):
+        spec = two_class_spec(n_requests=12, priority=5, deadline_s=0.5,
+                              timeout_s=2.0, n=2, temperature=0.7)
+        entry = next(e for e in generate_trace(spec)
+                     if e.traffic_class == "urgent")
+        req = entry.to_request()
+        assert isinstance(req, GenerationRequest)
+        assert req.traffic_class == "urgent"
+        assert req.priority == 5
+        assert req.deadline_s == 0.5 and req.timeout_s == 2.0
+        assert req.n == 2
+        assert req.sampling.temperature == 0.7
+        assert req.sampling.seed == entry.seed     # per-request stream
+
+    def test_greedy_when_temperature_zero(self):
+        entry = next(iter(generate_trace(two_class_spec(n_requests=4))))
+        assert entry.to_request().sampling.temperature == 0.0
+
+    def test_spec_validation(self):
+        good = two_class_spec()
+        with pytest.raises(ValueError, match="duplicate"):
+            dataclasses.replace(good, classes=good.classes + good.classes[:1])
+        with pytest.raises(ValueError, match="at least one"):
+            dataclasses.replace(good, classes=())
+        with pytest.raises(ValueError, match="n_requests"):
+            dataclasses.replace(good, n_requests=0)
+
+
+# ---------------------------------------------------------------------------
+# The open-loop harness (virtual clock — deterministic and fast)
+# ---------------------------------------------------------------------------
+class TestHarness:
+    def test_virtual_run_completes_all(self, model):
+        trace = generate_trace(two_class_spec())
+        result = run_virtual(model, trace)
+        assert len(result.records) == len(trace)
+        assert all(r.completed for r in result.records)
+        assert result.clock_mode == "virtual"
+        assert result.duration_s >= trace.duration_s
+        assert result.stats.requests_completed == len(trace)
+        # Records come back in arrival order with causal timestamps.
+        assert [r.request_id for r in result.records] \
+            == [e.request_id for e in trace]
+        for r in result.records:
+            assert r.submit_s >= r.arrival_s
+            assert r.finish_s >= r.submit_s
+            assert r.tokens > 0
+
+    def test_virtual_ttft_includes_tick_cost(self, model):
+        # A token only exists once its forward pass has been paid for:
+        # even an unloaded run must show TTFT >= the cost model's floor.
+        cost = TickCostModel()
+        trace = generate_trace(two_class_spec(n_requests=6, rate=5.0))
+        result = run_virtual(model, trace, cost_model=cost)
+        for r in result.records:
+            assert r.ttft_s >= cost.base_s
+            # The admission tick runs prefill + first decode, so tokens
+            # 1 and 2 share its timestamp; every later gap is a full
+            # tick and must carry at least the base cost.
+            assert all(gap >= cost.base_s for gap in r.itl_s[1:])
+
+    def test_replayed_trace_identical_records(self, model):
+        trace = generate_trace(two_class_spec())
+        replay = WorkloadTrace.from_json(trace.to_json())
+        a = run_virtual(model, trace)
+        b = run_virtual(model, replay)
+        assert [r.to_dict() for r in a.records] \
+            == [r.to_dict() for r in b.records]
+        assert a.duration_s == b.duration_s
+
+    def test_deadline_hit_recorded(self, model):
+        trace = generate_trace(two_class_spec(deadline_s=10.0))
+        result = run_virtual(model, trace)
+        for r in result.records:
+            if r.traffic_class == "urgent":
+                assert r.deadline_hit is True      # generous deadline
+            else:
+                assert r.deadline_hit is None      # no deadline set
+
+    def test_queue_overflow_becomes_rejected_record(self, model):
+        trace = generate_trace(two_class_spec(n_requests=30, rate=5000.0))
+        harness = LoadHarness(
+            model, FP16KVCache,
+            ServeConfig(max_batch_size=2, max_queue_len=2), clock="virtual")
+        result = harness.run(trace)
+        rejected = [r for r in result.records if r.finish_reason == "rejected"]
+        assert rejected                            # open loop sheds load
+        for r in rejected:
+            assert not r.completed
+            assert "QueueFullError" in r.error
+        served = [r for r in result.records if r.completed]
+        assert len(served) + len(rejected) == len(result.records)
+
+    def test_wall_clock_mode_smoke(self, model):
+        trace = generate_trace(two_class_spec(n_requests=6, rate=400.0))
+        harness = LoadHarness(model, FP16KVCache,
+                              ServeConfig(max_batch_size=4), clock="wall")
+        result = harness.run(trace)
+        assert all(r.completed for r in result.records)
+        assert result.clock_mode == "wall"
+
+    def test_bad_clock_mode(self, model):
+        with pytest.raises(ValueError, match="clock"):
+            LoadHarness(model, FP16KVCache, clock="sundial")
+
+    def test_quantized_cache_replay(self, model):
+        factory = functools.partial(MantKVCache, group_size=16, window=16)
+        trace = generate_trace(two_class_spec(n_requests=10))
+        a = LoadHarness(model, factory, ServeConfig(max_batch_size=4),
+                        clock="virtual").run(trace)
+        b = LoadHarness(model, factory, ServeConfig(max_batch_size=4),
+                        clock="virtual").run(trace)
+        assert [r.to_dict() for r in a.records] \
+            == [r.to_dict() for r in b.records]
+
+
+# ---------------------------------------------------------------------------
+# Traffic-class threading through the engine
+# ---------------------------------------------------------------------------
+class TestTrafficClassThreading:
+    def req(self, tag="gold"):
+        return GenerationRequest("r0", np.arange(5), max_tokens=3,
+                                 traffic_class=tag)
+
+    def test_result_and_timeline_carry_class(self, model):
+        eng = GenerationEngine(model, FP16KVCache,
+                               ServeConfig(max_batch_size=2))
+        eng.submit(self.req())
+        while eng.has_work():
+            eng.step()
+        result = eng.pop_result("r0")
+        assert result.traffic_class == "gold"
+        submit_ev = next(e for e in result.trace if e["event"] == "submit")
+        assert submit_ev["traffic_class"] == "gold"
+
+    def test_untagged_request_has_no_class_detail(self, model):
+        eng = GenerationEngine(model, FP16KVCache,
+                               ServeConfig(max_batch_size=2))
+        eng.submit(GenerationRequest("r0", np.arange(5), max_tokens=3))
+        while eng.has_work():
+            eng.step()
+        result = eng.pop_result("r0")
+        assert result.traffic_class is None
+        submit_ev = next(e for e in result.trace if e["event"] == "submit")
+        assert "traffic_class" not in submit_ev
+
+    def test_snapshot_restore_preserves_class(self, model):
+        eng = GenerationEngine(model, FP16KVCache,
+                               ServeConfig(max_batch_size=2))
+        eng.submit(self.req())
+        eng.step()                                 # mid-flight
+        eng.stop_admission()
+        snap = eng.snapshot()
+        restored = GenerationEngine.restore(snap, model, FP16KVCache)
+        while restored.has_work():
+            restored.step()
+        assert restored.pop_result("r0").traffic_class == "gold"
+
+
+# ---------------------------------------------------------------------------
+# SLO judgment
+# ---------------------------------------------------------------------------
+def record(tc="urgent", finish="length", ttft=0.01, itl=(0.005,),
+           deadline_hit=None, tokens=8):
+    return RequestRecord(
+        request_id="r", traffic_class=tc, arrival_s=0.0, submit_s=0.0,
+        finish_s=1.0, ttft_s=ttft, latency_s=1.0, tokens=tokens,
+        finish_reason=finish, deadline_hit=deadline_hit, itl_s=list(itl))
+
+
+class TestRequestCompliance:
+    SLO = ClassSLO(ttft_p99_s=0.1, inter_token_p99_s=0.05)
+
+    def test_normal_finish_required(self):
+        assert request_compliant(record(), self.SLO)
+        for reason in ("timeout", "error", "cancelled", "rejected", "pending"):
+            assert not request_compliant(record(finish=reason), self.SLO)
+
+    def test_ttft_ceiling(self):
+        assert not request_compliant(record(ttft=0.2), self.SLO)
+        assert not request_compliant(record(ttft=float("nan")), self.SLO)
+
+    def test_worst_gap_ceiling(self):
+        assert not request_compliant(record(itl=(0.01, 0.2)), self.SLO)
+
+    def test_deadline(self):
+        assert not request_compliant(record(deadline_hit=False), self.SLO)
+        assert request_compliant(record(deadline_hit=True), self.SLO)
+
+    def test_ungoverned_class_passes_on_completion(self):
+        assert request_compliant(record(ttft=99.0), None)
+        assert not request_compliant(record(finish="timeout"), None)
+
+
+class TestEvaluate:
+    def make_result(self, records, duration=2.0):
+        from repro.serve.loadgen import HarnessResult
+        return HarnessResult(records=records, duration_s=duration,
+                             offered_rate=len(records) / duration,
+                             clock_mode="virtual", stats=None)
+
+    def test_attainment_and_goodput(self):
+        slo = SLOSpec(classes={"urgent": ClassSLO(ttft_p99_s=0.1,
+                                                  attainment_target=0.5)})
+        records = [record(ttft=0.01, tokens=10),
+                   record(ttft=0.01, tokens=10),
+                   record(ttft=0.9, tokens=10),    # TTFT bust
+                   record(finish="timeout", tokens=4)]
+        report = evaluate(self.make_result(records), slo)
+        cr = report.classes["urgent"]
+        assert cr.n_requests == 4 and cr.n_completed == 3
+        assert cr.n_compliant == 2
+        assert cr.attainment == pytest.approx(0.5)   # met the 0.5 target...
+        rows = {r["objective"]: r for r in cr.objectives}
+        # ...but the distribution p99 (0.9s) and the zero error budget
+        # (1 timeout in 4) both bust, so the class still fails.
+        assert rows["ttft_p99_s"]["ok"] is False
+        assert rows["error_budget"]["ok"] is False
+        assert not cr.ok and not report.ok
+        # Goodput counts compliant tokens only: 20 tokens over 2s.
+        assert report.goodput_tokens_per_s == pytest.approx(10.0)
+        assert cr.error_rate == pytest.approx(0.25)
+
+    def test_error_budget_objective(self):
+        slo = SLOSpec(classes={"u": ClassSLO(error_budget=0.0,
+                                             attainment_target=0.1)})
+        report = evaluate(self.make_result(
+            [record(tc="u"), record(tc="u", finish="timeout")]), slo)
+        rows = {r["objective"]: r for r in report.classes["u"].objectives}
+        assert rows["error_budget"]["ok"] is False
+        assert not report.classes["u"].ok and not report.ok
+
+    def test_inter_token_vacuous_without_gaps(self):
+        slo = SLOSpec(classes={"u": ClassSLO(inter_token_p99_s=0.01)})
+        report = evaluate(self.make_result([record(tc="u", itl=())]), slo)
+        rows = {r["objective"]: r for r in report.classes["u"].objectives}
+        assert rows["inter_token_p99_s"]["ok"] is True
+
+    def test_report_round_trip_and_render(self):
+        slo = SLOSpec(classes={"urgent": ClassSLO(ttft_p99_s=0.1)},
+                      default=ClassSLO(attainment_target=0.5))
+        assert SLOSpec.from_dict(slo.to_dict()).to_dict() == slo.to_dict()
+        report = evaluate(self.make_result([record()]), slo)
+        assert isinstance(report, SLOReport)
+        d = report.to_dict()
+        assert d["classes"]["urgent"]["attainment"] == 1.0
+        text = report.render()
+        assert "SLO scorecard" in text and "urgent" in text
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError, match="ttft_p99_s"):
+            ClassSLO(ttft_p99_s=0.0)
+        with pytest.raises(ValueError, match="deadline_hit_rate"):
+            ClassSLO(deadline_hit_rate=1.5)
+        with pytest.raises(ValueError, match="attainment_target"):
+            ClassSLO(attainment_target=0.0)
+        with pytest.raises(TypeError, match="ClassSLO"):
+            SLOSpec(classes={"u": 0.95})
+
+
+class TestFindKnee:
+    @staticmethod
+    def fake_runner(threshold):
+        calls = []
+
+        def run_at(rate):
+            calls.append(rate)
+            ok = rate <= threshold
+            return type("R", (), {"ok": ok})()
+
+        return run_at, calls
+
+    def test_bisects_to_knee(self):
+        run_at, calls = self.fake_runner(300.0)
+        out = find_knee(run_at, 50.0, 1600.0, iters=8)
+        assert out["saturated"]
+        # The knee is the highest passing probe; bracket width 1550 over
+        # 8 halvings localizes it to ~6 req/s below the true threshold.
+        assert 290.0 <= out["knee_rate"] <= 300.0
+        assert len(out["probes"]) == len(calls) == 10   # 2 ends + 8 steps
+        for p in out["probes"]:
+            assert p["ok"] == (p["rate"] <= 300.0)
+
+    def test_lo_already_failing(self):
+        run_at, _ = self.fake_runner(10.0)
+        out = find_knee(run_at, 50.0, 100.0, iters=4)
+        assert out["knee_rate"] == 0.0 and out["saturated"]
+
+    def test_hi_still_passing(self):
+        run_at, _ = self.fake_runner(1e9)
+        out = find_knee(run_at, 50.0, 100.0, iters=4)
+        assert out["knee_rate"] == 100.0 and not out["saturated"]
+
+    def test_bad_bracket(self):
+        run_at, _ = self.fake_runner(1.0)
+        with pytest.raises(ValueError, match="rate_lo"):
+            find_knee(run_at, 100.0, 50.0)
+
+
+class TestSLOMonitor:
+    SPEC = SLOSpec(classes={"urgent": ClassSLO(ttft_p99_s=0.1)})
+
+    def test_live_counts_and_attainment(self):
+        mon = SLOMonitor(self.SPEC)
+        mon.record(record(ttft=0.01))
+        mon.record(record(ttft=0.5))
+        mon.record(record(finish="timeout"))
+        assert mon.live_attainment("urgent") == pytest.approx(1 / 3)
+        assert mon.live_attainment("never-seen") == 1.0
+        point = mon.sample(1.0)
+        assert point["classes"]["urgent"]["total"] == 3
+        assert mon.samples[-1] is point
+
+    def test_prometheus_and_merge(self):
+        mon = SLOMonitor(self.SPEC)
+        mon.record(record(ttft=0.01, tokens=10))
+        mon.record(record(tc="bulk", ttft=0.02, tokens=5))
+        text = mon.to_prometheus()
+        assert 'repro_slo_requests_total{class="urgent"} 1' in text
+        assert 'repro_slo_requests_total{class="bulk"} 1' in text
+        fleet = mon.merged()
+        assert fleet.get("requests_total").value == 2
+        assert fleet.get("tokens_compliant").value == 15
+
+    def test_harness_feeds_monitor(self, model):
+        mon = SLOMonitor(self.SPEC)
+        trace = generate_trace(two_class_spec(n_requests=10))
+        harness = LoadHarness(model, FP16KVCache,
+                              ServeConfig(max_batch_size=4), clock="virtual")
+        harness.attach_monitor(mon)
+        result = harness.run(trace)
+        assert result.monitor is mon
+        total = sum(mon.live_attainment(c) is not None and
+                    mon.registry(c).get("requests_total").value
+                    for c in ("urgent", "bulk"))
+        assert total == len(result.records)
+        assert mon.samples and mon.samples[-1]["t"] == result.duration_s
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: harness + SLO on a virtual clock
+# ---------------------------------------------------------------------------
+class TestEndToEnd:
+    def test_scorecard_from_virtual_run(self, model):
+        trace = generate_trace(two_class_spec(n_requests=20))
+        result = run_virtual(model, trace)
+        spec = SLOSpec(classes={
+            "urgent": ClassSLO(ttft_p99_s=5.0, deadline_hit_rate=0.5),
+            "bulk": ClassSLO(ttft_p99_s=5.0),
+        })
+        report = evaluate(result, spec)
+        assert report.ok
+        assert set(report.classes) == {"urgent", "bulk"}
+        assert report.attainment == 1.0
+        assert report.goodput_tokens_per_s > 0
+        # Evaluation is a pure function of (records, spec).
+        again = evaluate(result, spec)
+        assert again.to_dict() == report.to_dict()

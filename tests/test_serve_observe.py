@@ -193,6 +193,84 @@ class TestRegistry:
         with pytest.raises(ValueError, match="bucket bounds"):
             MetricsRegistry.merge([a, b])
 
+    def test_merge_empty_list_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MetricsRegistry.merge([])
+
+    def test_merge_empty_registries(self):
+        # Registries with no instruments fold into an empty aggregate.
+        merged = MetricsRegistry.merge([MetricsRegistry(), MetricsRegistry()])
+        assert list(merged) == []
+        assert merged.to_prometheus().strip() == ""
+
+    def test_merge_disjoint_metric_sets(self):
+        # A metric present in only some replicas keeps its value; the
+        # replicas that never registered it contribute nothing (not 0
+        # observations that would skew histogram counts).
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only_a").inc(2)
+        b.counter("only_b").inc(7)
+        b.histogram("lat").observe(0.5)
+        merged = MetricsRegistry.merge([a, b])
+        assert merged.get("only_a").value == 2
+        assert merged.get("only_b").value == 7
+        assert merged.get("lat").count == 1
+        assert {m.name for m in merged} == {"only_a", "only_b", "lat"}
+
+    def test_merge_reservoir_pooling_beyond_bound(self):
+        # Concatenated reservoirs stay bounded by maxlen: the merged
+        # window keeps the most recent samples while bucket counts stay
+        # exact over everything observed.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("lat", reservoir=4)
+        hb = b.histogram("lat", reservoir=4)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            ha.observe(v)
+        for v in (0.5, 0.6, 0.7, 0.8):
+            hb.observe(v)
+        merged = MetricsRegistry.merge([a, b])
+        h = merged.get("lat")
+        assert h.count == 8                      # exact, from buckets
+        assert h.reservoir.maxlen == 4           # bound preserved
+        assert list(h.reservoir) == [0.5, 0.6, 0.7, 0.8]  # newest win
+        assert h.percentile(50) == pytest.approx(0.65)
+
+    def test_prometheus_label_value_escaping(self):
+        # Backslash, double-quote and newline must all be escaped in
+        # label values per the Prometheus text exposition format —
+        # backslash first, so the others don't get double-escaped.
+        reg = MetricsRegistry(labels={
+            "path": 'C:\\tmp\\"x"',
+            "note": "line1\nline2",
+        })
+        reg.counter("reqs").inc(1)
+        text = reg.to_prometheus()
+        # Labels render sorted by key: note, then path.
+        assert ('repro_serve_reqs{note="line1\\nline2",'
+                'path="C:\\\\tmp\\\\\\"x\\""} 1') in text
+        # The exposition itself stays one line per sample.
+        sample_lines = [ln for ln in text.splitlines()
+                        if ln and not ln.startswith("#")]
+        assert len(sample_lines) == 1
+
+    def test_prometheus_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "first\nsecond \\ back")
+        text = reg.to_prometheus()
+        assert "# HELP repro_serve_c first\\nsecond \\\\ back" in text
+
+    def test_histogram_fraction_below(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        assert h.fraction_below(0.1) == 1.0      # vacuous when empty
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.fraction_below(0.1) == pytest.approx(1 / 3)
+        assert h.fraction_below(1.0) == pytest.approx(2 / 3)
+        assert h.fraction_below(0.5) == pytest.approx(1 / 3)  # conservative
+        # Samples past the last bound live in +Inf; still conservative.
+        assert h.fraction_below(10.0) == pytest.approx(2 / 3)
+
 
 # ---------------------------------------------------------------------------
 # EngineStats <-> registry consistency
@@ -576,3 +654,31 @@ class TestObsReport:
         assert "ttft_seconds" in out
         assert "fired faults" in out and "site=forward" in out
         assert "request timelines" in out and "<-- fault" in out
+
+    def test_report_json_output(self, model, tmp_path):
+        eng = make_engine(model, "arena")
+        eng.generate(requests(prompts(3), max_tokens=4))
+        path = str(tmp_path / "trace.json")
+        eng.trace.save(path)
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo, "src")
+        proc = subprocess.run(
+            [sys.executable, os.path.join(repo, "examples", "obs_report.py"),
+             path, "--json", "--top", "2"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)   # machine-readable end to end
+        assert report["spans"] > 0
+        assert report["request_timelines"] == 3
+        phases = {row["phase"] for row in report["phases"]}
+        assert {"tick", "forward", "sample"} <= phases
+        for row in report["phases"]:
+            assert row["count"] > 0 and row["total_s"] >= row["mean_s"] >= 0
+        assert "ttft_seconds" in report["histograms"]
+        assert report["counters"]["requests_completed"] == 3
+        assert len(report["slowest_requests"]) == 2
+        for entry in report["slowest_requests"]:
+            assert entry["events"][0]["event"] == "submit"

@@ -11,7 +11,7 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/check_perf.py            # gate
     PYTHONPATH=src python benchmarks/check_perf.py --update   # rebaseline
     PYTHONPATH=src python benchmarks/check_perf.py --check-speedups
-    PYTHONPATH=src python benchmarks/check_perf.py --quick    # loadgen smoke
+    PYTHONPATH=src python benchmarks/check_perf.py --quick    # loadgen+fleet smoke
 
 The gate compares wall-clock on the current machine against a baseline
 recorded on a (possibly different) machine, hence the generous 2x
@@ -45,6 +45,7 @@ from bench_chunked_prefill import (
 )
 from bench_decode_scaling import decode_chunk_times
 from bench_fault_recovery import fault_config, fault_overhead, hooked_workload
+from bench_fleet import fleet_recovery_gap, fleet_smoke, fleet_workload
 from bench_loadgen import (
     deadline_hit_gain,
     loadgen_smoke,
@@ -115,6 +116,17 @@ MAX_OBS_OVERHEAD = 1.05
 MIN_URGENT_ATTAINMENT_GAIN = 0.3
 MIN_DEADLINE_HIT_GAIN = 0.3
 
+# Fleet recovery: kill one of two replicas near the fleet knee and the
+# router must fail every in-flight request over to the survivor — no
+# lost completions, so the SLO attainment gap vs the undisturbed run
+# stays small, and the crash may only cost recompute: fleet goodput
+# (tokens per virtual second) must hold >= 0.75x baseline.  Both runs
+# are on the virtual clock, so the measured values (gap 0.00, ratio
+# ~0.83) are deterministic; the floors leave margin for workload
+# retunes, not for jitter.
+MAX_FLEET_RECOVERY_GAP = 0.05
+MIN_FLEET_GOODPUT_RATIO = 0.75
+
 
 def _time(fn, number=10, repeat=3) -> float:
     fn()  # warm caches (grid tables, numpy buffers)
@@ -173,6 +185,9 @@ def build_suite():
     def serve_loadgen_workload():
         return smoke_workload(serve_model)
 
+    def serve_fleet_workload():
+        return fleet_workload(serve_model)
+
     return {
         "mse_select": lambda: selector.select(w),
         "fused_select_encode": lambda: selector.select_and_encode(w),
@@ -189,6 +204,7 @@ def build_suite():
         "serve_fault_batch8": serve_fault_workload,
         "serve_obs_batch8": serve_obs_workload,
         "serve_loadgen_smoke": serve_loadgen_workload,
+        "serve_fleet_smoke": serve_fleet_workload,
     }
 
 
@@ -382,16 +398,38 @@ def check_speedups() -> list[str]:
         failures.append(
             f"urgent deadline-hit gap {hit_gap:.2f} < {MIN_DEADLINE_HIT_GAIN}"
         )
+
+    # Fleet recovery: a replica crash near the knee must not lose
+    # requests (the hook asserts every record finishes normally) —
+    # only headroom, bounded as an attainment gap ceiling and a
+    # goodput-ratio floor.  Virtual clock, so single-run deterministic.
+    _, _, fgap = fleet_recovery_gap(model)
+    print(f"  fleet crash attainment gap (2 replicas):   {fgap['overall']:5.2f} "
+          f"(ceiling {MAX_FLEET_RECOVERY_GAP})")
+    print(f"  fleet crash goodput ratio vs baseline:     "
+          f"{fgap['goodput_ratio']:5.2f} (floor {MIN_FLEET_GOODPUT_RATIO})")
+    if fgap["overall"] > MAX_FLEET_RECOVERY_GAP:
+        failures.append(
+            f"fleet recovery attainment gap {fgap['overall']:.2f} > "
+            f"{MAX_FLEET_RECOVERY_GAP}"
+        )
+    if fgap["goodput_ratio"] < MIN_FLEET_GOODPUT_RATIO:
+        failures.append(
+            f"fleet crash goodput ratio {fgap['goodput_ratio']:.2f} < "
+            f"{MIN_FLEET_GOODPUT_RATIO}"
+        )
     return failures
 
 
 def quick_smoke() -> int:
-    """``--quick``: a seconds-scale loadgen/SLO self-check, no sweep.
+    """``--quick``: a seconds-scale loadgen + fleet self-check, no sweep.
 
     Validates the full loadgen contract on the virtual clock (bit-for-
     bit trace reproducibility, replay-identical records, sound SLO
-    report) for the arena fp16 engine and the mant4 cache — cheap
-    enough for tier-1-adjacent CI runs.
+    report) and the fleet chaos contract (two replicas, seeded
+    replica crash, replay-identical records and fault log, zero lost
+    requests, storage back at baseline) for the arena fp16 engine and
+    the mant4 cache — cheap enough for tier-1-adjacent CI runs.
     """
     model, _ = get_model("unit-test")
     for cache_name in ("fp16", "mant4"):
@@ -406,6 +444,18 @@ def quick_smoke() -> int:
               f"{result['goodput_tokens_per_s']:7.1f} tok/s | "
               "trace reproducible, replay identical")
     print("loadgen smoke passed")
+    print("running fleet smoke (2 replicas, seeded replica crash) ...")
+    for cache_name in ("fp16", "mant4"):
+        try:
+            result = fleet_smoke(model, cache_name)
+        except AssertionError as exc:
+            print(f"FLEET SMOKE FAILED ({cache_name}): {exc}")
+            return 1
+        print(f"  {cache_name:>6} | {result['requests']} requests | "
+              f"{result['replica_crashes']} crash, "
+              f"{result['failovers']} failovers | attainment "
+              f"{result['attainment']:6.1%} | chaos replay identical")
+    print("fleet smoke passed")
     return 0
 
 
@@ -416,8 +466,8 @@ def main() -> int:
     parser.add_argument("--check-speedups", action="store_true",
                         help="also verify fast-path speedups vs the seed impls")
     parser.add_argument("--quick", action="store_true",
-                        help="seconds-scale loadgen/SLO smoke only (no "
-                             "timings, no sweep)")
+                        help="seconds-scale loadgen/SLO + fleet-chaos smoke "
+                             "only (no timings, no sweep)")
     args = parser.parse_args()
 
     if args.quick:

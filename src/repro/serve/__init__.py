@@ -50,6 +50,16 @@ The v2 API is layered:
   :meth:`~repro.serve.engine.GenerationEngine.snapshot` /
   :meth:`~repro.serve.engine.GenerationEngine.restore`) that replays
   in-flight requests through the recompute path, RNG state included.
+* **Fleet** — :class:`~repro.serve.fleet.FleetRouter` puts N replica
+  engines behind one engine-shaped surface
+  (:class:`~repro.serve.config.FleetConfig`): prefix-affinity routing
+  with load fallback and composed backpressure, a per-replica health
+  model (HEALTHY/DEGRADED/QUARANTINED) with a circuit breaker fed by
+  each replica's own metrics, replica-scoped chaos sites
+  (``REPLICA_STALL`` / ``REPLICA_CRASH``) with crash failover onto
+  survivors via :meth:`~repro.serve.engine.GenerationEngine.adopt`,
+  hedged straggler requests, and periodic per-replica snapshot
+  rotation for crash recovery.
 * **Observability** — every engine statistic is an instrument in a
   :class:`~repro.serve.observe.MetricsRegistry` (``engine.metrics``,
   Prometheus text exposition via ``to_prometheus()``, fleet
@@ -99,7 +109,7 @@ from repro.serve.request import (
     SampleOutput,
     TokenEvent,
 )
-from repro.serve.config import ServeConfig
+from repro.serve.config import FleetConfig, ServeConfig
 from repro.serve.policy import (
     DeadlinePolicy,
     FCFSPolicy,
@@ -112,9 +122,19 @@ from repro.serve.faults import (
     CALLBACK,
     CLOCK,
     FORWARD,
+    REPLICA_CRASH,
+    REPLICA_STALL,
     SITES,
     FaultInjector,
     InjectedFault,
+)
+from repro.serve.fleet import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    FleetRouter,
+    FleetStats,
+    ReplicaStatus,
 )
 from repro.serve.observe import (
     Counter,
@@ -155,6 +175,7 @@ from repro.serve.slo import (
     SLOMonitor,
     SLOReport,
     SLOSpec,
+    attainment_gap,
     evaluate,
     find_knee,
     request_compliant,
@@ -197,7 +218,16 @@ __all__ = [
     "ALLOC",
     "CALLBACK",
     "CLOCK",
+    "REPLICA_STALL",
+    "REPLICA_CRASH",
     "SITES",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetStats",
+    "ReplicaStatus",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
     "Counter",
     "Gauge",
     "Histogram",
@@ -223,6 +253,7 @@ __all__ = [
     "SLOMonitor",
     "SLOReport",
     "SLOSpec",
+    "attainment_gap",
     "evaluate",
     "find_knee",
     "request_compliant",

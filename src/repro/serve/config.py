@@ -29,7 +29,7 @@ from dataclasses import dataclass, replace
 
 from repro.serve.policy import POLICIES
 
-__all__ = ["ServeConfig"]
+__all__ = ["ServeConfig", "FleetConfig"]
 
 
 @dataclass(frozen=True)
@@ -215,6 +215,122 @@ class ServeConfig:
     def with_policy(self, scheduler_policy: str) -> "ServeConfig":
         """Same configuration under a different scheduling policy."""
         return replace(self, scheduler_policy=scheduler_policy)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knob surface of the multi-replica :class:`~repro.serve.fleet.
+    FleetRouter` (every replica shares one :class:`ServeConfig`).
+
+    Routing:
+
+    ``n_replicas``
+        In-process :class:`~repro.serve.engine.GenerationEngine`
+        replicas the router owns.
+    ``affinity_tokens``
+        Prompt-head length hashed for prefix-affinity routing: requests
+        sharing their first ``affinity_tokens`` ids land on the same
+        replica (whose block pool already holds those prefix pages).
+        ``0`` disables affinity (pure least-loaded routing).
+    ``affinity_load_slack``
+        Load-based fallback threshold: if the affinity target holds
+        this many more queued+running requests than the least-loaded
+        admitting replica, the request falls back to the latter
+        (affinity never overrides a replica that is drowning).
+
+    Health / circuit breaker (evaluated every router tick — the probe
+    tick — from each replica's own metrics registry):
+
+    ``degrade_errors``
+        Failed+timed-out requests since the replica's last clean window
+        that mark it DEGRADED (routed to only when no healthy replica
+        admits).
+    ``quarantine_errors``
+        Error budget whose burn trips the breaker: the replica goes
+        QUARANTINED (breaker open, no new admissions) for
+        ``breaker_open_s``, then half-open — one probe request is
+        admitted, and its outcome closes the breaker (HEALTHY, budgets
+        reset) or re-opens it.
+    ``breaker_open_s``
+        Seconds the breaker stays open before the half-open probe.
+    ``error_window_s``
+        A replica with no new errors for this long gets its budget
+        counters re-anchored (old errors age out).
+
+    Hedging:
+
+    ``hedge_after_s``
+        Explicit straggler delay: a request with no first token after
+        this many seconds is duplicated onto a second replica, first
+        finisher wins, loser cancelled.  ``None`` derives the delay
+        from observed TTFTs instead (below) — if those are also
+        unavailable, hedging is off.
+    ``hedge_ttft_percentile``
+        Fleet-wide TTFT percentile used as the hedge delay when
+        ``hedge_after_s`` is ``None`` (e.g. ``95.0``).  ``None``
+        disables percentile-derived hedging.
+    ``hedge_min_samples``
+        Observed TTFTs required before the percentile is trusted.
+
+    Crash recovery:
+
+    ``snapshot_interval_s``
+        Period of per-replica background snapshots written to
+        ``snapshot_dir`` with keep-last-``snapshot_keep`` rotation;
+        ``None`` disables disk snapshots (crash recovery then replays
+        purely from the router's live token journal — still exact for
+        greedy requests, but sampled requests restart their RNG
+        streams).
+    ``snapshot_dir`` / ``snapshot_keep``
+        Rotation directory (one subdirectory per replica) and depth.
+    """
+
+    n_replicas: int = 2
+    affinity_tokens: int = 16
+    affinity_load_slack: int = 4
+    degrade_errors: int = 2
+    quarantine_errors: int = 5
+    breaker_open_s: float = 1.0
+    error_window_s: float = 60.0
+    hedge_after_s: float | None = None
+    hedge_ttft_percentile: float | None = None
+    hedge_min_samples: int = 32
+    snapshot_interval_s: float | None = None
+    snapshot_dir: str | None = None
+    snapshot_keep: int = 3
+
+    def __post_init__(self):
+        if self.n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {self.n_replicas}")
+        if self.affinity_tokens < 0:
+            raise ValueError("affinity_tokens must be >= 0")
+        if self.affinity_load_slack < 0:
+            raise ValueError("affinity_load_slack must be >= 0")
+        if self.degrade_errors < 1:
+            raise ValueError("degrade_errors must be >= 1")
+        if self.quarantine_errors < self.degrade_errors:
+            raise ValueError(
+                f"quarantine_errors ({self.quarantine_errors}) must be >= "
+                f"degrade_errors ({self.degrade_errors})")
+        if not self.breaker_open_s > 0:
+            raise ValueError("breaker_open_s must be > 0 seconds")
+        if not self.error_window_s > 0:
+            raise ValueError("error_window_s must be > 0 seconds")
+        if self.hedge_after_s is not None and not self.hedge_after_s > 0:
+            raise ValueError("hedge_after_s must be > 0 seconds (or None)")
+        if (self.hedge_ttft_percentile is not None
+                and not 0 < self.hedge_ttft_percentile <= 100):
+            raise ValueError(
+                "hedge_ttft_percentile must be in (0, 100] (or None)")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+        if (self.snapshot_interval_s is not None
+                and not self.snapshot_interval_s > 0):
+            raise ValueError("snapshot_interval_s must be > 0 seconds (or None)")
+        if self.snapshot_interval_s is not None and self.snapshot_dir is None:
+            raise ValueError("snapshot_interval_s requires snapshot_dir")
+        if self.snapshot_keep < 1:
+            raise ValueError(f"snapshot_keep must be >= 1, got {self.snapshot_keep}")
 
 
 def _paged_preset(cls, **overrides) -> ServeConfig:

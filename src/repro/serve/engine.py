@@ -141,7 +141,7 @@ class _Sequence:
         "cursor", "pending_ids", "prefill_chunks",
         "first_token_time", "last_token_time",
         "arrival_seq", "sample_index", "lanes", "family", "retired",
-        "retries", "error", "timeout_s",
+        "retries", "error", "timeout_s", "cancelled_samples",
     )
 
     def __init__(self, request: GenerationRequest, on_token, submit_time: float,
@@ -174,6 +174,9 @@ class _Sequence:
         self.retries = 0             # transient-fault recomputes charged so far
         self.error = None            # first fault/exception message, if any
         self.timeout_s = None        # effective hard budget, stamped at submit
+        # Sample indices cancelled before the fork (held by sample 0):
+        # the fork materializes these as already-cancelled stubs.
+        self.cancelled_samples: set[int] = set()
 
     @property
     def prefill_len(self) -> int:
@@ -679,7 +682,7 @@ class GenerationEngine:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def cancel(self, request_id: str) -> bool:
+    def cancel(self, request_id: str, sample_index: int | None = None) -> bool:
         """Cancel a request in any state; True if it was still live.
 
         Queued requests are dropped before ever touching the model;
@@ -690,12 +693,31 @@ class GenerationEngine:
         from inside an ``on_token`` callback: storage release then
         defers to the end of the in-flight tick.  Returns False for
         ids that already finished (or were never submitted).
+
+        ``sample_index`` cancels just one parallel sample of an ``n>1``
+        request: a forked sample's lease is released immediately while
+        its siblings keep decoding untouched; an index cancelled before
+        the fork is simply never materialized (the result still carries
+        a ``FINISH_CANCELLED`` entry for it, and the reserved lane is
+        freed right away).  Cancelling the last live sample cancels the
+        request.
         """
         rid = str(request_id)
+        if sample_index is not None:
+            return self._cancel_sample(rid, int(sample_index))
         if rid not in self._active_ids:
             return False
         family = None
         live = False
+        # A request that already had samples cancelled one-by-one was
+        # counted in requests_cancelled then; don't double-count it.
+        already_counted = any(
+            (seq.family[0].cancelled_samples
+             or any(m.finish_reason == FINISH_CANCELLED for m in seq.family))
+            for seq in [*self.scheduler.find_queued(rid),
+                        *self.scheduler.running]
+            if seq.request.request_id == rid
+        )
         for seq in self.scheduler.find_queued(rid):
             self.scheduler.remove_queued(seq)
             self._finish_cancel(seq)
@@ -713,7 +735,8 @@ class GenerationEngine:
             # Nothing left to cancel (e.g. a repeated cancel inside the
             # same tick, before the retire phase ran): idempotent no-op.
             return False
-        self._cancelled.inc()
+        if not already_counted:
+            self._cancelled.inc()
         if not self._stepping:
             # Outside a tick it is safe to release storage right away;
             # mid-tick (a reentrant cancel from an on_token callback)
@@ -726,6 +749,57 @@ class GenerationEngine:
                 and all(m.retired for m in family)):
             # Queued-only cancellation: no _retire ran, record here.
             self._record_result(family, self._now())
+        return True
+
+    def _cancel_sample(self, rid: str, idx: int) -> bool:
+        """Cancel one parallel sample of an ``n>1`` request.
+
+        Post-fork, the sample's lease is released immediately (outside
+        a tick) and its siblings decode on untouched.  Pre-fork, the
+        index is recorded on the sample-0 carrier: the fork skips
+        materializing it (its cancel event fires then) and the reserved
+        lane is freed now.  Cancelling the last live sample falls back
+        to whole-request cancellation.
+        """
+        if rid not in self._active_ids:
+            return False
+        family = None
+        for seq in [*self.scheduler.find_queued(rid), *self.scheduler.running]:
+            if seq.request.request_id == rid:
+                family = seq.family
+                break
+        if family is None:
+            return False
+        request = family[0].request
+        if not 0 <= idx < request.n:
+            raise ValueError(
+                f"sample_index {idx} out of range for n={request.n}")
+        if request.n == 1:
+            return self.cancel(rid)
+        if len(family) == 1:
+            # Pre-fork: only the sample-0 carrier exists.
+            parent = family[0]
+            if parent.finished or idx in parent.cancelled_samples:
+                return False
+            parent.cancelled_samples.add(idx)
+            if len(parent.cancelled_samples) >= request.n:
+                return self.cancel(rid)     # every sample cancelled
+            if len(parent.cancelled_samples) == 1:
+                self._cancelled.inc()
+            parent.lanes = request.n - len(parent.cancelled_samples)
+            self._tl(parent, "cancel_sample", sample=idx)
+            return True
+        target = next((m for m in family if m.sample_index == idx), None)
+        if target is None or target.finished:
+            return False
+        if not any(m is not target and not m.finished for m in family):
+            return self.cancel(rid)         # last live sample
+        first = not any(m.finish_reason == FINISH_CANCELLED for m in family)
+        self._finish_cancel(target)
+        if first:
+            self._cancelled.inc()
+        if not self._stepping:
+            self._retire(target)   # forked lease released immediately
         return True
 
     def has_result(self, request_id: str) -> bool:
@@ -1114,6 +1188,13 @@ class GenerationEngine:
             # was already sampled and emitted before eviction.
             seq.resuming = False
             return
+        if 0 in seq.cancelled_samples:
+            # Sample 0 was cancelled before its prefill finished: emit
+            # nothing for it, fork the surviving siblings off its
+            # prefill logits, then let it retire this tick.
+            self._spawn_samples(seq, logits, events)
+            self._finish_cancel(seq)
+            return
         self._emit(seq, seq.sampler.sample(logits), events)
         # A cancel from the first token's on_token callback must stop
         # the whole request: never fork siblings for a cancelled parent
@@ -1142,6 +1223,19 @@ class GenerationEngine:
         seq.lanes = 1
         self._tl(seq, "fork", n=seq.request.n)
         for i in range(1, seq.request.n):
+            if i in seq.cancelled_samples:
+                # Cancelled before the fork: never allocate a lane or
+                # lease — a finished stub carries the sample's
+                # FINISH_CANCELLED entry (and its cancel event) instead.
+                stub = _Sequence(seq.request, seq.on_token, seq.submit_time,
+                                 sample_index=i)
+                stub.arrival_seq = seq.arrival_seq
+                stub.admit_time = seq.admit_time
+                stub.family = seq.family
+                seq.family.append(stub)
+                self._finish_cancel(stub)
+                stub.retired = True
+                continue
             sibling = _Sequence(seq.request, seq.on_token, seq.submit_time,
                                 sample_index=i)
             sibling.arrival_seq = seq.arrival_seq
@@ -1387,7 +1481,9 @@ class GenerationEngine:
         records = []
         for rid, family in families.items():
             req = family[0].request
+            cancelled = sorted(family[0].cancelled_samples)
             records.append({
+                **({"cancelled_samples": cancelled} if cancelled else {}),
                 "request": {
                     "request_id": req.request_id,
                     "prompt": [int(t) for t in req.prompt],
@@ -1447,6 +1543,26 @@ class GenerationEngine:
             engine._restore_request(record, on_token)
         return engine
 
+    def adopt(self, record: dict, on_token=None) -> RequestHandle:
+        """Resume one snapshot-format request record in this *live* engine.
+
+        The failover half of snapshot/restore: where :meth:`restore`
+        builds a fresh engine from a whole snapshot, ``adopt`` takes a
+        single request record (one entry of ``snapshot()["requests"]``)
+        and resubmits it here — a fleet router uses this to move a
+        crashed replica's in-flight requests onto survivors.  The
+        record replays through the recompute path exactly as under
+        :meth:`restore` (``force``-submitted past ``max_queue_len``,
+        RNG state restored, deterministic caches continue
+        token-for-token).  Raises ``ValueError`` if the request id is
+        already live or finished here.
+        """
+        if self._stepping:
+            raise RuntimeError("adopt() must run at a tick boundary, "
+                               "not from inside an on_token callback")
+        self._restore_request(record, on_token)
+        return RequestHandle(record["request"]["request_id"], self)
+
     def _restore_request(self, record: dict, on_token=None) -> None:
         r = record["request"]
         request = GenerationRequest(
@@ -1497,6 +1613,11 @@ class GenerationEngine:
         if not (request.n > 1 and len(family) == 1 and not family[0].tokens):
             for m in live:
                 m.lanes = 1
+        else:
+            family[0].cancelled_samples = set(
+                record.get("cancelled_samples", ()))
+            family[0].lanes = max(
+                1, request.n - len(family[0].cancelled_samples))
         for m in live:
             # ``force``: formerly-*running* sequences legitimately
             # exceed max_queue_len; the token budget still applies.

@@ -31,6 +31,14 @@ Injection sites (the engine documents where each fires):
     The engine's clock jumps forward by an armed skew
     (:meth:`FaultInjector.clock_skew`) — exercises timeout enforcement
     under clock trouble.
+``REPLICA_STALL`` / ``REPLICA_CRASH``
+    Replica-scoped sites consulted by the fleet router
+    (:class:`~repro.serve.fleet.FleetRouter`), once per replica per
+    fleet tick, with the *replica name* in the ``request_id`` slot of
+    the replayable log.  A fired stall wedges the replica for that tick
+    (arm ``times=K`` to wedge K consecutive ticks); a fired crash kills
+    the replica outright — its in-flight requests fail over to
+    survivors.  Engines never consult these sites themselves.
 
 Faults armed ``transient=True`` model recoverable trouble: the engine
 retries the victim through its recompute path (bounded by
@@ -49,6 +57,8 @@ __all__ = [
     "ALLOC",
     "CALLBACK",
     "CLOCK",
+    "REPLICA_STALL",
+    "REPLICA_CRASH",
     "SITES",
     "InjectedFault",
     "FaultInjector",
@@ -58,7 +68,9 @@ FORWARD = "forward"
 ALLOC = "alloc"
 CALLBACK = "callback"
 CLOCK = "clock"
-SITES = (FORWARD, ALLOC, CALLBACK, CLOCK)
+REPLICA_STALL = "replica_stall"
+REPLICA_CRASH = "replica_crash"
+SITES = (FORWARD, ALLOC, CALLBACK, CLOCK, REPLICA_STALL, REPLICA_CRASH)
 
 
 class InjectedFault(RuntimeError):

@@ -1,0 +1,1042 @@
+"""Multi-replica serving: routing, health, failover, hedging, recovery.
+
+A single :class:`~repro.serve.engine.GenerationEngine` is one fault
+domain: a wedged forward pass or an exhausted pool hurts every request
+on it.  :class:`FleetRouter` makes the *replica* the fault domain
+instead — it owns N in-process engines (each with its own labeled
+:class:`~repro.serve.observe.MetricsRegistry`) behind one engine-shaped
+surface (``submit / step / has_result / pop_result / stats``), so the
+load harness, the request handles and the SLO layer drive a fleet
+exactly like they drive one engine.
+
+The five fleet mechanisms:
+
+**Prefix-affinity routing.**  The first ``FleetConfig.affinity_tokens``
+prompt ids are hashed (CRC-32, deterministic across processes) to pick
+a home replica, so shared-system-prompt traffic lands on the replica
+whose :class:`~repro.serve.paging.BlockPool` already holds those prefix
+pages.  Load-based fallback (``affinity_load_slack``) keeps affinity
+from drowning one replica, and ``max_queue_len`` backpressure composes
+across the fleet: a request is rejected only when *every* admitting
+replica refuses it.
+
+**Health states + circuit breaker.**  Every router tick is a probe
+tick: each replica's error/timeout budget is read from its own
+registry.  HEALTHY replicas take traffic first, DEGRADED ones (budget
+partially burned) only when no healthy replica admits, QUARANTINED
+ones (breaker open) none at all.  The breaker runs closed → open (on
+budget burn) → half-open (after ``breaker_open_s``: exactly one probe
+request is admitted) → closed on probe success / reopen on failure.
+
+**Replica-scoped chaos + failover.**  The router consults the shared
+:class:`~repro.serve.faults.FaultInjector` at two replica-scoped
+sites — ``REPLICA_STALL`` (the replica skips this tick; arm
+``times=K`` to wedge it for K ticks) and ``REPLICA_CRASH`` — once per
+replica per tick, with the replica name in the log's ``request_id``
+slot, so a seeded chaos script kills or wedges replicas
+deterministically and replays bit-for-bit.  On a crash the router
+rebuilds the replica empty and resubmits its in-flight requests to
+survivors through :meth:`~repro.serve.engine.GenerationEngine.adopt`
+(the snapshot/restore recompute path): greedy requests continue
+token-for-token from the router's live token journal; sampled requests
+resume from the last disk snapshot's RNG state and *replay the delta*
+(re-emissions are deduplicated before clients see them).  Bystander
+replicas are never touched, so their output is bit-identical to an
+undisturbed run.
+
+**Hedged requests.**  A request with no first token after the hedge
+delay (``hedge_after_s``, or the fleet-wide ``hedge_ttft_percentile``
+of observed TTFTs) is duplicated onto a second replica.  The client
+sees one merged, deduplicated token stream (whichever copy is ahead
+feeds it); the first copy to finish normally wins and the loser is
+cancelled.  A copy that dies abnormally while its twin lives is simply
+dropped — hedging doubles as failover for wedged replicas.
+
+**Snapshot rotation.**  With ``snapshot_interval_s`` set, each replica
+is snapshotted (:meth:`~repro.serve.engine.GenerationEngine.snapshot`)
+every interval into ``snapshot_dir/<replica>/snap-<seq>.json`` with
+keep-last-``snapshot_keep`` rotation — the RNG-state source for
+sampled-request crash recovery above, and an operator-grade restart
+artifact either way.
+
+Determinism: the router holds no wall-clock state of its own — every
+timing decision reads the injected ``clock`` (wall or the loadgen
+:class:`~repro.serve.loadgen.VirtualClock`), replicas are consulted and
+stepped in fixed order, and the shared injector's RNG draws happen in
+that same order, so an entire chaos scenario replays field-identically
+from its seed.  One injector serves the whole fleet: request ids are
+unique fleet-wide, and the replica-scoped sites carry replica names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+import zlib
+
+import numpy as np
+
+from repro.serve.config import FleetConfig, ServeConfig
+from repro.serve.engine import GenerationEngine
+from repro.serve.faults import REPLICA_CRASH, REPLICA_STALL, InjectedFault
+from repro.serve.observe import Histogram, MetricsRegistry
+from repro.serve.request import (
+    FINISH_LENGTH,
+    FINISH_STOP,
+    GenerationRequest,
+    GenerationResult,
+    RequestHandle,
+    SampleOutput,
+    TokenEvent,
+)
+from repro.serve.scheduler import QueueFullError
+
+__all__ = [
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "HEDGE_SUFFIX",
+    "ReplicaStatus",
+    "FleetStats",
+    "FleetRouter",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+#: Suffix of the internal request id a hedged duplicate runs under.
+HEDGE_SUFFIX = "::hedge"
+
+_NORMAL_FINISH = (FINISH_LENGTH, FINISH_STOP)
+
+
+def prefix_hash(prompt, n_tokens: int) -> int:
+    """Deterministic hash of the first ``n_tokens`` prompt ids.
+
+    CRC-32 over the id bytes — stable across processes and Python
+    hash randomization, so affinity routing replays identically.
+    """
+    head = np.asarray(prompt, dtype=np.int64)[:n_tokens]
+    return zlib.crc32(head.tobytes())
+
+
+class _Replica:
+    """One engine plus the router's view of its health and bookkeeping."""
+
+    __slots__ = (
+        "name", "index", "engine", "state", "breaker", "open_until",
+        "err_base", "last_errs", "clean_since", "probe_rid", "incarnation",
+        "snap_seq", "next_snap_due", "stalled", "prev_prefill", "prev_lanes",
+    )
+
+    def __init__(self, name: str, index: int, engine: GenerationEngine):
+        self.name = name
+        self.index = index
+        self.state = HEALTHY
+        self.breaker = BREAKER_CLOSED
+        self.open_until = 0.0
+        self.probe_rid: str | None = None
+        self.incarnation = 0
+        self.snap_seq = 0
+        self.next_snap_due: float | None = None
+        self.stalled = False          # wedged for the current tick only
+        self.attach(engine)
+
+    def attach(self, engine: GenerationEngine) -> None:
+        """Bind a (fresh or replacement) engine and re-anchor budgets."""
+        self.engine = engine
+        self.err_base = 0
+        self.last_errs = 0
+        self.clean_since = 0.0
+        self.prev_prefill = 0
+        self.prev_lanes = 0
+
+    @property
+    def errors(self) -> int:
+        m = self.engine.metrics
+        return (m.get("requests_failed").value
+                + m.get("requests_timed_out").value)
+
+    @property
+    def load(self) -> int:
+        s = self.engine.scheduler
+        return s.queue_depth + s.n_running
+
+    def admits(self) -> bool:
+        if self.breaker == BREAKER_CLOSED:
+            return True
+        if self.breaker == BREAKER_HALF_OPEN:
+            return self.probe_rid is None     # exactly one probe in flight
+        return False
+
+
+class _Tracked:
+    """Router-side state of one client request."""
+
+    __slots__ = ("request", "on_token", "submit_s", "copies", "delivered",
+                 "hedged", "done")
+
+    def __init__(self, request: GenerationRequest, on_token, submit_s: float):
+        self.request = request
+        self.on_token = on_token
+        self.submit_s = submit_s
+        self.copies: dict[str, str] = {}   # copy rid -> replica name
+        self.delivered: dict[int, int] = {}  # sample -> tokens streamed
+        self.hedged = False
+        self.done = False
+
+
+@dataclasses.dataclass
+class ReplicaStatus:
+    """One replica's externally visible health snapshot."""
+
+    name: str
+    state: str
+    breaker: str
+    load: int
+    errors: int
+    incarnation: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class FleetStats:
+    """Fleet counters + per-replica :class:`~repro.serve.engine.
+    EngineStats`, the :meth:`FleetRouter.stats` snapshot."""
+
+    ticks: int
+    requests_routed: int
+    affinity_hits: int
+    fallback_routes: int
+    requests_rejected: int
+    hedges_launched: int
+    hedges_won: int
+    hedges_cancelled: int
+    replica_crashes: int
+    replica_stalls: int
+    failovers: int
+    snapshots_written: int
+    replicas: dict                 # name -> EngineStats
+    health: dict                   # name -> ReplicaStatus
+
+    def summary(self) -> dict:
+        """JSON-ready report (the shape ``HarnessResult.to_dict`` embeds)."""
+        return {
+            "fleet": {
+                "ticks": self.ticks,
+                "requests_routed": self.requests_routed,
+                "affinity_hits": self.affinity_hits,
+                "fallback_routes": self.fallback_routes,
+                "requests_rejected": self.requests_rejected,
+                "hedges_launched": self.hedges_launched,
+                "hedges_won": self.hedges_won,
+                "hedges_cancelled": self.hedges_cancelled,
+                "replica_crashes": self.replica_crashes,
+                "replica_stalls": self.replica_stalls,
+                "failovers": self.failovers,
+                "snapshots_written": self.snapshots_written,
+            },
+            "health": {n: s.to_dict() for n, s in sorted(self.health.items())},
+            "replicas": {n: s.summary() for n, s in sorted(self.replicas.items())},
+        }
+
+
+class FleetRouter:
+    """N in-process engine replicas behind one engine-shaped surface.
+
+    Construction mirrors :class:`~repro.serve.engine.GenerationEngine`:
+    every replica shares the ``model``/``cache_factory``/``config`` (and
+    the injected ``clock`` and ``faults``), while each gets its own
+    labeled metrics registry (``{"replica": "replica-<i>"}``).  The
+    router's own counters live in :attr:`metrics` (labeled
+    ``{"scope": "fleet"}``) — including ``prefill_tokens`` and
+    ``decode_lane_ticks`` advanced by the *maximum* per-replica delta
+    each tick, so the loadgen virtual-clock cost model charges a fleet
+    tick like its slowest replica (replicas run in parallel).
+
+    See the module docstring for routing/health/failover/hedging/
+    snapshot semantics.
+    """
+
+    def __init__(
+        self,
+        model,
+        cache_factory,
+        config: ServeConfig = ServeConfig(),
+        fleet: FleetConfig = FleetConfig(),
+        *,
+        weights=None,
+        act_quant=None,
+        clock=time.perf_counter,
+        policy_factory=None,
+        faults=None,
+    ):
+        self.model = model
+        self.config = config
+        self.fleet = fleet
+        self._cache_factory = cache_factory
+        self._weights = weights
+        self._act_quant = act_quant
+        self._clock = clock
+        self._policy_factory = policy_factory
+        self._faults = faults
+        self._draining = False
+        self._tracked: dict[str, _Tracked] = {}
+        self._journal: dict[str, dict[int, dict]] = {}
+        self._results: dict[str, GenerationResult] = {}
+
+        m = self.metrics = MetricsRegistry(labels={"scope": "fleet"})
+        self._ticks = m.counter("fleet_ticks", "Router ticks run")
+        self._routed = m.counter("requests_routed", "Requests accepted by the fleet")
+        self._affinity_hits = m.counter(
+            "affinity_hits", "Requests routed to their prefix-affinity replica")
+        self._fallbacks = m.counter(
+            "fallback_routes", "Requests routed off their affinity replica "
+            "(load fallback, unhealthy target, or backpressure)")
+        self._rejected = m.counter(
+            "requests_rejected", "Requests every admitting replica refused")
+        self._hedges = m.counter("hedges_launched", "Straggler duplicates launched")
+        self._hedges_won = m.counter(
+            "hedges_won", "Hedge copies that finished first")
+        self._hedges_cancelled = m.counter(
+            "hedges_cancelled", "Losing copies cancelled after a win")
+        self._crashes = m.counter("replica_crashes", "REPLICA_CRASH faults taken")
+        self._stalls = m.counter("replica_stalls", "REPLICA_STALL ticks taken")
+        self._failovers = m.counter(
+            "failovers", "In-flight requests moved off a crashed replica")
+        self._snapshots = m.counter(
+            "snapshots_written", "Rotation snapshots written to disk")
+        # The loadgen cost counters: max per-replica delta per tick.
+        self._prefill_cost = m.counter(
+            "prefill_tokens", "Slowest replica's prefill tokens per tick, summed")
+        self._lane_cost = m.counter(
+            "decode_lane_ticks", "Slowest replica's decode lane-ticks per tick, "
+            "summed")
+        m.gauge("replicas_total", "Replicas owned",
+                fn=lambda: len(self._replicas))
+        m.gauge("replicas_healthy", "Replicas currently HEALTHY",
+                fn=lambda: sum(r.state == HEALTHY for r in self._replicas))
+
+        self._replicas = [
+            _Replica(f"replica-{i}", i, self._build_engine(f"replica-{i}"))
+            for i in range(fleet.n_replicas)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_engine(self, name: str, incarnation: int = 0) -> GenerationEngine:
+        labels = {"replica": name}
+        if incarnation:
+            labels["incarnation"] = str(incarnation)
+        # policy_factory builds a *fresh* policy per engine (policies may
+        # carry per-engine state); None falls back to the config's name.
+        policy = self._policy_factory() if self._policy_factory else None
+        return GenerationEngine(
+            self.model, self._cache_factory, self.config,
+            weights=self._weights, act_quant=self._act_quant,
+            clock=self._clock, policy=policy, faults=self._faults,
+            metrics=MetricsRegistry(labels=labels),
+        )
+
+    def _now(self) -> float:
+        return self._clock()
+
+    @property
+    def replicas(self) -> list:
+        """The live replica engines, in routing order (read-only view)."""
+        return [r.engine for r in self._replicas]
+
+    def replica_status(self) -> dict[str, ReplicaStatus]:
+        return {
+            r.name: ReplicaStatus(r.name, r.state, r.breaker, r.load,
+                                  r.errors, r.incarnation)
+            for r in self._replicas
+        }
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """One fleet-wide registry: every replica's instruments summed."""
+        return MetricsRegistry.merge(
+            [r.engine.metrics for r in self._replicas],
+            labels={"scope": "fleet-merged"},
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route_order(self, request: GenerationRequest) -> tuple[list, bool]:
+        """Replica try-order for one submission + affinity-hit flag.
+
+        Healthy admitting replicas first (least loaded), then degraded,
+        then half-open probes; the affinity target leads iff it admits
+        and is not ``affinity_load_slack`` deeper than the least-loaded
+        candidate.
+        """
+        rank = {HEALTHY: 0, DEGRADED: 1, QUARANTINED: 2}
+        admitting = [r for r in self._replicas if r.admits()]
+        admitting.sort(key=lambda r: (rank[r.state], r.load, r.index))
+        if not admitting:
+            return [], False
+        probe = next((r for r in admitting
+                      if r.breaker == BREAKER_HALF_OPEN), None)
+        if probe is not None:
+            # Half-open means "admit exactly one trial": the next
+            # submission becomes the probe — without this the probe
+            # would wait behind every healthy replica and the breaker
+            # could never close while the fleet has spare capacity.
+            return [probe] + [r for r in admitting if r is not probe], False
+        target = None
+        if self.fleet.affinity_tokens > 0:
+            idx = (prefix_hash(request.prompt, self.fleet.affinity_tokens)
+                   % len(self._replicas))
+            cand = self._replicas[idx]
+            if (cand.admits() and cand.state == admitting[0].state
+                    and cand.load - admitting[0].load
+                    <= self.fleet.affinity_load_slack):
+                target = cand
+        if target is None:
+            return admitting, False
+        return [target] + [r for r in admitting if r is not target], True
+
+    def submit(self, request: GenerationRequest, on_token=None) -> RequestHandle:
+        """Route one request to a replica; reject only when all refuse.
+
+        Raises :class:`~repro.serve.scheduler.QueueFullError` when every
+        admitting replica's queue is full (composed backpressure) or no
+        replica admits at all (fleet-wide quarantine — shed load either
+        way), and ``RuntimeError`` while draining.
+        """
+        if self._draining:
+            raise RuntimeError("fleet is draining: submissions are stopped")
+        rid = str(request.request_id)
+        if rid.endswith(HEDGE_SUFFIX):
+            raise ValueError(
+                f"request_id must not end with {HEDGE_SUFFIX!r} "
+                "(reserved for internal hedge copies)")
+        if rid in self._tracked or rid in self._results:
+            raise ValueError(f"duplicate request_id {rid!r}")
+        order, affinity = self._route_order(request)
+        if not order:
+            self._rejected.inc()
+            raise QueueFullError(
+                "no replica is admitting requests (all quarantined)")
+        last_exc = None
+        for pos, rep in enumerate(order):
+            try:
+                rep.engine.submit(request)
+            except QueueFullError as exc:
+                last_exc = exc
+                continue
+            tracked = _Tracked(request, on_token, self._now())
+            tracked.copies[rid] = rep.name
+            self._tracked[rid] = tracked
+            self._journal[rid] = {}
+            self._routed.inc()
+            if affinity and pos == 0:
+                self._affinity_hits.inc()
+            else:
+                self._fallbacks.inc()
+            if rep.breaker == BREAKER_HALF_OPEN:
+                rep.probe_rid = rid
+            return RequestHandle(rid, self)
+        self._rejected.inc()
+        raise QueueFullError(
+            f"every admitting replica rejected {rid!r}: {last_exc}")
+
+    def cancel(self, request_id: str, sample_index: int | None = None) -> bool:
+        """Cancel on every live copy; harvest the cancelled results."""
+        rid = str(request_id)
+        tracked = self._tracked.get(rid)
+        if tracked is None or tracked.done:
+            return False
+        any_live = False
+        for copy_rid, rep_name in list(tracked.copies.items()):
+            rep = self._by_name(rep_name)
+            if rep.engine.cancel(copy_rid, sample_index=sample_index):
+                any_live = True
+        if sample_index is None:
+            # A full cancel records results synchronously (tick
+            # boundary): harvest them now so handles resolve.
+            self._sweep_finished([])
+        return any_live
+
+    def _by_name(self, name: str) -> _Replica:
+        return next(r for r in self._replicas if r.name == name)
+
+    # ------------------------------------------------------------------
+    # The fleet tick
+    # ------------------------------------------------------------------
+    def step(self) -> list[TokenEvent]:
+        """One fleet tick: chaos consult, health probe, snapshots,
+        hedging, then every live replica steps once.
+
+        Returns the client-visible (deduplicated, primary-id) token
+        events of the tick, exactly as one engine's ``step`` would.
+        """
+        now = self._now()
+        self._ticks.inc()
+        self._consult_chaos()
+        for rep in self._replicas:
+            self._probe_health(rep, now)
+        self._rotate_snapshots(now)
+        self._maybe_hedge(now)
+
+        out: list[TokenEvent] = []
+        max_prefill = 0
+        max_lanes = 0
+        for rep in self._replicas:
+            if rep.stalled:
+                rep.stalled = False
+                continue
+            if not rep.engine.has_work():
+                continue
+            m = rep.engine.metrics
+            pre_p = m.get("prefill_tokens").value
+            pre_l = m.get("decode_lane_ticks").value
+            events = rep.engine.step()
+            max_prefill = max(max_prefill, m.get("prefill_tokens").value - pre_p)
+            max_lanes = max(max_lanes, m.get("decode_lane_ticks").value - pre_l)
+            for event in events:
+                out.extend(self._translate(rep, event))
+        self._prefill_cost.inc(max_prefill)
+        self._lane_cost.inc(max_lanes)
+        self._sweep_finished(out)
+        return out
+
+    def _consult_chaos(self) -> None:
+        """Fire the replica-scoped sites, in replica order, once each."""
+        if self._faults is None:
+            return
+        for rep in list(self._replicas):
+            try:
+                self._faults.fire(REPLICA_CRASH, rep.name)
+            except InjectedFault:
+                self._crash_replica(rep)
+                continue
+            try:
+                self._faults.fire(REPLICA_STALL, rep.name)
+            except InjectedFault:
+                rep.stalled = True
+                self._stalls.inc()
+
+    # ------------------------------------------------------------------
+    # Event translation (copies -> one client stream)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _primary_rid(copy_rid: str) -> str:
+        if copy_rid.endswith(HEDGE_SUFFIX):
+            return copy_rid[:-len(HEDGE_SUFFIX)]
+        return copy_rid
+
+    def _translate(self, rep: _Replica, event: TokenEvent) -> list[TokenEvent]:
+        """Merge one copy's event into the request's client stream.
+
+        Token events are forwarded iff they advance the delivered
+        prefix (so a hedge replaying tokens the primary already
+        streamed — or a crash-recovery delta replay — emits nothing
+        new); finish events are forwarded only when they decide the
+        *request* (see :meth:`_copy_finished`).
+        """
+        copy_rid = event.request_id
+        rid = self._primary_rid(copy_rid)
+        tracked = self._tracked.get(rid)
+        if tracked is None or tracked.done or copy_rid not in tracked.copies:
+            return []
+        forwarded: list[TokenEvent] = []
+        entry = self._journal[rid].setdefault(
+            event.sample,
+            {"tokens": [], "finish_reason": None, "finish_delivered": False})
+        if event.token is not None:
+            seen = tracked.delivered.get(event.sample, 0)
+            if event.index >= seen:
+                tracked.delivered[event.sample] = event.index + 1
+                entry["tokens"].append(int(event.token))
+                forwarded.append(TokenEvent(
+                    rid, event.token, event.index, False, None,
+                    event.text, event.sample))
+        if event.finished:
+            if event.finish_reason in _NORMAL_FINISH:
+                entry["finish_reason"] = event.finish_reason
+            self._copy_finished(rep, tracked, copy_rid, event)
+            # A normal sample finish is streamed once, from whichever
+            # copy reaches it first (they are token-identical, so the
+            # marker's position is the same either way); abnormal
+            # finishes stream only when they end the whole request,
+            # i.e. when this was the last copy standing.
+            deliver_finish = (
+                not entry["finish_delivered"]
+                and (event.finish_reason in _NORMAL_FINISH or tracked.done)
+            )
+            if deliver_finish:
+                entry["finish_delivered"] = True
+                if forwarded:
+                    forwarded[-1] = dataclasses.replace(
+                        forwarded[-1], finished=True,
+                        finish_reason=event.finish_reason)
+                else:
+                    forwarded.append(TokenEvent(
+                        rid, None, tracked.delivered.get(event.sample, 0),
+                        True, event.finish_reason, None, event.sample))
+        for ev in forwarded:
+            self._deliver(tracked, ev)
+        return forwarded
+
+    def _deliver(self, tracked: _Tracked, event: TokenEvent) -> None:
+        if tracked.on_token is None:
+            return
+        try:
+            tracked.on_token(event)
+        except Exception:
+            tracked.on_token = None       # quarantined, engine-style
+
+    def _copy_finished(self, rep: _Replica, tracked: _Tracked,
+                       copy_rid: str, event: TokenEvent) -> bool:
+        """A copy's *last sample* event arrived; True if it decides the
+        request (its engine result becomes the client result)."""
+        rid = self._primary_rid(copy_rid)
+        if not rep.engine.has_result(copy_rid):
+            return False                  # siblings of an n>1 family remain
+        self._probe_outcome(rep, copy_rid, event.finish_reason)
+        result = rep.engine.pop_result(copy_rid)
+        others = {c: n for c, n in tracked.copies.items() if c != copy_rid}
+        if event.finish_reason in _NORMAL_FINISH or not others:
+            # Winner (or the last copy standing, however it ended).
+            if copy_rid != rid:
+                result = dataclasses.replace(result, request_id=rid)
+                self._hedges_won.inc()
+            self._finalize(rid, tracked, result)
+            for loser_rid, loser_rep in others.items():
+                self._cancel_copy(loser_rid, loser_rep)
+            return True
+        # Abnormal finish with a live twin: drop this copy, twin carries on.
+        del tracked.copies[copy_rid]
+        return False
+
+    def _finalize(self, rid: str, tracked: _Tracked,
+                  result: GenerationResult) -> None:
+        self._results[rid] = result
+        tracked.done = True
+        tracked.copies.clear()
+        self._journal.pop(rid, None)
+
+    def _cancel_copy(self, copy_rid: str, rep_name: str) -> None:
+        rep = self._by_name(rep_name)
+        if rep.engine.cancel(copy_rid):
+            self._hedges_cancelled.inc()
+        if rep.engine.has_result(copy_rid):
+            rep.engine.pop_result(copy_rid)    # discard the loser's result
+        self._probe_outcome(rep, copy_rid, None)
+
+    def _sweep_finished(self, out: list) -> None:
+        """Collect results recorded outside the event path (cancel() at
+        a tick boundary, timeouts of queued requests, adoption of
+        fully-finished records)."""
+        for rid, tracked in list(self._tracked.items()):
+            if tracked.done:
+                continue
+            for copy_rid, rep_name in list(tracked.copies.items()):
+                rep = self._by_name(rep_name)
+                if not rep.engine.has_result(copy_rid):
+                    continue
+                result = rep.engine.pop_result(copy_rid)
+                self._probe_outcome(rep, copy_rid, result.finish_reason)
+                others = {c: n for c, n in tracked.copies.items()
+                          if c != copy_rid}
+                if result.finish_reason in _NORMAL_FINISH or not others:
+                    if copy_rid != rid:
+                        result = dataclasses.replace(result, request_id=rid)
+                        self._hedges_won.inc()
+                    self._finalize(rid, tracked, result)
+                    for loser, loser_rep in others.items():
+                        self._cancel_copy(loser, loser_rep)
+                    out.append(TokenEvent(
+                        rid, None, sum(tracked.delivered.values()),
+                        True, result.finish_reason))
+                    self._deliver(tracked, out[-1])
+                    break
+                del tracked.copies[copy_rid]
+
+    # ------------------------------------------------------------------
+    # Health model
+    # ------------------------------------------------------------------
+    def _probe_health(self, rep: _Replica, now: float) -> None:
+        """One probe tick: budgets from the replica's own registry."""
+        errs = rep.errors
+        if errs > rep.last_errs:
+            rep.clean_since = now
+        rep.last_errs = errs
+        window_errs = errs - rep.err_base
+        if rep.breaker == BREAKER_OPEN:
+            if now >= rep.open_until:
+                rep.breaker = BREAKER_HALF_OPEN
+                rep.probe_rid = None
+            return
+        if rep.breaker == BREAKER_HALF_OPEN:
+            return                        # waiting on the probe's outcome
+        if window_errs >= self.fleet.quarantine_errors:
+            rep.breaker = BREAKER_OPEN
+            rep.state = QUARANTINED
+            rep.open_until = now + self.fleet.breaker_open_s
+        elif window_errs >= self.fleet.degrade_errors:
+            rep.state = DEGRADED
+        else:
+            rep.state = HEALTHY
+        if window_errs and now - rep.clean_since >= self.fleet.error_window_s:
+            rep.err_base = errs           # a clean window ages errors out
+            rep.state = HEALTHY
+
+    def _probe_outcome(self, rep: _Replica, copy_rid: str,
+                       finish_reason: str | None) -> None:
+        """Close or reopen a half-open breaker on its probe's outcome."""
+        if rep.breaker != BREAKER_HALF_OPEN or rep.probe_rid != copy_rid:
+            return
+        rep.probe_rid = None
+        if finish_reason in _NORMAL_FINISH:
+            rep.breaker = BREAKER_CLOSED
+            rep.state = HEALTHY
+            rep.err_base = rep.errors
+            rep.clean_since = self._now()
+        elif finish_reason in (None, "cancelled"):
+            # The probe was cancelled (hedge loser, client cancel):
+            # inconclusive — stay half-open, admit another probe.
+            pass
+        else:
+            rep.breaker = BREAKER_OPEN
+            rep.state = QUARANTINED
+            rep.open_until = self._now() + self.fleet.breaker_open_s
+
+    # ------------------------------------------------------------------
+    # Hedging
+    # ------------------------------------------------------------------
+    def _hedge_delay(self) -> float | None:
+        cfg = self.fleet
+        if cfg.hedge_after_s is not None:
+            return cfg.hedge_after_s
+        if cfg.hedge_ttft_percentile is None:
+            return None
+        hists = [r.engine.metrics.get("ttft_seconds") for r in self._replicas]
+        if sum(h.count for h in hists) < cfg.hedge_min_samples:
+            return None
+        delay = Histogram.percentile_over(hists, cfg.hedge_ttft_percentile)
+        return delay if delay > 0 else None
+
+    def _maybe_hedge(self, now: float) -> None:
+        delay = self._hedge_delay()
+        if delay is None:
+            return
+        for rid, tracked in self._tracked.items():
+            if (tracked.done or tracked.hedged or tracked.delivered
+                    or len(tracked.copies) != 1
+                    or now - tracked.submit_s < delay):
+                continue
+            (primary_name,) = set(tracked.copies.values())
+            targets = [r for r in self._replicas
+                       if r.admits() and r.name != primary_name]
+            if not targets:
+                continue
+            targets.sort(key=lambda r: (r.load, r.index))
+            target = targets[0]
+            hedge_rid = rid + HEDGE_SUFFIX
+            hedge_req = dataclasses.replace(tracked.request,
+                                            request_id=hedge_rid)
+            try:
+                target.engine.submit(hedge_req)
+            except QueueFullError:
+                continue
+            tracked.copies[hedge_rid] = target.name
+            tracked.hedged = True
+            self._hedges.inc()
+            if target.breaker == BREAKER_HALF_OPEN:
+                target.probe_rid = hedge_rid
+
+    # ------------------------------------------------------------------
+    # Snapshot rotation
+    # ------------------------------------------------------------------
+    def _replica_dir(self, rep: _Replica) -> str:
+        return os.path.join(self.fleet.snapshot_dir, rep.name)
+
+    def _rotate_snapshots(self, now: float) -> None:
+        cfg = self.fleet
+        if cfg.snapshot_interval_s is None:
+            return
+        for rep in self._replicas:
+            if rep.next_snap_due is None:
+                rep.next_snap_due = now + cfg.snapshot_interval_s
+                continue
+            if now < rep.next_snap_due:
+                continue
+            rep.next_snap_due = now + cfg.snapshot_interval_s
+            self.snapshot_replica(rep.name)
+
+    def snapshot_replica(self, name: str) -> str:
+        """Write one replica's snapshot into its rotation; returns the
+        path.  Keeps the newest ``snapshot_keep`` files."""
+        if self.fleet.snapshot_dir is None:
+            raise RuntimeError("FleetConfig.snapshot_dir is not set")
+        rep = self._by_name(name)
+        d = self._replica_dir(rep)
+        os.makedirs(d, exist_ok=True)
+        path = os.path.join(d, f"snap-{rep.snap_seq:08d}.json")
+        rep.snap_seq += 1
+        with open(path, "w") as fh:
+            json.dump(rep.engine.snapshot(), fh)
+        self._snapshots.inc()
+        kept = sorted(f for f in os.listdir(d)
+                      if f.startswith("snap-") and f.endswith(".json"))
+        for stale in kept[:-self.fleet.snapshot_keep]:
+            os.remove(os.path.join(d, stale))
+        return path
+
+    def _load_rotation(self, rep: _Replica) -> dict[str, dict]:
+        """Latest rotation snapshot's records by request id ({} if none)."""
+        if self.fleet.snapshot_dir is None:
+            return {}
+        d = self._replica_dir(rep)
+        try:
+            files = sorted(f for f in os.listdir(d)
+                           if f.startswith("snap-") and f.endswith(".json"))
+        except FileNotFoundError:
+            return {}
+        if not files:
+            return {}
+        with open(os.path.join(d, files[-1])) as fh:
+            snap = json.load(fh)
+        return {r["request"]["request_id"]: r for r in snap.get("requests", [])}
+
+    # ------------------------------------------------------------------
+    # Crash + failover
+    # ------------------------------------------------------------------
+    def _recovery_record(self, tracked: _Tracked, copy_rid: str,
+                         disk: dict[str, dict]) -> dict:
+        """Snapshot-format record for one crashed copy.
+
+        Greedy requests rebuild purely from the live token journal
+        (exact continuation, minimal recompute).  Sampled requests
+        prefer the last rotation snapshot — its tokens *and* RNG state
+        are a consistent pair, and the journal delta beyond it is
+        *replayed* (same state + same logits = the same delta tokens on
+        deterministic caches; re-emissions are deduplicated).  Without
+        a disk snapshot the journal tokens are used with a fresh RNG
+        stream (documented trade when rotation is disabled).
+        """
+        req = tracked.request
+        rid = self._primary_rid(copy_rid)
+        journal = self._journal.get(rid, {})
+        disk_rec = disk.get(copy_rid)
+        use_disk = disk_rec is not None and not req.sampling.is_greedy
+        if use_disk:
+            samples = [dict(s) for s in disk_rec["samples"]]
+            present = {s["index"] for s in samples}
+            for idx, entry in sorted(journal.items()):
+                if idx not in present:
+                    samples.append({
+                        "index": idx, "tokens": list(entry["tokens"]),
+                        "finished": entry["finish_reason"] is not None,
+                        "finish_reason": entry["finish_reason"],
+                        "error": None, "rng_state": None,
+                    })
+        else:
+            samples = [
+                {
+                    "index": idx,
+                    "tokens": list(entry["tokens"]),
+                    "finished": entry["finish_reason"] is not None,
+                    "finish_reason": entry["finish_reason"],
+                    "error": None,
+                    "rng_state": None,
+                }
+                for idx, entry in sorted(journal.items())
+            ] or [{"index": 0, "tokens": [], "finished": False,
+                   "finish_reason": None, "error": None, "rng_state": None}]
+        cancelled = disk_rec.get("cancelled_samples") if use_disk else None
+        return {
+            **({"cancelled_samples": cancelled} if cancelled else {}),
+            "request": {
+                "request_id": rid,
+                "prompt": [int(t) for t in req.prompt],
+                "max_tokens": req.max_tokens,
+                "sampling": dataclasses.asdict(req.sampling),
+                "stop_tokens": sorted(int(t) for t in req.stop_tokens),
+                "priority": req.priority,
+                "deadline_s": req.deadline_s,
+                "n": req.n,
+                "timeout_s": req.timeout_s,
+                "traffic_class": req.traffic_class,
+            },
+            "arrival_seq": 0,
+            "samples": samples,
+        }
+
+    def _crash_replica(self, rep: _Replica) -> None:
+        """REPLICA_CRASH: discard the engine, fail its work over to
+        survivors, bring the replica back empty."""
+        self._crashes.inc()
+        disk = self._load_rotation(rep)
+        orphans: list[tuple[str, _Tracked, str]] = []   # (rid, tracked, copy)
+        for rid, tracked in self._tracked.items():
+            if tracked.done:
+                continue
+            for copy_rid, rep_name in list(tracked.copies.items()):
+                if rep_name != rep.name:
+                    continue
+                del tracked.copies[copy_rid]
+                if tracked.copies:
+                    continue              # a twin survives elsewhere
+                orphans.append((rid, tracked, copy_rid))
+        # The replica comes back as a fresh, empty engine (its former
+        # work continues on survivors); health history died with it.
+        rep.incarnation += 1
+        rep.attach(self._build_engine(rep.name, rep.incarnation))
+        rep.state = HEALTHY
+        rep.breaker = BREAKER_CLOSED
+        rep.probe_rid = None
+        rep.stalled = False
+        for rid, tracked, copy_rid in orphans:
+            record = self._recovery_record(tracked, copy_rid, disk)
+            if all(s["finished"] for s in record["samples"]):
+                # Finished between the last event sweep and the crash:
+                # synthesize the result straight from the journal.
+                samples = [
+                    SampleOutput(s["index"], list(s["tokens"]),
+                                 s["finish_reason"])
+                    for s in sorted(record["samples"],
+                                    key=lambda s: s["index"])
+                ]
+                self._finalize(rid, tracked, GenerationResult(
+                    request_id=rid, tokens=samples[0].tokens,
+                    finish_reason=samples[0].finish_reason,
+                    queue_latency_s=float("nan"), service_time_s=0.0,
+                    decode_steps=0, samples=samples,
+                ))
+                continue
+            target = self._failover_target(rep)
+            target.engine.adopt(record)
+            tracked.copies[rid] = target.name
+            # The adopting engine replays from the journal/snapshot
+            # prefix; anything it re-decodes past the delivered count is
+            # genuinely new to the client, so the dedup high-water mark
+            # stands as-is.
+            self._failovers.inc()
+
+    def _failover_target(self, crashed: _Replica) -> _Replica:
+        """Least-loaded admitting survivor, else the reborn replica."""
+        survivors = [r for r in self._replicas
+                     if r is not crashed and r.admits()]
+        if not survivors:
+            return crashed                # fresh engine adopts its own work
+        survivors.sort(key=lambda r: (r.load, r.index))
+        return survivors[0]
+
+    def crash_replica(self, name: str) -> None:
+        """Operator-initiated crash (the chaos site's manual twin)."""
+        self._crash_replica(self._by_name(name))
+
+    # ------------------------------------------------------------------
+    # Engine-shaped surface
+    # ------------------------------------------------------------------
+    def has_work(self) -> bool:
+        return any(r.engine.has_work() for r in self._replicas)
+
+    def has_result(self, request_id: str) -> bool:
+        return str(request_id) in self._results
+
+    def result(self, request_id: str) -> GenerationResult:
+        return self._results[str(request_id)]
+
+    def pop_result(self, request_id: str) -> GenerationResult:
+        rid = str(request_id)
+        self._tracked.pop(rid, None)
+        return self._results.pop(rid)
+
+    def request_trace(self, request_id: str):
+        rid = str(request_id)
+        tracked = self._tracked.get(rid)
+        if tracked is None:
+            return None
+        for copy_rid, rep_name in tracked.copies.items():
+            trace = self._by_name(rep_name).engine.request_trace(copy_rid)
+            if trace is not None:
+                return trace
+        return None
+
+    def run(self, requests=()):
+        """Submit ``requests`` then step until idle, yielding every
+        client-visible event."""
+        for request in requests:
+            self.submit(request)
+        while self.has_work():
+            yield from self.step()
+
+    def generate(self, requests=()) -> dict[str, GenerationResult]:
+        """Drain :meth:`run`, returning results keyed by request id."""
+        requests = list(requests)
+        ids = [r.request_id for r in requests]
+        finished = []
+        for event in self.run(requests):
+            if event.finished:
+                finished.append(event.request_id)
+        return {rid: self._results[rid] for rid in (ids or finished)}
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stop_admission(self) -> None:
+        """Fleet-wide admission stop (replicas drain their own queues)."""
+        self._draining = True
+        for r in self._replicas:
+            r.engine.stop_admission()
+
+    def resume_admission(self) -> None:
+        self._draining = False
+        for r in self._replicas:
+            r.engine.resume_admission()
+
+    def drain(self) -> list[TokenEvent]:
+        """Run every replica's *admitted* work to completion.
+
+        Mirrors :meth:`GenerationEngine.drain
+        <repro.serve.engine.GenerationEngine.drain>`: still-queued
+        requests are left untouched (ready for snapshots) and admission
+        stays stopped until :meth:`resume_admission`.
+        """
+        self.stop_admission()
+        events: list[TokenEvent] = []
+        while any(r.engine.scheduler.n_running for r in self._replicas):
+            events.extend(self.step())
+        return events
+
+    def check_invariants(self) -> None:
+        for r in self._replicas:
+            r.engine.check_invariants()
+
+    def stats(self) -> FleetStats:
+        m = self.metrics
+        return FleetStats(
+            ticks=m.get("fleet_ticks").value,
+            requests_routed=m.get("requests_routed").value,
+            affinity_hits=m.get("affinity_hits").value,
+            fallback_routes=m.get("fallback_routes").value,
+            requests_rejected=m.get("requests_rejected").value,
+            hedges_launched=m.get("hedges_launched").value,
+            hedges_won=m.get("hedges_won").value,
+            hedges_cancelled=m.get("hedges_cancelled").value,
+            replica_crashes=m.get("replica_crashes").value,
+            replica_stalls=m.get("replica_stalls").value,
+            failovers=m.get("failovers").value,
+            snapshots_written=m.get("snapshots_written").value,
+            replicas={r.name: r.engine.stats() for r in self._replicas},
+            health=self.replica_status(),
+        )

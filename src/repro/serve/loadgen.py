@@ -717,7 +717,9 @@ class LoadHarness:
     """Open-loop driver: a :class:`WorkloadTrace` through one engine.
 
     Builds a fresh :class:`~repro.serve.engine.GenerationEngine` per
-    :meth:`run` (loads must not share warm caches or metrics), injects
+    :meth:`run` (loads must not share warm caches or metrics) — or
+    whatever engine-shaped target ``engine_factory(clock)`` returns,
+    e.g. a :class:`~repro.serve.fleet.FleetRouter` — injects
     the harness clock as the engine clock so TTFT/deadline timings are
     measured on the same axis as the arrival schedule, and submits
     each trace entry the moment its arrival time passes — whether or
@@ -737,7 +739,7 @@ class LoadHarness:
                  config: ServeConfig = ServeConfig(), *,
                  clock: str = "wall", cost_model: TickCostModel | None = None,
                  policy=None, faults=None, metrics=None,
-                 poll_interval_s: float = 0.05):
+                 poll_interval_s: float = 0.05, engine_factory=None):
         if clock not in ("wall", "virtual"):
             raise ValueError(f"clock must be 'wall' or 'virtual', got {clock!r}")
         self.model = model
@@ -749,6 +751,7 @@ class LoadHarness:
         self.faults = faults
         self.metrics = metrics
         self.poll_interval_s = poll_interval_s
+        self.engine_factory = engine_factory  # clock -> engine-shaped target
         self.monitor = None          # attach_monitor(): live SLO feed
         self.engine = None           # the engine of the latest run()
 
@@ -758,9 +761,16 @@ class LoadHarness:
             vclock = VirtualClock()
         else:
             vclock = None
+        clock = vclock if vclock is not None else time.perf_counter
+        if self.engine_factory is not None:
+            # Anything engine-shaped (submit/step/pop_result/stats and
+            # "prefill_tokens"/"decode_lane_ticks" counters) can be
+            # driven — a FleetRouter, notably.  The factory gets the
+            # harness clock so all timing shares one axis.
+            return self.engine_factory(clock), vclock
         engine = GenerationEngine(
             self.model, self.cache_factory, self.config,
-            clock=(vclock if vclock is not None else time.perf_counter),
+            clock=clock,
             policy=self.policy, faults=self.faults, metrics=self.metrics,
         )
         return engine, vclock

@@ -155,6 +155,20 @@ class Histogram:
             return float("nan")
         return float(np.percentile(list(self.reservoir), q))
 
+    @staticmethod
+    def percentile_over(histograms, q: float) -> float:
+        """Percentile over the pooled reservoirs of several histograms.
+
+        The fleet-wide view of a per-replica instrument (e.g. the
+        router's hedge-delay TTFT percentile) without merging the
+        registries first: pools every histogram's reservoir window and
+        takes one exact percentile.  NaN when all are empty.
+        """
+        pooled = [v for h in histograms for v in h.reservoir]
+        if not pooled:
+            return float("nan")
+        return float(np.percentile(pooled, q))
+
     def fraction_below(self, value: float) -> float:
         """Fraction of observations ``<= value``, at bucket resolution.
 

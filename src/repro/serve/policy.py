@@ -35,7 +35,12 @@ Three implementations ship:
   aging_cap_s``, so deadline-less (or far-deadline) requests still
   drain — once a request has waited past the cap, every later arrival
   (whose effective deadline is at least its own submit time) sorts
-  behind it.  Preemption evicts the latest-deadline sequence.
+  behind it.  Preemption is *recompute-aware*, not pure EDF: eviction
+  discards a sequence's whole KV cache and replays prompt + emitted
+  tokens on re-admission, so among slack-rich candidates the policy
+  prefers the one with the fewest tokens already decoded
+  (``preempt_token_cost_s`` converts invested tokens into deadline
+  credit).
 
 Policies hold no per-request state — they are pure order functions
 over the engine's sequence objects (``seq.request`` carries
@@ -164,20 +169,39 @@ class DeadlinePolicy(_OrderingPolicy):
     lax its SLO — can be overtaken forever by a stream of later,
     tighter-deadline arrivals (starvation freedom: later arrivals'
     effective deadlines grow with their submit times).
+
+    Preemption weighs recompute cost alongside deadline slack: evicting
+    a sequence throws away every token it has decoded (the recompute
+    path replays them all), so each decoded token earns the sequence
+    ``preempt_token_cost_s`` seconds of effective-deadline credit when
+    ranking victims.  The victim is the sequence maximizing
+    ``effective_deadline - preempt_token_cost_s * len(tokens)`` —
+    with the weight at 0 this is exactly latest-deadline-first (pure
+    EDF).  Admission order is unaffected.
     """
 
     name = "deadline"
 
-    def __init__(self, aging_cap_s: float = 30.0):
+    def __init__(self, aging_cap_s: float = 30.0,
+                 preempt_token_cost_s: float = 0.002):
         super().__init__()
         if aging_cap_s <= 0:
             raise ValueError(f"aging_cap_s must be > 0, got {aging_cap_s}")
+        if preempt_token_cost_s < 0:
+            raise ValueError(
+                f"preempt_token_cost_s must be >= 0, got {preempt_token_cost_s}")
         self.aging_cap_s = aging_cap_s
+        self.preempt_token_cost_s = preempt_token_cost_s
 
     def _key(self, seq):
         deadline = seq.request.deadline_s
         eff = min(deadline if deadline is not None else math.inf, self.aging_cap_s)
         return (seq.submit_time + eff, _arrival(seq))
+
+    def choose_preemption_victim(self, running: list):
+        w = self.preempt_token_cost_s
+        return max(running, key=lambda s: (
+            self._key(s)[0] - w * len(s.tokens), _arrival(s)))
 
 
 POLICIES: dict[str, type] = {

@@ -209,9 +209,15 @@ class RequestHandle(str):
         """True once a :class:`GenerationResult` is available."""
         return self._engine.has_result(self)
 
-    def cancel(self) -> bool:
-        """Cancel in any state; True if the request was still live."""
-        return self._engine.cancel(self)
+    def cancel(self, sample_index: int | None = None) -> bool:
+        """Cancel in any state; True if the request was still live.
+
+        ``sample_index`` cancels just one parallel sample of an ``n>1``
+        request — its forked lease is released immediately while the
+        siblings keep decoding (see :meth:`GenerationEngine.cancel
+        <repro.serve.engine.GenerationEngine.cancel>`).
+        """
+        return self._engine.cancel(self, sample_index=sample_index)
 
     def trace(self):
         """This request's :class:`~repro.serve.observe.RequestTrace`

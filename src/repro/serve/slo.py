@@ -56,6 +56,7 @@ __all__ = [
     "SLOMonitor",
     "request_compliant",
     "evaluate",
+    "attainment_gap",
     "find_knee",
 ]
 
@@ -338,6 +339,31 @@ def evaluate(result, spec: SLOSpec) -> SLOReport:
         goodput_tokens_per_s=total_goodput_tokens / duration,
         ok=all_ok,
     )
+
+
+def attainment_gap(baseline: SLOReport, degraded: SLOReport) -> dict:
+    """How much SLO attainment a disturbance cost, class by class.
+
+    The recovery scorecard behind the fleet benchmarks: ``baseline``
+    is the undisturbed run, ``degraded`` the same workload under a
+    fault (replica crash, chaos script).  Gaps are ``baseline -
+    degraded`` attainment (positive = the disturbance hurt); the
+    ``overall`` gap pools every class, and ``goodput_ratio`` is the
+    degraded run's goodput as a fraction of baseline's (1.0 when the
+    baseline moved no tokens).
+    """
+    per_class = {
+        name: baseline.classes[name].attainment - cr.attainment
+        for name, cr in degraded.classes.items()
+        if name in baseline.classes
+    }
+    base_gp = baseline.goodput_tokens_per_s
+    return {
+        "overall": baseline.attainment - degraded.attainment,
+        "classes": per_class,
+        "goodput_ratio": (degraded.goodput_tokens_per_s / base_gp
+                          if base_gp > 0 else 1.0),
+    }
 
 
 # ----------------------------------------------------------------------

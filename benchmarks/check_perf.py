@@ -424,13 +424,24 @@ def check_speedups() -> list[str]:
 def quick_smoke() -> int:
     """``--quick``: a seconds-scale loadgen + fleet self-check, no sweep.
 
-    Validates the full loadgen contract on the virtual clock (bit-for-
-    bit trace reproducibility, replay-identical records, sound SLO
-    report) and the fleet chaos contract (two replicas, seeded
-    replica crash, replay-identical records and fault log, zero lost
-    requests, storage back at baseline) for the arena fp16 engine and
-    the mant4 cache — cheap enough for tier-1-adjacent CI runs.
+    Starts with the static invariant lint over ``src`` (strict, no
+    baseline — ``repro.lint`` findings of any severity fail the gate),
+    then validates the full loadgen contract on the virtual clock
+    (bit-for-bit trace reproducibility, replay-identical records,
+    sound SLO report) and the fleet chaos contract (two replicas,
+    seeded replica crash, replay-identical records and fault log, zero
+    lost requests, storage back at baseline) for the arena fp16 engine
+    and the mant4 cache — cheap enough for tier-1-adjacent CI runs.
     """
+    from repro.lint.cli import main as lint_main
+
+    src_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    print("running static invariant lint (repro.lint, strict) ...")
+    if lint_main(["--strict", "--no-baseline", src_root]) != 0:
+        print("LINT GATE FAILED")
+        return 1
+    print("lint gate passed")
     model, _ = get_model("unit-test")
     for cache_name in ("fp16", "mant4"):
         try:

@@ -1,0 +1,70 @@
+"""repro.lint — AST-based static enforcement of the standing invariants.
+
+The repo's determinism ladder (bit-exact quantized serving under
+batching, paging, chunking, faults and fleet failover) rests on coding
+contracts that used to be enforced only by the runtime suites *after*
+a violation shipped.  This package checks them at diff time::
+
+    PYTHONPATH=src python -m repro.lint src          # the whole tree
+    python -m repro.lint --list-rules                # rule ids + contracts
+    python -m repro.lint serve_patch.py other.py     # pre-commit diff mode
+
+Rules (see :mod:`repro.lint.rules` and the ROADMAP "Static invariant
+lint" section for the full contract text):
+
+* ``clock-discipline`` — no wall-clock reads in ``repro.serve``
+  outside the injectable clock seams.
+* ``rng-discipline`` — no global-state ``random.*`` /
+  ``np.random.*`` anywhere in ``repro``; seeded ``default_rng`` only.
+* ``set-iteration-order`` — no iterating bare sets in the serve
+  scheduling/routing files.
+* ``finish-release-pairing`` — every ``FINISH_*``-emitting function
+  in ``engine.py``/``fleet.py`` releases storage (or documents who
+  does).
+* ``window-alignment`` — no literal ``block_tokens=`` /
+  ``prefill_chunk_tokens=`` outside the validated config path.
+* ``frozen-config`` — ``serve/config.py`` dataclasses are frozen and
+  validate in ``__post_init__``.
+* ``export-consistency`` — ``__all__`` matches the module's real
+  bindings and re-exports.
+* ``mutable-default`` / ``bare-except`` — generic safety.
+
+Suppress a finding on its line (or the comment-only line above it)
+with ``# lint: allow[rule-id] reason`` — the reason is mandatory and
+unused annotations are themselves flagged.  Pre-existing findings can
+be grandfathered in ``artifacts/lint_baseline.json`` (kept empty on
+the shipped tree); new findings always fail.
+"""
+
+from repro.lint.core import (
+    BAD_SUPPRESSION,
+    ERROR,
+    PARSE_ERROR,
+    RULES,
+    UNUSED_SUPPRESSION,
+    WARN,
+    FileContext,
+    Finding,
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.lint import rules as _rules  # noqa: F401  (populates RULES)
+
+__all__ = [
+    "BAD_SUPPRESSION",
+    "ERROR",
+    "PARSE_ERROR",
+    "RULES",
+    "UNUSED_SUPPRESSION",
+    "WARN",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

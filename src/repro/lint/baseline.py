@@ -1,0 +1,58 @@
+"""Grandfathered-findings baseline.
+
+The baseline file (``artifacts/lint_baseline.json`` by convention)
+holds findings that predate a rule and are temporarily tolerated:
+runs subtract baseline entries by ``(rule, module-path, message)`` —
+line-free, so unrelated edits don't resurrect old debt — while any
+*new* finding still fails the gate.  ``--write-baseline`` regenerates
+it; the shipped tree keeps it empty (``findings: []``), which is the
+state every PR should return it to.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "artifacts/lint_baseline.json"
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline file into a multiset of finding keys."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}")
+    return Counter(
+        (e["rule"], e["path"], e["message"]) for e in data["findings"])
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: Counter) -> tuple[list[Finding], int]:
+    """Split findings into (new, n_grandfathered) against the baseline."""
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    matched = 0
+    for f in findings:
+        key = f.baseline_key()
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(f)
+    return fresh, matched
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    entries = sorted(
+        ({"rule": rule, "path": mod, "message": message}
+         for rule, mod, message in (f.baseline_key() for f in findings)),
+        key=lambda e: (e["path"], e["rule"], e["message"]))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": BASELINE_VERSION, "findings": entries},
+                  fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,146 @@
+"""``python -m repro.lint`` — the command-line front end.
+
+Usage::
+
+    python -m repro.lint [paths ...]        # default: src (else .)
+    python -m repro.lint --list-rules
+    python -m repro.lint --format json src
+    python -m repro.lint --select clock-discipline,rng-discipline src
+    python -m repro.lint --write-baseline src
+    python -m repro.lint file1.py file2.py  # pre-commit / diff mode
+
+Exit codes: 0 clean (warnings allowed unless ``--strict``), 1 findings,
+2 usage error.  Passing explicit file paths lints just those files —
+the fast pre-commit path for a diff (``git diff --name-only -- '*.py'
+| xargs python -m repro.lint``); there is deliberately no ``--fix``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.lint import rules as _rules  # noqa: F401  (populates the registry)
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.core import (
+    ERROR,
+    FRAMEWORK_IDS,
+    RULES,
+    WARN,
+    lint_paths,
+)
+from repro.lint.report import render_json, render_text
+
+
+def _parse_rule_ids(spec: str) -> list[str]:
+    ids = [s.strip() for s in spec.split(",") if s.strip()]
+    unknown = [i for i in ids if i not in RULES]
+    if unknown:
+        print(f"error: unknown rule id(s): {', '.join(unknown)} "
+              f"(see --list-rules)", file=sys.stderr)
+        raise SystemExit(2)
+    return ids
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id}  [{rule.severity}]")
+        lines.append(f"    {rule.invariant}")
+    lines.append("framework checks (always on):")
+    for fid, doc in FRAMEWORK_IDS.items():
+        lines.append(f"{fid}")
+        lines.append(f"    {doc}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter for the repro tree.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src if present, else .)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", metavar="IDS",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             "when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings as the baseline "
+                             "and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings fail the gate too")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule id + invariant and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    if args.select and args.ignore:
+        print("error: --select and --ignore are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    selected = None
+    if args.select:
+        selected = [RULES[i] for i in _parse_rule_ids(args.select)]
+    elif args.ignore:
+        dropped = set(_parse_rule_ids(args.ignore))
+        selected = [r for i, r in RULES.items() if i not in dropped]
+
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    try:
+        findings = lint_paths(paths, selected)
+    except FileNotFoundError as exc:
+        print(f"error: no such file or directory: {exc.args[0]}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = (DEFAULT_BASELINE
+                         if os.path.exists(DEFAULT_BASELINE) else None)
+    elif args.no_baseline:
+        baseline_path = None
+    if (args.baseline is not None and not args.write_baseline
+            and not os.path.exists(args.baseline)):
+        print(f"error: baseline file not found: {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        write_baseline(target, findings)
+        print(f"baseline with {len(findings)} finding(s) written to {target}")
+        return 0
+
+    grandfathered = 0
+    if baseline_path is not None:
+        findings, grandfathered = apply_baseline(
+            findings, load_baseline(baseline_path))
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, grandfathered))
+
+    errors = sum(f.severity == ERROR for f in findings)
+    warnings = sum(f.severity == WARN for f in findings)
+    if errors or (args.strict and warnings):
+        return 1
+    return 0

@@ -1,0 +1,290 @@
+"""repro.lint core: findings, the rule registry, suppressions, the runner.
+
+The linter is one AST pass per file: every registered :class:`Rule`
+inspects a parsed :class:`FileContext` and yields :class:`Finding`s
+with ``file:line:col`` anchors and a severity (:data:`ERROR` fails the
+gate, :data:`WARN` is advisory unless ``--strict``).  Findings can be
+silenced two ways:
+
+* **Per-line suppressions** — ``# lint: allow[rule-id] reason`` on the
+  offending line, or on a comment-only line directly above it.  The
+  reason is mandatory (an allow without one is itself a finding), so
+  every intended exception documents the contract it bends.  A
+  suppression that silences nothing is flagged ``unused-suppression``
+  so stale annotations cannot accumulate.
+* **A JSON baseline** (:mod:`repro.lint.baseline`) grandfathering
+  pre-existing findings by ``(rule, path, message)`` — new findings
+  still fail while old debt is paid down incrementally.
+
+Rules scope themselves by *module path*: the portion of the file path
+from the ``repro`` package root on (``repro/serve/engine.py``), so the
+same rule logic runs identically over ``src/repro/...`` checkouts,
+installed trees and test fixtures with virtual paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARN = "warn"
+SEVERITIES = (ERROR, WARN)
+
+# Framework-level finding ids (always active, not part of the registry).
+PARSE_ERROR = "parse-error"
+BAD_SUPPRESSION = "bad-suppression"
+UNUSED_SUPPRESSION = "unused-suppression"
+FRAMEWORK_IDS = {
+    PARSE_ERROR: "the file must parse: a syntax error hides every other check",
+    BAD_SUPPRESSION: "a lint suppression must name rule ids and give a reason",
+    UNUSED_SUPPRESSION: "a suppression that silences nothing is stale and must go",
+}
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+
+def module_path(path: str) -> str:
+    """Normalize ``path`` to its ``repro/...`` suffix (posix separators).
+
+    Files outside a ``repro`` package keep their full normalized path,
+    so package-scoped rules simply never match them.
+    """
+    norm = path.replace(os.sep, "/")
+    segs = [s for s in norm.split("/") if s not in ("", ".")]
+    for i, seg in enumerate(segs):
+        if seg == "repro" and i + 1 < len(segs):
+            return "/".join(segs[i:])
+    return "/".join(segs) if segs else norm
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    rule: str
+    severity: str
+    path: str           # the path as given (display / editor-clickable)
+    line: int
+    col: int
+    message: str
+    module: str = ""    # repro/...-relative path (stable across checkouts)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.rule}] {self.severity}: {self.message}")
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        # Deliberately line/column-free: grandfathered findings survive
+        # unrelated edits shifting them around the file.
+        return (self.rule, self.module or self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "module": self.module,
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (kebab-case), ``severity``, ``invariant``
+    (the one-line contract shown by ``--list-rules`` and documented in
+    ROADMAP.md) and implement :meth:`check`, yielding findings for one
+    parsed file.
+    """
+
+    id: str = ""
+    severity: str = ERROR
+    invariant: str = ""
+
+    def check(self, ctx: "FileContext"):
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node, message: str,
+                severity: str | None = None) -> Finding:
+        return Finding(
+            self.id, severity or self.severity, ctx.path,
+            getattr(node, "lineno", 1), getattr(node, "col_offset", 0) + 1,
+            message, module=ctx.module_path,
+        )
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.id}: bad severity {rule.severity!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+class FileContext:
+    """One parsed file handed to every rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path.replace(os.sep, "/")
+        self.module_path = module_path(path)
+        self.filename = self.module_path.rsplit("/", 1)[-1]
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+
+    def in_package(self, *suffix: str) -> bool:
+        """True if the file lives under ``repro/<suffix...>/``."""
+        return self.module_path.startswith("/".join(("repro",) + suffix) + "/")
+
+    def is_module(self, *suffix: str) -> bool:
+        """True if the file *is* ``repro/<suffix...>`` exactly."""
+        return self.module_path == "/".join(("repro",) + suffix)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# lint: allow[ids] reason`` annotation."""
+
+    comment_line: int            # line the comment sits on
+    target_line: int             # line whose findings it silences
+    ids: frozenset[str]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+
+def _comment_tokens(source: str):
+    """Yield ``(lineno, col, text)`` for every real comment token.
+
+    Tokenizing (rather than regex over raw lines) keeps string literals
+    and docstrings that merely *mention* the allow syntax from being
+    parsed as suppressions.
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def parse_suppressions(source: str, lines: list[str], path: str,
+                       mod: str) -> tuple[list[Suppression], list[Finding]]:
+    """Extract suppressions; malformed ones come back as findings.
+
+    An annotation on a code line applies to that line; on a
+    comment-only line it applies to the next non-blank line (so long
+    statements stay readable).
+    """
+    sups: list[Suppression] = []
+    malformed: list[Finding] = []
+    for lineno, col, text in _comment_tokens(source):
+        m = _ALLOW_RE.match(text)
+        if m is None:
+            continue
+        ids = frozenset(s.strip() for s in m.group(1).split(",") if s.strip())
+        reason = m.group(2).strip()
+        if not ids or not reason:
+            malformed.append(Finding(
+                BAD_SUPPRESSION, ERROR, path, lineno, col + 1,
+                "malformed suppression: use `# lint: allow[rule-id] reason` "
+                "(the reason is mandatory — it documents the contract "
+                "exception)", module=mod))
+            continue
+        target = lineno
+        if not lines[lineno - 1][:col].strip():
+            # Comment-only line: applies to the next line that is
+            # neither blank nor a continuation of the comment block.
+            for j in range(lineno, len(lines)):
+                stripped = lines[j].strip()
+                if stripped and not stripped.startswith("#"):
+                    target = j + 1
+                    break
+        sups.append(Suppression(lineno, target, ids, reason))
+    return sups, malformed
+
+
+def lint_source(source: str, path: str,
+                rules: list[Rule] | None = None) -> list[Finding]:
+    """Lint one source string under a (possibly virtual) ``path``.
+
+    Runs the given ``rules`` (default: the full registry), applies
+    per-line suppressions, and reports malformed/unused annotations.
+    Unused-suppression checking only runs with the full registry — a
+    ``--select`` subset cannot know what the other rules would flag.
+    """
+    selected = list(RULES.values()) if rules is None else list(rules)
+    full_registry = rules is None or len(selected) == len(RULES)
+    mod = module_path(path)
+    norm = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(PARSE_ERROR, ERROR, norm, exc.lineno or 1,
+                        exc.offset or 1, f"syntax error: {exc.msg}",
+                        module=mod)]
+    ctx = FileContext(path, source, tree)
+    raw: list[Finding] = []
+    for rule in selected:
+        raw.extend(rule.check(ctx))
+    sups, findings = parse_suppressions(source, ctx.lines, ctx.path, mod)
+    for f in raw:
+        hit = next((s for s in sups
+                    if s.target_line == f.line and f.rule in s.ids), None)
+        if hit is not None:
+            hit.used = True
+        else:
+            findings.append(f)
+    if full_registry:
+        for s in sups:
+            if not s.used:
+                findings.append(Finding(
+                    UNUSED_SUPPRESSION, WARN, ctx.path, s.comment_line, 1,
+                    f"suppression for [{', '.join(sorted(s.ids))}] matches "
+                    "no finding on its line — remove the stale annotation",
+                    module=mod))
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def lint_file(path: str, rules: list[Rule] | None = None) -> list[Finding]:
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), path, rules)
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d != "__pycache__" and not d.startswith("."))
+                out.extend(os.path.join(root, f)
+                           for f in sorted(files) if f.endswith(".py"))
+        elif os.path.exists(path):
+            out.append(path)
+        else:
+            raise FileNotFoundError(path)
+    return out
+
+
+def lint_paths(paths, rules: list[Rule] | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return findings

@@ -1,0 +1,39 @@
+"""Finding reporters: ``file:line:col`` text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import ERROR, WARN, Finding
+
+
+def _counts(findings: list[Finding]) -> tuple[int, int]:
+    errors = sum(f.severity == ERROR for f in findings)
+    warnings = sum(f.severity == WARN for f in findings)
+    return errors, warnings
+
+
+def render_text(findings: list[Finding], grandfathered: int = 0) -> str:
+    """One ``path:line:col: [rule] severity: message`` line per finding."""
+    lines = [f.render() for f in findings]
+    errors, warnings = _counts(findings)
+    if findings:
+        lines.append("")
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    if grandfathered:
+        summary += f" ({grandfathered} grandfathered by baseline)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], grandfathered: int = 0) -> str:
+    errors, warnings = _counts(findings)
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "errors": errors,
+            "warnings": warnings,
+            "grandfathered": grandfathered,
+        },
+        indent=2,
+    )

@@ -807,6 +807,9 @@ class GenerationEngine:
 
     def _finish_cancel(self, seq: _Sequence) -> None:
         seq.finished = True
+        # lint: allow[finish-release-pairing] release is owned by the caller:
+        # cancel()/_cancel_sample() retire immediately outside a tick, and a
+        # reentrant mid-tick cancel defers to step()'s retire phase.
         seq.finish_reason = FINISH_CANCELLED
         self._tl(seq, "finish", reason=FINISH_CANCELLED,
                  tokens=len(seq.tokens))
@@ -1056,6 +1059,9 @@ class GenerationEngine:
             self._tl(seq, "retry", retries=seq.retries)
             self._evict(seq, count_preemption=False)
         else:
+            # lint: allow[finish-release-pairing] the quarantined victim stays
+            # in scheduler.running; step()'s retire phase releases its storage
+            # at the end of the failing tick.
             self._fail(seq, FINISH_ERROR, events)
 
     def _fail(self, seq: _Sequence, reason: str, events: list) -> None:
@@ -1100,6 +1106,9 @@ class GenerationEngine:
             self._tl(seq, "callback_error", error=seq.error)
             if not seq.finished:
                 seq.finished = True
+                # lint: allow[finish-release-pairing] callback quarantine can
+                # fire mid-tick while the row is still in the fused batch; the
+                # tick's retire phase releases the storage.
                 seq.finish_reason = FINISH_ERROR
                 self._tl(seq, "finish", reason=FINISH_ERROR,
                          tokens=len(seq.tokens))
@@ -1286,6 +1295,9 @@ class GenerationEngine:
         rid = seq.request.request_id
         if token in seq.request.stop_tokens:
             seq.finished = True
+            # lint: allow[finish-release-pairing] normal finishes (stop token /
+            # max_tokens) are retired by step()'s finish phase the same tick —
+            # release here would free the lease while the batch still runs.
             seq.finish_reason = FINISH_STOP
             event = TokenEvent(rid, None, len(seq.tokens), True, FINISH_STOP,
                                sample=seq.sample_index)

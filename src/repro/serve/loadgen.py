@@ -787,9 +787,14 @@ class LoadHarness:
         entries = sorted(trace.entries, key=lambda e: e.arrival_s)
         engine, vclock = self._build_engine()
         self.engine = engine
+        # lint: allow[clock-discipline] this IS the harness's wall-clock seam:
+        # clock="wall" opts out of determinism explicitly; virtual mode never
+        # reaches these reads.
         t0 = 0.0 if vclock is not None else time.perf_counter()
 
         def now() -> float:
+            # lint: allow[clock-discipline] wall-mode half of the clock seam
+            # (see t0 above); virtual replay takes the vclock branch.
             return (vclock() if vclock is not None else time.perf_counter()) - t0
 
         records: dict[str, RequestRecord] = {}

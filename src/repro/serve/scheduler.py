@@ -61,6 +61,9 @@ from collections import deque
 from repro.serve.config import ServeConfig as _ServeConfig
 from repro.serve.policy import FCFSPolicy, SchedulerPolicy, get_policy
 
+# lint: allow[export-consistency] ServeConfig has no static binding here by
+# design: the module __getattr__ below serves it as a deprecated alias of
+# repro.serve.config.ServeConfig with a DeprecationWarning.
 __all__ = ["ServeConfig", "Scheduler", "QueueFullError"]
 
 

@@ -1,0 +1,553 @@
+"""repro.lint — the static invariant linter.
+
+Per rule: a minimal bad fixture fires and its good twin stays silent.
+Plus: suppression semantics (inline, comment-line, mandatory reason,
+unused detection), baseline round-trip, reporters, the CLI, and the
+tier-1 gate ``test_tree_is_clean`` — the shipped tree must produce
+zero findings of any severity (empty baseline included).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import ERROR, RULES, WARN, lint_paths, lint_source
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.core import (
+    BAD_SUPPRESSION,
+    PARSE_ERROR,
+    UNUSED_SUPPRESSION,
+    Finding,
+    module_path,
+)
+from repro.lint.report import render_json, render_text
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SRC = os.path.join(REPO_ROOT, "src")
+
+SERVE = "repro/serve/engine.py"          # a serve-scoped virtual path
+NON_SERVE = "repro/model/train.py"       # outside every scoped rule
+
+
+def rules_fired(source: str, path: str, dedent: bool = True) -> list[str]:
+    if dedent:
+        source = textwrap.dedent(source)
+    return [f.rule for f in lint_source(source, path)]
+
+
+# ----------------------------------------------------------------------
+# Rule registry basics
+# ----------------------------------------------------------------------
+EXPECTED_RULES = {
+    "clock-discipline", "rng-discipline", "set-iteration-order",
+    "finish-release-pairing", "window-alignment", "frozen-config",
+    "export-consistency", "mutable-default", "bare-except",
+}
+
+
+def test_registry_has_all_rules():
+    assert EXPECTED_RULES <= set(RULES)
+    assert len(EXPECTED_RULES) >= 8
+    for rule in RULES.values():
+        assert rule.invariant, f"rule {rule.id} must document its contract"
+        assert rule.severity in (ERROR, WARN)
+
+
+def test_module_path_normalization():
+    assert module_path("src/repro/serve/engine.py") == "repro/serve/engine.py"
+    assert module_path("/a/b/src/repro/lint/core.py") == "repro/lint/core.py"
+    assert module_path("repro/serve/config.py") == "repro/serve/config.py"
+    assert module_path("scratch/standalone.py") == "scratch/standalone.py"
+
+
+# ----------------------------------------------------------------------
+# clock-discipline
+# ----------------------------------------------------------------------
+def test_clock_discipline_fires_on_wall_clock_call():
+    src = """\
+        import time
+
+        def tick():
+            return time.perf_counter()
+    """
+    assert "clock-discipline" in rules_fired(src, "repro/serve/observe.py")
+    assert "clock-discipline" in rules_fired(
+        "import time\nt = time.time()\n", "repro/serve/fleet.py")
+
+
+def test_clock_discipline_allows_injectable_reference_and_other_packages():
+    seam = """\
+        import time
+
+        def make_engine(clock=time.perf_counter):
+            return clock()
+    """
+    assert "clock-discipline" not in rules_fired(seam, SERVE)
+    # Same *call* outside repro.serve is out of scope.
+    bad = "import time\n\ndef f():\n    return time.time()\n"
+    assert "clock-discipline" not in rules_fired(bad, NON_SERVE)
+
+
+# ----------------------------------------------------------------------
+# rng-discipline
+# ----------------------------------------------------------------------
+def test_rng_discipline_fires_on_global_state_rng():
+    assert "rng-discipline" in rules_fired(
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "repro/serve/sampling.py")
+    assert "rng-discipline" in rules_fired(
+        "import random\nx = random.random()\n", NON_SERVE)
+    assert "rng-discipline" in rules_fired(
+        "import numpy as np\nnp.random.seed(0)\n", "repro/core/codec.py")
+    assert "rng-discipline" in rules_fired(
+        "from random import choice\n", NON_SERVE)
+
+
+def test_rng_discipline_requires_seeded_default_rng():
+    assert "rng-discipline" in rules_fired(
+        "import numpy as np\nrng = np.random.default_rng()\n", NON_SERVE)
+
+
+def test_rng_discipline_allows_seeded_streams():
+    good = """\
+        import numpy as np
+
+        def f(seed):
+            rng = np.random.default_rng(seed)
+            return rng.random()
+    """
+    assert "rng-discipline" not in rules_fired(good, NON_SERVE)
+    # A Generator method named like a module function is fine too.
+    assert "rng-discipline" not in rules_fired(
+        "def f(rng):\n    return rng.random()\n", NON_SERVE)
+
+
+# ----------------------------------------------------------------------
+# set-iteration-order
+# ----------------------------------------------------------------------
+def test_set_iteration_fires_in_scheduling_paths():
+    src = """\
+        def plan(xs):
+            for x in set(xs):
+                yield x
+    """
+    assert "set-iteration-order" in rules_fired(
+        src, "repro/serve/scheduler.py")
+    assert "set-iteration-order" in rules_fired(
+        "ys = [x for x in {1, 2, 3}]\n", "repro/serve/fleet.py")
+
+
+def test_set_iteration_silent_on_sorted_and_elsewhere():
+    good = """\
+        def plan(xs):
+            for x in sorted(set(xs)):
+                yield x
+    """
+    assert "set-iteration-order" not in rules_fired(
+        good, "repro/serve/scheduler.py")
+    bad = "def f(xs):\n    for x in set(xs):\n        pass\n"
+    assert "set-iteration-order" not in rules_fired(bad, NON_SERVE)
+    assert "set-iteration-order" not in rules_fired(
+        bad, "repro/serve/slo.py")   # not an order-sensitive file
+
+
+# ----------------------------------------------------------------------
+# finish-release-pairing
+# ----------------------------------------------------------------------
+def test_finish_release_fires_without_release():
+    src = """\
+        FINISH_ERROR = "error"
+
+        class Engine:
+            def fail(self, seq, events):
+                seq.finish_reason = FINISH_ERROR
+    """
+    assert "finish-release-pairing" in rules_fired(src, SERVE)
+    # FINISH_* passed as a call argument counts as emission too.
+    arg = """\
+        FINISH_TIMEOUT = "timeout"
+
+        class Engine:
+            def expire(self, seq, events):
+                events.append(self.event(seq, FINISH_TIMEOUT))
+    """
+    assert "finish-release-pairing" in rules_fired(arg, SERVE)
+
+
+def test_finish_release_silent_when_paired_or_compared():
+    paired = """\
+        FINISH_ERROR = "error"
+
+        class Engine:
+            def fail(self, seq, events):
+                seq.finish_reason = FINISH_ERROR
+                self._release_storage(seq)
+
+            def expire(self, seq):
+                seq.finish_reason = FINISH_ERROR
+                self._retire(seq)
+    """
+    assert "finish-release-pairing" not in rules_fired(paired, SERVE)
+    compare_only = """\
+        FINISH_ERROR = "error"
+
+        class Engine:
+            def is_failed(self, seq):
+                return seq.finish_reason == FINISH_ERROR
+    """
+    assert "finish-release-pairing" not in rules_fired(compare_only, SERVE)
+    # Out of scope outside engine.py / fleet.py.
+    bad = """\
+        FINISH_ERROR = "error"
+
+        def fail(seq):
+            seq.finish_reason = FINISH_ERROR
+    """
+    assert "finish-release-pairing" not in rules_fired(
+        bad, "repro/serve/request.py")
+
+
+# ----------------------------------------------------------------------
+# window-alignment
+# ----------------------------------------------------------------------
+def test_window_alignment_fires_on_literal_knobs():
+    fired = rules_fired("cfg = build(block_tokens=48)\n", SERVE)
+    assert "window-alignment" in fired
+    assert "window-alignment" in rules_fired(
+        "cfg = build(prefill_chunk_tokens=24)\n", "repro/serve/loadgen.py")
+
+
+def test_window_alignment_silent_in_config_and_for_threaded_values():
+    assert "window-alignment" not in rules_fired(
+        "cfg = build(block_tokens=32)\n", "repro/serve/config.py")
+    assert "window-alignment" not in rules_fired(
+        "cfg = build(block_tokens=config.block_tokens)\n", SERVE)
+
+
+# ----------------------------------------------------------------------
+# frozen-config
+# ----------------------------------------------------------------------
+def test_frozen_config_fires_on_unfrozen_or_unvalidated():
+    src = """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class LooseConfig:
+            x: int = 1
+    """
+    fired = rules_fired(src, "repro/serve/config.py")
+    assert fired.count("frozen-config") == 2    # not frozen AND no validator
+
+
+def test_frozen_config_silent_on_compliant_dataclass():
+    src = """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class GoodConfig:
+            x: int = 1
+
+            def __post_init__(self):
+                if self.x < 1:
+                    raise ValueError("x must be >= 1")
+    """
+    assert "frozen-config" not in rules_fired(src, "repro/serve/config.py")
+    # Non-dataclasses and other files are out of scope.
+    assert "frozen-config" not in rules_fired(
+        "class C:\n    pass\n", "repro/serve/config.py")
+    bad = "from dataclasses import dataclass\n\n@dataclass\nclass C:\n    x: int = 1\n"
+    assert "frozen-config" not in rules_fired(bad, SERVE)
+
+
+# ----------------------------------------------------------------------
+# export-consistency
+# ----------------------------------------------------------------------
+def test_export_consistency_fires_on_phantom_and_missing():
+    phantom = """\
+        from repro.serve.engine import GenerationEngine
+
+        __all__ = ["GenerationEngine", "NoSuchThing"]
+    """
+    assert "export-consistency" in rules_fired(
+        phantom, "repro/serve/__init__.py")
+    unlisted = """\
+        from repro.serve.engine import GenerationEngine, EngineStats
+
+        __all__ = ["GenerationEngine"]
+    """
+    assert "export-consistency" in rules_fired(
+        unlisted, "repro/serve/__init__.py")
+    dup = "A = 1\n__all__ = [\"A\", \"A\"]\n"
+    assert "export-consistency" in rules_fired(dup, "repro/serve/__init__.py")
+
+
+def test_export_consistency_silent_when_consistent():
+    good = """\
+        from repro.serve.engine import EngineStats, GenerationEngine
+        from repro.lint import core as _core
+
+        __all__ = ["EngineStats", "GenerationEngine", "helper"]
+
+        def helper():
+            return None
+    """
+    assert "export-consistency" not in rules_fired(
+        good, "repro/serve/__init__.py")
+    # Unlisted re-exports only matter in __init__.py.
+    module = """\
+        from repro.serve.engine import EngineStats, GenerationEngine
+
+        __all__ = ["GenerationEngine"]
+    """
+    assert "export-consistency" not in rules_fired(module, SERVE)
+
+
+# ----------------------------------------------------------------------
+# generic safety rules
+# ----------------------------------------------------------------------
+def test_mutable_default_fires_and_none_twin_passes():
+    assert "mutable-default" in rules_fired(
+        "def f(x=[]):\n    return x\n", NON_SERVE)
+    assert "mutable-default" in rules_fired(
+        "def f(*, x=dict()):\n    return x\n", NON_SERVE)
+    assert "mutable-default" not in rules_fired(
+        "def f(x=None):\n    return x if x is not None else []\n", NON_SERVE)
+    assert "mutable-default" not in rules_fired(
+        "def f(x=()):\n    return x\n", NON_SERVE)
+
+
+def test_bare_except_fires_and_narrow_twin_passes():
+    bad = "try:\n    pass\nexcept:\n    pass\n"
+    findings = lint_source(bad, NON_SERVE)
+    assert any(f.rule == "bare-except" and f.severity == WARN
+               for f in findings)
+    good = "try:\n    pass\nexcept Exception:\n    pass\n"
+    assert "bare-except" not in rules_fired(good, NON_SERVE)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_inline_suppression_with_reason_silences_finding():
+    src = ("import time\n"
+           "t = time.time()  # lint: allow[clock-discipline] test seam\n")
+    assert rules_fired(src, "repro/serve/observe.py", dedent=False) == []
+
+
+def test_comment_line_suppression_applies_to_next_code_line():
+    src = ("import time\n"
+           "# lint: allow[clock-discipline] wall-clock seam, opt-in\n"
+           "# (continuation of the comment block)\n"
+           "t = time.time()\n")
+    assert rules_fired(src, "repro/serve/observe.py", dedent=False) == []
+
+
+def test_suppression_requires_reason():
+    src = ("import time\n"
+           "t = time.time()  # lint: allow[clock-discipline]\n")
+    fired = rules_fired(src, "repro/serve/observe.py", dedent=False)
+    assert BAD_SUPPRESSION in fired
+    assert "clock-discipline" in fired   # malformed allow suppresses nothing
+
+
+def test_unused_suppression_is_flagged():
+    src = "x = 1  # lint: allow[bare-except] nothing here needs this\n"
+    findings = lint_source(src, NON_SERVE)
+    assert [f.rule for f in findings] == [UNUSED_SUPPRESSION]
+    assert findings[0].severity == WARN
+
+
+def test_unused_suppression_skipped_for_rule_subsets():
+    src = "x = 1  # lint: allow[bare-except] subset runs cannot judge this\n"
+    findings = lint_source(src, NON_SERVE, rules=[RULES["rng-discipline"]])
+    assert findings == []
+
+
+def test_suppression_only_silences_named_rule():
+    src = ("import time\n"
+           "t = time.time()  # lint: allow[bare-except] wrong rule id\n")
+    fired = rules_fired(src, "repro/serve/observe.py", dedent=False)
+    assert "clock-discipline" in fired
+    assert UNUSED_SUPPRESSION in fired
+
+
+def test_docstring_mention_of_allow_syntax_is_not_a_suppression():
+    src = '"""Docs: suppress with `# lint: allow[rule-id] reason`."""\nx = 1\n'
+    assert rules_fired(src, NON_SERVE, dedent=False) == []
+
+
+def test_parse_error_is_reported_as_finding():
+    findings = lint_source("def broken(:\n", NON_SERVE)
+    assert [f.rule for f in findings] == [PARSE_ERROR]
+    assert findings[0].severity == ERROR
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+BAD_CLOCK = "import time\n\ndef f():\n    return time.time()\n"
+
+
+def test_baseline_round_trip(tmp_path):
+    bad = tmp_path / "repro" / "serve" / "patch.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_CLOCK)
+
+    findings = lint_paths([str(tmp_path)])
+    assert [f.rule for f in findings] == ["clock-discipline"]
+
+    baseline_file = tmp_path / "lint_baseline.json"
+    write_baseline(str(baseline_file), findings)
+    baseline = load_baseline(str(baseline_file))
+
+    # Grandfathered: the same finding is fully absorbed...
+    fresh, matched = apply_baseline(lint_paths([str(tmp_path)]), baseline)
+    assert fresh == [] and matched == 1
+
+    # ...and stays absorbed when unrelated edits shift the line numbers,
+    # while a NEW finding still comes through.
+    bad.write_text("GREETING = 'hello'\n\n" + BAD_CLOCK +
+                   "\ndef g(x=[]):\n    return x\n")
+    fresh, matched = apply_baseline(lint_paths([str(tmp_path)]), baseline)
+    assert matched == 1
+    assert [f.rule for f in fresh] == ["mutable-default"]
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text('{"version": 99, "findings": []}\n')
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+def test_shipped_baseline_is_empty_for_serve():
+    with open(os.path.join(REPO_ROOT, "artifacts", "lint_baseline.json")) as fh:
+        data = json.load(fh)
+    serve_debt = [e for e in data["findings"]
+                  if e["path"].startswith("repro/serve/")]
+    assert serve_debt == []
+    assert data["findings"] == []    # in fact the whole tree ships clean
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def test_text_and_json_reporters():
+    findings = lint_source(BAD_CLOCK, "repro/serve/observe.py")
+    text = render_text(findings)
+    assert "repro/serve/observe.py:4:12:" in text
+    assert "[clock-discipline] error:" in text
+    assert "1 error(s), 0 warning(s)" in text
+
+    data = json.loads(render_json(findings, grandfathered=2))
+    assert data["errors"] == 1 and data["warnings"] == 0
+    assert data["grandfathered"] == 2
+    (entry,) = data["findings"]
+    assert entry["rule"] == "clock-discipline"
+    assert entry["line"] == 4
+    assert entry["module"] == "repro/serve/observe.py"
+
+
+# ----------------------------------------------------------------------
+# The CLI and the tier-1 gate
+# ----------------------------------------------------------------------
+def run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True, text=True, cwd=cwd, env=env)
+
+
+def test_tree_is_clean():
+    """The tier-1 lint gate: zero findings of any severity over src."""
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_self_check_exits_zero():
+    proc = run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s), 0 warning(s)" in proc.stdout
+
+
+def test_cli_diff_mode_single_file_and_failure_exit(tmp_path):
+    bad = tmp_path / "patch.py"
+    bad.write_text("def f(x={}):\n    return x\n")
+    proc = run_cli(str(bad), "--no-baseline")
+    assert proc.returncode == 1
+    assert "mutable-default" in proc.stdout
+
+    good = tmp_path / "ok.py"
+    good.write_text("def f(x=None):\n    return x\n")
+    proc = run_cli(str(good), "--no-baseline")
+    assert proc.returncode == 0
+
+
+def test_cli_select_and_json(tmp_path):
+    bad = tmp_path / "patch.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n\ndef f(x=[]):\n"
+                   "    return x\n")
+    proc = run_cli(str(bad), "--no-baseline", "--select", "bare-except",
+                   "--format", "json")
+    data = json.loads(proc.stdout)
+    assert [f["rule"] for f in data["findings"]] == ["bare-except"]
+    assert proc.returncode == 0          # warn-only without --strict
+    proc = run_cli(str(bad), "--no-baseline", "--select", "bare-except",
+                   "--strict")
+    assert proc.returncode == 1          # --strict promotes warnings
+
+
+def test_cli_list_rules_and_unknown_rule():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in EXPECTED_RULES:
+        assert rule_id in proc.stdout
+    proc = run_cli("--select", "no-such-rule", "src")
+    assert proc.returncode == 2
+
+
+def test_cli_write_baseline_round_trip(tmp_path):
+    bad = tmp_path / "patch.py"
+    bad.write_text("def g(x=[]):\n    return x\n")   # unscoped error rule
+    baseline = tmp_path / "base.json"
+    proc = run_cli(str(bad), "--write-baseline", "--baseline", str(baseline))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "1 finding(s)" in proc.stdout
+    proc = run_cli(str(bad), "--baseline", str(baseline))
+    assert proc.returncode == 0
+    assert "1 grandfathered" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Acceptance scenarios from the standing invariants
+# ----------------------------------------------------------------------
+def _real_source(rel):
+    with open(os.path.join(SRC, rel), encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_injected_wall_clock_in_observe_fails():
+    source = _real_source("repro/serve/observe.py")
+    source += "\n\ndef _bad_probe():\n    return time.time()\n"
+    fired = [f.rule for f in lint_source(source, "src/repro/serve/observe.py")]
+    assert "clock-discipline" in fired
+
+
+def test_injected_global_rng_in_sampling_fails():
+    source = _real_source("repro/serve/sampling.py")
+    source += "\n\nimport numpy as np\n\ndef _bad_draw():\n"
+    source += "    return np.random.rand(4)\n"
+    fired = [f.rule for f in lint_source(source,
+                                         "src/repro/serve/sampling.py")]
+    assert "rng-discipline" in fired
